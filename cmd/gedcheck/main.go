@@ -1,0 +1,208 @@
+// Command gedcheck runs the GED analyses from the command line:
+//
+//	gedcheck validate -graph g.json -rules deps.ged     # find violations
+//	gedcheck sat      -rules deps.ged                   # satisfiability + witness
+//	gedcheck implies  -rules deps.ged -target name      # Σ\{φ} ⊨ φ?
+//	gedcheck prove    -rules deps.ged -target name      # A_GED proof of the implication
+//	gedcheck chase    -graph g.json -rules deps.ged     # chase a graph, print the quotient
+//	gedcheck discover -graph g.json                     # mine GFDs from a graph
+//
+// Graphs are JSON (see internal/gedio); rules use the DSL:
+//
+//	ged phi1 on (x:person)-[create]->(y:product) {
+//	  when y.type = "video game"
+//	  then x.type = "programmer"
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gedlib/internal/axiom"
+	"gedlib/internal/chase"
+	"gedlib/internal/discover"
+	"gedlib/internal/ged"
+	"gedlib/internal/gedio"
+	"gedlib/internal/graph"
+	"gedlib/internal/reason"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	graphPath := fs.String("graph", "", "JSON graph file")
+	rulesPath := fs.String("rules", "", "DSL rules file")
+	target := fs.String("target", "", "rule name for implies/prove")
+	limit := fs.Int("limit", 20, "maximum violations to report")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "validate":
+		g := loadGraph(*graphPath)
+		sigma := loadGEDs(*rulesPath)
+		vs := reason.Validate(g, sigma, *limit)
+		if len(vs) == 0 {
+			fmt.Println("graph satisfies all rules")
+			return
+		}
+		for _, v := range vs {
+			fmt.Printf("violation of %s at %v: fails %s\n", v.GED.Name, v.Match, v.Literal)
+		}
+		os.Exit(1)
+	case "sat":
+		sigma := loadGEDs(*rulesPath)
+		r := reason.CheckSat(sigma)
+		if !r.Satisfiable {
+			fmt.Println("unsatisfiable:", r.Chase.Eq.Conflict())
+			os.Exit(1)
+		}
+		fmt.Println("satisfiable; witness model:")
+		fmt.Print(r.Model)
+	case "implies":
+		sigma, phi := splitTarget(loadGEDs(*rulesPath), *target)
+		r := reason.Implies(sigma, phi)
+		if r.Implied {
+			how := "by deduction"
+			if r.ByInconsistency {
+				how = "vacuously (inconsistent antecedent)"
+			}
+			fmt.Printf("%s is implied %s\n", phi.Name, how)
+			return
+		}
+		fmt.Printf("%s is NOT implied; missing literal: %s\n", phi.Name, *r.Missing)
+		os.Exit(1)
+	case "prove":
+		sigma, phi := splitTarget(loadGEDs(*rulesPath), *target)
+		p, err := axiom.Prove(sigma, phi)
+		if err != nil {
+			fatal(err)
+		}
+		if err := axiom.Check(sigma, p); err != nil {
+			fatal(fmt.Errorf("generated proof failed checking: %w", err))
+		}
+		fmt.Printf("A_GED proof of %s (%d steps):\n%s", phi.Name, p.Len(), p)
+	case "discover":
+		g := loadGraph(*graphPath)
+		found := discover.GFDs(g, discover.Options{})
+		if len(found) == 0 {
+			fmt.Println("no rules discovered")
+			return
+		}
+		var rules []*gedio.Rule
+		for _, d := range found {
+			rules = append(rules, &gedio.Rule{
+				Name:    sanitizeName(d.GED.Name),
+				Pattern: d.GED.Pattern,
+				X:       d.GED.X,
+				Y:       d.GED.Y,
+			})
+		}
+		fmt.Printf("# %d rules discovered\n%s", len(found), gedio.Format(rules))
+	case "chase":
+		g := loadGraph(*graphPath)
+		sigma := loadGEDs(*rulesPath)
+		res := chase.Run(g, sigma)
+		if !res.Consistent() {
+			fmt.Println("chase is invalid (⊥):", res.Eq.Conflict())
+			os.Exit(1)
+		}
+		fmt.Printf("chase applied %d steps; quotient graph:\n", len(res.Steps))
+		fmt.Print(res.Coercion.Graph)
+		classes := res.Eq.NodeClasses()
+		for rep, members := range classes {
+			if len(members) > 1 {
+				fmt.Printf("merged %v -> class of n%d\n", members, rep)
+			}
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gedcheck validate|sat|implies|prove|chase|discover [flags]")
+	os.Exit(2)
+}
+
+// sanitizeName makes a mined rule name a DSL identifier.
+func sanitizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "rule"
+	}
+	return string(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gedcheck:", err)
+	os.Exit(1)
+}
+
+func loadGraph(path string) *graph.Graph {
+	if path == "" {
+		fatal(fmt.Errorf("missing -graph"))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	g, _, err := gedio.UnmarshalGraph(data)
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func loadGEDs(path string) ged.Set {
+	if path == "" {
+		fatal(fmt.Errorf("missing -rules"))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	rules, err := gedio.Parse(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	sigma, err := gedio.GEDs(rules)
+	if err != nil {
+		fatal(err)
+	}
+	return sigma
+}
+
+// splitTarget extracts the named rule as φ and returns the rest as Σ.
+func splitTarget(all ged.Set, name string) (ged.Set, *ged.GED) {
+	if name == "" {
+		fatal(fmt.Errorf("missing -target"))
+	}
+	var sigma ged.Set
+	var phi *ged.GED
+	for _, d := range all {
+		if d.Name == name && phi == nil {
+			phi = d
+			continue
+		}
+		sigma = append(sigma, d)
+	}
+	if phi == nil {
+		fatal(fmt.Errorf("rule %q not found", name))
+	}
+	return sigma, phi
+}

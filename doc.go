@@ -1,0 +1,14 @@
+// Package gedlib is a from-scratch Go implementation of "Dependencies
+// for Graphs" (Wenfei Fan and Ping Lu, PODS 2017): graph entity
+// dependencies (GEDs) over property graphs, the revised chase with the
+// Church-Rosser property, decision procedures for satisfiability,
+// implication and validation, the finite axiom system A_GED, and the
+// GDC and GED∨ extensions.
+//
+// The implementation lives under internal/; see README.md for the
+// package map, DESIGN.md for the system inventory, and EXPERIMENTS.md
+// for the reproduction of the paper's evaluation artifacts. The
+// benchmarks in bench_test.go regenerate Table 1; run them with
+//
+//	go test -bench=. -benchmem
+package gedlib

@@ -1,0 +1,58 @@
+// Knowledge-base consistency checking: the Example 1 scenario of the
+// paper. A synthetic Yago/DBPedia-style knowledge base is generated with
+// planted inconsistencies, and the GEDs φ₁–φ₄ catch every one:
+//
+//   - a video game created by a psychologist (φ₁),
+//
+//   - a country with two differently-named capitals (φ₂),
+//
+//   - a flightless species of a flying class (φ₃, attribute inheritance
+//     over wildcard patterns),
+//
+//   - a person who is both child and parent of the same person (φ₄, a
+//     forbidding constraint).
+//
+//     go run ./examples/knowledgebase
+package main
+
+import (
+	"fmt"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/gen"
+	"gedlib/internal/reason"
+)
+
+func main() {
+	g, stats := gen.KnowledgeBase(42, 200, 0.15)
+	fmt.Printf("knowledge base: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("planted: %d bad creators, %d double capitals, %d inheritance breaks, %d family cycles\n",
+		stats.BadCreators, stats.BadCapitals, stats.BadInherits, stats.BadCycles)
+
+	sigma := ged.Set{gen.PaperPhi1(), gen.PaperPhi2(), gen.PaperPhi3(), gen.PaperPhi4()}
+	fmt.Println("\nrules:")
+	for _, d := range sigma {
+		fmt.Println(" ", d)
+	}
+
+	vs := reason.Validate(g, sigma, 0)
+	byRule := map[string]int{}
+	for _, v := range vs {
+		byRule[v.GED.Name]++
+	}
+	fmt.Println("\nviolations found:")
+	for _, d := range sigma {
+		fmt.Printf("  %s: %d\n", d.Name, byRule[d.Name])
+	}
+	if len(vs) < stats.Total() {
+		fmt.Println("MISSED SOME PLANTED ERRORS — this should not happen")
+	} else {
+		fmt.Printf("\nall %d planted inconsistencies caught (%d total violating matches)\n",
+			stats.Total(), len(vs))
+	}
+
+	// The rule set itself is sensible: it has a model.
+	if r := reason.CheckSat(sigma); r.Satisfiable {
+		fmt.Println("Σ is satisfiable — the rules do not conflict with each other")
+	}
+}

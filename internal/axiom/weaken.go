@@ -1,0 +1,69 @@
+package axiom
+
+import (
+	"fmt"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/pattern"
+)
+
+// Weaken extends a proof whose final step concludes Q[x̄](X → Y) with a
+// derivation of Q[x̄](X → Y1) for a subset Y1 ⊆ Y. This is the derived
+// projection rule the paper calls GED7 (Example 8(a)): it is not a
+// primitive of A_GED, but is assembled from GED3 (to isolate single
+// literals), GED6 with the identity match (to conjoin them), and GED5
+// when X ∪ Y is inconsistent.
+//
+// The extended proof's target becomes Q[x̄](X → Y1).
+func Weaken(p *Proof, y1 []ged.Literal) (*Proof, error) {
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("axiom: weakening an empty proof")
+	}
+	lastIdx := len(p.Steps) - 1
+	base := p.Steps[lastIdx].Concl
+	ys := litSet(base.Y)
+	for _, l := range y1 {
+		if !ys[litKey(l)] {
+			return nil, fmt.Errorf("axiom: literal %s is not in the proven consequent", l)
+		}
+	}
+	out := &Proof{
+		Target: ged.New(p.Target.Name, base.Pattern, base.X, y1),
+		Steps:  append([]Step{}, p.Steps...),
+	}
+	mk := func(y []ged.Literal) *ged.GED { return ged.New("", base.Pattern, base.X, y) }
+	add := func(s Step) int {
+		out.Steps = append(out.Steps, s)
+		return len(out.Steps) - 1
+	}
+
+	// Inconsistent X ∪ Y: GED5 concludes anything at once.
+	if eq, _ := eqOf(base.Pattern, base.X, base.Y); !eq.Consistent() {
+		add(Step{Rule: RuleGED5, Concl: mk(y1), Prem: []int{lastIdx}})
+		return out, nil
+	}
+	if len(y1) == 0 {
+		// A vacuous target; Check's empty-Y convention accepts the base.
+		return out, nil
+	}
+
+	// Extract each literal as a singleton via double GED3.
+	var singles []int
+	for _, l := range y1 {
+		mid := add(Step{Rule: RuleGED3, Concl: mk([]ged.Literal{l.Flip()}), Prem: []int{lastIdx}})
+		singles = append(singles, add(Step{Rule: RuleGED3, Concl: mk([]ged.Literal{l}), Prem: []int{mid}}))
+	}
+	// Conjoin with identity-match GED6.
+	h := make(map[pattern.Var]pattern.Var)
+	for _, v := range base.Pattern.Vars() {
+		h[v] = v
+	}
+	acc := singles[0]
+	accY := []ged.Literal{y1[0]}
+	for i, s := range singles[1:] {
+		accY = append(accY, y1[i+1])
+		acc = add(Step{Rule: RuleGED6, Concl: mk(append([]ged.Literal{}, accY...)),
+			Prem: []int{acc, s}, Match: h})
+	}
+	return out, nil
+}

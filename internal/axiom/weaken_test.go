@@ -1,0 +1,112 @@
+package axiom
+
+import (
+	"testing"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+func TestWeakenProjectsConsequent(t *testing.T) {
+	// Prove Q(X → b ∧ c) from Σ, then project to Q(X → c) via GED7.
+	q := singleNodeQ("p")
+	full := ged.New("full", q,
+		[]ged.Literal{ged.ConstLit("x", "a", graph.Int(1))},
+		[]ged.Literal{ged.ConstLit("x", "b", graph.Int(2)), ged.ConstLit("x", "c", graph.Int(3))})
+	sigma := ged.Set{full}
+	p, err := Prove(sigma, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Weaken(p, []ged.Literal{ged.ConstLit("x", "c", graph.Int(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(sigma, w); err != nil {
+		t.Fatalf("weakened proof rejected: %v\n%s", err, w)
+	}
+	if len(w.Target.Y) != 1 || w.Target.Y[0] != ged.ConstLit("x", "c", graph.Int(3)) {
+		t.Errorf("weakened target wrong: %s", w.Target)
+	}
+}
+
+func TestWeakenBothLiterals(t *testing.T) {
+	q := singleNodeQ("p")
+	full := ged.New("full", q, nil,
+		[]ged.Literal{ged.ConstLit("x", "b", graph.Int(2)), ged.ConstLit("x", "c", graph.Int(3))})
+	sigma := ged.Set{full}
+	p, err := Prove(sigma, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projecting to the full set (reordered) still checks.
+	w, err := Weaken(p, []ged.Literal{ged.ConstLit("x", "c", graph.Int(3)), ged.ConstLit("x", "b", graph.Int(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(sigma, w); err != nil {
+		t.Fatalf("Check: %v\n%s", err, w)
+	}
+}
+
+func TestWeakenRejectsForeignLiteral(t *testing.T) {
+	q := singleNodeQ("p")
+	full := ged.New("full", q, nil, []ged.Literal{ged.ConstLit("x", "b", graph.Int(2))})
+	p, err := Prove(ged.Set{full}, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Weaken(p, []ged.Literal{ged.ConstLit("x", "zz", graph.Int(9))}); err == nil {
+		t.Error("literal outside the consequent accepted")
+	}
+}
+
+func TestWeakenInconsistent(t *testing.T) {
+	// X ∪ Y inconsistent: the projection goes through GED5.
+	q := singleNodeQ("p")
+	phi := ged.New("phi", q,
+		[]ged.Literal{ged.ConstLit("x", "a", graph.Int(1)), ged.ConstLit("x", "a", graph.Int(2))},
+		[]ged.Literal{ged.ConstLit("x", "b", graph.Int(2)), ged.ConstLit("x", "c", graph.Int(3))})
+	sigma := ged.Set{}
+	p, err := Prove(sigma, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Weaken(p, []ged.Literal{ged.ConstLit("x", "b", graph.Int(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(sigma, w); err != nil {
+		t.Fatalf("Check: %v\n%s", err, w)
+	}
+	usedGED5 := false
+	for _, s := range w.Steps {
+		if s.Rule == RuleGED5 {
+			usedGED5 = true
+		}
+	}
+	if !usedGED5 {
+		t.Error("inconsistent weakening must use GED5")
+	}
+}
+
+func TestWeakenVariableLiterals(t *testing.T) {
+	q := pattern.New()
+	q.AddVar("x", "a").AddVar("y", "a")
+	full := ged.New("full", q,
+		[]ged.Literal{ged.VarLit("x", "k", "y", "k")},
+		[]ged.Literal{ged.IDLit("x", "y"), ged.VarLit("x", "m", "y", "m")})
+	sigma := ged.Set{full}
+	p, err := Prove(sigma, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Weaken(p, []ged.Literal{ged.IDLit("x", "y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(sigma, w); err != nil {
+		t.Fatalf("Check: %v\n%s", err, w)
+	}
+}

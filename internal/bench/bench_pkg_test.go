@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable1AllCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 reproduction is slow")
+	}
+	rep := Table1(true)
+	ok, total := rep.Correct()
+	if ok != total {
+		var b bytes.Buffer
+		rep.Write(&b)
+		t.Fatalf("%d/%d decisions wrong:\n%s", total-ok, total, b.String())
+	}
+	if total < 25 {
+		t.Errorf("expected at least 25 measured cells, got %d", total)
+	}
+	// Every class and problem of Table 1 must be covered.
+	classes := map[string]bool{}
+	problems := map[string]bool{}
+	for _, r := range rep.Rows {
+		classes[r.Class] = true
+		problems[r.Problem] = true
+	}
+	for _, c := range []string{"GED", "GFD", "GKey", "GFDx", "GDC", "GED∨"} {
+		if !classes[c] {
+			t.Errorf("class %s not covered", c)
+		}
+	}
+	for _, p := range []string{"satisfiability", "implication", "validation"} {
+		if !problems[p] {
+			t.Errorf("problem %s not covered", p)
+		}
+	}
+}
+
+func TestReportWrite(t *testing.T) {
+	rep := &Report{Rows: []Row{
+		{Class: "GFD", Problem: "validation", Instance: "x", Expected: "yes", Got: "yes"},
+		{Class: "GFD", Problem: "validation", Instance: "y", Expected: "yes", Got: "no"},
+	}}
+	var b bytes.Buffer
+	rep.Write(&b)
+	s := b.String()
+	if !strings.Contains(s, "1/2 decisions match") {
+		t.Errorf("summary wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "!") {
+		t.Error("mismatches must be marked")
+	}
+}
+
+func TestScalingSeries(t *testing.T) {
+	pts := BoundedPatternValidation([]int{20, 40})
+	if len(pts) != 2 || pts[1].Size <= pts[0].Size {
+		t.Errorf("scaling points wrong: %+v", pts)
+	}
+	cpts := GFDxSatConstant([]int{2, 4})
+	if len(cpts) != 2 {
+		t.Errorf("constant series wrong: %+v", cpts)
+	}
+	var b bytes.Buffer
+	WriteScaling(&b, "test", pts)
+	if !strings.Contains(b.String(), "SIZE") {
+		t.Error("scaling table header missing")
+	}
+}

@@ -1,0 +1,241 @@
+package chase
+
+import (
+	"fmt"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// Coercion is the graph G_Eq of Section 4.1 together with the maps
+// relating it to the base graph: each node class becomes one node,
+// labeled by the class's resolved label; edges are transported; and
+// attributes with known constants are materialized.
+type Coercion struct {
+	// Graph is G_Eq.
+	Graph *graph.Graph
+	// NodeOf maps each base node to its coercion node.
+	NodeOf map[graph.NodeID]graph.NodeID
+	// RepOf maps each coercion node back to its class representative in
+	// the base graph.
+	RepOf []graph.NodeID
+}
+
+// Coerce builds the coercion of eq on its base graph. It must only be
+// called on a consistent Eq (G_Eq is undefined otherwise).
+func Coerce(eq *Eq) *Coercion {
+	if !eq.Consistent() {
+		panic("chase: coercion of inconsistent Eq")
+	}
+	g := eq.Graph()
+	co := graph.New()
+	c := &Coercion{Graph: co, NodeOf: make(map[graph.NodeID]graph.NodeID, g.NumNodes())}
+	for _, id := range g.Nodes() {
+		r := eq.NodeRoot(id)
+		if cn, ok := c.NodeOf[r]; ok {
+			c.NodeOf[id] = cn
+			continue
+		}
+		cn := co.AddNode(eq.ClassLabel(r))
+		c.NodeOf[r] = cn
+		c.NodeOf[id] = cn
+		c.RepOf = append(c.RepOf, r)
+	}
+	for _, e := range g.Edges() {
+		co.AddEdge(c.NodeOf[e.Src], e.Label, c.NodeOf[e.Dst])
+	}
+	for cn, r := range c.RepOf {
+		for _, a := range eq.ClassAttrs(r) {
+			if v, ok := eq.AttrConst(r, a); ok {
+				co.SetAttr(graph.NodeID(cn), a, v)
+			}
+		}
+	}
+	return c
+}
+
+// Step records one chase step Eq ⇒_(φ,h) Eq′ of the trace: which GED of
+// Σ was applied, under which match (given as base-graph class
+// representatives), enforcing which consequent literal.
+type Step struct {
+	// GED is the index of the applied dependency in Σ.
+	GED int
+	// Match maps the pattern variables to base-graph nodes (class
+	// representatives at the time of the step).
+	Match map[pattern.Var]graph.NodeID
+	// Literal is the index of the enforced literal in the GED's Y.
+	Literal int
+}
+
+// Result is the outcome chase(G, Σ) of Theorem 1: by the Church-Rosser
+// property it is independent of the order in which GEDs were applied.
+type Result struct {
+	// Eq is the final equivalence relation. When the chase is invalid it
+	// holds the relation at the failing step, with its Conflict set.
+	Eq *Eq
+	// Coercion is the final coercion G_Eq; nil when the chase is invalid
+	// (the paper's ⊥).
+	Coercion *Coercion
+	// Steps is the chasing sequence applied.
+	Steps []Step
+	// Sigma is the chased dependency set.
+	Sigma ged.Set
+}
+
+// Consistent reports whether the chase terminated in a valid sequence.
+func (r *Result) Consistent() bool { return r.Eq.Consistent() }
+
+// Seed is an initial extension of Eq0 before the chase runs; it realizes
+// the relation Eq_X of the implication analysis (Section 5.2), expressed
+// over base-graph nodes.
+type Seed struct {
+	Literal ged.Literal
+	// Nodes resolves the literal's variables to base-graph nodes.
+	Nodes map[pattern.Var]graph.NodeID
+}
+
+// SeedOf translates a literal over pattern variables into a Seed via the
+// variable-to-node map vm.
+func SeedOf(l ged.Literal, vm map[pattern.Var]graph.NodeID) Seed {
+	nodes := make(map[pattern.Var]graph.NodeID)
+	for _, v := range l.Vars() {
+		nodes[v] = vm[v]
+	}
+	return Seed{Literal: l, Nodes: nodes}
+}
+
+// Run chases g by sigma starting from Eq0 (Theorem 1). The trace, final
+// relation and coercion are returned; on an invalid sequence the result's
+// Coercion is nil and Eq carries the conflict.
+func Run(g *graph.Graph, sigma ged.Set) *Result {
+	return RunSeeded(g, sigma, nil)
+}
+
+// RunSeeded chases g by sigma starting from Eq0 extended by the given
+// seed literals — the chase(G_Q, Eq_X, Σ) of Section 5.2. Seeds are
+// applied with ReasonGiven in order; a conflicting seed set makes the
+// chase invalid immediately (an inconsistent Eq_X, Section 4.1 case (b)).
+func RunSeeded(g *graph.Graph, sigma ged.Set, seeds []Seed) *Result {
+	eq := NewEq(g)
+	res := &Result{Eq: eq, Sigma: sigma}
+	for i, s := range seeds {
+		applyLiteral(eq, s.Literal, s.Nodes, Reason{Kind: ReasonGiven, Seed: i})
+		if !eq.Consistent() {
+			return res
+		}
+	}
+	for {
+		co := Coerce(eq)
+		changed := false
+		for gi, d := range sigma {
+			pat := d.Pattern
+			pattern.ForEachMatch(pat, co.Graph, func(m pattern.Match) bool {
+				// Translate the coercion match to base-graph class
+				// representatives; representatives stay valid across
+				// merges performed later in this iteration.
+				base := make(map[pattern.Var]graph.NodeID, len(m))
+				for v, cn := range m {
+					base[v] = co.RepOf[cn]
+				}
+				if !satisfiesAll(eq, d.X, base) {
+					return true
+				}
+				for li, l := range d.Y {
+					if literalHolds(eq, l, base) {
+						continue
+					}
+					step := len(res.Steps)
+					res.Steps = append(res.Steps, Step{GED: gi, Match: base, Literal: li})
+					applyLiteral(eq, l, base, Reason{Kind: ReasonStep, Step: step})
+					changed = true
+					if !eq.Consistent() {
+						return false
+					}
+				}
+				return true
+			})
+			if !eq.Consistent() {
+				return res
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res.Coercion = Coerce(eq)
+	return res
+}
+
+// satisfiesAll reports h(x̄) ⊨ X under eq: every literal holds, with the
+// paper's attribute-existence semantics (a missing attribute falsifies
+// the literal, hence the whole antecedent).
+func satisfiesAll(eq *Eq, lits []ged.Literal, m map[pattern.Var]graph.NodeID) bool {
+	for _, l := range lits {
+		if !literalHolds(eq, l, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds evaluates one GED literal against eq under node assignment m:
+// h(x̄) ⊨ l in the sense of Section 3, with equality read modulo Eq.
+// It accepts the flipped intermediate forms (c = x.A) that proofs use.
+func Holds(eq *Eq, l ged.Literal, m map[pattern.Var]graph.NodeID) bool {
+	if l.Left.Kind == ged.OperandConst {
+		l = l.Flip()
+	}
+	return literalHolds(eq, l, m)
+}
+
+// literalHolds evaluates one GED literal against eq under node
+// assignment m.
+func literalHolds(eq *Eq, l ged.Literal, m map[pattern.Var]graph.NodeID) bool {
+	k, ok := l.Kind()
+	if !ok {
+		panic(fmt.Sprintf("chase: non-GED literal %s", l))
+	}
+	switch k {
+	case ConstKind:
+		v, ok := eq.AttrConst(m[l.Left.Var], l.Left.Attr)
+		return ok && v.Equal(l.Right.Const)
+	case VarKind:
+		return eq.SameValue(m[l.Left.Var], l.Left.Attr, m[l.Right.Var], l.Right.Attr)
+	default:
+		return eq.SameNode(m[l.Left.Var], m[l.Right.Var])
+	}
+}
+
+// Aliases keep the switch above readable.
+const (
+	ConstKind = ged.ConstLiteral
+	VarKind   = ged.VarLiteral
+	IDKind    = ged.IDLiteral
+)
+
+// applyLiteral extends eq with one literal, per chase-step cases (1)–(3).
+func applyLiteral(eq *Eq, l ged.Literal, m map[pattern.Var]graph.NodeID, why Reason) {
+	k, ok := l.Kind()
+	if !ok {
+		panic(fmt.Sprintf("chase: non-GED literal %s", l))
+	}
+	switch k {
+	case ConstKind:
+		eq.bindConst(m[l.Left.Var], l.Left.Attr, l.Right.Const, why)
+	case VarKind:
+		eq.bindEqual(m[l.Left.Var], l.Left.Attr, m[l.Right.Var], l.Right.Attr, why)
+	default:
+		eq.IdentifyNodes(m[l.Left.Var], m[l.Right.Var], why)
+	}
+}
+
+// Deduced reports whether literal l (over base-graph nodes, resolved by
+// m) can be deduced from the result's final relation, in the sense of
+// Section 5.2: the equality it asserts holds in Eq.
+func (r *Result) Deduced(l ged.Literal, m map[pattern.Var]graph.NodeID) bool {
+	if !r.Consistent() {
+		return false
+	}
+	return literalHolds(r.Eq, l, m)
+}

@@ -1,0 +1,159 @@
+package chase
+
+import (
+	"fmt"
+
+	"gedlib/internal/graph"
+)
+
+// This file exposes the proof forests of Eq: for any two identified
+// nodes, or any two terms in one value class, Explain* returns the chain
+// of reasoned unions connecting them. The axiom package replays these
+// chains into A_GED proofs (Section 6), turning the completeness
+// argument of Theorem 7 into an executable proof generator.
+
+// NodeLink is one edge of a node-forest explanation: nodes A and B were
+// identified directly, for the given reason.
+type NodeLink struct {
+	A, B   graph.NodeID
+	Reason Reason
+}
+
+// ValueEndpoint describes one end of a value-forest edge: either an
+// attribute slot u.A or a constant.
+type ValueEndpoint struct {
+	IsConst bool
+	Const   graph.Value
+	Node    graph.NodeID
+	Attr    graph.Attr
+}
+
+// String renders the endpoint.
+func (v ValueEndpoint) String() string {
+	if v.IsConst {
+		return v.Const.String()
+	}
+	return fmt.Sprintf("n%d.%s", v.Node, v.Attr)
+}
+
+// ValueLink is one edge of a value-forest explanation.
+type ValueLink struct {
+	A, B   ValueEndpoint
+	Reason Reason
+}
+
+// Endpoint describes term t.
+func (eq *Eq) Endpoint(t Term) ValueEndpoint {
+	if cv := eq.constVals[t]; cv != nil {
+		return ValueEndpoint{IsConst: true, Const: *cv}
+	}
+	sk := eq.slotKeys[t]
+	return ValueEndpoint{Node: sk.node, Attr: sk.attr}
+}
+
+// ExplainNodes returns a chain of directly-reasoned identifications
+// connecting x and y, or nil if they are not identified (or are equal).
+func (eq *Eq) ExplainNodes(x, y graph.NodeID) []NodeLink {
+	if x == y || !eq.SameNode(x, y) {
+		return nil
+	}
+	// BFS over the node forest.
+	prev := map[graph.NodeID]forestEdge{}
+	seen := map[graph.NodeID]bool{x: true}
+	queue := []graph.NodeID{x}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == y {
+			break
+		}
+		for _, e := range eq.nodeForest[cur] {
+			o := graph.NodeID(e.other)
+			if seen[o] {
+				continue
+			}
+			seen[o] = true
+			prev[o] = forestEdge{other: int(cur), reason: e.reason}
+			queue = append(queue, o)
+		}
+	}
+	if !seen[y] {
+		return nil
+	}
+	var chain []NodeLink
+	for cur := y; cur != x; {
+		e := prev[cur]
+		chain = append(chain, NodeLink{A: graph.NodeID(e.other), B: cur, Reason: e.reason})
+		cur = graph.NodeID(e.other)
+	}
+	// Reverse into x→y order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// ExplainTerms returns a chain of directly-reasoned value unions
+// connecting terms s and t, or nil if they are in different classes (or
+// equal).
+func (eq *Eq) ExplainTerms(s, t Term) []ValueLink {
+	if s == t || eq.valRoot(s) != eq.valRoot(t) {
+		return nil
+	}
+	prev := map[Term]forestEdge{}
+	seen := map[Term]bool{s: true}
+	queue := []Term{s}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == t {
+			break
+		}
+		for _, e := range eq.valForest[cur] {
+			o := Term(e.other)
+			if seen[o] {
+				continue
+			}
+			seen[o] = true
+			prev[o] = forestEdge{other: int(cur), reason: e.reason}
+			queue = append(queue, o)
+		}
+	}
+	if !seen[t] {
+		return nil
+	}
+	var chain []ValueLink
+	for cur := t; cur != s; {
+		e := prev[cur]
+		chain = append(chain, ValueLink{A: eq.Endpoint(Term(e.other)), B: eq.Endpoint(cur), Reason: e.reason})
+		cur = Term(e.other)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// SlotTermExact returns the term of the slot (x, a) if that exact slot
+// was ever created (as opposed to the class-level SlotTerm lookup).
+func (eq *Eq) SlotTermExact(x graph.NodeID, a graph.Attr) (Term, bool) {
+	t, ok := eq.slotOf[slotKey{node: x, attr: a}]
+	return t, ok
+}
+
+// ConstTermExact returns the term of constant c if it was ever created.
+func (eq *Eq) ConstTermExact(c graph.Value) (Term, bool) {
+	t, ok := eq.constOf[c]
+	return t, ok
+}
+
+// ClassSlotTerm returns a term witnessing that class of x carries
+// attribute a (the class entry term), and its owner node.
+func (eq *Eq) ClassSlotTerm(x graph.NodeID, a graph.Attr) (Term, graph.NodeID, bool) {
+	r := eq.NodeRoot(x)
+	e, ok := eq.nodeAttrs[r][a]
+	if !ok {
+		return noTerm, 0, false
+	}
+	return e.term, e.owner, true
+}

@@ -1,0 +1,122 @@
+package chase
+
+import (
+	"testing"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+func TestExplainNodesChain(t *testing.T) {
+	// Three p-nodes merged pairwise by a key; the explanation between the
+	// two outer nodes is a chain of step-reasoned links.
+	g := graph.New()
+	a := g.AddNodeAttrs("p", map[graph.Attr]graph.Value{"k": graph.Int(1)})
+	b := g.AddNodeAttrs("p", map[graph.Attr]graph.Value{"k": graph.Int(1)})
+	c := g.AddNodeAttrs("p", map[graph.Attr]graph.Value{"k": graph.Int(1)})
+	q := pattern.New()
+	q.AddVar("x", "p").AddVar("y", "p")
+	key := ged.New("key", q,
+		[]ged.Literal{ged.VarLit("x", "k", "y", "k")},
+		[]ged.Literal{ged.IDLit("x", "y")})
+	res := Run(g, ged.Set{key})
+	if !res.Consistent() {
+		t.Fatal("chase invalid")
+	}
+	if !res.Eq.SameNode(a, c) {
+		t.Fatal("all nodes must merge")
+	}
+	chain := res.Eq.ExplainNodes(a, c)
+	if len(chain) == 0 {
+		t.Fatal("no explanation for identified nodes")
+	}
+	// Chain must connect a to c, each link reasoned by a chase step.
+	if chain[0].A != a || chain[len(chain)-1].B != c {
+		t.Errorf("chain endpoints wrong: %+v", chain)
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		if chain[i].B != chain[i+1].A {
+			t.Errorf("chain broken at %d: %+v", i, chain)
+		}
+	}
+	for _, l := range chain {
+		if l.Reason.Kind != ReasonStep {
+			t.Errorf("unexpected reason %v", l.Reason.Kind)
+		}
+		if l.Reason.Step >= len(res.Steps) {
+			t.Errorf("dangling step index %d", l.Reason.Step)
+		}
+	}
+	if res.Eq.ExplainNodes(a, a) != nil {
+		t.Error("self-explanation must be nil")
+	}
+	_ = b
+}
+
+func TestExplainTermsThroughConstant(t *testing.T) {
+	// v1.A and v2.A are connected through the shared constant 1
+	// (closure rule (b)); the explanation passes through the constant
+	// endpoint with initial reasons.
+	g, ids := example4Graph()
+	eq := NewEq(g)
+	t1, ok1 := eq.SlotTerm(ids[0], "A")
+	t2, ok2 := eq.SlotTerm(ids[1], "A")
+	if !ok1 || !ok2 || t1 != t2 {
+		t.Fatal("slots must share a class")
+	}
+	s1, _ := eq.SlotTermExact(ids[0], "A")
+	s2, _ := eq.SlotTermExact(ids[1], "A")
+	chain := eq.ExplainTerms(s1, s2)
+	if len(chain) != 2 {
+		t.Fatalf("expected 2-link chain through constant, got %d: %+v", len(chain), chain)
+	}
+	if !chain[0].B.IsConst || !chain[0].B.Const.Equal(graph.Int(1)) {
+		t.Errorf("middle endpoint must be the constant 1: %+v", chain)
+	}
+	for _, l := range chain {
+		if l.Reason.Kind != ReasonInitial {
+			t.Errorf("expected initial reasons, got %v", l.Reason.Kind)
+		}
+	}
+}
+
+func TestExplainIDPropagation(t *testing.T) {
+	// Merging nodes x, y propagates [x.k] = [y.k] with an IDProp reason.
+	g := graph.New()
+	a := g.AddNodeAttrs("p", map[graph.Attr]graph.Value{"k": graph.Int(1)})
+	b := g.AddNodeAttrs("p", map[graph.Attr]graph.Value{"k": graph.Int(1)})
+	// Use distinct attributes so rule (b) does not pre-merge them.
+	g.SetAttr(a, "m", graph.Int(2))
+	g.SetAttr(b, "m", graph.Int(3))
+	eq := NewEq(g)
+	eq.IdentifyNodes(a, b, Reason{Kind: ReasonGiven})
+	if eq.Consistent() {
+		t.Fatal("m-conflict expected: 2 vs 3")
+	}
+
+	// Now without the conflict: b has no m; a's m propagates, and the
+	// k-slots merge with an IDProp-or-(b) explanation.
+	g2 := graph.New()
+	a2 := g2.AddNodeAttrs("p", map[graph.Attr]graph.Value{"n": graph.Int(5)})
+	b2 := g2.AddNodeAttrs("p", map[graph.Attr]graph.Value{"n": graph.Int(7)})
+	eq2 := NewEq(g2)
+	// Distinct constants 5, 7: identifying the nodes must conflict.
+	eq2.IdentifyNodes(a2, b2, Reason{Kind: ReasonGiven})
+	if eq2.Consistent() {
+		t.Fatal("expected attribute conflict via rule (d)")
+	}
+	if eq2.Conflict().Kind != AttrConflict {
+		t.Errorf("conflict kind = %v", eq2.Conflict().Kind)
+	}
+}
+
+func TestExplainDisconnected(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("p")
+	b := g.AddNode("p")
+	eq := NewEq(g)
+	if eq.ExplainNodes(a, b) != nil {
+		t.Error("unidentified nodes must have no explanation")
+	}
+}

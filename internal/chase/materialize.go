@@ -1,0 +1,67 @@
+package chase
+
+import (
+	"fmt"
+
+	"gedlib/internal/graph"
+)
+
+// Materialize turns the final coercion of a valid chase into a concrete
+// graph suitable as a model witness (Theorem 2's "only if" direction):
+//
+//   - residual wildcard node and edge labels are replaced by fresh
+//     concrete labels (this preserves the match set exactly, because a
+//     concrete pattern label matches neither the wildcard nor a label it
+//     has never seen, while a wildcard pattern label matches both);
+//   - every attribute class without a constant is materialized as a
+//     fresh constant, one per value class, so equated attributes agree
+//     and unequated ones differ.
+//
+// It must only be called on a consistent result.
+func (r *Result) Materialize() *graph.Graph {
+	if !r.Consistent() {
+		panic("chase: materializing an invalid chase")
+	}
+	eq, co := r.Eq, r.Coercion
+	out := graph.New()
+	freshLabels := 0
+	for cn, rep := range co.RepOf {
+		l := co.Graph.Label(graph.NodeID(cn))
+		if l == graph.Wildcard {
+			l = graph.Label(fmt.Sprintf("_fresh%d", freshLabels))
+			freshLabels++
+		}
+		id := out.AddNode(l)
+		if id != graph.NodeID(cn) {
+			panic("chase: materialize node order")
+		}
+		_ = rep
+	}
+	for _, e := range co.Graph.Edges() {
+		l := e.Label
+		if l == graph.Wildcard {
+			l = graph.Label(fmt.Sprintf("_freshe%d", freshLabels))
+			freshLabels++
+		}
+		out.AddEdge(e.Src, l, e.Dst)
+	}
+	// Materialize attributes: constants verbatim, constant-less classes
+	// as fresh values shared across the class.
+	placeholder := make(map[Term]graph.Value)
+	for cn, rep := range co.RepOf {
+		for _, a := range eq.ClassAttrs(rep) {
+			if v, ok := eq.AttrConst(rep, a); ok {
+				out.SetAttr(graph.NodeID(cn), a, v)
+				continue
+			}
+			t, _ := eq.SlotTerm(rep, a)
+			v, ok := placeholder[t]
+			if !ok {
+				v = graph.String(fmt.Sprintf("_v%d", len(placeholder)))
+				placeholder[t] = v
+			}
+			out.SetAttr(graph.NodeID(cn), a, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,438 @@
+package gdc
+
+import (
+	"fmt"
+	"sort"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+)
+
+// slot identifies an attribute of a node class by a class representative
+// (kept canonical under node merges by the solver) and an attribute.
+type slot struct {
+	node graph.NodeID
+	attr graph.Attr
+}
+
+// store is the attribute-constraint store of the GDC solver: an equality
+// union–find over value terms (attribute slots and constants), order
+// constraints between terms, and disequalities. The constant domain U is
+// totally ordered and dense on each kind, which the feasibility check
+// exploits: x ≤ y ≤ x collapses to x = y, a ≤/＜ cycle through a strict
+// edge is infeasible, and any bound pattern without constant conflicts
+// is realizable.
+type store struct {
+	parent []int
+	// constOf maps a constant value to its term.
+	constOf map[graph.Value]int
+	// constant per term (nil for slots).
+	consts []*graph.Value
+	// slotOf maps slots to terms.
+	slotOf map[slot]int
+	slots  []slot // per term; zero for constants
+
+	// orders are t1 ≤ t2 (strict: t1 < t2) constraints between terms.
+	orders []orderCon
+	// diseqs are t1 ≠ t2 constraints.
+	diseqs [][2]int
+}
+
+type orderCon struct {
+	lo, hi int
+	strict bool
+}
+
+func newStore() *store {
+	return &store{
+		constOf: make(map[graph.Value]int),
+		slotOf:  make(map[slot]int),
+	}
+}
+
+// clone deep-copies the store (for branching).
+func (s *store) clone() *store {
+	c := &store{
+		parent:  append([]int{}, s.parent...),
+		constOf: make(map[graph.Value]int, len(s.constOf)),
+		consts:  append([]*graph.Value{}, s.consts...),
+		slotOf:  make(map[slot]int, len(s.slotOf)),
+		slots:   append([]slot{}, s.slots...),
+		orders:  append([]orderCon{}, s.orders...),
+		diseqs:  append([][2]int{}, s.diseqs...),
+	}
+	for k, v := range s.constOf {
+		c.constOf[k] = v
+	}
+	for k, v := range s.slotOf {
+		c.slotOf[k] = v
+	}
+	return c
+}
+
+func (s *store) find(t int) int {
+	for s.parent[t] != t {
+		s.parent[t] = s.parent[s.parent[t]]
+		t = s.parent[t]
+	}
+	return t
+}
+
+func (s *store) newTerm(sl slot, c *graph.Value) int {
+	t := len(s.parent)
+	s.parent = append(s.parent, t)
+	s.slots = append(s.slots, sl)
+	s.consts = append(s.consts, c)
+	return t
+}
+
+// constTerm interns a constant.
+func (s *store) constTerm(c graph.Value) int {
+	if t, ok := s.constOf[c]; ok {
+		return t
+	}
+	cv := c
+	t := s.newTerm(slot{}, &cv)
+	s.constOf[c] = t
+	return t
+}
+
+// slotTerm interns a slot. The caller passes the canonical node
+// representative.
+func (s *store) slotTerm(sl slot) int {
+	if t, ok := s.slotOf[sl]; ok {
+		return t
+	}
+	t := s.newTerm(sl, nil)
+	s.slotOf[sl] = t
+	return t
+}
+
+// hasSlot reports whether the slot exists without creating it.
+func (s *store) hasSlot(sl slot) (int, bool) {
+	t, ok := s.slotOf[sl]
+	return t, ok
+}
+
+// rootConst returns the constant bound to t's class, if any.
+func (s *store) rootConst(t int) *graph.Value {
+	r := s.find(t)
+	// Constants are their own class witnesses; scan lazily: keep the
+	// invariant that union propagates constants to the root.
+	return s.consts[r]
+}
+
+// union merges two term classes; returns false on constant conflict.
+func (s *store) union(a, b int) bool {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return true
+	}
+	ca, cb := s.consts[ra], s.consts[rb]
+	if ca != nil && cb != nil && !ca.Equal(*cb) {
+		return false
+	}
+	s.parent[rb] = ra
+	if ca == nil {
+		s.consts[ra] = cb
+	}
+	return true
+}
+
+// addOrder records lo ≤ hi (or lo < hi); it reports whether the
+// constraint was new (dedup keeps propagation terminating).
+func (s *store) addOrder(lo, hi int, strict bool) bool {
+	rlo, rhi := s.find(lo), s.find(hi)
+	for _, oc := range s.orders {
+		if s.find(oc.lo) == rlo && s.find(oc.hi) == rhi && oc.strict == strict {
+			return false
+		}
+	}
+	s.orders = append(s.orders, orderCon{lo: lo, hi: hi, strict: strict})
+	return true
+}
+
+// addDiseq records a ≠ b; it reports whether the constraint was new.
+func (s *store) addDiseq(a, b int) bool {
+	if s.hasDiseq(s.find(a), s.find(b)) {
+		return false
+	}
+	s.diseqs = append(s.diseqs, [2]int{a, b})
+	return true
+}
+
+// feasible checks the store: it merges ≤-cycles (dense order), verifies
+// constant chains and disequalities, and reports whether a satisfying
+// assignment exists. It mutates the store (SCC merging), which is the
+// desired propagation.
+func (s *store) feasible() bool {
+	for {
+		roots := s.rootSet()
+		idx := make(map[int]int, len(roots))
+		for i, r := range roots {
+			idx[r] = i
+		}
+		n := len(roots)
+		// reach[i][j]: 0 = none, 1 = ≤ path, 2 = path with a strict edge.
+		reach := make([][]uint8, n)
+		for i := range reach {
+			reach[i] = make([]uint8, n)
+		}
+		for _, oc := range s.orders {
+			i, j := idx[s.find(oc.lo)], idx[s.find(oc.hi)]
+			v := uint8(1)
+			if oc.strict {
+				v = 2
+			}
+			if v > reach[i][j] {
+				reach[i][j] = v
+			}
+		}
+		// Floyd–Warshall closure keeping max strictness.
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				if reach[i][k] == 0 {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if reach[k][j] == 0 {
+						continue
+					}
+					v := reach[i][k]
+					if reach[k][j] > v {
+						v = reach[k][j]
+					}
+					if v > reach[i][j] {
+						reach[i][j] = v
+					}
+				}
+			}
+		}
+		// Strict self-cycles are infeasible; non-strict cycles merge
+		// (dense order: x ≤ y ≤ x ⟹ x = y).
+		merged := false
+		for i := 0; i < n; i++ {
+			if reach[i][i] == 2 {
+				return false
+			}
+			for j := i + 1; j < n; j++ {
+				if reach[i][j] >= 1 && reach[j][i] >= 1 {
+					if !s.union(roots[i], roots[j]) {
+						return false
+					}
+					merged = true
+				}
+			}
+		}
+		if merged {
+			continue // recompute over the coarser partition
+		}
+		// Constant chains must respect the order of U.
+		for i := 0; i < n; i++ {
+			ci := s.consts[roots[i]]
+			if ci == nil {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				cj := s.consts[roots[j]]
+				if cj == nil || reach[i][j] == 0 {
+					continue
+				}
+				switch reach[i][j] {
+				case 2:
+					if !ci.Less(*cj) {
+						return false
+					}
+				default:
+					if cj.Less(*ci) {
+						return false
+					}
+				}
+			}
+		}
+		// Disequalities must separate classes.
+		for _, d := range s.diseqs {
+			if s.find(d[0]) == s.find(d[1]) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// rootSet returns the distinct class roots, sorted for determinism.
+func (s *store) rootSet() []int {
+	seen := make(map[int]bool)
+	var roots []int
+	for t := range s.parent {
+		r := s.find(t)
+		if !seen[r] {
+			seen[r] = true
+			roots = append(roots, r)
+		}
+	}
+	sort.Ints(roots)
+	return roots
+}
+
+// assign produces a concrete value per class satisfying the store, which
+// must be feasible. Free classes get fresh values; ordered free classes
+// get values consistent with their constant bounds; disequalities are
+// avoided by nudging. The caller certifies the result with the
+// validator, so assignment is heuristic without affecting soundness.
+func (s *store) assign() map[int]graph.Value {
+	roots := s.rootSet()
+	idx := make(map[int]int, len(roots))
+	for i, r := range roots {
+		idx[r] = i
+	}
+	n := len(roots)
+	// Bounds from constants through the order graph.
+	lo := make([]*graph.Value, n)
+	hi := make([]*graph.Value, n)
+	loStrict := make([]bool, n)
+	hiStrict := make([]bool, n)
+	for i, r := range roots {
+		if c := s.consts[r]; c != nil {
+			lo[i], hi[i] = c, c
+		}
+	}
+	// Relax bounds along order edges until fixpoint.
+	for pass := 0; pass < n+1; pass++ {
+		changed := false
+		for _, oc := range s.orders {
+			i, j := idx[s.find(oc.lo)], idx[s.find(oc.hi)]
+			if lo[i] != nil && (lo[j] == nil || lo[j].Less(*lo[i])) {
+				lo[j] = lo[i]
+				loStrict[j] = oc.strict || loStrict[i]
+				changed = true
+			}
+			if hi[j] != nil && (hi[i] == nil || hi[j].Less(*hi[i])) {
+				hi[i] = hi[j]
+				hiStrict[i] = oc.strict || hiStrict[j]
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make(map[int]graph.Value, n)
+	taken := make(map[graph.Value]bool)
+	fresh := 0
+	pick := func(i int) graph.Value {
+		if c := s.consts[roots[i]]; c != nil {
+			return *c
+		}
+		var v graph.Value
+		switch {
+		case lo[i] == nil && hi[i] == nil:
+			v = graph.Number(1e9 + float64(fresh))
+			fresh++
+		case lo[i] != nil && hi[i] != nil && lo[i].IsNumber() && hi[i].IsNumber():
+			v = graph.Number((lo[i].Num() + hi[i].Num()) / 2)
+		case lo[i] != nil && lo[i].IsNumber():
+			v = graph.Number(lo[i].Num() + 1)
+		case hi[i] != nil && hi[i].IsNumber():
+			v = graph.Number(hi[i].Num() - 1)
+		case lo[i] != nil && !lo[i].IsNumber():
+			v = graph.String(lo[i].Str() + "~")
+		default: // hi is a string; numbers precede strings
+			v = graph.Number(float64(fresh))
+			fresh++
+		}
+		// Avoid collisions with already-taken values (disequalities are
+		// certified downstream; this just improves hit rate).
+		for taken[v] {
+			if v.IsNumber() {
+				v = graph.Number(v.Num() + 1e-3)
+			} else {
+				v = graph.String(v.Str() + "~")
+			}
+		}
+		return v
+	}
+	for i, r := range roots {
+		v := pick(i)
+		out[r] = v
+		taken[v] = true
+	}
+	return out
+}
+
+// ---- literal status against the store ----
+
+// status values for literal evaluation under a store.
+type status uint8
+
+const (
+	stUnknown status = iota
+	stEntailed
+	stRefuted
+)
+
+// cmpStatus evaluates t1 ⊕ t2 against the store's closure, using exact
+// constants only (a cheap sound approximation; unknown is always safe
+// because the caller branches or revalidates).
+func (s *store) cmpStatus(t1 int, op ged.Op, t2 int) status {
+	r1, r2 := s.find(t1), s.find(t2)
+	c1, c2 := s.consts[r1], s.consts[r2]
+	if c1 != nil && c2 != nil {
+		if op.Eval(*c1, *c2) {
+			return stEntailed
+		}
+		return stRefuted
+	}
+	switch op {
+	case ged.OpEq:
+		if r1 == r2 {
+			return stEntailed
+		}
+		if s.hasDiseq(r1, r2) {
+			return stRefuted
+		}
+	case ged.OpNe:
+		if r1 == r2 {
+			return stRefuted
+		}
+		if s.hasDiseq(r1, r2) {
+			return stEntailed
+		}
+	}
+	return stUnknown
+}
+
+func (s *store) hasDiseq(r1, r2 int) bool {
+	for _, d := range s.diseqs {
+		a, b := s.find(d[0]), s.find(d[1])
+		if (a == r1 && b == r2) || (a == r2 && b == r1) {
+			return true
+		}
+	}
+	return false
+}
+
+// addLiteralConstraint asserts t1 ⊕ t2. It reports whether the store
+// changed and whether the assertion is free of immediate constant
+// conflicts (full feasibility is checked separately).
+func (s *store) addLiteralConstraint(t1 int, op ged.Op, t2 int) (changed, ok bool) {
+	switch op {
+	case ged.OpEq:
+		if s.find(t1) == s.find(t2) {
+			return false, true
+		}
+		return true, s.union(t1, t2)
+	case ged.OpNe:
+		return s.addDiseq(t1, t2), true
+	case ged.OpLt:
+		return s.addOrder(t1, t2, true), true
+	case ged.OpLe:
+		return s.addOrder(t1, t2, false), true
+	case ged.OpGt:
+		return s.addOrder(t2, t1, true), true
+	case ged.OpGe:
+		return s.addOrder(t2, t1, false), true
+	default:
+		panic(fmt.Sprintf("gdc: unknown op %v", op))
+	}
+}

@@ -1,0 +1,213 @@
+package ged
+
+import (
+	"fmt"
+	"strings"
+
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// GED is a graph entity dependency φ = Q[x̄](X → Y). X and Y are
+// (possibly empty) sets of literals of x̄; the paper calls Q[x̄] the
+// pattern of φ and X → Y its FD.
+type GED struct {
+	// Name is an optional human-readable identifier (φ₁, ψ₂, ...).
+	Name string
+	// Pattern is the topological constraint Q[x̄].
+	Pattern *pattern.Pattern
+	// X is the antecedent literal set.
+	X []Literal
+	// Y is the consequent literal set.
+	Y []Literal
+}
+
+// New returns the GED Q[x̄](X → Y).
+func New(name string, q *pattern.Pattern, x, y []Literal) *GED {
+	return &GED{Name: name, Pattern: q, X: x, Y: y}
+}
+
+// Validate checks that the GED is well-formed per Section 3: every
+// literal is one of the three GED literal forms (equality only), every
+// mentioned variable belongs to the pattern, and no attribute literal
+// uses the reserved id. It returns the first problem found.
+func (g *GED) Validate() error {
+	if g.Pattern == nil {
+		return fmt.Errorf("ged %s: nil pattern", g.Name)
+	}
+	check := func(side string, lits []Literal) error {
+		for i, l := range lits {
+			if _, ok := l.Kind(); !ok {
+				return fmt.Errorf("ged %s: %s[%d] (%s) is not a GED literal", g.Name, side, i, l)
+			}
+			for _, v := range l.Vars() {
+				if !g.Pattern.HasVar(v) {
+					return fmt.Errorf("ged %s: %s[%d] mentions unknown variable %s", g.Name, side, i, v)
+				}
+			}
+			if l.Left.Kind == OperandAttr && l.Left.Attr == "id" {
+				return fmt.Errorf("ged %s: %s[%d] uses id as a plain attribute", g.Name, side, i)
+			}
+			if l.Right.Kind == OperandAttr && l.Right.Attr == "id" {
+				return fmt.Errorf("ged %s: %s[%d] uses id as a plain attribute", g.Name, side, i)
+			}
+		}
+		return nil
+	}
+	if err := check("X", g.X); err != nil {
+		return err
+	}
+	return check("Y", g.Y)
+}
+
+// Class is the sub-class lattice of Section 3.
+type Class uint8
+
+const (
+	// ClassGED is the general case: both constant and id literals may occur.
+	ClassGED Class = iota
+	// ClassGFD has no id literals (the GFDs of Fan, Wu & Xu, adapted to
+	// homomorphism semantics).
+	ClassGFD
+	// ClassGEDx has no constant literals ("variable GEDs").
+	ClassGEDx
+	// ClassGFDx has neither constant nor id literals ("variable GFDs",
+	// the graph analogue of plain relational FDs).
+	ClassGFDx
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassGFD:
+		return "GFD"
+	case ClassGEDx:
+		return "GEDx"
+	case ClassGFDx:
+		return "GFDx"
+	default:
+		return "GED"
+	}
+}
+
+// Classify places the GED in the most restrictive sub-class it belongs
+// to: GFDx ⊂ GFD, GEDx ⊂ GED.
+func (g *GED) Classify() Class {
+	hasConst, hasID := false, false
+	for _, l := range append(append([]Literal{}, g.X...), g.Y...) {
+		switch k, _ := l.Kind(); k {
+		case ConstLiteral:
+			hasConst = true
+		case IDLiteral:
+			hasID = true
+		}
+	}
+	switch {
+	case !hasConst && !hasID:
+		return ClassGFDx
+	case !hasID:
+		return ClassGFD
+	case !hasConst:
+		return ClassGEDx
+	default:
+		return ClassGED
+	}
+}
+
+// IsForbidding reports whether the consequent is the false desugaring,
+// i.e. the GED is a forbidding constraint Q[x̄](X → false).
+func (g *GED) IsForbidding() bool { return IsFalse(g.Y) }
+
+// String renders the GED in the DSL's logical notation.
+func (g *GED) String() string {
+	var b strings.Builder
+	if g.Name != "" {
+		fmt.Fprintf(&b, "%s: ", g.Name)
+	}
+	fmt.Fprintf(&b, "%s (", g.Pattern)
+	writeLits(&b, g.X)
+	b.WriteString(" -> ")
+	writeLits(&b, g.Y)
+	b.WriteString(")")
+	return b.String()
+}
+
+func writeLits(b *strings.Builder, lits []Literal) {
+	if len(lits) == 0 {
+		b.WriteString("true")
+		return
+	}
+	for i, l := range lits {
+		if i > 0 {
+			b.WriteString(" && ")
+		}
+		b.WriteString(l.String())
+	}
+}
+
+// Set is a finite set Σ of GEDs.
+type Set []*GED
+
+// Size returns Σ's total size: the sum over its GEDs of pattern size plus
+// literal count. It is the |Σ| of the chase bound in Theorem 1.
+func (s Set) Size() int {
+	n := 0
+	for _, g := range s {
+		n += g.Pattern.Size() + len(g.X) + len(g.Y)
+	}
+	return n
+}
+
+// Classify returns the most restrictive class containing every member.
+func (s Set) Classify() Class {
+	hasConst, hasID := false, false
+	for _, g := range s {
+		switch g.Classify() {
+		case ClassGED:
+			hasConst, hasID = true, true
+		case ClassGFD:
+			hasConst = true
+		case ClassGEDx:
+			hasID = true
+		}
+	}
+	switch {
+	case !hasConst && !hasID:
+		return ClassGFDx
+	case !hasID:
+		return ClassGFD
+	case !hasConst:
+		return ClassGEDx
+	default:
+		return ClassGED
+	}
+}
+
+// Validate checks every member.
+func (s Set) Validate() error {
+	for _, g := range s {
+		if err := g.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CanonicalGraph builds the canonical graph G_Σ of Section 5.1: the
+// disjoint union of the patterns of all GEDs in Σ, with empty attribute
+// map. It returns, for each GED, the mapping from its pattern variables
+// to nodes of G_Σ.
+func (s Set) CanonicalGraph() (*graph.Graph, []map[pattern.Var]graph.NodeID) {
+	g := graph.New()
+	maps := make([]map[pattern.Var]graph.NodeID, len(s))
+	for i, d := range s {
+		pg, vm := d.Pattern.ToGraph()
+		nm := g.DisjointUnion(pg)
+		m := make(map[pattern.Var]graph.NodeID, len(vm))
+		for v, id := range vm {
+			m[v] = nm[id]
+		}
+		maps[i] = m
+	}
+	return g, maps
+}

@@ -1,0 +1,117 @@
+package ged
+
+import (
+	"fmt"
+
+	"gedlib/internal/pattern"
+)
+
+// GKey construction, Section 3 special case (2).
+//
+// A key for graphs is a GED of the form Q[z̄](X → x₀.id = y₀.id) where
+// Q is composed of a pattern Q₁[x̄] and a copy Q₂[ȳ] of Q₁ via a
+// bijection f, z̄ = x̄ followed by ȳ, and x₀ ∈ x̄ with y₀ = f(x₀). The
+// antecedent X typically pairs corresponding attributes (x.A = f(x).A)
+// and may itself contain id literals, making keys recursively defined
+// (the album/artist keys ψ₁–ψ₃ of Example 1).
+
+// CopySuffix is the suffix appended to variables when building the copy
+// pattern of a GKey.
+const CopySuffix = "'"
+
+// CopyVar returns the copy-side variable corresponding to x.
+func CopyVar(x pattern.Var) pattern.Var { return x + CopySuffix }
+
+// NewGKey builds the GKey identified by pattern q, designated node x0,
+// and an antecedent builder: for each original variable x, buildX
+// receives x and its copy f(x) and returns the antecedent literals
+// relating them (often x.A = f(x).A pairs, or id literals for recursive
+// keys). Passing a nil buildX yields an empty antecedent.
+func NewGKey(name string, q *pattern.Pattern, x0 pattern.Var, buildX func(x, fx pattern.Var) []Literal) (*GED, error) {
+	if !q.HasVar(x0) {
+		return nil, fmt.Errorf("gkey %s: designated node %s not in pattern", name, x0)
+	}
+	cp, f := q.Copy(CopyVar)
+	u := pattern.Union(q, cp)
+	var xs []Literal
+	if buildX != nil {
+		for _, x := range q.Vars() {
+			xs = append(xs, buildX(x, f[x])...)
+		}
+	}
+	k := New(name, u, xs, []Literal{IDLit(x0, f[x0])})
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// IsGKey reports whether the GED has the syntactic GKey shape: its
+// pattern splits into two halves that are copies of each other under the
+// CopyVar renaming, and its consequent is a single id literal pairing a
+// designated node with its copy. This recognizes GKeys built by NewGKey;
+// semantically equivalent GEDs with other variable naming conventions
+// are classified as plain GEDs/GEDxs.
+func IsGKey(g *GED) bool {
+	if len(g.Y) != 1 {
+		return false
+	}
+	l := g.Y[0]
+	if k, ok := l.Kind(); !ok || k != IDLiteral {
+		return false
+	}
+	x0, y0 := l.Left.Var, l.Right.Var
+	if CopyVar(x0) != y0 {
+		return false
+	}
+	// Every original variable must have its copy, with equal labels, and
+	// every copy edge must mirror an original edge.
+	var orig, copies []pattern.Var
+	for _, v := range g.Pattern.Vars() {
+		if len(v) > len(CopySuffix) && v[len(v)-len(CopySuffix):] == CopySuffix {
+			copies = append(copies, v)
+		} else {
+			orig = append(orig, v)
+		}
+	}
+	if len(orig) != len(copies) || len(orig) == 0 {
+		return false
+	}
+	for _, x := range orig {
+		y := CopyVar(x)
+		if !g.Pattern.HasVar(y) || g.Pattern.Label(x) != g.Pattern.Label(y) {
+			return false
+		}
+	}
+	// Edge mirroring: count edges within each half and require bijection.
+	type ekey struct {
+		s, d pattern.Var
+		l    interface{}
+	}
+	origEdges := make(map[ekey]int)
+	copyEdges := make(map[ekey]int)
+	isCopy := func(v pattern.Var) bool {
+		return len(v) > len(CopySuffix) && v[len(v)-len(CopySuffix):] == CopySuffix
+	}
+	for _, e := range g.Pattern.Edges() {
+		sc, dc := isCopy(e.Src), isCopy(e.Dst)
+		switch {
+		case !sc && !dc:
+			origEdges[ekey{e.Src, e.Dst, e.Label}]++
+		case sc && dc:
+			base := ekey{e.Src[:len(e.Src)-len(CopySuffix)], e.Dst[:len(e.Dst)-len(CopySuffix)], e.Label}
+			copyEdges[base]++
+		default:
+			return false // edge crossing the halves
+		}
+	}
+	if len(origEdges) != len(copyEdges) {
+		return false
+	}
+	for k, n := range origEdges {
+		if copyEdges[k] != n {
+			return false
+		}
+	}
+	return true
+}

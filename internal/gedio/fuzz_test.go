@@ -1,0 +1,60 @@
+package gedio
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the DSL parser with arbitrary inputs: it must never
+// panic, and everything it accepts must survive a Format → Parse round
+// trip. Run with `go test -fuzz=FuzzParse ./internal/gedio` to explore;
+// the seed corpus runs under plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		phi1Src,
+		`ged k on (x:album), (x':album) { when x.title = x'.title then x.id = x'.id }`,
+		`ged d on (x:a) { then x.f = 0 or x.f = 1 }`,
+		`ged b on (x:e) { when x.s > 100 and x.s <= 200 then false }`,
+		`ged w on (y)-[is_a]->(x) { when x.c = x.c then y.c = x.c }`,
+		`ged e on (x:a) { }`,
+		`# only a comment`,
+		`ged broken on (x:a { }`,
+		`ged n on (x:a) { when x.a = -3.5 then x.b = "q\"uo" }`,
+		"ged m on (x:a)-[e]->(y:b), (y)-[f]->(z) {\n when x.p = y.q\n then z.r = 1\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rules, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must round-trip through the printer.
+		text := Format(rules)
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printer output rejected: %v\ninput: %q\nprinted: %q", err, src, text)
+		}
+		if len(again) != len(rules) {
+			t.Fatalf("rule count changed: %d -> %d", len(rules), len(again))
+		}
+	})
+}
+
+// FuzzUnmarshalGraph: the JSON reader must never panic, and accepted
+// graphs must re-marshal.
+func FuzzUnmarshalGraph(f *testing.F) {
+	f.Add(`{"nodes":[{"id":"a","label":"x","attrs":{"k":1}}],"edges":[]}`)
+	f.Add(`{"nodes":[{"id":"a","label":"x"},{"id":"b","label":"y"}],"edges":[{"src":"a","label":"e","dst":"b"}]}`)
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, src string) {
+		g, _, err := UnmarshalGraph([]byte(src))
+		if err != nil {
+			return
+		}
+		if _, err := MarshalGraph(g); err != nil {
+			t.Fatalf("accepted graph failed to marshal: %v", err)
+		}
+	})
+}

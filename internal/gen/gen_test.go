@@ -1,0 +1,291 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/reason"
+)
+
+func TestGraphFamiliesChromatic(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *UGraph
+		chi3 bool // 3-colorable?
+	}{
+		{"K3", Complete(3), true},
+		{"K4", Complete(4), false},
+		{"K5", Complete(5), false},
+		{"C4", Cycle(4), true},
+		{"C5", Cycle(5), true},
+		{"C7", Cycle(7), true},
+		{"W4", Wheel(4), true},  // even wheel: 3-chromatic
+		{"W5", Wheel(5), false}, // odd wheel: 4-chromatic
+		{"W7", Wheel(7), false},
+		{"Petersen", Petersen(), true},
+		{"K33", CompleteBipartite(3, 3), true},
+		{"Grotzsch", Grotzsch(), false}, // triangle-free, 4-chromatic
+		{"Path5", Path(5), true},
+	}
+	for _, c := range cases {
+		if got := c.g.Colorable(3); got != c.chi3 {
+			t.Errorf("%s: Colorable(3) = %v, want %v", c.name, got, c.chi3)
+		}
+	}
+	// Sanity on 2-colorability.
+	if Cycle(5).Colorable(2) {
+		t.Error("odd cycle must not be 2-colorable")
+	}
+	if !CompleteBipartite(2, 3).Colorable(2) {
+		t.Error("bipartite graph must be 2-colorable")
+	}
+}
+
+func TestGrotzschTriangleFree(t *testing.T) {
+	g := Grotzsch()
+	if g.N != 11 || len(g.Edges) != 20 {
+		t.Fatalf("Grötzsch shape: n=%d m=%d, want 11/20", g.N, len(g.Edges))
+	}
+	adj := make(map[[2]int]bool)
+	for _, e := range g.Edges {
+		adj[[2]int{e[0], e[1]}] = true
+		adj[[2]int{e[1], e[0]}] = true
+	}
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			for k := j + 1; k < g.N; k++ {
+				if adj[[2]int{i, j}] && adj[[2]int{j, k}] && adj[[2]int{i, k}] {
+					t.Fatalf("triangle %d-%d-%d in Grötzsch graph", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !Cycle(5).Connected() || !Petersen().Connected() {
+		t.Error("families must be connected")
+	}
+	dis := &UGraph{N: 4}
+	dis.AddEdge(0, 1)
+	dis.AddEdge(2, 3)
+	if dis.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if (&UGraph{}).Connected() {
+		t.Error("empty graph is not connected")
+	}
+}
+
+func TestUGraphAddEdge(t *testing.T) {
+	g := &UGraph{N: 3}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate, reversed
+	g.AddEdge(1, 1) // self-loop ignored
+	if len(g.Edges) != 1 {
+		t.Errorf("edges = %d, want 1", len(g.Edges))
+	}
+}
+
+// reductionInputs are the instances the reductions are verified on.
+func reductionInputs() map[string]*UGraph {
+	return map[string]*UGraph{
+		"K3":       Complete(3),
+		"K4":       Complete(4),
+		"C5":       Cycle(5),
+		"W4":       Wheel(4),
+		"W5":       Wheel(5),
+		"Path4":    Path(4),
+		"K23":      CompleteBipartite(2, 3),
+		"Triangle": Cycle(3),
+	}
+}
+
+func TestSatGFDFamily(t *testing.T) {
+	// Σ(H) is satisfiable iff H is NOT 3-colorable (Theorem 3 shape).
+	for name, h := range reductionInputs() {
+		want := !h.Colorable(3)
+		sigma := SatGFDFamily(h)
+		if sigma.Classify() != ged.ClassGFD {
+			t.Errorf("%s: family must be GFDs, got %v", name, sigma.Classify())
+		}
+		r := reason.CheckSat(sigma)
+		if r.Satisfiable != want {
+			t.Errorf("%s: satisfiable = %v, want %v", name, r.Satisfiable, want)
+		}
+		if r.Satisfiable && !reason.IsModel(r.Model, sigma) {
+			t.Errorf("%s: witness is not a model", name)
+		}
+	}
+}
+
+func TestImplGFDxFamily(t *testing.T) {
+	// Σ ⊨ φ iff H IS 3-colorable (Theorem 5 shape, single GFDx).
+	for name, h := range reductionInputs() {
+		want := h.Colorable(3)
+		sigma, phi := ImplGFDxFamily(h)
+		if sigma.Classify() != ged.ClassGFDx || phi.Classify() != ged.ClassGFDx {
+			t.Errorf("%s: family must be GFDx", name)
+		}
+		if got := reason.Implies(sigma, phi).Implied; got != want {
+			t.Errorf("%s: implied = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestImplGKeyFamily(t *testing.T) {
+	// Σ ⊨ φ iff H IS 3-colorable (Theorem 5 shape, GKeys).
+	for name, h := range reductionInputs() {
+		want := h.Colorable(3)
+		sigma, phi := ImplGKeyFamily(h)
+		if !ged.IsGKey(sigma[0]) || !ged.IsGKey(phi) {
+			t.Errorf("%s: family must be GKeys", name)
+		}
+		if got := reason.Implies(sigma, phi).Implied; got != want {
+			t.Errorf("%s: implied = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestValidGFDxFamily(t *testing.T) {
+	// G ⊨ Σ iff H is NOT 3-colorable (Theorem 6 shape, single GFDx).
+	for name, h := range reductionInputs() {
+		want := !h.Colorable(3)
+		g, sigma := ValidGFDxFamily(h)
+		if got := reason.Satisfies(g, sigma); got != want {
+			t.Errorf("%s: G ⊨ Σ = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestValidGKeyFamily(t *testing.T) {
+	for name, h := range reductionInputs() {
+		want := !h.Colorable(3)
+		g, sigma := ValidGKeyFamily(h)
+		if got := reason.Satisfies(g, sigma); got != want {
+			t.Errorf("%s: G ⊨ Σ = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestHardnessInputValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("edgeless input must panic")
+		}
+	}()
+	SatGFDFamily(&UGraph{N: 2})
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		g := RandomConnected(rng, 5+rng.Intn(10), rng.Intn(8))
+		if !g.Connected() {
+			t.Fatal("RandomConnected produced a disconnected graph")
+		}
+	}
+}
+
+// TestReductionsOnRandomInputs cross-checks all four reduction families
+// against brute force on random connected graphs.
+func TestReductionsOnRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 12; i++ {
+		h := RandomConnected(rng, 4+rng.Intn(3), rng.Intn(5))
+		if len(h.Edges) == 0 {
+			continue
+		}
+		chi3 := h.Colorable(3)
+		if got := reason.CheckSat(SatGFDFamily(h)).Satisfiable; got != !chi3 {
+			t.Errorf("sat family wrong on %s (chi3=%v)", h, chi3)
+		}
+		sigma, phi := ImplGFDxFamily(h)
+		if got := reason.Implies(sigma, phi).Implied; got != chi3 {
+			t.Errorf("impl family wrong on %s (chi3=%v)", h, chi3)
+		}
+		g, s := ValidGFDxFamily(h)
+		if got := reason.Satisfies(g, s); got != !chi3 {
+			t.Errorf("valid family wrong on %s (chi3=%v)", h, chi3)
+		}
+	}
+}
+
+func TestKnowledgeBase(t *testing.T) {
+	g, stats := KnowledgeBase(1, 20, 0.3)
+	if stats.Total() == 0 {
+		t.Fatal("expected planted inconsistencies at rate 0.3")
+	}
+	sigma := ged.Set{PaperPhi1(), PaperPhi2(), PaperPhi3(), PaperPhi4()}
+	vs := reason.Validate(g, sigma, 0)
+	if len(vs) < stats.Total() {
+		t.Errorf("validation found %d violations, planted %d", len(vs), stats.Total())
+	}
+	// A clean KB validates.
+	clean, cstats := KnowledgeBase(2, 20, 0)
+	if cstats.Total() != 0 {
+		t.Fatal("rate 0 must plant nothing")
+	}
+	if !reason.Satisfies(clean, sigma) {
+		vs := reason.Validate(clean, sigma, 3)
+		t.Errorf("clean KB must satisfy Σ; first violations: %v", vs)
+	}
+}
+
+func TestSocialNetwork(t *testing.T) {
+	g, stats := SocialNetwork(1, 4, 5)
+	if stats.SeedFakes == 0 {
+		t.Fatal("expected seed fakes")
+	}
+	phi5 := PaperPhi5(2)
+	vs := reason.Validate(g, ged.Set{phi5}, 0)
+	if len(vs) == 0 {
+		t.Error("spam rule must fire on the social workload")
+	}
+}
+
+func TestMusicDB(t *testing.T) {
+	g, stats := MusicDB(1, 15, 0.5)
+	if stats.DupPairs == 0 {
+		t.Fatal("expected planted duplicates")
+	}
+	keys := PaperKeys()
+	vs := reason.Validate(g, keys, 0)
+	if len(vs) == 0 {
+		t.Error("planted duplicates must violate the keys")
+	}
+	// A duplicate-free catalog satisfies the keys.
+	clean, cstats := MusicDB(2, 15, 0)
+	if cstats.DupPairs != 0 {
+		t.Fatal("rate 0 must plant nothing")
+	}
+	if !reason.Satisfies(clean, keys) {
+		t.Error("clean catalog must satisfy the keys")
+	}
+}
+
+func TestRandomPropertyGraphDeterministic(t *testing.T) {
+	labels := []graph.Label{"a", "b"}
+	attrs := []graph.Attr{"p"}
+	g1 := RandomPropertyGraph(7, 50, 2, labels, attrs, 3)
+	g2 := RandomPropertyGraph(7, 50, 2, labels, attrs, 3)
+	if g1.String() != g2.String() {
+		t.Error("same seed must reproduce the graph")
+	}
+	g3 := RandomPropertyGraph(8, 50, 2, labels, attrs, 3)
+	if g1.String() == g3.String() {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomGEDSetValid(t *testing.T) {
+	sigma := RandomGEDSet(5, 10, 4, []graph.Label{"a", "b"}, []graph.Attr{"p", "q"}, 3)
+	if len(sigma) != 10 {
+		t.Fatalf("size = %d", len(sigma))
+	}
+	if err := sigma.Validate(); err != nil {
+		t.Errorf("generated set invalid: %v", err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package gen generates the workloads used to exercise and benchmark the
+// GED analyses: classic undirected graph families with known chromatic
+// numbers, the 3-colorability reduction families behind the paper's
+// lower-bound proofs (Theorems 3, 5, 6), random property graphs, and the
+// knowledge-base / social-network / music-catalog scenarios of Example 1.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// UGraph is a simple undirected graph on vertices 0..N-1, the input of
+// the 3-colorability reductions.
+type UGraph struct {
+	N     int
+	Edges [][2]int
+}
+
+// AddEdge inserts the undirected edge {u, v}; self-loops and duplicates
+// are ignored.
+func (g *UGraph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range g.Edges {
+		if e[0] == u && e[1] == v {
+			return
+		}
+	}
+	g.Edges = append(g.Edges, [2]int{u, v})
+}
+
+// Connected reports whether g is connected (the hardness families
+// require connected inputs; 3-colorability stays NP-complete on them).
+func (g *UGraph) Connected() bool {
+	if g.N == 0 {
+		return false
+	}
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	seen := make([]bool, g.N)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.N
+}
+
+// Colorable reports whether g admits a proper k-coloring, by exhaustive
+// backtracking. It is the ground truth the reduction tests compare
+// against; inputs are kept small.
+func (g *UGraph) Colorable(k int) bool {
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	colors := make([]int, g.N)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == g.N {
+			return true
+		}
+		// Symmetry breaking: vertex v may only use colors 0..min(v,k-1).
+		max := k
+		if v+1 < max {
+			max = v + 1
+		}
+		for c := 0; c < max; c++ {
+			ok := true
+			for _, u := range adj[v] {
+				if colors[u] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[v] = c
+				if rec(v + 1) {
+					return true
+				}
+				colors[v] = -1
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// Complete returns K_n (chromatic number n).
+func Complete(n int) *UGraph {
+	g := &UGraph{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Cycle returns C_n (chromatic number 2 if n even, 3 if odd).
+func Cycle(n int) *UGraph {
+	g := &UGraph{N: n}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns P_n, the path on n vertices.
+func Path(n int) *UGraph {
+	g := &UGraph{N: n}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Wheel returns W_n: a hub joined to every vertex of C_n. Chromatic
+// number 4 when n is odd, 3 when n is even.
+func Wheel(n int) *UGraph {
+	g := Cycle(n)
+	hub := g.N
+	g.N++
+	for i := 0; i < n; i++ {
+		g.AddEdge(hub, i)
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph (3-chromatic).
+func Petersen() *UGraph {
+	g := &UGraph{N: 10}
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)     // outer cycle
+		g.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		g.AddEdge(i, 5+i)         // spokes
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} (2-chromatic when a, b >= 1).
+func CompleteBipartite(a, b int) *UGraph {
+	g := &UGraph{N: a + b}
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.AddEdge(i, a+j)
+		}
+	}
+	return g
+}
+
+// Mycielski applies the Mycielski construction to g: it raises the
+// chromatic number by one while keeping the graph triangle-free if g is.
+// Mycielski(C5) is the Grötzsch graph, 4-chromatic and triangle-free — a
+// good adversarial input for the reductions because local structure
+// reveals nothing.
+func Mycielski(g *UGraph) *UGraph {
+	n := g.N
+	out := &UGraph{N: 2*n + 1}
+	for _, e := range g.Edges {
+		out.AddEdge(e[0], e[1])   // original
+		out.AddEdge(e[0]+n, e[1]) // shadow–original
+		out.AddEdge(e[0], e[1]+n) // original–shadow
+	}
+	w := 2 * n
+	for i := 0; i < n; i++ {
+		out.AddEdge(n+i, w)
+	}
+	return out
+}
+
+// Grotzsch returns the Grötzsch graph: 11 vertices, triangle-free,
+// chromatic number 4.
+func Grotzsch() *UGraph { return Mycielski(Cycle(5)) }
+
+// RandomConnected returns a random connected graph on n vertices with
+// roughly extra additional edges beyond a random spanning tree.
+func RandomConnected(rng *rand.Rand, n, extra int) *UGraph {
+	g := &UGraph{N: n}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < extra; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+// String renders the graph compactly.
+func (g *UGraph) String() string {
+	return fmt.Sprintf("UGraph{n=%d, m=%d}", g.N, len(g.Edges))
+}

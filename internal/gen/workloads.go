@@ -1,0 +1,274 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// KBStats reports what a generated knowledge base planted.
+type KBStats struct {
+	// BadCreators counts video games created by non-programmers (φ₁).
+	BadCreators int
+	// BadCapitals counts countries with two differently-named capitals (φ₂).
+	BadCapitals int
+	// BadInherits counts species violating attribute inheritance (φ₃).
+	BadInherits int
+	// BadCycles counts child-and-parent pairs (φ₄).
+	BadCycles int
+}
+
+// Total returns the number of planted inconsistencies.
+func (s KBStats) Total() int {
+	return s.BadCreators + s.BadCapitals + s.BadInherits + s.BadCycles
+}
+
+// KnowledgeBase synthesizes a Yago/DBPedia-style knowledge base with the
+// four inconsistency shapes of Example 1 planted at the given rate
+// (0 ≤ rate ≤ 1). It substitutes for the proprietary Yago3/DBPedia
+// snapshots the paper draws its examples from: only the violation
+// patterns matter to the analyses, and those are reproduced exactly.
+func KnowledgeBase(seed int64, scale int, rate float64) (*graph.Graph, KBStats) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	var stats KBStats
+	plant := func() bool { return rng.Float64() < rate }
+
+	// Countries and capitals (φ₂).
+	for i := 0; i < scale; i++ {
+		c := g.AddNodeAttrs("country", map[graph.Attr]graph.Value{
+			"name": graph.String(fmt.Sprintf("country%d", i))})
+		cap := g.AddNodeAttrs("city", map[graph.Attr]graph.Value{
+			"name": graph.String(fmt.Sprintf("city%d", i))})
+		g.AddEdge(c, "capital", cap)
+		if plant() {
+			extra := g.AddNodeAttrs("city", map[graph.Attr]graph.Value{
+				"name": graph.String(fmt.Sprintf("city%d-alt", i))})
+			g.AddEdge(c, "capital", extra)
+			stats.BadCapitals++
+		}
+	}
+
+	// Creators and products (φ₁).
+	for i := 0; i < scale; i++ {
+		typ := "programmer"
+		bad := plant()
+		if bad {
+			typ = "psychologist"
+		}
+		p := g.AddNodeAttrs("person", map[graph.Attr]graph.Value{
+			"name": graph.String(fmt.Sprintf("dev%d", i)),
+			"type": graph.String(typ)})
+		prod := g.AddNodeAttrs("product", map[graph.Attr]graph.Value{
+			"name": graph.String(fmt.Sprintf("game%d", i)),
+			"type": graph.String("video game")})
+		g.AddEdge(p, "create", prod)
+		if bad {
+			stats.BadCreators++
+		}
+		// Some products that are not video games, to exercise the
+		// antecedent filter.
+		if i%3 == 0 {
+			other := g.AddNodeAttrs("product", map[graph.Attr]graph.Value{
+				"type": graph.String("board game")})
+			g.AddEdge(p, "create", other)
+		}
+	}
+
+	// Taxonomy with attribute inheritance (φ₃).
+	for i := 0; i < scale; i++ {
+		class := g.AddNodeAttrs("class", map[graph.Attr]graph.Value{
+			InheritAttr: graph.String("yes")})
+		species := g.AddNode("species")
+		g.AddEdge(species, "is_a", class)
+		if plant() {
+			g.SetAttr(species, InheritAttr, graph.String("no"))
+			stats.BadInherits++
+		} else {
+			g.SetAttr(species, InheritAttr, graph.String("yes"))
+		}
+	}
+
+	// Family relations (φ₄).
+	for i := 0; i < scale; i++ {
+		a := g.AddNode("person")
+		b := g.AddNode("person")
+		g.AddEdge(a, "child", b)
+		if plant() {
+			g.AddEdge(a, "parent", b)
+			stats.BadCycles++
+		}
+	}
+	return g, stats
+}
+
+// SocialStats reports what a generated social network planted.
+type SocialStats struct {
+	// SeedFakes are accounts created with is_fake = 1.
+	SeedFakes int
+	// Spammy are accounts that post a peculiar-keyword blog and share
+	// liked blogs with a seed fake (candidates for φ₅ propagation).
+	Spammy []graph.NodeID
+}
+
+// SocialNetwork synthesizes a social graph for the spam rule φ₅ with
+// k = 2: rings of accounts liking the same pair of blogs, each posting
+// one blog; some blogs carry the peculiar keyword, and some accounts are
+// confirmed fake. Spam propagates along shared-like chains, which makes
+// the chase (not just validation) interesting on this workload.
+func SocialNetwork(seed int64, rings, accountsPerRing int) (*graph.Graph, SocialStats) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	var stats SocialStats
+	for r := 0; r < rings; r++ {
+		// Two shared blogs per ring.
+		shared := [2]graph.NodeID{g.AddNode("blog"), g.AddNode("blog")}
+		var accounts []graph.NodeID
+		for i := 0; i < accountsPerRing; i++ {
+			a := g.AddNode("account")
+			accounts = append(accounts, a)
+			g.AddEdge(a, "like", shared[0])
+			g.AddEdge(a, "like", shared[1])
+			post := g.AddNode("blog")
+			spam := rng.Intn(3) != 0
+			if spam {
+				g.SetAttr(post, "keyword", graph.String(SpamKeyword))
+			} else {
+				g.SetAttr(post, "keyword", graph.String("cats"))
+			}
+			g.AddEdge(a, "post", post)
+			if spam {
+				stats.Spammy = append(stats.Spammy, a)
+			}
+		}
+		// One confirmed fake per ring, posting spam.
+		fake := accounts[rng.Intn(len(accounts))]
+		g.SetAttr(fake, "is_fake", graph.Int(1))
+		var fakePosts bool
+		for _, e := range g.Out(fake) {
+			if e.Label == "post" {
+				g.SetAttr(e.Dst, "keyword", graph.String(SpamKeyword))
+				fakePosts = true
+			}
+		}
+		if fakePosts {
+			stats.SeedFakes++
+		}
+	}
+	return g, stats
+}
+
+// MusicStats reports what a generated music catalog planted.
+type MusicStats struct {
+	// DupPairs counts planted duplicate album pairs (same title and
+	// release, distinct nodes, each by its own artist duplicate).
+	DupPairs int
+	// Artists and Albums are totals including duplicates.
+	Artists, Albums int
+}
+
+// MusicDB synthesizes the album/artist catalog of Example 1(3): artists
+// record albums; a fraction of album+artist pairs is duplicated with
+// the same title, release and artist name. The recursive keys ψ₁–ψ₃
+// then cascade under the chase: ψ₂ merges the album copies, ψ₃ merges
+// their artists, and ψ₁ merges remaining albums of the merged artists.
+func MusicDB(seed int64, artists int, dupRate float64) (*graph.Graph, MusicStats) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	var stats MusicStats
+	for i := 0; i < artists; i++ {
+		name := graph.String(fmt.Sprintf("artist%d", i))
+		a := g.AddNodeAttrs("artist", map[graph.Attr]graph.Value{"name": name})
+		stats.Artists++
+		nAlbums := 1 + rng.Intn(3)
+		var titles []graph.Value
+		for j := 0; j < nAlbums; j++ {
+			title := graph.String(fmt.Sprintf("album%d-%d", i, j))
+			titles = append(titles, title)
+			al := g.AddNodeAttrs("album", map[graph.Attr]graph.Value{
+				"title": title, "release": graph.Int(1980 + rng.Intn(40))})
+			g.AddEdge(al, "by", a)
+			stats.Albums++
+		}
+		if rng.Float64() < dupRate {
+			// Duplicate the artist with one shared album (same title and
+			// release as album 0) plus the rest of the discography.
+			a2 := g.AddNodeAttrs("artist", map[graph.Attr]graph.Value{"name": name})
+			stats.Artists++
+			var rel graph.Value
+			for _, e := range g.Edges() {
+				if e.Label == "by" && e.Dst == a {
+					if v, _ := g.Attr(e.Src, "title"); v.Equal(titles[0]) {
+						rel, _ = g.Attr(e.Src, "release")
+					}
+				}
+			}
+			al2 := g.AddNodeAttrs("album", map[graph.Attr]graph.Value{
+				"title": titles[0], "release": rel})
+			g.AddEdge(al2, "by", a2)
+			stats.Albums++
+			stats.DupPairs++
+		}
+	}
+	return g, stats
+}
+
+// RandomPropertyGraph returns a seeded random property graph with n
+// nodes, average out-degree deg, and attributes drawn from small
+// domains. It is the host-graph workload of the validation benchmarks.
+func RandomPropertyGraph(seed int64, n int, deg float64, labels []graph.Label, attrs []graph.Attr, domain int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		id := g.AddNode(labels[rng.Intn(len(labels))])
+		for _, a := range attrs {
+			if rng.Intn(2) == 0 {
+				g.SetAttr(id, a, graph.Int(rng.Intn(domain)))
+			}
+		}
+	}
+	edges := int(deg * float64(n))
+	for i := 0; i < edges; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(n)), "e", graph.NodeID(rng.Intn(n)))
+	}
+	return g
+}
+
+// RandomGEDSet returns a seeded random GED set with count members whose
+// patterns have at most maxVars variables, drawing labels and attributes
+// from the same vocabulary as RandomPropertyGraph.
+func RandomGEDSet(seed int64, count, maxVars int, labels []graph.Label, attrs []graph.Attr, domain int) ged.Set {
+	rng := rand.New(rand.NewSource(seed))
+	var sigma ged.Set
+	for i := 0; i < count; i++ {
+		q := pattern.New()
+		nv := 2 + rng.Intn(maxVars-1)
+		vars := make([]pattern.Var, nv)
+		for j := range vars {
+			vars[j] = pattern.Var(fmt.Sprintf("v%d", j))
+			q.AddVar(vars[j], labels[rng.Intn(len(labels))])
+		}
+		for j := 1; j < nv; j++ {
+			q.AddEdge(vars[rng.Intn(j)], "e", vars[j])
+		}
+		var xs, ys []ged.Literal
+		if rng.Intn(2) == 0 {
+			xs = append(xs, ged.VarLit(vars[0], attrs[0], vars[nv-1], attrs[0]))
+		} else {
+			xs = append(xs, ged.ConstLit(vars[0], attrs[rng.Intn(len(attrs))], graph.Int(rng.Intn(domain))))
+		}
+		switch rng.Intn(3) {
+		case 0:
+			ys = append(ys, ged.IDLit(vars[0], vars[nv-1]))
+		case 1:
+			ys = append(ys, ged.ConstLit(vars[nv-1], attrs[rng.Intn(len(attrs))], graph.Int(rng.Intn(domain))))
+		default:
+			ys = append(ys, ged.VarLit(vars[0], attrs[1%len(attrs)], vars[nv-1], attrs[1%len(attrs)]))
+		}
+		sigma = append(sigma, ged.New(fmt.Sprintf("g%d", i), q, xs, ys))
+	}
+	return sigma
+}

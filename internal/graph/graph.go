@@ -1,0 +1,272 @@
+// Package graph implements the property-graph data model of
+// "Dependencies for Graphs" (Fan & Lu, PODS 2017), Section 2.
+//
+// A graph G = (V, E, L, F_A) has a finite set of nodes V, a finite set of
+// labeled directed edges E ⊆ V × Γ × V, a node labeling L, and a partial
+// attribute map F_A assigning each node a finite tuple of attribute/value
+// pairs. Graphs are schemaless: a node may or may not carry any given
+// attribute, but every node has an implicit, unique id (its NodeID).
+//
+// The special wildcard label "_" participates in the asymmetric label
+// match relation ⪯ (LabelMatches): a wildcard matches any label, but a
+// concrete label matches only itself. Ordinary data graphs use concrete
+// labels; canonical graphs built from patterns (Section 5) may carry
+// wildcards, which is why the relation lives here rather than in the
+// pattern matcher.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is a node or edge label drawn from the countably infinite set Γ,
+// or the wildcard.
+type Label string
+
+// Wildcard is the special label '_' that matches any label (Section 2).
+const Wildcard Label = "_"
+
+// LabelMatches reports ι ⪯ ι′: either ι = ι′, or ι is the wildcard.
+// The relation is asymmetric — a concrete label does not match the
+// wildcard — exactly as the paper defines it.
+func LabelMatches(pat, host Label) bool {
+	return pat == Wildcard || pat == host
+}
+
+// LabelsCompatible reports whether two labels may describe the same node,
+// i.e. ι ⪯ ι′ or ι′ ⪯ ι. Merging nodes whose labels are incompatible is
+// a label conflict in the chase (Section 4.1).
+func LabelsCompatible(a, b Label) bool {
+	return LabelMatches(a, b) || LabelMatches(b, a)
+}
+
+// ResolveLabels returns the concrete label describing a merged node: the
+// non-wildcard one if either is concrete, otherwise the wildcard. It must
+// only be called on compatible labels.
+func ResolveLabels(a, b Label) Label {
+	if a == Wildcard {
+		return b
+	}
+	return a
+}
+
+// Attr is an attribute name drawn from the countably infinite set Υ.
+// The node identity is not an Attr; it is exposed as NodeID.
+type Attr string
+
+// NodeID identifies a node within one Graph. IDs are dense indexes
+// assigned in insertion order; they realize the paper's special id
+// attribute, which every node has and which is unique.
+type NodeID int
+
+// Edge is a labeled directed edge (src, label, dst).
+type Edge struct {
+	Src   NodeID
+	Label Label
+	Dst   NodeID
+}
+
+// node is the internal per-node record.
+type node struct {
+	label Label
+	attrs map[Attr]Value
+}
+
+// Graph is a mutable finite directed labeled property graph. The zero
+// value is not usable; construct with New.
+type Graph struct {
+	nodes   []node
+	ids     []NodeID // cache of all ids in insertion order
+	edges   map[Edge]struct{}
+	out     map[NodeID][]Edge
+	in      map[NodeID][]Edge
+	byLabel map[Label][]NodeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		edges:   make(map[Edge]struct{}),
+		out:     make(map[NodeID][]Edge),
+		in:      make(map[NodeID][]Edge),
+		byLabel: make(map[Label][]NodeID),
+	}
+}
+
+// AddNode adds a node with the given label and no attributes, returning
+// its id.
+func (g *Graph) AddNode(label Label) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, node{label: label})
+	g.ids = append(g.ids, id)
+	g.byLabel[label] = append(g.byLabel[label], id)
+	return id
+}
+
+// AddNodeAttrs adds a node with the given label and attribute tuple.
+func (g *Graph) AddNodeAttrs(label Label, attrs map[Attr]Value) NodeID {
+	id := g.AddNode(label)
+	for a, v := range attrs {
+		g.SetAttr(id, a, v)
+	}
+	return id
+}
+
+// AddEdge inserts the directed edge (src, label, dst). Duplicate
+// insertions are idempotent, matching the set semantics of E.
+func (g *Graph) AddEdge(src NodeID, label Label, dst NodeID) {
+	e := Edge{Src: src, Label: label, Dst: dst}
+	if _, ok := g.edges[e]; ok {
+		return
+	}
+	g.edges[e] = struct{}{}
+	g.out[src] = append(g.out[src], e)
+	g.in[dst] = append(g.in[dst], e)
+}
+
+// HasEdge reports whether the exact edge (src, label, dst) is present.
+func (g *Graph) HasEdge(src NodeID, label Label, dst NodeID) bool {
+	_, ok := g.edges[Edge{Src: src, Label: label, Dst: dst}]
+	return ok
+}
+
+// SetAttr sets attribute a of node id to value v, creating it if absent.
+func (g *Graph) SetAttr(id NodeID, a Attr, v Value) {
+	n := &g.nodes[id]
+	if n.attrs == nil {
+		n.attrs = make(map[Attr]Value)
+	}
+	n.attrs[a] = v
+}
+
+// Attr returns the value of attribute a at node id, and whether the node
+// carries that attribute. Graphs are schemaless, so absence is routine.
+func (g *Graph) Attr(id NodeID, a Attr) (Value, bool) {
+	v, ok := g.nodes[id].attrs[a]
+	return v, ok
+}
+
+// Attrs returns the attribute tuple of node id. The returned map is the
+// graph's own storage; callers must not mutate it.
+func (g *Graph) Attrs(id NodeID) map[Attr]Value { return g.nodes[id].attrs }
+
+// Label returns the label of node id.
+func (g *Graph) Label(id NodeID) Label { return g.nodes[id].label }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Size returns |G| = |V| + |E|, the measure used by the chase bound of
+// Theorem 1.
+func (g *Graph) Size() int { return g.NumNodes() + g.NumEdges() }
+
+// Nodes returns all node ids in insertion order. The returned slice is
+// the graph's own cache; callers must not mutate it.
+func (g *Graph) Nodes() []NodeID { return g.ids }
+
+// Edges returns all edges in a deterministic order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, len(g.edges))
+	for e := range g.edges {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Dst < b.Dst
+	})
+	return es
+}
+
+// Out returns the outgoing edges of node id.
+func (g *Graph) Out(id NodeID) []Edge { return g.out[id] }
+
+// In returns the incoming edges of node id.
+func (g *Graph) In(id NodeID) []Edge { return g.in[id] }
+
+// NodesWithLabel returns the nodes carrying exactly the given label.
+// Wildcard-labeled nodes are returned only for label == Wildcard; use
+// CandidateNodes for ⪯-based lookup.
+func (g *Graph) NodesWithLabel(label Label) []NodeID { return g.byLabel[label] }
+
+// CandidateNodes returns the nodes a pattern node labeled pat may map to
+// under ⪯: every node if pat is the wildcard, otherwise the nodes whose
+// label equals pat.
+func (g *Graph) CandidateNodes(pat Label) []NodeID {
+	if pat == Wildcard {
+		return g.Nodes()
+	}
+	return g.byLabel[pat]
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, n := range g.nodes {
+		id := c.AddNode(n.label)
+		for a, v := range n.attrs {
+			c.SetAttr(id, a, v)
+		}
+	}
+	for e := range g.edges {
+		c.AddEdge(e.Src, e.Label, e.Dst)
+	}
+	return c
+}
+
+// DisjointUnion appends a copy of h to g and returns the mapping from
+// h's node ids to their new ids in g. It is the ⊎ used to build canonical
+// graphs G_Σ (Section 5.1).
+func (g *Graph) DisjointUnion(h *Graph) map[NodeID]NodeID {
+	m := make(map[NodeID]NodeID, h.NumNodes())
+	for _, id := range h.Nodes() {
+		nid := g.AddNode(h.Label(id))
+		for a, v := range h.Attrs(id) {
+			g.SetAttr(nid, a, v)
+		}
+		m[id] = nid
+	}
+	for e := range h.edges {
+		g.AddEdge(m[e.Src], e.Label, m[e.Dst])
+	}
+	return m
+}
+
+// String renders the graph in a compact multi-line form for debugging
+// and golden tests.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for i, n := range g.nodes {
+		fmt.Fprintf(&b, "n%d:%s", i, n.label)
+		if len(n.attrs) > 0 {
+			names := make([]string, 0, len(n.attrs))
+			for a := range n.attrs {
+				names = append(names, string(a))
+			}
+			sort.Strings(names)
+			b.WriteString(" {")
+			for j, a := range names {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s=%s", a, n.attrs[Attr(a)])
+			}
+			b.WriteString("}")
+		}
+		b.WriteString("\n")
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "n%d -%s-> n%d\n", e.Src, e.Label, e.Dst)
+	}
+	return b.String()
+}

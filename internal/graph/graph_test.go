@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelMatches(t *testing.T) {
+	cases := []struct {
+		pat, host Label
+		want      bool
+	}{
+		{"person", "person", true},
+		{"person", "product", false},
+		{Wildcard, "person", true},
+		{Wildcard, Wildcard, true},
+		{"person", Wildcard, false}, // ⪯ is asymmetric
+	}
+	for _, c := range cases {
+		if got := LabelMatches(c.pat, c.host); got != c.want {
+			t.Errorf("LabelMatches(%q, %q) = %v, want %v", c.pat, c.host, got, c.want)
+		}
+	}
+}
+
+func TestLabelsCompatible(t *testing.T) {
+	if !LabelsCompatible("a", "a") {
+		t.Error("identical labels must be compatible")
+	}
+	if !LabelsCompatible(Wildcard, "a") || !LabelsCompatible("a", Wildcard) {
+		t.Error("wildcard must be compatible with any label, both ways")
+	}
+	if LabelsCompatible("a", "b") {
+		t.Error("distinct concrete labels must conflict")
+	}
+}
+
+func TestResolveLabels(t *testing.T) {
+	if got := ResolveLabels(Wildcard, "a"); got != "a" {
+		t.Errorf("ResolveLabels(_, a) = %s", got)
+	}
+	if got := ResolveLabels("a", Wildcard); got != "a" {
+		t.Errorf("ResolveLabels(a, _) = %s", got)
+	}
+	if got := ResolveLabels(Wildcard, Wildcard); got != Wildcard {
+		t.Errorf("ResolveLabels(_, _) = %s", got)
+	}
+}
+
+func TestAddNodeAndAttrs(t *testing.T) {
+	g := New()
+	a := g.AddNodeAttrs("person", map[Attr]Value{"name": String("Ada")})
+	b := g.AddNode("product")
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", g.NumNodes())
+	}
+	if g.Label(a) != "person" || g.Label(b) != "product" {
+		t.Error("labels not stored")
+	}
+	if v, ok := g.Attr(a, "name"); !ok || !v.Equal(String("Ada")) {
+		t.Error("attribute not stored")
+	}
+	if _, ok := g.Attr(b, "name"); ok {
+		t.Error("schemaless: product must not have name")
+	}
+	g.SetAttr(a, "name", String("Lovelace"))
+	if v, _ := g.Attr(a, "name"); !v.Equal(String("Lovelace")) {
+		t.Error("SetAttr must overwrite")
+	}
+}
+
+func TestEdgesSetSemantics(t *testing.T) {
+	g := New()
+	a := g.AddNode("x")
+	b := g.AddNode("y")
+	g.AddEdge(a, "e", b)
+	g.AddEdge(a, "e", b) // duplicate
+	g.AddEdge(b, "e", a)
+	g.AddEdge(a, "f", b)
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge(a, "e", b) || !g.HasEdge(b, "e", a) || !g.HasEdge(a, "f", b) {
+		t.Error("edges missing")
+	}
+	if g.HasEdge(b, "f", a) {
+		t.Error("phantom edge")
+	}
+	if len(g.Out(a)) != 2 || len(g.In(b)) != 2 || len(g.Out(b)) != 1 {
+		t.Error("adjacency lists wrong")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New()
+	a := g.AddNode("x")
+	g.AddEdge(a, "e", a)
+	if !g.HasEdge(a, "e", a) {
+		t.Error("self loop missing")
+	}
+	if len(g.Out(a)) != 1 || len(g.In(a)) != 1 {
+		t.Error("self loop adjacency wrong")
+	}
+}
+
+func TestCandidateNodes(t *testing.T) {
+	g := New()
+	a := g.AddNode("x")
+	b := g.AddNode("y")
+	w := g.AddNode(Wildcard)
+	got := g.CandidateNodes("x")
+	if len(got) != 1 || got[0] != a {
+		t.Errorf("CandidateNodes(x) = %v", got)
+	}
+	if n := len(g.CandidateNodes(Wildcard)); n != 3 {
+		t.Errorf("CandidateNodes(_) size = %d, want 3", n)
+	}
+	// A concrete pattern label does not match a wildcard-labeled node.
+	for _, id := range g.CandidateNodes("y") {
+		if id == w {
+			t.Error("wildcard node returned for concrete label")
+		}
+	}
+	_ = b
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New()
+	a := g.AddNodeAttrs("x", map[Attr]Value{"k": Int(1)})
+	b := g.AddNode("y")
+	g.AddEdge(a, "e", b)
+	c := g.Clone()
+	c.SetAttr(a, "k", Int(2))
+	c.AddEdge(b, "e", a)
+	if v, _ := g.Attr(a, "k"); !v.Equal(Int(1)) {
+		t.Error("clone mutated original attrs")
+	}
+	if g.HasEdge(b, "e", a) {
+		t.Error("clone mutated original edges")
+	}
+	if c.NumEdges() != 2 || g.NumEdges() != 1 {
+		t.Error("edge counts wrong after clone")
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	g := New()
+	a := g.AddNode("x")
+	h := New()
+	b := h.AddNodeAttrs("y", map[Attr]Value{"k": Int(7)})
+	c := h.AddNode("z")
+	h.AddEdge(b, "e", c)
+	m := g.DisjointUnion(h)
+	if g.NumNodes() != 3 || g.NumEdges() != 1 {
+		t.Fatalf("union size wrong: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Label(m[b]) != "y" || g.Label(m[c]) != "z" {
+		t.Error("labels not copied")
+	}
+	if v, ok := g.Attr(m[b], "k"); !ok || !v.Equal(Int(7)) {
+		t.Error("attrs not copied")
+	}
+	if !g.HasEdge(m[b], "e", m[c]) {
+		t.Error("edge not copied")
+	}
+	_ = a
+}
+
+func TestValueOrderAndEquality(t *testing.T) {
+	if !Int(1).Equal(Number(1)) {
+		t.Error("Int and Number must agree")
+	}
+	if String("1").Equal(Int(1)) {
+		t.Error("string and number constants are distinct elements of U")
+	}
+	if !Int(1).Less(Int(2)) || Int(2).Less(Int(1)) {
+		t.Error("numeric order wrong")
+	}
+	if !String("a").Less(String("b")) {
+		t.Error("string order wrong")
+	}
+	if !Int(5).Less(String("")) {
+		t.Error("numbers must precede strings in the total order")
+	}
+	if Bool(true) != Int(1) || Bool(false) != Int(0) {
+		t.Error("Bool encoding")
+	}
+	if Int(3).Compare(Int(3)) != 0 || Int(3).Compare(Int(4)) != -1 || Int(4).Compare(Int(3)) != 1 {
+		t.Error("Compare wrong")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Int(3).String() != "3" {
+		t.Errorf("Int(3).String() = %s", Int(3).String())
+	}
+	if String("x").String() != `"x"` {
+		t.Errorf("String(x).String() = %s", String("x").String())
+	}
+	if Number(2.5).String() != "2.5" {
+		t.Errorf("Number(2.5).String() = %s", Number(2.5).String())
+	}
+}
+
+// TestValueOrderProperties checks that Less is a strict total order on a
+// mixed population of values, via testing/quick.
+func TestValueOrderProperties(t *testing.T) {
+	mk := func(isNum bool, n float64, s string) Value {
+		if isNum {
+			return Number(n)
+		}
+		return String(s)
+	}
+	trichotomy := func(an bool, af float64, as string, bn bool, bf float64, bs string) bool {
+		a, b := mk(an, af, as), mk(bn, bf, bs)
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a.Equal(b) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(trichotomy, nil); err != nil {
+		t.Error(err)
+	}
+	transitive := func(af, bf, cf float64) bool {
+		a, b, c := Number(af), Number(bf), Number(cf)
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := New()
+	a := g.AddNodeAttrs("person", map[Attr]Value{"name": String("Ada"), "age": Int(36)})
+	b := g.AddNode("city")
+	g.AddEdge(a, "born_in", b)
+	want := "n0:person {age=36, name=\"Ada\"}\nn1:city\nn0 -born_in-> n1\n"
+	if got := g.String(); got != want {
+		t.Errorf("String() =\n%s\nwant\n%s", got, want)
+	}
+}
+
+func TestSizeAndNodes(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.AddNode("n")
+	}
+	g.AddEdge(0, "e", 1)
+	g.AddEdge(1, "e", 2)
+	if g.Size() != 7 {
+		t.Errorf("Size = %d, want 7", g.Size())
+	}
+	ids := g.Nodes()
+	for i, id := range ids {
+		if id != NodeID(i) {
+			t.Errorf("Nodes()[%d] = %d", i, id)
+		}
+	}
+}

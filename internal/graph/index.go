@@ -1,0 +1,52 @@
+package graph
+
+import "sort"
+
+// AttrIndex is a secondary index from (attribute, value) to the nodes
+// carrying that binding — the access path that turns constant literals
+// of dependency antecedents into index lookups instead of scans.
+//
+// The index is a snapshot: it reflects the graph at Build time and is
+// immutable (and therefore safe for concurrent readers) afterwards.
+type AttrIndex struct {
+	byAttr map[Attr]map[Value][]NodeID
+}
+
+// BuildAttrIndex scans g once and indexes every stored attribute value.
+func BuildAttrIndex(g *Graph) *AttrIndex {
+	idx := &AttrIndex{byAttr: make(map[Attr]map[Value][]NodeID)}
+	for _, id := range g.Nodes() {
+		for a, v := range g.Attrs(id) {
+			m := idx.byAttr[a]
+			if m == nil {
+				m = make(map[Value][]NodeID)
+				idx.byAttr[a] = m
+			}
+			m[v] = append(m[v], id)
+		}
+	}
+	// Sort postings for deterministic iteration.
+	for _, m := range idx.byAttr {
+		for v := range m {
+			ids := m[v]
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		}
+	}
+	return idx
+}
+
+// Lookup returns the nodes with attribute a equal to v. The returned
+// slice is the index's own storage; callers must not mutate it.
+func (idx *AttrIndex) Lookup(a Attr, v Value) []NodeID {
+	return idx.byAttr[a][v]
+}
+
+// Selectivity returns the number of nodes carrying a = v.
+func (idx *AttrIndex) Selectivity(a Attr, v Value) int {
+	return len(idx.byAttr[a][v])
+}
+
+// HasAttr reports whether any node carries attribute a.
+func (idx *AttrIndex) HasAttr(a Attr) bool {
+	return len(idx.byAttr[a]) > 0
+}

@@ -1,0 +1,260 @@
+package optimize
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+	"gedlib/internal/reason"
+)
+
+func TestRewriteMergesKeyEqualVars(t *testing.T) {
+	// Σ: albums with equal title+release are the same node. A query
+	// selecting two albums with equal title+release can then drop one
+	// variable entirely.
+	q := pattern.New()
+	q.AddVar("a", "album")
+	key, err := ged.NewGKey("k", q, "a", func(x, fx pattern.Var) []ged.Literal {
+		return []ged.Literal{ged.VarLit(x, "title", fx, "title"), ged.VarLit(x, "release", fx, "release")}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := ged.Set{key}
+
+	qp := pattern.New()
+	qp.AddVar("u", "album").AddVar("v", "album")
+	query := &Query{Pattern: qp, X: []ged.Literal{
+		ged.VarLit("u", "title", "v", "title"),
+		ged.VarLit("u", "release", "v", "release"),
+	}}
+	r := Rewrite(query, sigma)
+	if r.Empty {
+		t.Fatal("query must not be empty")
+	}
+	if r.MergedVars != 1 {
+		t.Fatalf("MergedVars = %d, want 1", r.MergedVars)
+	}
+	if r.Query.Pattern.NumVars() != 1 {
+		t.Errorf("rewritten pattern has %d vars, want 1", r.Query.Pattern.NumVars())
+	}
+	if r.VarMap["u"] != r.VarMap["v"] {
+		t.Error("u and v must share a representative")
+	}
+}
+
+func TestRewriteInfersConstants(t *testing.T) {
+	// Σ: every video game's creator is a programmer. A query for
+	// creators of video games gains the pushed-down selection
+	// x.type = "programmer".
+	q := pattern.New()
+	q.AddVar("x", "person").AddVar("y", "product")
+	q.AddEdge("x", "create", "y")
+	sigma := ged.Set{ged.New("phi1", q,
+		[]ged.Literal{ged.ConstLit("y", "type", graph.String("video game"))},
+		[]ged.Literal{ged.ConstLit("x", "type", graph.String("programmer"))})}
+
+	qp := pattern.New()
+	qp.AddVar("p", "person").AddVar("g", "product")
+	qp.AddEdge("p", "create", "g")
+	query := &Query{Pattern: qp, X: []ged.Literal{
+		ged.ConstLit("g", "type", graph.String("video game")),
+	}}
+	r := Rewrite(query, sigma)
+	if r.Empty {
+		t.Fatal("query must not be empty")
+	}
+	found := false
+	for _, l := range r.InferredConsts {
+		if l.Left.Var == "p" && l.Left.Attr == "type" && l.Right.Const.Equal(graph.String("programmer")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("p.type = programmer not inferred: %v", r.InferredConsts)
+	}
+	if attrs := r.InferredAttrs["p"]; len(attrs) == 0 {
+		t.Error("attribute existence not inferred for p")
+	}
+}
+
+func TestRewriteDetectsEmptyQuery(t *testing.T) {
+	// Σ forbids the queried pattern outright.
+	q := pattern.New()
+	q.AddVar("x", "person").AddVar("y", "person")
+	q.AddEdge("x", "child", "y")
+	q.AddEdge("x", "parent", "y")
+	sigma := ged.Set{ged.New("phi4", q.Clone(), nil, ged.False("x"))}
+
+	query := &Query{Pattern: q}
+	r := Rewrite(query, sigma)
+	if !r.Empty {
+		t.Fatal("forbidden pattern must yield an empty query")
+	}
+}
+
+func TestRewriteResolvesWildcardLabels(t *testing.T) {
+	// A wildcard variable identified with a labeled one becomes
+	// concrete, narrowing the matcher's candidate set.
+	q := pattern.New()
+	q.AddVar("x", graph.Wildcard).AddVar("y", "city")
+	sigma := ged.Set{ged.New("same", q.Clone(),
+		[]ged.Literal{ged.VarLit("x", "name", "y", "name")},
+		[]ged.Literal{ged.IDLit("x", "y")})}
+	query := &Query{Pattern: q, X: []ged.Literal{ged.VarLit("x", "name", "y", "name")}}
+	r := Rewrite(query, sigma)
+	if r.Empty || r.Query.Pattern.NumVars() != 1 {
+		t.Fatal("vars must merge")
+	}
+	rep := r.Query.Pattern.Vars()[0]
+	if r.Query.Pattern.Label(rep) != "city" {
+		t.Errorf("merged label = %s, want city", r.Query.Pattern.Label(rep))
+	}
+}
+
+// TestRewriteEquivalenceOnRandomHosts: on random graphs satisfying Σ,
+// the original and rewritten queries have the same answers (through the
+// variable map).
+func TestRewriteEquivalenceOnRandomHosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	checked := 0
+	for trial := 0; trial < 200 && checked < 40; trial++ {
+		sigma := randomSigma(rng)
+		query := randomQuery(rng)
+		r := Rewrite(query, sigma)
+
+		g := randomGraph(rng)
+		if !reason.Satisfies(g, sigma) {
+			continue
+		}
+		checked++
+		orig := answerSet(query, g, nil, query.Pattern)
+		if r.Empty {
+			if len(orig) != 0 {
+				t.Fatalf("trial %d: empty-rewrite but %d answers exist\nΣ=%v\nQ=%v",
+					trial, len(orig), sigma, query.Pattern)
+			}
+			continue
+		}
+		rewritten := answerSet(r.Query, g, r, query.Pattern)
+		if !sameSet(orig, rewritten) {
+			t.Fatalf("trial %d: answer sets differ\nΣ=%v\nQ=%v X=%v\nQ'=%v X'=%v\norig=%v\nrewr=%v",
+				trial, sigma, query.Pattern, query.X, r.Query.Pattern, r.Query.X, orig, rewritten)
+		}
+	}
+	if checked < 10 {
+		t.Logf("only %d hosts satisfied Σ; coverage low", checked)
+	}
+}
+
+// answerSet returns canonical strings of answers over the ORIGINAL
+// variables; when r is non-nil the matches are pulled back first.
+func answerSet(q *Query, g *graph.Graph, r *Result, original *pattern.Pattern) []string {
+	var out []string
+	for _, m := range Answers(q, g) {
+		if r != nil {
+			m = r.PullBack(m, original)
+		}
+		vars := original.Vars()
+		s := ""
+		for _, v := range vars {
+			s += fmt.Sprintf("%s=%d;", v, m[v])
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomSigma(rng *rand.Rand) ged.Set {
+	labels := []graph.Label{"a", "b"}
+	attrs := []graph.Attr{"p", "q"}
+	var sigma ged.Set
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		q := pattern.New()
+		q.AddVar("x", labels[rng.Intn(len(labels))])
+		q.AddVar("y", labels[rng.Intn(len(labels))])
+		if rng.Intn(2) == 0 {
+			q.AddEdge("x", "e", "y")
+		}
+		var xs, ys []ged.Literal
+		switch rng.Intn(3) {
+		case 0:
+			xs = append(xs, ged.VarLit("x", attrs[0], "y", attrs[0]))
+		case 1:
+			xs = append(xs, ged.ConstLit("x", attrs[rng.Intn(2)], graph.Int(rng.Intn(2))))
+		}
+		switch rng.Intn(3) {
+		case 0:
+			ys = append(ys, ged.IDLit("x", "y"))
+		case 1:
+			ys = append(ys, ged.ConstLit("y", attrs[rng.Intn(2)], graph.Int(rng.Intn(2))))
+		default:
+			ys = append(ys, ged.VarLit("x", attrs[1], "y", attrs[1]))
+		}
+		sigma = append(sigma, ged.New(fmt.Sprintf("r%d", i), q, xs, ys))
+	}
+	return sigma
+}
+
+func randomQuery(rng *rand.Rand) *Query {
+	labels := []graph.Label{"a", "b", graph.Wildcard}
+	attrs := []graph.Attr{"p", "q"}
+	q := pattern.New()
+	n := 2 + rng.Intn(2)
+	vars := make([]pattern.Var, n)
+	for i := range vars {
+		vars[i] = pattern.Var(fmt.Sprintf("v%d", i))
+		q.AddVar(vars[i], labels[rng.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			q.AddEdge(vars[rng.Intn(i)], "e", vars[i])
+		}
+	}
+	var xs []ged.Literal
+	if rng.Intn(2) == 0 {
+		xs = append(xs, ged.VarLit(vars[0], attrs[0], vars[n-1], attrs[0]))
+	}
+	if rng.Intn(3) == 0 {
+		xs = append(xs, ged.ConstLit(vars[0], attrs[rng.Intn(2)], graph.Int(rng.Intn(2))))
+	}
+	return &Query{Pattern: q, X: xs}
+}
+
+func randomGraph(rng *rand.Rand) *graph.Graph {
+	labels := []graph.Label{"a", "b"}
+	attrs := []graph.Attr{"p", "q"}
+	g := graph.New()
+	n := 2 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		id := g.AddNode(labels[rng.Intn(len(labels))])
+		for _, a := range attrs {
+			if rng.Intn(2) == 0 {
+				g.SetAttr(id, a, graph.Int(rng.Intn(2)))
+			}
+		}
+	}
+	for i := 0; i < 2*n; i++ {
+		if rng.Intn(2) == 0 {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), "e", graph.NodeID(rng.Intn(n)))
+		}
+	}
+	return g
+}

@@ -1,0 +1,380 @@
+package pattern
+
+import (
+	"sort"
+
+	"gedlib/internal/graph"
+)
+
+// Match is a homomorphism h from a pattern to a graph, i.e. the vector
+// h(x̄) of Section 2. Distinct variables may map to the same node.
+type Match map[Var]graph.NodeID
+
+// Clone returns a copy of m.
+func (m Match) Clone() Match {
+	c := make(Match, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// matcher holds the state of one backtracking search.
+type matcher struct {
+	p     *Pattern
+	g     *graph.Graph
+	order []Var            // variable binding order
+	adj   map[Var][]Edge   // pattern edges incident to each variable
+	bind  Match            // current partial assignment
+	yield func(Match) bool // returns false to stop enumeration
+	done  bool
+}
+
+// Plan is a compiled matching plan for one (pattern, graph) pair: the
+// variable order and adjacency index are computed once and shared across
+// any number of (concurrent) enumerations. Plans are immutable after
+// Compile and safe for concurrent use.
+type Plan struct {
+	p     *Pattern
+	g     *graph.Graph
+	order []Var
+	adj   map[Var][]Edge
+}
+
+// Compile prepares a matching plan for p over g.
+func Compile(p *Pattern, g *graph.Graph) *Plan {
+	pl := &Plan{p: p, g: g, adj: make(map[Var][]Edge, len(p.vars))}
+	for _, e := range p.edges {
+		pl.adj[e.Src] = append(pl.adj[e.Src], e)
+		if e.Dst != e.Src {
+			pl.adj[e.Dst] = append(pl.adj[e.Dst], e)
+		}
+	}
+	pl.order = planOrder(p, g)
+	return pl
+}
+
+// ForEachBound enumerates matches extending the partial assignment pre
+// (which may be nil). Pre-bindings violating labels or edges yield no
+// matches. The Match passed to yield is reused; clone it to retain it.
+func (pl *Plan) ForEachBound(pre Match, yield func(Match) bool) {
+	if len(pl.p.vars) == 0 {
+		yield(Match{})
+		return
+	}
+	m := &matcher{
+		p:     pl.p,
+		g:     pl.g,
+		adj:   pl.adj,
+		bind:  make(Match, len(pl.p.vars)),
+		yield: yield,
+	}
+	for v, n := range pre {
+		if !pl.p.HasVar(v) {
+			return
+		}
+		if !m.consistent(v, n) {
+			return
+		}
+		m.bind[v] = n
+	}
+	if len(pre) == 0 {
+		m.order = pl.order
+	} else {
+		order := make([]Var, 0, len(pl.order))
+		for _, v := range pl.order {
+			if _, ok := pre[v]; !ok {
+				order = append(order, v)
+			}
+		}
+		m.order = order
+	}
+	m.search(0)
+}
+
+// ForEachPivot enumerates matches with the pivot variable successively
+// bound to each candidate, reusing one matcher across the whole block —
+// the low-overhead primitive behind parallel validation. Candidates that
+// violate the pivot's label or incident edges are skipped.
+func (pl *Plan) ForEachPivot(pivot Var, cands []graph.NodeID, yield func(Match) bool) {
+	if !pl.p.HasVar(pivot) {
+		return
+	}
+	m := &matcher{
+		p:     pl.p,
+		g:     pl.g,
+		adj:   pl.adj,
+		bind:  make(Match, len(pl.p.vars)),
+		yield: yield,
+	}
+	order := make([]Var, 0, len(pl.order))
+	for _, v := range pl.order {
+		if v != pivot {
+			order = append(order, v)
+		}
+	}
+	m.order = order
+	for _, c := range cands {
+		if !m.consistent(pivot, c) {
+			continue
+		}
+		m.bind[pivot] = c
+		m.search(0)
+		delete(m.bind, pivot)
+		if m.done {
+			return
+		}
+	}
+}
+
+// ForEachMatch enumerates the matches of p in g, invoking yield for each.
+// Enumeration stops early when yield returns false. The Match passed to
+// yield is reused between invocations; clone it to retain it.
+func ForEachMatch(p *Pattern, g *graph.Graph, yield func(Match) bool) {
+	Compile(p, g).ForEachBound(nil, yield)
+}
+
+// ForEachMatchBound enumerates the matches of p in g extending the
+// partial assignment pre. For repeated enumeration over one graph,
+// Compile once and use Plan.ForEachBound.
+func ForEachMatchBound(p *Pattern, g *graph.Graph, pre Match, yield func(Match) bool) {
+	Compile(p, g).ForEachBound(pre, yield)
+}
+
+// FindMatches returns up to limit matches of p in g; limit <= 0 means all.
+func FindMatches(p *Pattern, g *graph.Graph, limit int) []Match {
+	var out []Match
+	ForEachMatch(p, g, func(m Match) bool {
+		out = append(out, m.Clone())
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// HasMatch reports whether p has at least one match in g.
+func HasMatch(p *Pattern, g *graph.Graph) bool {
+	found := false
+	ForEachMatch(p, g, func(Match) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// CountMatches returns the number of matches of p in g.
+func CountMatches(p *Pattern, g *graph.Graph) int {
+	n := 0
+	ForEachMatch(p, g, func(Match) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// planOrder chooses a variable binding order: the variable with the
+// fewest label candidates first, then greedily any variable connected to
+// an already-ordered one (preferring small candidate sets), so that
+// adjacency can prune candidates. Disconnected components are started at
+// their most selective variable.
+func planOrder(p *Pattern, g *graph.Graph) []Var {
+	candCount := func(x Var) int {
+		l := p.labels[x]
+		if l == graph.Wildcard {
+			return g.NumNodes()
+		}
+		return len(g.NodesWithLabel(l))
+	}
+	neighbors := make(map[Var][]Var, len(p.vars))
+	for _, e := range p.edges {
+		if e.Src != e.Dst {
+			neighbors[e.Src] = append(neighbors[e.Src], e.Dst)
+			neighbors[e.Dst] = append(neighbors[e.Dst], e.Src)
+		}
+	}
+	ordered := make([]Var, 0, len(p.vars))
+	placed := make(map[Var]bool, len(p.vars))
+	frontier := make(map[Var]bool)
+
+	remaining := append([]Var(nil), p.vars...)
+	sort.Slice(remaining, func(i, j int) bool {
+		ci, cj := candCount(remaining[i]), candCount(remaining[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return remaining[i] < remaining[j]
+	})
+
+	place := func(x Var) {
+		ordered = append(ordered, x)
+		placed[x] = true
+		delete(frontier, x)
+		for _, y := range neighbors[x] {
+			if !placed[y] {
+				frontier[y] = true
+			}
+		}
+	}
+
+	for len(ordered) < len(p.vars) {
+		var next Var
+		if len(frontier) > 0 {
+			best := -1
+			for x := range frontier {
+				c := candCount(x)
+				if best < 0 || c < best || (c == best && x < next) {
+					best, next = c, x
+				}
+			}
+		} else {
+			for _, x := range remaining {
+				if !placed[x] {
+					next = x
+					break
+				}
+			}
+		}
+		place(next)
+	}
+	return ordered
+}
+
+// search binds the variable at position i of the order and recurses.
+func (m *matcher) search(i int) {
+	if m.done {
+		return
+	}
+	if i == len(m.order) {
+		if !m.yield(m.bind) {
+			m.done = true
+		}
+		return
+	}
+	x := m.order[i]
+	for _, v := range m.candidates(x) {
+		if !m.consistent(x, v) {
+			continue
+		}
+		m.bind[x] = v
+		m.search(i + 1)
+		delete(m.bind, x)
+		if m.done {
+			return
+		}
+	}
+}
+
+// candidates returns the nodes that x may be bound to, using a bound
+// neighbor's adjacency when available and the label index otherwise.
+func (m *matcher) candidates(x Var) []graph.NodeID {
+	lbl := m.p.labels[x]
+	// Prefer deriving candidates from a bound neighbor: follow the
+	// pattern edge from/to the bound node.
+	for _, e := range m.adj[x] {
+		if e.Src == x && e.Dst != x {
+			if v, ok := m.bind[e.Dst]; ok {
+				return sources(m.g.In(v), e.Label, lbl, m.g)
+			}
+		}
+		if e.Dst == x && e.Src != x {
+			if v, ok := m.bind[e.Src]; ok {
+				return targets(m.g.Out(v), e.Label, lbl, m.g)
+			}
+		}
+	}
+	return m.g.CandidateNodes(lbl)
+}
+
+// sources collects the ⪯-compatible sources of edges in `in` whose label
+// matches elabel, filtered by the node label nlabel. Deduplication scans
+// the (short) result slice instead of allocating a set: adjacency lists
+// of real patterns are small and this sits on the matcher's hot path.
+func sources(in []graph.Edge, elabel, nlabel graph.Label, g *graph.Graph) []graph.NodeID {
+	var out []graph.NodeID
+	for _, e := range in {
+		if !graph.LabelMatches(elabel, e.Label) {
+			continue
+		}
+		if containsNode(out, e.Src) {
+			continue
+		}
+		if graph.LabelMatches(nlabel, g.Label(e.Src)) {
+			out = append(out, e.Src)
+		}
+	}
+	return out
+}
+
+// targets collects the ⪯-compatible targets of edges in `out` whose label
+// matches elabel, filtered by the node label nlabel.
+func targets(outE []graph.Edge, elabel, nlabel graph.Label, g *graph.Graph) []graph.NodeID {
+	var out []graph.NodeID
+	for _, e := range outE {
+		if !graph.LabelMatches(elabel, e.Label) {
+			continue
+		}
+		if containsNode(out, e.Dst) {
+			continue
+		}
+		if graph.LabelMatches(nlabel, g.Label(e.Dst)) {
+			out = append(out, e.Dst)
+		}
+	}
+	return out
+}
+
+func containsNode(xs []graph.NodeID, n graph.NodeID) bool {
+	for _, x := range xs {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// consistent checks label compatibility of binding x↦v and every pattern
+// edge between x and already-bound variables (including self-loops).
+func (m *matcher) consistent(x Var, v graph.NodeID) bool {
+	if !graph.LabelMatches(m.p.labels[x], m.g.Label(v)) {
+		return false
+	}
+	for _, e := range m.adj[x] {
+		var src, dst graph.NodeID
+		var ok bool
+		switch {
+		case e.Src == x && e.Dst == x:
+			src, dst, ok = v, v, true
+		case e.Src == x:
+			dst, ok = m.bind[e.Dst]
+			src = v
+		default: // e.Dst == x
+			src, ok = m.bind[e.Src]
+			dst = v
+		}
+		if !ok {
+			continue
+		}
+		if !m.hasCompatibleEdge(src, e.Label, dst) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasCompatibleEdge reports whether g has an edge (src, ι′, dst) with
+// ι ⪯ ι′.
+func (m *matcher) hasCompatibleEdge(src graph.NodeID, label graph.Label, dst graph.NodeID) bool {
+	if label != graph.Wildcard {
+		if m.g.HasEdge(src, label, dst) {
+			return true
+		}
+		// A wildcard-labeled host edge is NOT matched by a concrete
+		// pattern label under ⪯; no fallback.
+		return false
+	}
+	for _, e := range m.g.Out(src) {
+		if e.Dst == dst {
+			return true
+		}
+	}
+	return false
+}

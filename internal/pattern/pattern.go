@@ -1,0 +1,223 @@
+// Package pattern implements graph patterns Q[x̄] and homomorphism-based
+// graph pattern matching, as defined in Section 2 of "Dependencies for
+// Graphs" (Fan & Lu, PODS 2017).
+//
+// A pattern is a directed graph whose nodes are variables carrying labels
+// (possibly the wildcard '_'), and whose edges carry labels (possibly the
+// wildcard). A match of Q[x̄] in a graph G is a homomorphism h from Q to
+// G with L_Q(u) ⪯ L(h(u)) for every pattern node u, and for every pattern
+// edge (u, ι, u′) an edge (h(u), ι′, h(u′)) in G with ι ⪯ ι′.
+//
+// The paper deliberately adopts homomorphism rather than subgraph
+// isomorphism so that GFDs and GKeys can be expressed uniformly: distinct
+// variables may map to the same node.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gedlib/internal/graph"
+)
+
+// Var is a pattern variable, i.e. an element of the variable list x̄.
+type Var string
+
+// Edge is a directed pattern edge between two variables.
+type Edge struct {
+	Src   Var
+	Label graph.Label
+	Dst   Var
+}
+
+// Pattern is a graph pattern Q[x̄] = (V_Q, E_Q, L_Q). Variables are kept
+// in insertion order; that order is the paper's list x̄.
+type Pattern struct {
+	vars   []Var
+	labels map[Var]graph.Label
+	edges  []Edge
+}
+
+// New returns an empty pattern.
+func New() *Pattern {
+	return &Pattern{labels: make(map[Var]graph.Label)}
+}
+
+// AddVar adds variable x with the given label. Adding an existing
+// variable with a different label panics: patterns assign one label per
+// variable.
+func (p *Pattern) AddVar(x Var, label graph.Label) *Pattern {
+	if old, ok := p.labels[x]; ok {
+		if old != label {
+			panic(fmt.Sprintf("pattern: variable %s relabeled %s -> %s", x, old, label))
+		}
+		return p
+	}
+	p.vars = append(p.vars, x)
+	p.labels[x] = label
+	return p
+}
+
+// AddEdge adds the pattern edge (src, label, dst). Both endpoints must
+// already be variables of the pattern; unknown endpoints are added with
+// the wildcard label for convenience.
+func (p *Pattern) AddEdge(src Var, label graph.Label, dst Var) *Pattern {
+	if _, ok := p.labels[src]; !ok {
+		p.AddVar(src, graph.Wildcard)
+	}
+	if _, ok := p.labels[dst]; !ok {
+		p.AddVar(dst, graph.Wildcard)
+	}
+	p.edges = append(p.edges, Edge{Src: src, Label: label, Dst: dst})
+	return p
+}
+
+// Vars returns the variable list x̄ in insertion order. Callers must not
+// mutate the returned slice.
+func (p *Pattern) Vars() []Var { return p.vars }
+
+// HasVar reports whether x is a variable of the pattern.
+func (p *Pattern) HasVar(x Var) bool {
+	_, ok := p.labels[x]
+	return ok
+}
+
+// Label returns the label of variable x, or the wildcard if x is not a
+// variable of p.
+func (p *Pattern) Label(x Var) graph.Label {
+	if l, ok := p.labels[x]; ok {
+		return l
+	}
+	return graph.Wildcard
+}
+
+// Edges returns the pattern edges in insertion order. Callers must not
+// mutate the returned slice.
+func (p *Pattern) Edges() []Edge { return p.edges }
+
+// NumVars returns |V_Q|.
+func (p *Pattern) NumVars() int { return len(p.vars) }
+
+// Size returns |Q| = |V_Q| + |E_Q|.
+func (p *Pattern) Size() int { return len(p.vars) + len(p.edges) }
+
+// Clone returns a deep copy of p.
+func (p *Pattern) Clone() *Pattern {
+	c := New()
+	for _, x := range p.vars {
+		c.AddVar(x, p.labels[x])
+	}
+	c.edges = append(c.edges, p.edges...)
+	return c
+}
+
+// Copy returns a copy of p with every variable x renamed to rename(x),
+// together with the bijection used. It implements the paper's notion of
+// a pattern copy via a bijection f: x̄ → ȳ (Section 2), used to build
+// GKeys. The rename function must be injective and must produce variables
+// disjoint from those of p; Copy panics otherwise.
+func (p *Pattern) Copy(rename func(Var) Var) (*Pattern, map[Var]Var) {
+	c := New()
+	f := make(map[Var]Var, len(p.vars))
+	seen := make(map[Var]bool, len(p.vars))
+	for _, x := range p.vars {
+		y := rename(x)
+		if p.HasVar(y) {
+			panic(fmt.Sprintf("pattern: copy variable %s collides with original", y))
+		}
+		if seen[y] {
+			panic(fmt.Sprintf("pattern: rename not injective at %s", y))
+		}
+		seen[y] = true
+		f[x] = y
+		c.AddVar(y, p.labels[x])
+	}
+	for _, e := range p.edges {
+		c.AddEdge(f[e.Src], e.Label, f[e.Dst])
+	}
+	return c, f
+}
+
+// Union returns the pattern consisting of p and q side by side. Shared
+// variables must carry compatible labels; a wildcard resolves to the
+// concrete label (incompatible concrete labels panic). Edge lists are
+// concatenated. Union builds the composite patterns of GKeys and the
+// canonical graphs of satisfiability analysis.
+func Union(p, q *Pattern) *Pattern {
+	u := p.Clone()
+	for _, x := range q.vars {
+		ql := q.labels[x]
+		if ul, ok := u.labels[x]; ok {
+			if !graph.LabelsCompatible(ul, ql) {
+				panic(fmt.Sprintf("pattern: union label conflict at %s: %s vs %s", x, ul, ql))
+			}
+			u.labels[x] = graph.ResolveLabels(ul, ql)
+			continue
+		}
+		u.AddVar(x, ql)
+	}
+	u.edges = append(u.edges, q.edges...)
+	return u
+}
+
+// ToGraph materializes the pattern as a graph — the canonical graph G_Q
+// of Section 5.2, with an empty attribute map — and returns the mapping
+// from variables to node ids.
+func (p *Pattern) ToGraph() (*graph.Graph, map[Var]graph.NodeID) {
+	g := graph.New()
+	m := make(map[Var]graph.NodeID, len(p.vars))
+	for _, x := range p.vars {
+		m[x] = g.AddNode(p.labels[x])
+	}
+	for _, e := range p.edges {
+		g.AddEdge(m[e.Src], e.Label, m[e.Dst])
+	}
+	return g, m
+}
+
+// String renders the pattern in the DSL's edge-list syntax.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	mentioned := make(map[Var]bool)
+	first := true
+	writeNode := func(x Var) {
+		if mentioned[x] {
+			fmt.Fprintf(&b, "(%s)", x)
+		} else {
+			fmt.Fprintf(&b, "(%s:%s)", x, p.labels[x])
+			mentioned[x] = true
+		}
+	}
+	for _, e := range p.edges {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		writeNode(e.Src)
+		fmt.Fprintf(&b, "-[%s]->", e.Label)
+		writeNode(e.Dst)
+	}
+	isolated := make([]Var, 0)
+	for _, x := range p.vars {
+		used := false
+		for _, e := range p.edges {
+			if e.Src == x || e.Dst == x {
+				used = true
+				break
+			}
+		}
+		if !used {
+			isolated = append(isolated, x)
+		}
+	}
+	sort.Slice(isolated, func(i, j int) bool { return isolated[i] < isolated[j] })
+	for _, x := range isolated {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		writeNode(x)
+	}
+	return b.String()
+}

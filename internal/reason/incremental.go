@@ -1,0 +1,115 @@
+package reason
+
+import (
+	"fmt"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// ValidateTouching finds the violations of Σ whose match involves at
+// least one of the given nodes. After a localized update (attribute
+// writes or edge insertions around a handful of nodes), the *new*
+// violations all touch an updated node, so re-checking only those
+// matches — rather than re-enumerating every match of every pattern —
+// gives incremental validation:
+//
+//	dirty := g mutated at nodes N
+//	newViolations := ValidateTouching(dirty, sigma, N, 0)
+//
+// Deletions are different: removing an edge or attribute can only
+// *remove* violations (matches and antecedent satisfactions are
+// monotone in the graph), so the stale entries of a maintained violation
+// list are re-checked with StillViolating instead.
+//
+// Matches touching several affected nodes are reported once. The result
+// order is canonical, as in ValidateParallel.
+func ValidateTouching(g *graph.Graph, sigma ged.Set, nodes []graph.NodeID, limit int) []Violation {
+	var out []Violation
+	seen := make(map[string]bool)
+	for gi, d := range sigma {
+		pl := pattern.Compile(d.Pattern, g)
+		vars := d.Pattern.Vars()
+		for _, pivot := range vars {
+			pl.ForEachPivot(pivot, nodes, func(m pattern.Match) bool {
+				// Dedup: a match with several affected bindings is found
+				// once per (pivot, binding); canonicalize.
+				key := matchKey(gi, vars, m)
+				if seen[key] {
+					return true
+				}
+				seen[key] = true
+				for _, l := range d.X {
+					if !HoldsInGraph(g, l, m) {
+						return true
+					}
+				}
+				for _, l := range d.Y {
+					if !HoldsInGraph(g, l, m) {
+						out = append(out, Violation{GED: d, Match: m.Clone(), Literal: l})
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+	sortViolations(out, sigma)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// StillViolating re-checks a previously-found violation against the
+// current graph: the match must still exist (labels and edges), the
+// antecedent must still hold, and the recorded literal must still fail.
+func StillViolating(g *graph.Graph, v Violation) bool {
+	// Nodes must still exist.
+	for _, x := range v.GED.Pattern.Vars() {
+		n, ok := v.Match[x]
+		if !ok || int(n) >= g.NumNodes() {
+			return false
+		}
+		if !graph.LabelMatches(v.GED.Pattern.Label(x), g.Label(n)) {
+			return false
+		}
+	}
+	for _, e := range v.GED.Pattern.Edges() {
+		if !hasCompatibleEdge(g, v.Match[e.Src], e.Label, v.Match[e.Dst]) {
+			return false
+		}
+	}
+	for _, l := range v.GED.X {
+		if !HoldsInGraph(g, l, v.Match) {
+			return false
+		}
+	}
+	for _, l := range v.GED.Y {
+		if !HoldsInGraph(g, l, v.Match) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasCompatibleEdge(g *graph.Graph, src graph.NodeID, label graph.Label, dst graph.NodeID) bool {
+	if label != graph.Wildcard {
+		return g.HasEdge(src, label, dst)
+	}
+	for _, e := range g.Out(src) {
+		if e.Dst == dst {
+			return true
+		}
+	}
+	return false
+}
+
+func matchKey(gi int, vars []pattern.Var, m pattern.Match) string {
+	s := fmt.Sprintf("g%d:", gi)
+	for _, v := range vars {
+		s += fmt.Sprintf("%d,", m[v])
+	}
+	return s
+}

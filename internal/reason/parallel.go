@@ -1,0 +1,151 @@
+package reason
+
+import (
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// ValidateParallel is the data-parallel validator, a first step toward
+// the "parallel scalable algorithms for reasoning about GEDs" the paper
+// leaves as future work (Section 9). The match space of each GED is
+// partitioned by pre-binding the pattern's most selective variable to
+// disjoint slices of its candidate nodes; workers search the partitions
+// independently and merge their violation lists. The result is
+// deterministic: violations are returned in the same canonical order
+// regardless of worker count.
+//
+// workers ≤ 0 selects GOMAXPROCS. limit ≤ 0 returns all violations
+// (a positive limit bounds the result but, unlike Validate, the workers
+// may transiently find more).
+func ValidateParallel(g *graph.Graph, sigma ged.Set, limit, workers int) []Violation {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Validate(g, sigma, limit)
+	}
+
+	// One compiled plan per GED, shared by all workers; tasks are
+	// candidate blocks of the GED's most selective variable.
+	type task struct {
+		gedIdx int
+		pivot  pattern.Var
+		cands  []graph.NodeID // nil means "run unpartitioned"
+	}
+	plans := make([]*pattern.Plan, len(sigma))
+	var tasks []task
+	for gi, d := range sigma {
+		plans[gi] = pattern.Compile(d.Pattern, g)
+		v, cands := pivotVar(d.Pattern, g)
+		if v == "" {
+			tasks = append(tasks, task{gedIdx: gi})
+			continue
+		}
+		blocks := workers * 4
+		block := (len(cands) + blocks - 1) / blocks
+		if block == 0 {
+			block = 1
+		}
+		for lo := 0; lo < len(cands); lo += block {
+			hi := lo + block
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			tasks = append(tasks, task{gedIdx: gi, pivot: v, cands: cands[lo:hi]})
+		}
+	}
+
+	ch := make(chan task, len(tasks))
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+
+	var mu sync.Mutex
+	var out []Violation
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []Violation
+			for t := range ch {
+				d := sigma[t.gedIdx]
+				pl := plans[t.gedIdx]
+				collect := func(m pattern.Match) bool {
+					for _, l := range d.X {
+						if !HoldsInGraph(g, l, m) {
+							return true
+						}
+					}
+					for _, l := range d.Y {
+						if !HoldsInGraph(g, l, m) {
+							local = append(local, Violation{GED: d, Match: m.Clone(), Literal: l})
+							break
+						}
+					}
+					return true
+				}
+				if t.cands == nil {
+					pl.ForEachBound(nil, collect)
+					continue
+				}
+				pl.ForEachPivot(t.pivot, t.cands, collect)
+			}
+			if len(local) > 0 {
+				mu.Lock()
+				out = append(out, local...)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sortViolations(out, sigma)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// pivotVar picks the variable with the smallest candidate set, returning
+// its sorted candidates. An empty pattern returns "".
+func pivotVar(p *pattern.Pattern, g *graph.Graph) (pattern.Var, []graph.NodeID) {
+	var best pattern.Var
+	var bestCands []graph.NodeID
+	for _, v := range p.Vars() {
+		c := g.CandidateNodes(p.Label(v))
+		if best == "" || len(c) < len(bestCands) {
+			best, bestCands = v, c
+		}
+	}
+	return best, bestCands
+}
+
+// sortViolations puts violations into a canonical order: by GED index,
+// then by the match bindings in variable order.
+func sortViolations(vs []Violation, sigma ged.Set) {
+	idx := make(map[*ged.GED]int, len(sigma))
+	for i, d := range sigma {
+		idx[d] = i
+	}
+	key := func(v Violation) string {
+		s := ""
+		for _, x := range v.GED.Pattern.Vars() {
+			s += string(x) + "=" + strconv.Itoa(int(v.Match[x])) + ";"
+		}
+		return s
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		if idx[vs[i].GED] != idx[vs[j].GED] {
+			return idx[vs[i].GED] < idx[vs[j].GED]
+		}
+		return key(vs[i]) < key(vs[j])
+	})
+}

@@ -1,0 +1,113 @@
+package reason
+
+import (
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// Validator is a prepared validation context for repeated checking of
+// one graph against one rule set: pattern matching plans are compiled
+// once, an attribute-value index is built once, and constant literals of
+// each antecedent are pushed down into the index — the match enumeration
+// for a rule like φ₁ (y.type = "video game" → ...) starts from the
+// indexed video-game nodes instead of scanning every product.
+//
+// The Validator snapshots nothing from the graph beyond the index; if
+// the graph is mutated, build a new Validator (or use ValidateTouching
+// for localized updates).
+type Validator struct {
+	g     *graph.Graph
+	sigma ged.Set
+	idx   *graph.AttrIndex
+	plans []*pattern.Plan
+	// pivots[i] is the pushed-down access path for Σ[i], if any.
+	pivots []*pivotPlan
+}
+
+// pivotPlan records the most selective constant-literal access path.
+type pivotPlan struct {
+	variable pattern.Var
+	cands    []graph.NodeID
+}
+
+// NewValidator prepares g for repeated validation against sigma.
+func NewValidator(g *graph.Graph, sigma ged.Set) *Validator {
+	v := &Validator{
+		g:      g,
+		sigma:  sigma,
+		idx:    graph.BuildAttrIndex(g),
+		plans:  make([]*pattern.Plan, len(sigma)),
+		pivots: make([]*pivotPlan, len(sigma)),
+	}
+	for i, d := range sigma {
+		v.plans[i] = pattern.Compile(d.Pattern, g)
+		v.pivots[i] = v.choosePivot(d)
+	}
+	return v
+}
+
+// choosePivot selects the most selective constant literal of d's
+// antecedent whose index postings beat the label-based candidate set.
+func (v *Validator) choosePivot(d *ged.GED) *pivotPlan {
+	var best *pivotPlan
+	bestN := -1
+	for _, l := range d.X {
+		k, ok := l.Kind()
+		if !ok || k != ged.ConstLiteral {
+			continue
+		}
+		n := v.idx.Selectivity(l.Left.Attr, l.Right.Const)
+		if bestN < 0 || n < bestN {
+			bestN = n
+			best = &pivotPlan{
+				variable: l.Left.Var,
+				cands:    v.idx.Lookup(l.Left.Attr, l.Right.Const),
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Only worth it when more selective than the label index.
+	labelCands := len(v.g.CandidateNodes(d.Pattern.Label(best.variable)))
+	if bestN >= labelCands {
+		return nil
+	}
+	return best
+}
+
+// Run finds violations, up to limit (≤ 0 means all). Results match
+// Validate's exactly.
+func (v *Validator) Run(limit int) []Violation {
+	var out []Violation
+	for i, d := range v.sigma {
+		d := d
+		collect := func(m pattern.Match) bool {
+			for _, l := range d.X {
+				if !HoldsInGraph(v.g, l, m) {
+					return true
+				}
+			}
+			for _, l := range d.Y {
+				if !HoldsInGraph(v.g, l, m) {
+					out = append(out, Violation{GED: d, Match: m.Clone(), Literal: l})
+					break
+				}
+			}
+			return limit <= 0 || len(out) < limit
+		}
+		if p := v.pivots[i]; p != nil {
+			v.plans[i].ForEachPivot(p.variable, p.cands, collect)
+		} else {
+			v.plans[i].ForEachBound(nil, collect)
+		}
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Satisfies reports G ⊨ Σ through the prepared context.
+func (v *Validator) Satisfies() bool { return len(v.Run(1)) == 0 }

@@ -1,0 +1,101 @@
+package reason
+
+import (
+	"math/rand"
+	"testing"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/gen"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// TestValidatorMatchesValidate: the indexed validator and the plain one
+// agree on random instances.
+func TestValidatorMatchesValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 40; trial++ {
+		sigma := randomSigma(rng)
+		g := randomGraph(rng)
+		want := canonViolations(Validate(g, sigma, 0), sigma)
+		got := canonViolations(NewValidator(g, sigma).Run(0), sigma)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: %d vs %d violations", trial, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: violation sets differ", trial)
+			}
+		}
+	}
+}
+
+func TestValidatorUsesIndexPivot(t *testing.T) {
+	// φ₁'s antecedent (y.type = "video game") is rare in a graph with
+	// many products, so the pivot must come from the attribute index.
+	g, _ := gen.KnowledgeBase(17, 100, 0.1)
+	sigma := ged.Set{gen.PaperPhi1()}
+	v := NewValidator(g, sigma)
+	if v.pivots[0] == nil {
+		t.Skip("index pivot not selected; label index already tighter")
+	}
+	if v.pivots[0].variable != "y" {
+		t.Errorf("pivot variable = %s, want y", v.pivots[0].variable)
+	}
+	// Correctness regardless.
+	if len(v.Run(0)) != len(Validate(g, sigma, 0)) {
+		t.Error("indexed validation disagrees")
+	}
+}
+
+func TestValidatorRepeatedRuns(t *testing.T) {
+	g, _ := gen.KnowledgeBase(19, 40, 0.2)
+	sigma := ged.Set{gen.PaperPhi1(), gen.PaperPhi2()}
+	v := NewValidator(g, sigma)
+	a := v.Run(0)
+	b := v.Run(0)
+	if len(a) != len(b) {
+		t.Error("repeated runs must agree")
+	}
+	if v.Satisfies() != (len(a) == 0) {
+		t.Error("Satisfies disagrees with Run")
+	}
+}
+
+func TestValidatorLimit(t *testing.T) {
+	q := pattern.New()
+	q.AddVar("x", "p")
+	phi := ged.New("f", q,
+		[]ged.Literal{ged.ConstLit("x", "k", graph.Int(1))},
+		[]ged.Literal{ged.ConstLit("x", "m", graph.Int(2))})
+	g := graph.New()
+	for i := 0; i < 20; i++ {
+		g.AddNodeAttrs("p", map[graph.Attr]graph.Value{"k": graph.Int(1)})
+	}
+	v := NewValidator(g, ged.Set{phi})
+	if n := len(v.Run(7)); n != 7 {
+		t.Errorf("limit 7: got %d", n)
+	}
+}
+
+func TestAttrIndex(t *testing.T) {
+	g := graph.New()
+	a := g.AddNodeAttrs("p", map[graph.Attr]graph.Value{"k": graph.Int(1)})
+	b := g.AddNodeAttrs("p", map[graph.Attr]graph.Value{"k": graph.Int(1)})
+	c := g.AddNodeAttrs("p", map[graph.Attr]graph.Value{"k": graph.Int(2)})
+	idx := graph.BuildAttrIndex(g)
+	got := idx.Lookup("k", graph.Int(1))
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("Lookup = %v", got)
+	}
+	if idx.Selectivity("k", graph.Int(2)) != 1 {
+		t.Error("selectivity wrong")
+	}
+	if idx.Lookup("k", graph.Int(9)) != nil {
+		t.Error("missing value must return nil")
+	}
+	if !idx.HasAttr("k") || idx.HasAttr("zz") {
+		t.Error("HasAttr wrong")
+	}
+	_ = c
+}

@@ -1,0 +1,221 @@
+// Package relational encodes relational databases and their classical
+// dependencies — FDs, CFDs, EGDs and denial constraints — as graphs and
+// graph dependencies, following Section 3 (special case 5) of
+// "Dependencies for Graphs" (Fan & Lu, PODS 2017).
+//
+// Tuples become nodes labeled with their relation name and carrying one
+// attribute per column; an FD R(X → Y) becomes a GED over a two-node
+// pattern; an EGD ∀z̄(φ(z̄) → y1 = y2) becomes the pair (φ_R, φ_E) of
+// GFDs exactly as the paper constructs it; a denial constraint becomes a
+// GDC. These encodings let the GED machinery subsume the relational
+// theory, which the tests exercise by round-tripping violations.
+package relational
+
+import (
+	"fmt"
+
+	"gedlib/internal/gdc"
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// Schema is a relation schema R(A1, ..., An).
+type Schema struct {
+	Name  string
+	Attrs []graph.Attr
+}
+
+// Tuple is one row, keyed by attribute.
+type Tuple map[graph.Attr]graph.Value
+
+// Relation is an instance of a schema.
+type Relation struct {
+	Schema Schema
+	Tuples []Tuple
+}
+
+// Database is a set of relations.
+type Database []*Relation
+
+// Encode represents the database as a graph: one node per tuple, labeled
+// with the relation name and carrying the tuple as attributes. Relations
+// are connected only through value equality, exactly as in the paper's
+// encoding (the pattern graphs have no edges).
+func Encode(db Database) *graph.Graph {
+	g := graph.New()
+	for _, r := range db {
+		for _, t := range r.Tuples {
+			id := g.AddNode(graph.Label(r.Schema.Name))
+			for _, a := range r.Schema.Attrs {
+				if v, ok := t[a]; ok {
+					g.SetAttr(id, a, v)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// FD is a relational functional dependency R(LHS → RHS).
+type FD struct {
+	Rel string
+	LHS []graph.Attr
+	RHS []graph.Attr
+}
+
+// ToGED encodes the FD as a GED over a two-node pattern: two R-tuples
+// agreeing on LHS must agree on RHS.
+func (f FD) ToGED() *ged.GED {
+	q := pattern.New()
+	q.AddVar("s", graph.Label(f.Rel)).AddVar("t", graph.Label(f.Rel))
+	var xs, ys []ged.Literal
+	for _, a := range f.LHS {
+		xs = append(xs, ged.VarLit("s", a, "t", a))
+	}
+	for _, a := range f.RHS {
+		ys = append(ys, ged.VarLit("s", a, "t", a))
+	}
+	return ged.New(fmt.Sprintf("fd:%s(%v->%v)", f.Rel, f.LHS, f.RHS), q, xs, ys)
+}
+
+// CFDPattern is one pattern tuple of a CFD tableau: a constant per
+// attribute, or nil for the unnamed variable '_'.
+type CFDPattern map[graph.Attr]*graph.Value
+
+// CFD is a conditional functional dependency (R: LHS → RHS, tp) with a
+// single pattern tuple tp, following Fan et al. (TODS 2008).
+type CFD struct {
+	Rel     string
+	LHS     []graph.Attr
+	RHS     []graph.Attr
+	Pattern CFDPattern
+}
+
+// ToGEDs encodes the CFD as GEDs. Constants in the LHS pattern become
+// antecedent constant literals; constants in the RHS become consequent
+// constant literals; unnamed variables become variable literals pairing
+// the two tuple copies.
+func (c CFD) ToGEDs() []*ged.GED {
+	q := pattern.New()
+	q.AddVar("s", graph.Label(c.Rel)).AddVar("t", graph.Label(c.Rel))
+	var xs, ys []ged.Literal
+	for _, a := range c.LHS {
+		if cv := c.Pattern[a]; cv != nil {
+			xs = append(xs, ged.ConstLit("s", a, *cv), ged.ConstLit("t", a, *cv))
+		} else {
+			xs = append(xs, ged.VarLit("s", a, "t", a))
+		}
+	}
+	for _, a := range c.RHS {
+		if cv := c.Pattern[a]; cv != nil {
+			ys = append(ys, ged.ConstLit("s", a, *cv))
+		} else {
+			ys = append(ys, ged.VarLit("s", a, "t", a))
+		}
+	}
+	return []*ged.GED{ged.New(fmt.Sprintf("cfd:%s", c.Rel), q, xs, ys)}
+}
+
+// Atom is a relation atom R(w1, ..., wn) of an EGD body: Vars[i] names
+// the variable bound to the i-th attribute of the schema (variables may
+// repeat across atoms to express joins).
+type Atom struct {
+	Rel  string
+	Vars []string
+}
+
+// EGD is an equality-generating dependency ∀z̄(φ(z̄) → Y1 = Y2), with φ
+// a conjunction of relation atoms; Y1 and Y2 are variables of z̄.
+type EGD struct {
+	Body   []Atom
+	Y1, Y2 string
+	// schemas resolves attribute positions.
+	Schemas map[string]Schema
+}
+
+// ToGEDs encodes the EGD as the paper's pair (φ_R, φ_E): φ_R forces the
+// attributes used by the body to exist on every tuple node, and φ_E
+// enforces the equality under the join conditions.
+func (e EGD) ToGEDs() ([]*ged.GED, error) {
+	q := pattern.New()
+	// One pattern node per atom, labeled with the relation name; no edges.
+	type occ struct {
+		v pattern.Var
+		a graph.Attr
+	}
+	varOccs := make(map[string][]occ)
+	var rLits []ged.Literal
+	for i, at := range e.Body {
+		sch, ok := e.Schemas[at.Rel]
+		if !ok {
+			return nil, fmt.Errorf("relational: unknown relation %s", at.Rel)
+		}
+		if len(at.Vars) != len(sch.Attrs) {
+			return nil, fmt.Errorf("relational: atom %s arity mismatch", at.Rel)
+		}
+		pv := pattern.Var(fmt.Sprintf("t%d", i))
+		q.AddVar(pv, graph.Label(at.Rel))
+		for j, w := range at.Vars {
+			a := sch.Attrs[j]
+			varOccs[w] = append(varOccs[w], occ{v: pv, a: a})
+			// φ_R: every used attribute exists.
+			rLits = append(rLits, ged.VarLit(pv, a, pv, a))
+		}
+	}
+	phiR := ged.New("egd:attrs", q, nil, rLits)
+
+	// φ_E: join equalities in X, the conclusion equality in Y.
+	var xs []ged.Literal
+	for _, occs := range varOccs {
+		for i := 1; i < len(occs); i++ {
+			xs = append(xs, ged.VarLit(occs[0].v, occs[0].a, occs[i].v, occs[i].a))
+		}
+	}
+	o1, ok1 := varOccs[e.Y1]
+	o2, ok2 := varOccs[e.Y2]
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("relational: conclusion variables must occur in the body")
+	}
+	phiE := ged.New("egd:eq", q.Clone(), xs,
+		[]ged.Literal{ged.VarLit(o1[0].v, o1[0].a, o2[0].v, o2[0].a)})
+	return []*ged.GED{phiR, phiE}, nil
+}
+
+// DCAtom is one comparison of a denial constraint: either tuple.attr ⊕
+// tuple2.attr2 or tuple.attr ⊕ constant.
+type DCAtom struct {
+	T1    int // index of the first tuple variable
+	A1    graph.Attr
+	Op    ged.Op
+	T2    int // index of the second tuple variable; -1 for a constant
+	A2    graph.Attr
+	Const graph.Value
+}
+
+// DenialConstraint is ¬∃ t1...tk (comparisons), over tuples of the
+// given relations (by index).
+type DenialConstraint struct {
+	Rels  []string
+	Atoms []DCAtom
+}
+
+// ToGDC encodes the denial constraint as a GDC with a false consequent:
+// any match satisfying the comparisons is a violation.
+func (d DenialConstraint) ToGDC() *gdc.GDC {
+	q := pattern.New()
+	vars := make([]pattern.Var, len(d.Rels))
+	for i, r := range d.Rels {
+		vars[i] = pattern.Var(fmt.Sprintf("t%d", i))
+		q.AddVar(vars[i], graph.Label(r))
+	}
+	var xs []ged.Literal
+	for _, at := range d.Atoms {
+		if at.T2 < 0 {
+			xs = append(xs, ged.Cmp(vars[at.T1], at.A1, at.Op, at.Const))
+		} else {
+			xs = append(xs, ged.CmpVars(vars[at.T1], at.A1, at.Op, vars[at.T2], at.A2))
+		}
+	}
+	return gdc.New("dc", q, xs, ged.False(vars[0]))
+}

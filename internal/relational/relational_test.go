@@ -1,0 +1,220 @@
+package relational
+
+import (
+	"testing"
+
+	"gedlib/internal/gdc"
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/reason"
+)
+
+func emp(vals ...graph.Value) Tuple {
+	attrs := []graph.Attr{"name", "dept", "city", "salary"}
+	t := make(Tuple)
+	for i, v := range vals {
+		t[attrs[i]] = v
+	}
+	return t
+}
+
+func empDB(tuples ...Tuple) Database {
+	return Database{{
+		Schema: Schema{Name: "emp", Attrs: []graph.Attr{"name", "dept", "city", "salary"}},
+		Tuples: tuples,
+	}}
+}
+
+func TestEncodeDatabase(t *testing.T) {
+	db := empDB(
+		emp(graph.String("ann"), graph.String("cs"), graph.String("ny"), graph.Int(90)),
+		emp(graph.String("bob"), graph.String("cs"), graph.String("la"), graph.Int(80)),
+	)
+	g := Encode(db)
+	if g.NumNodes() != 2 || g.NumEdges() != 0 {
+		t.Fatalf("encoded shape: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Label(0) != "emp" {
+		t.Error("tuple nodes must be labeled by relation")
+	}
+	if v, ok := g.Attr(0, "name"); !ok || !v.Equal(graph.String("ann")) {
+		t.Error("tuple attributes must be stored")
+	}
+}
+
+func TestFDViolationRoundTrip(t *testing.T) {
+	// dept → city: two cs employees in different cities violate.
+	fd := FD{Rel: "emp", LHS: []graph.Attr{"dept"}, RHS: []graph.Attr{"city"}}
+	phi := fd.ToGED()
+	if err := phi.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if phi.Classify() != ged.ClassGFDx {
+		t.Errorf("plain FD must encode as GFDx, got %v", phi.Classify())
+	}
+	bad := Encode(empDB(
+		emp(graph.String("ann"), graph.String("cs"), graph.String("ny"), graph.Int(90)),
+		emp(graph.String("bob"), graph.String("cs"), graph.String("la"), graph.Int(80)),
+	))
+	if reason.Satisfies(bad, ged.Set{phi}) {
+		t.Error("FD violation must be caught")
+	}
+	good := Encode(empDB(
+		emp(graph.String("ann"), graph.String("cs"), graph.String("ny"), graph.Int(90)),
+		emp(graph.String("bob"), graph.String("cs"), graph.String("ny"), graph.Int(80)),
+		emp(graph.String("cat"), graph.String("ee"), graph.String("la"), graph.Int(85)),
+	))
+	if !reason.Satisfies(good, ged.Set{phi}) {
+		t.Error("satisfying instance flagged")
+	}
+}
+
+func TestCFDRoundTrip(t *testing.T) {
+	// (emp: dept → city, (cs ‖ ny)): cs employees must be in ny.
+	ny := graph.String("ny")
+	cs := graph.String("cs")
+	cfd := CFD{
+		Rel: "emp", LHS: []graph.Attr{"dept"}, RHS: []graph.Attr{"city"},
+		Pattern: CFDPattern{"dept": &cs, "city": &ny},
+	}
+	geds := cfd.ToGEDs()
+	if len(geds) != 1 {
+		t.Fatal("single-tableau CFD must encode as one GED")
+	}
+	phi := geds[0]
+	if phi.Classify() != ged.ClassGFD {
+		t.Errorf("CFD must encode as GFD, got %v", phi.Classify())
+	}
+	bad := Encode(empDB(emp(graph.String("ann"), cs, graph.String("la"), graph.Int(90))))
+	if reason.Satisfies(bad, ged.Set{phi}) {
+		t.Error("CFD violation must be caught")
+	}
+	good := Encode(empDB(
+		emp(graph.String("ann"), cs, ny, graph.Int(90)),
+		emp(graph.String("bob"), graph.String("ee"), graph.String("la"), graph.Int(80)),
+	))
+	if !reason.Satisfies(good, ged.Set{phi}) {
+		t.Error("satisfying instance flagged")
+	}
+	// The ee employee is outside the CFD's scope — that is the point of
+	// conditional dependencies.
+}
+
+func TestCFDWithVariableRHS(t *testing.T) {
+	// (emp: dept → city, (cs ‖ _)): cs employees must agree on city,
+	// whatever it is.
+	cs := graph.String("cs")
+	cfd := CFD{
+		Rel: "emp", LHS: []graph.Attr{"dept"}, RHS: []graph.Attr{"city"},
+		Pattern: CFDPattern{"dept": &cs, "city": nil},
+	}
+	phi := cfd.ToGEDs()[0]
+	bad := Encode(empDB(
+		emp(graph.String("ann"), cs, graph.String("ny"), graph.Int(90)),
+		emp(graph.String("bob"), cs, graph.String("la"), graph.Int(80)),
+	))
+	if reason.Satisfies(bad, ged.Set{phi}) {
+		t.Error("variable-RHS CFD violation must be caught")
+	}
+}
+
+func TestEGDEncoding(t *testing.T) {
+	// R(a, b), R(a, c) → b = c (an FD written as an EGD with joins).
+	schemas := map[string]Schema{
+		"r": {Name: "r", Attrs: []graph.Attr{"a", "b"}},
+	}
+	egd := EGD{
+		Body:    []Atom{{Rel: "r", Vars: []string{"x", "y"}}, {Rel: "r", Vars: []string{"x", "z"}}},
+		Y1:      "y",
+		Y2:      "z",
+		Schemas: schemas,
+	}
+	geds, err := egd.ToGEDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(geds) != 2 {
+		t.Fatalf("EGD must encode as the pair (φ_R, φ_E), got %d", len(geds))
+	}
+	db := Database{{
+		Schema: schemas["r"],
+		Tuples: []Tuple{
+			{"a": graph.Int(1), "b": graph.Int(2)},
+			{"a": graph.Int(1), "b": graph.Int(3)},
+		},
+	}}
+	g := Encode(db)
+	if reason.Satisfies(g, ged.Set(geds)) {
+		t.Error("EGD violation must be caught")
+	}
+	ok := Database{{
+		Schema: schemas["r"],
+		Tuples: []Tuple{
+			{"a": graph.Int(1), "b": graph.Int(2)},
+			{"a": graph.Int(2), "b": graph.Int(3)},
+		},
+	}}
+	if !reason.Satisfies(Encode(ok), ged.Set(geds)) {
+		t.Error("satisfying instance flagged")
+	}
+}
+
+func TestEGDErrors(t *testing.T) {
+	egd := EGD{Body: []Atom{{Rel: "nope", Vars: []string{"x"}}}, Y1: "x", Y2: "x",
+		Schemas: map[string]Schema{}}
+	if _, err := egd.ToGEDs(); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	egd2 := EGD{
+		Body:    []Atom{{Rel: "r", Vars: []string{"x"}}},
+		Y1:      "x",
+		Y2:      "w",
+		Schemas: map[string]Schema{"r": {Name: "r", Attrs: []graph.Attr{"a"}}},
+	}
+	if _, err := egd2.ToGEDs(); err == nil {
+		t.Error("free conclusion variable accepted")
+	}
+}
+
+func TestDenialConstraintEncoding(t *testing.T) {
+	// ¬∃ t1, t2: t1.salary > t2.salary ∧ t1.dept = t2.dept ∧ t1.rank < t2.rank
+	// (no one in a department outranks a higher earner — classic DC shape).
+	dc := DenialConstraint{
+		Rels: []string{"emp", "emp"},
+		Atoms: []DCAtom{
+			{T1: 0, A1: "salary", Op: ged.OpGt, T2: 1, A2: "salary"},
+			{T1: 0, A1: "dept", Op: ged.OpEq, T2: 1, A2: "dept"},
+			{T1: 0, A1: "rank", Op: ged.OpLt, T2: 1, A2: "rank"},
+		},
+	}
+	g := dc.ToGDC()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := graph.New()
+	a := db.AddNodeAttrs("emp", map[graph.Attr]graph.Value{
+		"salary": graph.Int(100), "dept": graph.String("cs"), "rank": graph.Int(1)})
+	b := db.AddNodeAttrs("emp", map[graph.Attr]graph.Value{
+		"salary": graph.Int(90), "dept": graph.String("cs"), "rank": graph.Int(2)})
+	if gdc.Satisfies(db, gdc.Set{g}) {
+		t.Error("denial constraint violation must be caught")
+	}
+	db.SetAttr(a, "rank", graph.Int(3))
+	if !gdc.Satisfies(db, gdc.Set{g}) {
+		t.Error("fixed instance flagged")
+	}
+	_ = b
+}
+
+func TestConstantDCAtom(t *testing.T) {
+	dc := DenialConstraint{
+		Rels:  []string{"emp"},
+		Atoms: []DCAtom{{T1: 0, A1: "salary", Op: ged.OpLt, T2: -1, Const: graph.Int(0)}},
+	}
+	g := dc.ToGDC()
+	db := graph.New()
+	db.AddNodeAttrs("emp", map[graph.Attr]graph.Value{"salary": graph.Int(-5)})
+	if gdc.Satisfies(db, gdc.Set{g}) {
+		t.Error("negative salary must violate")
+	}
+}

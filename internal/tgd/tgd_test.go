@@ -1,0 +1,232 @@
+package tgd
+
+import (
+	"strings"
+	"testing"
+
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// albumArtist returns σ: every album was recorded by some artist.
+func albumArtist() *TGD {
+	left := pattern.New()
+	left.AddVar("x", "album")
+	right := pattern.New()
+	right.AddVar("x", "album").AddVar("z", "artist")
+	right.AddEdge("x", "by", "z")
+	return New("album-by", left, right)
+}
+
+func TestValidateTGD(t *testing.T) {
+	sigma := Set{albumArtist()}
+	if err := sigma.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	orphan := g.AddNode("album")
+	covered := g.AddNode("album")
+	artist := g.AddNode("artist")
+	g.AddEdge(covered, "by", artist)
+
+	vs := Validate(g, sigma, 0)
+	if len(vs) != 1 || vs[0].Match["x"] != orphan {
+		t.Fatalf("expected exactly the orphan album, got %v", vs)
+	}
+	if Satisfies(g, sigma) {
+		t.Error("orphan album must violate")
+	}
+	g.AddEdge(orphan, "by", artist)
+	if !Satisfies(g, sigma) {
+		t.Error("covered albums must satisfy")
+	}
+}
+
+func TestTGDValidateShape(t *testing.T) {
+	// Body variable missing from the head.
+	left := pattern.New()
+	left.AddVar("x", "a").AddVar("y", "b")
+	right := pattern.New()
+	right.AddVar("x", "a")
+	if New("bad", left, right).Validate() == nil {
+		t.Error("missing body variable accepted")
+	}
+	// Head adds nothing.
+	same := pattern.New()
+	same.AddVar("x", "a")
+	if New("noop", same, same.Clone()).Validate() == nil {
+		t.Error("no-op head accepted")
+	}
+	// Edge-only head (no existentials) is fine: x knows y → y knows x.
+	l2 := pattern.New()
+	l2.AddVar("x", "p").AddVar("y", "p")
+	l2.AddEdge("x", "knows", "y")
+	r2 := pattern.New()
+	r2.AddVar("x", "p").AddVar("y", "p")
+	r2.AddEdge("x", "knows", "y")
+	r2.AddEdge("y", "knows", "x")
+	if err := New("sym", l2, r2).Validate(); err != nil {
+		t.Errorf("edge-generating TGD rejected: %v", err)
+	}
+}
+
+func TestChaseAddsExistentials(t *testing.T) {
+	sigma := Set{albumArtist()}
+	g := graph.New()
+	g.AddNode("album")
+	g.AddNode("album")
+	res, err := Chase(g, sigma, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Created != 2 {
+		t.Errorf("created %d artists, want 2", res.Created)
+	}
+	if !Satisfies(g, sigma) {
+		t.Error("chased graph must satisfy Σ")
+	}
+	if !res.Complete {
+		t.Error("weakly acyclic chase must complete")
+	}
+	// Idempotent: a second chase adds nothing.
+	res2, err := Chase(g, sigma, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Created != 0 {
+		t.Errorf("second chase created %d nodes", res2.Created)
+	}
+}
+
+func TestChaseEdgeGenerating(t *testing.T) {
+	// Symmetrize a knows-relation.
+	l := pattern.New()
+	l.AddVar("x", "p").AddVar("y", "p")
+	l.AddEdge("x", "knows", "y")
+	r := pattern.New()
+	r.AddVar("x", "p").AddVar("y", "p")
+	r.AddEdge("x", "knows", "y")
+	r.AddEdge("y", "knows", "x")
+	sigma := Set{New("sym", l, r)}
+
+	g := graph.New()
+	a := g.AddNode("p")
+	b := g.AddNode("p")
+	g.AddEdge(a, "knows", b)
+	res, err := Chase(g, sigma, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(b, "knows", a) {
+		t.Error("symmetric edge not added")
+	}
+	if res.Created != 0 {
+		t.Error("no nodes should be created")
+	}
+	if !Satisfies(g, sigma) {
+		t.Error("chased graph must satisfy Σ")
+	}
+}
+
+func TestWeakAcyclicityDetection(t *testing.T) {
+	// "Every person has a parent (a person)": the classic diverging TGD.
+	l := pattern.New()
+	l.AddVar("x", "person")
+	r := pattern.New()
+	r.AddVar("x", "person").AddVar("y", "person")
+	r.AddEdge("x", "parent", "y")
+	parent := New("parent", l, r)
+	if WeaklyAcyclic(Set{parent}) {
+		t.Fatal("self-feeding TGD must not be weakly acyclic")
+	}
+	g := graph.New()
+	g.AddNode("person")
+	if _, err := Chase(g, Set{parent}, 0); err == nil {
+		t.Fatal("unbounded chase of a cyclic set must be refused")
+	} else if !strings.Contains(err.Error(), "weakly acyclic") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// With an explicit budget it runs and reports incompleteness.
+	res, err := Chase(g, Set{parent}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Error("bounded cyclic chase cannot complete")
+	}
+	if res.Created != 3 {
+		t.Errorf("3 rounds must create 3 ancestors, got %d", res.Created)
+	}
+	// The album→artist set IS weakly acyclic.
+	if !WeaklyAcyclic(Set{albumArtist()}) {
+		t.Error("album-by must be weakly acyclic")
+	}
+}
+
+func TestWeakAcyclicityTwoStepCycle(t *testing.T) {
+	// a needs a b; every b needs an a: cyclic through two TGDs.
+	la := pattern.New()
+	la.AddVar("x", "a")
+	ra := pattern.New()
+	ra.AddVar("x", "a").AddVar("y", "b")
+	ra.AddEdge("x", "e", "y")
+	lb := pattern.New()
+	lb.AddVar("x", "b")
+	rb := pattern.New()
+	rb.AddVar("x", "b").AddVar("y", "a")
+	rb.AddEdge("x", "e", "y")
+	sigma := Set{New("ab", la, ra), New("ba", lb, rb)}
+	if WeaklyAcyclic(sigma) {
+		t.Error("mutual feeding must be detected")
+	}
+}
+
+func TestWeakAcyclicityWildcardConservative(t *testing.T) {
+	// A wildcard existential can feed any body: conservatively cyclic
+	// when any body exists to feed.
+	l := pattern.New()
+	l.AddVar("x", "a")
+	r := pattern.New()
+	r.AddVar("x", "a").AddVar("y", graph.Wildcard)
+	r.AddEdge("x", "e", "y")
+	if WeaklyAcyclic(Set{New("wild", l, r)}) {
+		t.Error("wildcard existential must be conservatively rejected")
+	}
+}
+
+func TestChaseCascade(t *testing.T) {
+	// Weakly acyclic two-level cascade: albums need artists, artists
+	// need managers. One chase reaches the fixpoint.
+	sigma := Set{albumArtist()}
+	l := pattern.New()
+	l.AddVar("z", "artist")
+	r := pattern.New()
+	r.AddVar("z", "artist").AddVar("m", "manager")
+	r.AddEdge("z", "managed_by", "m")
+	sigma = append(sigma, New("managed", l, r))
+	if !WeaklyAcyclic(sigma) {
+		t.Fatal("cascade must be weakly acyclic")
+	}
+	g := graph.New()
+	g.AddNode("album")
+	res, err := Chase(g, sigma, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Created != 2 {
+		t.Errorf("created %d, want artist + manager", res.Created)
+	}
+	if !Satisfies(g, sigma) {
+		t.Error("cascade fixpoint must satisfy Σ")
+	}
+	if res.Rounds < 2 {
+		t.Errorf("cascade needs two rounds, got %d", res.Rounds)
+	}
+}
+
+func TestTGDString(t *testing.T) {
+	s := albumArtist().String()
+	if !strings.Contains(s, "=> exists") {
+		t.Errorf("rendering wrong: %s", s)
+	}
+}
