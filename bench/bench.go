@@ -1,0 +1,38 @@
+// Package bench exposes the evaluation harness that regenerates the
+// paper's artifacts: the Table 1 decision matrix (each decision
+// procedure against ground truth on the hardness families and planted
+// workloads) and the scaling series for the tractable special cases.
+// Command gedbench is a thin CLI over this package.
+package bench
+
+import (
+	"io"
+
+	"gedlib/internal/bench"
+)
+
+// Row is one cell of the Table 1 reproduction.
+type Row = bench.Row
+
+// Report is a collection of measured rows.
+type Report = bench.Report
+
+// ScalingPoint is one measurement of a scaling series.
+type ScalingPoint = bench.ScalingPoint
+
+// Table1 measures every decision procedure against ground truth; quick
+// skips the slowest instances (the Grötzsch graph).
+func Table1(quick bool) *Report { return bench.Table1(quick) }
+
+// BoundedPatternValidation measures validation time on growing graphs
+// with fixed-size patterns (Section 5.3: PTIME).
+func BoundedPatternValidation(sizes []int) []ScalingPoint {
+	return bench.BoundedPatternValidation(sizes)
+}
+
+// GFDxSatConstant measures GFDx satisfiability on growing rule sets
+// (Theorem 3: O(1) beyond the class scan).
+func GFDxSatConstant(sizes []int) []ScalingPoint { return bench.GFDxSatConstant(sizes) }
+
+// WriteScaling renders a scaling series as an aligned table.
+func WriteScaling(w io.Writer, name string, pts []ScalingPoint) { bench.WriteScaling(w, name, pts) }

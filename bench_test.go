@@ -4,6 +4,7 @@ package gedlib_test
 // benchmark family per cell of Table 1 (satisfiability / implication /
 // validation × dependency class), the O(1) and bounded-pattern special
 // cases, and micro-benchmarks for the substrates (matcher, chase).
+// Everything runs through the public facade.
 //
 // The paper reports complexity classes rather than absolute numbers;
 // the series here make the *shapes* visible: hardness-family instances
@@ -12,35 +13,34 @@ package gedlib_test
 // polynomially with graph size.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
-	"gedlib/internal/axiom"
-	"gedlib/internal/chase"
-	"gedlib/internal/gdc"
-	"gedlib/internal/ged"
-	"gedlib/internal/gedor"
-	"gedlib/internal/gen"
-	"gedlib/internal/graph"
-	"gedlib/internal/optimize"
-	"gedlib/internal/pattern"
-	"gedlib/internal/reason"
-	"gedlib/internal/repair"
+	"gedlib"
+	"gedlib/gdc"
+	"gedlib/gedor"
+	"gedlib/workload"
+)
+
+var (
+	benchCtx = context.Background()
+	benchEng = gedlib.New()
 )
 
 // hardness instances ordered by difficulty.
 func hardnessSeries() []struct {
 	name string
-	h    *gen.UGraph
+	h    *workload.UGraph
 } {
 	return []struct {
 		name string
-		h    *gen.UGraph
+		h    *workload.UGraph
 	}{
-		{"K3", gen.Complete(3)},
-		{"C5", gen.Cycle(5)},
-		{"W5", gen.Wheel(5)},
-		{"K23", gen.CompleteBipartite(2, 3)},
+		{"K3", workload.Complete(3)},
+		{"C5", workload.Cycle(5)},
+		{"W5", workload.Wheel(5)},
+		{"K23", workload.CompleteBipartite(2, 3)},
 	}
 }
 
@@ -48,10 +48,10 @@ func hardnessSeries() []struct {
 
 func BenchmarkSatGFD3Col(b *testing.B) {
 	for _, in := range hardnessSeries() {
-		sigma := gen.SatGFDFamily(in.h)
+		sigma := workload.SatGFDFamily(in.h)
 		b.Run(in.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reason.CheckSat(sigma)
+				benchEng.CheckSat(benchCtx, sigma)
 			}
 		})
 	}
@@ -59,35 +59,35 @@ func BenchmarkSatGFD3Col(b *testing.B) {
 
 func BenchmarkSatGEDWithKeys(b *testing.B) {
 	// GED satisfiability: constants and id literals together.
-	sigma := gen.SatGFDFamily(gen.Cycle(5))
-	sigma = append(sigma, gen.PaperKeys()...)
+	sigma := workload.SatGFDFamily(workload.Cycle(5))
+	sigma = append(sigma, workload.PaperKeys()...)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		reason.CheckSat(sigma)
+		benchEng.CheckSat(benchCtx, sigma)
 	}
 }
 
 func BenchmarkSatGKeyRecursive(b *testing.B) {
-	sigma := gen.PaperKeys()
+	sigma := workload.PaperKeys()
 	for i := 0; i < b.N; i++ {
-		reason.CheckSat(sigma)
+		benchEng.CheckSat(benchCtx, sigma)
 	}
 }
 
 func BenchmarkSatGEDxRandom(b *testing.B) {
-	sigma := gen.RandomGEDSet(3, 6, 4, []graph.Label{"a", "b"}, []graph.Attr{"p", "q"}, 3)
-	var gedx ged.Set
+	sigma := workload.RandomGEDSet(3, 6, 4, []gedlib.Label{"a", "b"}, []gedlib.Attr{"p", "q"}, 3)
+	var gedx gedlib.RuleSet
 	for _, d := range sigma {
-		var ys []ged.Literal
+		var ys []gedlib.Literal
 		for _, l := range d.Y {
-			if k, _ := l.Kind(); k != ged.ConstLiteral {
+			if k, _ := l.Kind(); k != gedlib.ConstLiteral {
 				ys = append(ys, l)
 			}
 		}
-		gedx = append(gedx, ged.New(d.Name, d.Pattern, nil, ys))
+		gedx = append(gedx, gedlib.NewRule(d.Name, d.Pattern, nil, ys))
 	}
 	for i := 0; i < b.N; i++ {
-		reason.CheckSat(gedx)
+		benchEng.CheckSat(benchCtx, gedx)
 	}
 }
 
@@ -96,10 +96,10 @@ func BenchmarkSatGEDxRandom(b *testing.B) {
 // (linear) chase bookkeeping, never with a search.
 func BenchmarkSatGFDxConstant(b *testing.B) {
 	for _, n := range []int{4, 8, 16, 32} {
-		sigma, _ := gen.ImplGFDxFamily(gen.Cycle(n))
+		sigma, _ := workload.ImplGFDxFamily(workload.Cycle(n))
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if !reason.DecideSat(sigma) {
+				if !gedlib.DecideSat(sigma) {
 					b.Fatal("GFDx must be satisfiable")
 				}
 			}
@@ -108,7 +108,7 @@ func BenchmarkSatGFDxConstant(b *testing.B) {
 }
 
 func BenchmarkSatGDCDomain(b *testing.B) {
-	dom := gdc.DomainConstraint("tau", "A", graph.Int(0), graph.Int(1))
+	dom := gdc.DomainConstraint("tau", "A", gedlib.Int(0), gedlib.Int(1))
 	for i := 0; i < b.N; i++ {
 		if gdc.CheckSat(dom).Satisfiable != gdc.True {
 			b.Fatal("domain must be satisfiable")
@@ -117,8 +117,8 @@ func BenchmarkSatGDCDomain(b *testing.B) {
 }
 
 func BenchmarkSatGEDorDomain(b *testing.B) {
-	psi := gedor.DomainConstraint("tau", "A", graph.Int(0), graph.Int(1))
-	psi2 := gedor.DomainConstraint("tau", "B", graph.Int(3), graph.Int(4), graph.Int(5))
+	psi := gedor.DomainConstraint("tau", "A", gedlib.Int(0), gedlib.Int(1))
+	psi2 := gedor.DomainConstraint("tau", "B", gedlib.Int(3), gedlib.Int(4), gedlib.Int(5))
 	sigma := gedor.Set{psi, psi2}
 	for i := 0; i < b.N; i++ {
 		if gedor.CheckSat(sigma).Satisfiable != gedor.True {
@@ -131,10 +131,10 @@ func BenchmarkSatGEDorDomain(b *testing.B) {
 
 func BenchmarkImplGFDx3Col(b *testing.B) {
 	for _, in := range hardnessSeries() {
-		sigma, phi := gen.ImplGFDxFamily(in.h)
+		sigma, phi := workload.ImplGFDxFamily(in.h)
 		b.Run(in.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reason.Implies(sigma, phi)
+				benchEng.Implies(benchCtx, sigma, phi)
 			}
 		})
 	}
@@ -142,56 +142,57 @@ func BenchmarkImplGFDx3Col(b *testing.B) {
 
 func BenchmarkImplGKey3Col(b *testing.B) {
 	for _, in := range hardnessSeries() {
-		sigma, phi := gen.ImplGKeyFamily(in.h)
+		sigma, phi := workload.ImplGKeyFamily(in.h)
 		b.Run(in.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reason.Implies(sigma, phi)
+				benchEng.Implies(benchCtx, sigma, phi)
 			}
 		})
 	}
 }
 
 func BenchmarkImplGEDKeyWeakening(b *testing.B) {
-	q := pattern.New()
+	q := gedlib.NewPattern()
 	q.AddVar("x", "album")
-	k1, _ := ged.NewGKey("k1", q, "x", func(x, fx pattern.Var) []ged.Literal {
-		return []ged.Literal{ged.VarLit(x, "title", fx, "title")}
+	k1, _ := gedlib.NewKey("k1", q, "x", func(x, fx gedlib.Var) []gedlib.Literal {
+		return []gedlib.Literal{gedlib.VarLit(x, "title", fx, "title")}
 	})
-	k2, _ := ged.NewGKey("k2", q, "x", func(x, fx pattern.Var) []ged.Literal {
-		return []ged.Literal{ged.VarLit(x, "title", fx, "title"), ged.VarLit(x, "release", fx, "release")}
+	k2, _ := gedlib.NewKey("k2", q, "x", func(x, fx gedlib.Var) []gedlib.Literal {
+		return []gedlib.Literal{gedlib.VarLit(x, "title", fx, "title"), gedlib.VarLit(x, "release", fx, "release")}
 	})
-	sigma := ged.Set{k1}
+	sigma := gedlib.RuleSet{k1}
 	for i := 0; i < b.N; i++ {
-		if !reason.Implies(sigma, k2).Implied {
+		r, err := benchEng.Implies(benchCtx, sigma, k2)
+		if err != nil || !r.Implied {
 			b.Fatal("weakening must be implied")
 		}
 	}
 }
 
 func BenchmarkImplGDCOrder(b *testing.B) {
-	q := pattern.New()
+	q := gedlib.NewPattern()
 	q.AddVar("x", "p")
-	lt5 := gdc.Set{gdc.New("lt5", q, nil, []ged.Literal{ged.Cmp("x", "a", ged.OpLt, graph.Int(5))})}
-	q2 := pattern.New()
+	lt5 := gdc.Set{gdc.New("lt5", q, nil, []gedlib.Literal{gedlib.Cmp("x", "a", gedlib.OpLt, gedlib.Int(5))})}
+	q2 := gedlib.NewPattern()
 	q2.AddVar("x", "p")
-	lt10 := gdc.New("lt10", q2, nil, []ged.Literal{ged.Cmp("x", "a", ged.OpLt, graph.Int(10))})
+	lt10 := gdc.New("lt10", q2, nil, []gedlib.Literal{gedlib.Cmp("x", "a", gedlib.OpLt, gedlib.Int(10))})
 	for i := 0; i < b.N; i++ {
 		gdc.Implies(lt5, lt10)
 	}
 }
 
 func BenchmarkImplGEDorCaseSplit(b *testing.B) {
-	q := func() *pattern.Pattern {
-		p := pattern.New()
+	q := func() *gedlib.Pattern {
+		p := gedlib.NewPattern()
 		p.AddVar("x", "tau")
 		return p
 	}
-	dom := gedor.DomainConstraint("tau", "A", graph.Int(0), graph.Int(1))
-	c0 := gedor.New("c0", q(), []ged.Literal{ged.ConstLit("x", "A", graph.Int(0))},
-		[]ged.Literal{ged.ConstLit("x", "B", graph.Int(5))})
-	c1 := gedor.New("c1", q(), []ged.Literal{ged.ConstLit("x", "A", graph.Int(1))},
-		[]ged.Literal{ged.ConstLit("x", "B", graph.Int(5))})
-	phi := gedor.New("phi", q(), nil, []ged.Literal{ged.ConstLit("x", "B", graph.Int(5))})
+	dom := gedor.DomainConstraint("tau", "A", gedlib.Int(0), gedlib.Int(1))
+	c0 := gedor.New("c0", q(), []gedlib.Literal{gedlib.ConstLit("x", "A", gedlib.Int(0))},
+		[]gedlib.Literal{gedlib.ConstLit("x", "B", gedlib.Int(5))})
+	c1 := gedor.New("c1", q(), []gedlib.Literal{gedlib.ConstLit("x", "A", gedlib.Int(1))},
+		[]gedlib.Literal{gedlib.ConstLit("x", "B", gedlib.Int(5))})
+	phi := gedor.New("phi", q(), nil, []gedlib.Literal{gedlib.ConstLit("x", "B", gedlib.Int(5))})
 	sigma := gedor.Set{dom, c0, c1}
 	for i := 0; i < b.N; i++ {
 		if gedor.Implies(sigma, phi).Implied != gedor.True {
@@ -204,10 +205,10 @@ func BenchmarkImplGEDorCaseSplit(b *testing.B) {
 
 func BenchmarkValidGFDx3Col(b *testing.B) {
 	for _, in := range hardnessSeries() {
-		g, sigma := gen.ValidGFDxFamily(in.h)
+		g, sigma := workload.ValidGFDxFamily(in.h)
 		b.Run(in.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reason.Satisfies(g, sigma)
+				gedlib.Satisfies(g, sigma)
 			}
 		})
 	}
@@ -215,23 +216,23 @@ func BenchmarkValidGFDx3Col(b *testing.B) {
 
 func BenchmarkValidGKey3Col(b *testing.B) {
 	for _, in := range hardnessSeries() {
-		g, sigma := gen.ValidGKeyFamily(in.h)
+		g, sigma := workload.ValidGKeyFamily(in.h)
 		b.Run(in.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reason.Satisfies(g, sigma)
+				gedlib.Satisfies(g, sigma)
 			}
 		})
 	}
 }
 
 func BenchmarkValidGFDKnowledgeBase(b *testing.B) {
-	sigma := ged.Set{gen.PaperPhi1(), gen.PaperPhi2(), gen.PaperPhi3(), gen.PaperPhi4()}
+	sigma := gedlib.RuleSet{workload.PaperPhi1(), workload.PaperPhi2(), workload.PaperPhi3(), workload.PaperPhi4()}
 	for _, n := range []int{50, 100, 200} {
-		g, _ := gen.KnowledgeBase(5, n, 0.1)
+		g, _ := workload.KnowledgeBase(5, n, 0.1)
 		b.Run(fmt.Sprintf("scale%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				reason.Validate(g, sigma, 0)
+				benchEng.Validate(benchCtx, g, sigma)
 			}
 		})
 	}
@@ -239,34 +240,34 @@ func BenchmarkValidGFDKnowledgeBase(b *testing.B) {
 
 func BenchmarkValidGEDMusicKeys(b *testing.B) {
 	for _, n := range []int{20, 40, 80} {
-		g, _ := gen.MusicDB(5, n, 0.2)
+		g, _ := workload.MusicDB(5, n, 0.2)
 		b.Run(fmt.Sprintf("artists%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reason.Validate(g, gen.PaperKeys(), 0)
+				benchEng.Validate(benchCtx, g, workload.PaperKeys())
 			}
 		})
 	}
 }
 
 func BenchmarkValidSpamRule(b *testing.B) {
-	g, _ := gen.SocialNetwork(5, 10, 8)
-	sigma := ged.Set{gen.PaperPhi5(2)}
+	g, _ := workload.SocialNetwork(5, 10, 8)
+	sigma := gedlib.RuleSet{workload.PaperPhi5(2)}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		reason.Validate(g, sigma, 0)
+		benchEng.Validate(benchCtx, g, sigma)
 	}
 }
 
 func BenchmarkValidGDCDenial(b *testing.B) {
-	q := pattern.New()
+	q := gedlib.NewPattern()
 	q.AddVar("e", "emp").AddVar("m", "emp")
 	q.AddEdge("e", "reports_to", "m")
 	dc := gdc.New("salary", q,
-		[]ged.Literal{ged.CmpVars("e", "salary", ged.OpGt, "m", "salary")}, ged.False("e"))
-	g := graph.New()
-	var prev graph.NodeID = -1
+		[]gedlib.Literal{gedlib.CmpVars("e", "salary", gedlib.OpGt, "m", "salary")}, gedlib.False("e"))
+	g := gedlib.NewGraph()
+	var prev gedlib.NodeID = -1
 	for i := 0; i < 200; i++ {
-		n := g.AddNodeAttrs("emp", map[graph.Attr]graph.Value{"salary": graph.Int(100 - i%7)})
+		n := g.AddNodeAttrs("emp", map[gedlib.Attr]gedlib.Value{"salary": gedlib.Int(100 - i%7)})
 		if prev >= 0 {
 			g.AddEdge(n, "reports_to", prev)
 		}
@@ -278,10 +279,10 @@ func BenchmarkValidGDCDenial(b *testing.B) {
 }
 
 func BenchmarkValidGEDorDomain(b *testing.B) {
-	psi := gedor.DomainConstraint("account", "flag", graph.Int(0), graph.Int(1))
-	g := graph.New()
+	psi := gedor.DomainConstraint("account", "flag", gedlib.Int(0), gedlib.Int(1))
+	g := gedlib.NewGraph()
 	for i := 0; i < 500; i++ {
-		g.AddNodeAttrs("account", map[graph.Attr]graph.Value{"flag": graph.Int(i % 3)})
+		g.AddNodeAttrs("account", map[gedlib.Attr]gedlib.Value{"flag": gedlib.Int(i % 3)})
 	}
 	for i := 0; i < b.N; i++ {
 		gedor.Validate(g, gedor.Set{psi}, 0)
@@ -291,12 +292,12 @@ func BenchmarkValidGEDorDomain(b *testing.B) {
 // ---- Section 5.3: bounded patterns are tractable ----
 
 func BenchmarkBoundedPatternValidation(b *testing.B) {
-	sigma := ged.Set{gen.PaperPhi1(), gen.PaperPhi2(), gen.PaperPhi3(), gen.PaperPhi4()}
+	sigma := gedlib.RuleSet{workload.PaperPhi1(), workload.PaperPhi2(), workload.PaperPhi3(), workload.PaperPhi4()}
 	for _, n := range []int{100, 200, 400, 800} {
-		g, _ := gen.KnowledgeBase(9, n, 0.05)
+		g, _ := workload.KnowledgeBase(9, n, 0.05)
 		b.Run(fmt.Sprintf("graph%d", g.Size()), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reason.Validate(g, sigma, 0)
+				benchEng.Validate(benchCtx, g, sigma)
 			}
 		})
 	}
@@ -305,49 +306,47 @@ func BenchmarkBoundedPatternValidation(b *testing.B) {
 // ---- Substrates ----
 
 func BenchmarkMatcherTriangleIntoK3(b *testing.B) {
-	g, _ := gen.ValidGFDxFamily(gen.Cycle(3))
-	_ = g
-	host := gen.RandomPropertyGraph(3, 1000, 4, []graph.Label{"a", "b", "c"}, []graph.Attr{"p"}, 4)
-	q := pattern.New()
+	host := workload.RandomPropertyGraph(3, 1000, 4, []gedlib.Label{"a", "b", "c"}, []gedlib.Attr{"p"}, 4)
+	q := gedlib.NewPattern()
 	q.AddVar("x", "a").AddVar("y", "b").AddVar("z", "c")
 	q.AddEdge("x", "e", "y")
 	q.AddEdge("y", "e", "z")
 	q.AddEdge("z", "e", "x")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		pattern.CountMatches(q, host)
+		gedlib.CountMatches(q, host)
 	}
 }
 
 func BenchmarkChaseEntityResolution(b *testing.B) {
 	for _, n := range []int{20, 40} {
-		g, _ := gen.MusicDB(5, n, 0.4)
+		g, _ := workload.MusicDB(5, n, 0.4)
 		b.Run(fmt.Sprintf("artists%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				chase.Run(g.Clone(), gen.PaperKeys())
+				benchEng.Chase(benchCtx, g.Clone(), workload.PaperKeys())
 			}
 		})
 	}
 }
 
 func BenchmarkAxiomProve(b *testing.B) {
-	q := pattern.New()
+	q := gedlib.NewPattern()
 	q.AddVar("x", "p")
-	ab := ged.New("ab", q, []ged.Literal{ged.ConstLit("x", "a", graph.Int(1))},
-		[]ged.Literal{ged.ConstLit("x", "b", graph.Int(2))})
-	bc := ged.New("bc", q, []ged.Literal{ged.ConstLit("x", "b", graph.Int(2))},
-		[]ged.Literal{ged.ConstLit("x", "c", graph.Int(3))})
-	ac := ged.New("ac", q, []ged.Literal{ged.ConstLit("x", "a", graph.Int(1))},
-		[]ged.Literal{ged.ConstLit("x", "c", graph.Int(3))})
-	sigma := ged.Set{ab, bc}
+	ab := gedlib.NewRule("ab", q, []gedlib.Literal{gedlib.ConstLit("x", "a", gedlib.Int(1))},
+		[]gedlib.Literal{gedlib.ConstLit("x", "b", gedlib.Int(2))})
+	bc := gedlib.NewRule("bc", q, []gedlib.Literal{gedlib.ConstLit("x", "b", gedlib.Int(2))},
+		[]gedlib.Literal{gedlib.ConstLit("x", "c", gedlib.Int(3))})
+	ac := gedlib.NewRule("ac", q, []gedlib.Literal{gedlib.ConstLit("x", "a", gedlib.Int(1))},
+		[]gedlib.Literal{gedlib.ConstLit("x", "c", gedlib.Int(3))})
+	sigma := gedlib.RuleSet{ab, bc}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p, err := axiom.Prove(sigma, ac)
+		p, err := benchEng.Prove(benchCtx, sigma, ac)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := axiom.Check(sigma, p); err != nil {
+		if err := benchEng.CheckProof(benchCtx, sigma, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -356,51 +355,55 @@ func BenchmarkAxiomProve(b *testing.B) {
 // ---- Applications: parallel validation, query rewriting, repair ----
 
 func BenchmarkValidateParallel(b *testing.B) {
-	sigma := ged.Set{gen.PaperPhi1(), gen.PaperPhi2(), gen.PaperPhi3(), gen.PaperPhi4()}
-	g, _ := gen.KnowledgeBase(5, 400, 0.1)
+	sigma := gedlib.RuleSet{workload.PaperPhi1(), workload.PaperPhi2(), workload.PaperPhi3(), workload.PaperPhi4()}
+	g, _ := workload.KnowledgeBase(5, 400, 0.1)
 	for _, workers := range []int{1, 2, 4, 8} {
+		eng := gedlib.New(gedlib.WithWorkers(workers))
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reason.ValidateParallel(g, sigma, 0, workers)
+				eng.Validate(benchCtx, g, sigma)
 			}
 		})
 	}
 }
 
 func BenchmarkQueryRewriteSpeedup(b *testing.B) {
-	keys := gen.PaperKeys()
-	raw, _ := gen.MusicDB(21, 200, 0.3)
-	res := chase.Run(raw, keys)
-	if !res.Consistent() {
+	keys := workload.PaperKeys()
+	raw, _ := workload.MusicDB(21, 200, 0.3)
+	res, err := benchEng.Chase(benchCtx, raw, keys)
+	if err != nil || !res.Consistent() {
 		b.Fatal("resolution failed")
 	}
 	data := res.Materialize()
-	q := pattern.New()
+	q := gedlib.NewPattern()
 	q.AddVar("u", "album").AddVar("v", "album")
-	query := &optimize.Query{Pattern: q, X: []ged.Literal{
-		ged.VarLit("u", "title", "v", "title"),
-		ged.VarLit("u", "release", "v", "release"),
+	query := &gedlib.Query{Pattern: q, X: []gedlib.Literal{
+		gedlib.VarLit("u", "title", "v", "title"),
+		gedlib.VarLit("u", "release", "v", "release"),
 	}}
-	rewritten := optimize.Rewrite(query, keys)
+	rewritten, err := benchEng.OptimizeQuery(benchCtx, query, keys)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Run("original", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			optimize.Answers(query, data)
+			gedlib.Answers(query, data)
 		}
 	})
 	b.Run("rewritten", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			optimize.Answers(rewritten.Query, data)
+			gedlib.Answers(rewritten.Query, data)
 		}
 	})
 }
 
 func BenchmarkRepairMusicCatalog(b *testing.B) {
-	g, _ := gen.MusicDB(3, 30, 0.4)
-	keys := gen.PaperKeys()
+	g, _ := workload.MusicDB(3, 30, 0.4)
+	keys := workload.PaperKeys()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := repair.Run(g, keys)
-		if !r.Repaired {
+		r, err := benchEng.Repair(benchCtx, g, keys)
+		if err != nil || !r.Repaired {
 			b.Fatal("repair failed")
 		}
 	}
@@ -412,15 +415,15 @@ func BenchmarkRepairMusicCatalog(b *testing.B) {
 // pivot starts the six-variable match from the handful of confirmed
 // fakes instead of every account.
 func BenchmarkValidatorIndexed(b *testing.B) {
-	sigma := ged.Set{gen.PaperPhi5(2)}
-	g, _ := gen.SocialNetwork(5, 30, 10)
+	sigma := gedlib.RuleSet{workload.PaperPhi5(2)}
+	g, _ := workload.SocialNetwork(5, 30, 10)
 	b.Run("plain", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			reason.Validate(g, sigma, 0)
+			benchEng.Validate(benchCtx, g, sigma)
 		}
 	})
 	b.Run("prepared", func(b *testing.B) {
-		v := reason.NewValidator(g, sigma)
+		v := gedlib.NewValidator(g, sigma)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			v.Run(0)

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"gedlib/internal/bench"
+	"gedlib/bench"
 )
 
 func main() {

@@ -7,7 +7,9 @@
 //	gedcheck chase    -graph g.json -rules deps.ged     # chase a graph, print the quotient
 //	gedcheck discover -graph g.json                     # mine GFDs from a graph
 //
-// Graphs are JSON (see internal/gedio); rules use the DSL:
+// Every analysis honors -deadline (cancel the run after a duration) and
+// validate honors -workers (data-parallel validation). Graphs are JSON
+// (see gedlib.LoadGraph); rules use the DSL:
 //
 //	ged phi1 on (x:person)-[create]->(y:product) {
 //	  when y.type = "video game"
@@ -16,17 +18,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"gedlib/internal/axiom"
-	"gedlib/internal/chase"
-	"gedlib/internal/discover"
-	"gedlib/internal/ged"
-	"gedlib/internal/gedio"
-	"gedlib/internal/graph"
-	"gedlib/internal/reason"
+	"gedlib"
 )
 
 func main() {
@@ -39,15 +36,31 @@ func main() {
 	rulesPath := fs.String("rules", "", "DSL rules file")
 	target := fs.String("target", "", "rule name for implies/prove")
 	limit := fs.Int("limit", 20, "maximum violations to report")
+	workers := fs.Int("workers", 1, "validation workers (<=0 selects GOMAXPROCS)")
+	deadline := fs.Duration("deadline", 0, "abort the analysis after this duration (0 = none)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
 	}
 
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	eng := gedlib.New(
+		gedlib.WithWorkers(*workers),
+		gedlib.WithViolationLimit(*limit),
+	)
+
 	switch cmd {
 	case "validate":
 		g := loadGraph(*graphPath)
-		sigma := loadGEDs(*rulesPath)
-		vs := reason.Validate(g, sigma, *limit)
+		sigma := loadRules(*rulesPath)
+		vs, err := eng.Validate(ctx, g, sigma)
+		if err != nil {
+			fatal(err)
+		}
 		if len(vs) == 0 {
 			fmt.Println("graph satisfies all rules")
 			return
@@ -57,8 +70,11 @@ func main() {
 		}
 		os.Exit(1)
 	case "sat":
-		sigma := loadGEDs(*rulesPath)
-		r := reason.CheckSat(sigma)
+		sigma := loadRules(*rulesPath)
+		r, err := eng.CheckSat(ctx, sigma)
+		if err != nil {
+			fatal(err)
+		}
 		if !r.Satisfiable {
 			fmt.Println("unsatisfiable:", r.Chase.Eq.Conflict())
 			os.Exit(1)
@@ -66,8 +82,11 @@ func main() {
 		fmt.Println("satisfiable; witness model:")
 		fmt.Print(r.Model)
 	case "implies":
-		sigma, phi := splitTarget(loadGEDs(*rulesPath), *target)
-		r := reason.Implies(sigma, phi)
+		sigma, phi := splitTarget(loadRules(*rulesPath), *target)
+		r, err := eng.Implies(ctx, sigma, phi)
+		if err != nil {
+			fatal(err)
+		}
 		if r.Implied {
 			how := "by deduction"
 			if r.ByInconsistency {
@@ -79,36 +98,37 @@ func main() {
 		fmt.Printf("%s is NOT implied; missing literal: %s\n", phi.Name, *r.Missing)
 		os.Exit(1)
 	case "prove":
-		sigma, phi := splitTarget(loadGEDs(*rulesPath), *target)
-		p, err := axiom.Prove(sigma, phi)
+		sigma, phi := splitTarget(loadRules(*rulesPath), *target)
+		p, err := eng.Prove(ctx, sigma, phi)
 		if err != nil {
 			fatal(err)
 		}
-		if err := axiom.Check(sigma, p); err != nil {
+		if err := eng.CheckProof(ctx, sigma, p); err != nil {
 			fatal(fmt.Errorf("generated proof failed checking: %w", err))
 		}
 		fmt.Printf("A_GED proof of %s (%d steps):\n%s", phi.Name, p.Len(), p)
 	case "discover":
 		g := loadGraph(*graphPath)
-		found := discover.GFDs(g, discover.Options{})
+		found, err := eng.Discover(ctx, g, gedlib.DiscoverOptions{})
+		if err != nil {
+			fatal(err)
+		}
 		if len(found) == 0 {
 			fmt.Println("no rules discovered")
 			return
 		}
-		var rules []*gedio.Rule
+		var mined gedlib.RuleSet
 		for _, d := range found {
-			rules = append(rules, &gedio.Rule{
-				Name:    sanitizeName(d.GED.Name),
-				Pattern: d.GED.Pattern,
-				X:       d.GED.X,
-				Y:       d.GED.Y,
-			})
+			mined = append(mined, d.GED)
 		}
-		fmt.Printf("# %d rules discovered\n%s", len(found), gedio.Format(rules))
+		fmt.Printf("# %d rules discovered\n%s", len(found), gedlib.FormatRules(mined))
 	case "chase":
 		g := loadGraph(*graphPath)
-		sigma := loadGEDs(*rulesPath)
-		res := chase.Run(g, sigma)
+		sigma := loadRules(*rulesPath)
+		res, err := eng.Chase(ctx, g, sigma)
+		if err != nil {
+			fatal(err)
+		}
 		if !res.Consistent() {
 			fmt.Println("chase is invalid (⊥):", res.Eq.Conflict())
 			os.Exit(1)
@@ -131,29 +151,12 @@ func usage() {
 	os.Exit(2)
 }
 
-// sanitizeName makes a mined rule name a DSL identifier.
-func sanitizeName(s string) string {
-	out := make([]rune, 0, len(s))
-	for _, r := range s {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
-			out = append(out, r)
-		default:
-			out = append(out, '_')
-		}
-	}
-	if len(out) == 0 {
-		return "rule"
-	}
-	return string(out)
-}
-
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gedcheck:", err)
 	os.Exit(1)
 }
 
-func loadGraph(path string) *graph.Graph {
+func loadGraph(path string) *gedlib.Graph {
 	if path == "" {
 		fatal(fmt.Errorf("missing -graph"))
 	}
@@ -161,14 +164,14 @@ func loadGraph(path string) *graph.Graph {
 	if err != nil {
 		fatal(err)
 	}
-	g, _, err := gedio.UnmarshalGraph(data)
+	g, _, err := gedlib.LoadGraph(data)
 	if err != nil {
 		fatal(err)
 	}
 	return g
 }
 
-func loadGEDs(path string) ged.Set {
+func loadRules(path string) gedlib.RuleSet {
 	if path == "" {
 		fatal(fmt.Errorf("missing -rules"))
 	}
@@ -176,11 +179,7 @@ func loadGEDs(path string) ged.Set {
 	if err != nil {
 		fatal(err)
 	}
-	rules, err := gedio.Parse(string(data))
-	if err != nil {
-		fatal(err)
-	}
-	sigma, err := gedio.GEDs(rules)
+	sigma, err := gedlib.ParseRules(string(data))
 	if err != nil {
 		fatal(err)
 	}
@@ -188,12 +187,12 @@ func loadGEDs(path string) ged.Set {
 }
 
 // splitTarget extracts the named rule as φ and returns the rest as Σ.
-func splitTarget(all ged.Set, name string) (ged.Set, *ged.GED) {
+func splitTarget(all gedlib.RuleSet, name string) (gedlib.RuleSet, *gedlib.Rule) {
 	if name == "" {
 		fatal(fmt.Errorf("missing -target"))
 	}
-	var sigma ged.Set
-	var phi *ged.GED
+	var sigma gedlib.RuleSet
+	var phi *gedlib.Rule
 	for _, d := range all {
 		if d.Name == name && phi == nil {
 			phi = d

@@ -5,10 +5,22 @@
 // implication and validation, the finite axiom system A_GED, and the
 // GDC and GED∨ extensions.
 //
-// The implementation lives under internal/; see README.md for the
-// package map, DESIGN.md for the system inventory, and EXPERIMENTS.md
-// for the reproduction of the paper's evaluation artifacts. The
-// benchmarks in bench_test.go regenerate Table 1; run them with
+// The public API is this root package: construct an Engine with
+// functional options and call its context-aware methods —
+//
+//	eng := gedlib.New(gedlib.WithWorkers(4))
+//	sigma, _ := gedlib.ParseRules(src)
+//	g, _, _ := gedlib.LoadGraph(data)
+//	vs, err := eng.Validate(ctx, g, sigma)
+//
+// Rules are parsed from a text DSL (ParseRules) or built
+// programmatically (NewPattern, NewRule, NewKey, the literal
+// constructors); graphs load from JSON (LoadGraph) or are built with
+// NewGraph. The workload, gdc, gedor and bench subpackages expose the
+// paper's generators, the two dependency extensions, and the evaluation
+// harness. The machinery lives under internal/; see README.md for the
+// package map, the quickstart and the DSL grammar. The benchmarks in
+// bench_test.go regenerate Table 1; run them with
 //
 //	go test -bench=. -benchmem
 package gedlib

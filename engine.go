@@ -1,0 +1,179 @@
+package gedlib
+
+import (
+	"context"
+	"errors"
+
+	"gedlib/internal/axiom"
+	"gedlib/internal/chase"
+	"gedlib/internal/discover"
+	"gedlib/internal/optimize"
+	"gedlib/internal/reason"
+	"gedlib/internal/repair"
+)
+
+// ErrChaseDepthExceeded is returned by Engine methods when a chase did
+// not converge within the bound set by WithChaseDepth.
+var ErrChaseDepthExceeded = chase.ErrDepthExceeded
+
+// Engine is the entry point of the library: one configured instance of
+// the paper's analyses. Every method takes a context.Context first and
+// honors its cancellation mid-run — the heavy loops (match enumeration,
+// chase rounds, worker pools) check the context cooperatively and
+// return its error, so a server can bound each request with
+// context.WithTimeout.
+//
+// An Engine is cheap, immutable after New, and safe for concurrent use:
+// all state lives in the arguments of each call.
+type Engine struct {
+	workers        int
+	violationLimit int
+	chaseDepth     int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets how many goroutines Validate uses. 1 (the default)
+// validates sequentially; larger values partition each rule's match
+// space across n workers; n <= 0 selects GOMAXPROCS. The result is
+// deterministic regardless of worker count.
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithViolationLimit bounds how many violations Validate and
+// ValidateIncremental report. 0 (the default) reports all of them; a
+// server that only needs "is it dirty, and roughly where" can cap the
+// work.
+func WithViolationLimit(n int) Option {
+	return func(e *Engine) { e.violationLimit = n }
+}
+
+// WithChaseDepth bounds the number of fixpoint rounds of every chase
+// the engine runs (Chase, Repair, CheckSat, Implies, Prove,
+// OptimizeQuery). The chase always terminates (Theorem 1), so the bound
+// is a resource valve for adversarial inputs, not a semantics knob; an
+// exceeded bound surfaces as ErrChaseDepthExceeded. 0 (the default)
+// means unbounded.
+func WithChaseDepth(d int) Option {
+	return func(e *Engine) { e.chaseDepth = d }
+}
+
+// New returns an Engine with the given options applied over the
+// defaults: sequential validation, no violation limit, no chase bound.
+func New(opts ...Option) *Engine {
+	e := &Engine{workers: 1}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Validate finds the violations of Σ in g (Section 5.3): matches of a
+// rule's pattern that satisfy its antecedent but fail a consequent
+// literal. g ⊨ Σ iff the result is empty. Validation runs sequentially
+// or data-parallel according to WithWorkers, and reports at most
+// WithViolationLimit violations.
+//
+// On cancellation the violations found so far are returned together
+// with ctx's error.
+func (e *Engine) Validate(ctx context.Context, g *Graph, sigma RuleSet) ([]Violation, error) {
+	if e.workers == 1 {
+		return reason.ValidateCtx(ctx, g, sigma, e.violationLimit)
+	}
+	return reason.ValidateParallelCtx(ctx, g, sigma, e.violationLimit, e.workers)
+}
+
+// ValidateIncremental finds the violations of Σ whose match involves at
+// least one of the touched nodes. After a localized update, every *new*
+// violation touches an updated node, so re-checking only those matches
+// replaces a full re-validation.
+func (e *Engine) ValidateIncremental(ctx context.Context, g *Graph, sigma RuleSet, touched []NodeID) ([]Violation, error) {
+	return reason.ValidateTouchingCtx(ctx, g, sigma, touched, e.violationLimit)
+}
+
+// Satisfies reports g ⊨ Σ, stopping at the first violation.
+func (e *Engine) Satisfies(ctx context.Context, g *Graph, sigma RuleSet) (bool, error) {
+	vs, err := reason.ValidateCtx(ctx, g, sigma, 1)
+	if err != nil {
+		return false, err
+	}
+	return len(vs) == 0, nil
+}
+
+// Chase runs the revised chase of g by Σ (Theorem 1): the canonical,
+// order-independent enforcement of every rule to a fixpoint. The input
+// graph is not modified; the result's Materialize yields the quotient
+// graph, and Consistent reports whether enforcement succeeded (an
+// inconsistent chase is the paper's ⊥).
+func (e *Engine) Chase(ctx context.Context, g *Graph, sigma RuleSet) (*ChaseResult, error) {
+	return chase.RunCtx(ctx, g, sigma, nil, e.chaseDepth)
+}
+
+// Repair cleans g under Σ: the chase read as an edit script. Attribute
+// equations fill in or correct values, id literals merge duplicate
+// entities. The input graph is not modified. When no repair exists
+// (e.g. a forbidding rule matched), the result carries the conflict for
+// human resolution instead of silently choosing a side; that is not an
+// error — the error reports only cancellation or an exceeded chase
+// bound.
+func (e *Engine) Repair(ctx context.Context, g *Graph, sigma RuleSet) (*RepairResult, error) {
+	return repair.RunCtx(ctx, g, sigma, e.chaseDepth)
+}
+
+// CheckSat decides whether Σ is satisfiable in the strong sense of
+// Section 5.1 — has a model in which every pattern matches — by chasing
+// the canonical graph G_Σ (Theorem 2). The result carries a certified
+// witness model when satisfiable.
+func (e *Engine) CheckSat(ctx context.Context, sigma RuleSet) (*SatResult, error) {
+	return reason.CheckSatCtx(ctx, sigma, e.chaseDepth)
+}
+
+// Implies decides Σ ⊨ φ by chasing φ's canonical graph from Eq_X
+// (Theorem 4). When not implied, the result names the first consequent
+// literal that could not be deduced.
+func (e *Engine) Implies(ctx context.Context, sigma RuleSet, phi *Rule) (*ImplResult, error) {
+	return reason.ImpliesCtx(ctx, sigma, phi, e.chaseDepth)
+}
+
+// Prove constructs a machine-checkable A_GED derivation of Σ ⊢ φ
+// (Theorem 7: the axiom system is sound and complete). It returns an
+// error when Σ does not imply φ.
+func (e *Engine) Prove(ctx context.Context, sigma RuleSet, phi *Rule) (*Proof, error) {
+	return axiom.ProveCtx(ctx, sigma, phi, e.chaseDepth)
+}
+
+// CheckProof verifies an A_GED proof against Σ step by step, rejecting
+// any tampered or ill-founded derivation.
+func (e *Engine) CheckProof(ctx context.Context, sigma RuleSet, p *Proof) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return axiom.Check(sigma, p)
+}
+
+// Discover mines rules that hold exactly on g — the profiling
+// counterpart of Validate — pruning every candidate implied by the
+// rules already kept, as Section 5.2 motivates. Results are
+// deterministic. WithChaseDepth bounds each pruning chase; a candidate
+// whose implication check exceeds the bound is kept rather than
+// guessed about.
+func (e *Engine) Discover(ctx context.Context, g *Graph, opt DiscoverOptions) ([]Discovered, error) {
+	return discover.GFDsCtx(ctx, g, opt, e.chaseDepth)
+}
+
+// OptimizeQuery rewrites a pattern query under rules known to hold on
+// the data: chase-identified variables merge (fewer joins), deduced
+// constants become index-backed selections, and a contradictory query
+// is proved empty without touching data.
+func (e *Engine) OptimizeQuery(ctx context.Context, q *Query, sigma RuleSet) (*RewriteResult, error) {
+	return optimize.RewriteCtx(ctx, q, sigma, e.chaseDepth)
+}
+
+// IsCancellation reports whether an error returned by an Engine method
+// is a context cancellation or deadline expiry, as opposed to a
+// resource-bound or input error.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

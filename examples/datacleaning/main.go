@@ -8,44 +8,53 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"gedlib/internal/ged"
-	"gedlib/internal/gen"
-	"gedlib/internal/graph"
-	"gedlib/internal/reason"
-	"gedlib/internal/repair"
+	"gedlib"
+	"gedlib/workload"
 )
 
 func main() {
+	ctx := context.Background()
+	eng := gedlib.New()
+
 	// A small dirty knowledge base: a missing capital name (repairable),
 	// a missing creator type (repairable), duplicate albums
 	// (repairable by merging), and a family cycle (not repairable by
 	// value edits — needs a human).
-	g := graph.New()
-	fin := g.AddNodeAttrs("country", map[graph.Attr]graph.Value{"name": graph.String("Finland")})
-	hel := g.AddNodeAttrs("city", map[graph.Attr]graph.Value{"name": graph.String("Helsinki")})
+	g := gedlib.NewGraph()
+	fin := g.AddNodeAttrs("country", map[gedlib.Attr]gedlib.Value{"name": gedlib.String("Finland")})
+	hel := g.AddNodeAttrs("city", map[gedlib.Attr]gedlib.Value{"name": gedlib.String("Helsinki")})
 	unnamed := g.AddNode("city")
 	g.AddEdge(fin, "capital", hel)
 	g.AddEdge(fin, "capital", unnamed)
 
 	dev := g.AddNode("person")
-	game := g.AddNodeAttrs("product", map[graph.Attr]graph.Value{"type": graph.String("video game")})
+	game := g.AddNodeAttrs("product", map[gedlib.Attr]gedlib.Value{"type": gedlib.String("video game")})
 	g.AddEdge(dev, "create", game)
 
 	for i := 0; i < 2; i++ {
-		g.AddNodeAttrs("album", map[graph.Attr]graph.Value{
-			"title": graph.String("Bleach"), "release": graph.Int(1989)})
+		g.AddNodeAttrs("album", map[gedlib.Attr]gedlib.Value{
+			"title": gedlib.String("Bleach"), "release": gedlib.Int(1989)})
 	}
 
-	rules := ged.Set{gen.PaperPhi1(), gen.PaperPhi2(), gen.PaperPsi2()}
+	rules := gedlib.RuleSet{workload.PaperPhi1(), workload.PaperPhi2(), workload.PaperPsi2()}
 
 	fmt.Println("violations before cleaning:")
-	for _, v := range repair.Check(g, rules) {
-		fmt.Println(" ", v)
+	vs, err := eng.Validate(ctx, g, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range vs {
+		fmt.Printf("  %s: %v fails %s\n", v.GED.Name, v.Match, v.Literal)
 	}
 
-	r := repair.Run(g, rules)
+	r, err := eng.Repair(ctx, g, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !r.Repaired {
 		fmt.Println("unrepairable:", r.Conflict)
 		return
@@ -55,7 +64,7 @@ func main() {
 		fmt.Println(" ", e)
 	}
 	fmt.Printf("\nrepaired graph: %d -> %d nodes; satisfies rules: %v\n",
-		g.NumNodes(), r.Graph.NumNodes(), reason.Satisfies(r.Graph, rules))
+		g.NumNodes(), r.Graph.NumNodes(), gedlib.Satisfies(r.Graph, rules))
 
 	// Now add the Sclater cycle: no value edit fixes a forbidden
 	// pattern, so the repair refuses and points at the rule.
@@ -63,8 +72,11 @@ func main() {
 	william := g.AddNode("person")
 	g.AddEdge(philip, "child", william)
 	g.AddEdge(philip, "parent", william)
-	rules = append(rules, gen.PaperPhi4())
-	r2 := repair.Run(g, rules)
+	rules = append(rules, workload.PaperPhi4())
+	r2, err := eng.Repair(ctx, g, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if r2.Repaired {
 		fmt.Println("unexpected: cycle repaired")
 		return

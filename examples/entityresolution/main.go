@@ -14,30 +14,40 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"gedlib/internal/chase"
-	"gedlib/internal/gen"
-	"gedlib/internal/reason"
+	"gedlib"
+	"gedlib/workload"
 )
 
 func main() {
-	g, stats := gen.MusicDB(99, 60, 0.35)
+	ctx := context.Background()
+	eng := gedlib.New()
+
+	g, stats := workload.MusicDB(99, 60, 0.35)
 	fmt.Printf("catalog: %d artists, %d albums (%d duplicated pairs planted)\n",
 		stats.Artists, stats.Albums, stats.DupPairs)
 
-	keys := gen.PaperKeys()
+	keys := workload.PaperKeys()
 	fmt.Println("\nkeys:")
 	for _, k := range keys {
 		fmt.Println(" ", k)
 	}
 
 	// Before resolution the catalog violates the keys.
-	vs := reason.Validate(g, keys, 0)
+	vs, err := eng.Validate(ctx, g, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nkey violations before resolution: %d\n", len(vs))
 
 	// Chase to a fixpoint: duplicates merge.
-	res := chase.Run(g, keys)
+	res, err := eng.Chase(ctx, g, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !res.Consistent() {
 		panic("catalog chase must be consistent")
 	}
@@ -48,7 +58,7 @@ func main() {
 
 	// The resolved catalog satisfies every key.
 	resolved := res.Materialize()
-	if !reason.Satisfies(resolved, keys) {
+	if !gedlib.Satisfies(resolved, keys) {
 		panic("resolved catalog must satisfy the keys")
 	}
 	fmt.Println("resolved catalog satisfies ψ1–ψ3")

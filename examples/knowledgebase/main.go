@@ -16,26 +16,33 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"gedlib/internal/ged"
-	"gedlib/internal/gen"
-	"gedlib/internal/reason"
+	"gedlib"
+	"gedlib/workload"
 )
 
 func main() {
-	g, stats := gen.KnowledgeBase(42, 200, 0.15)
+	ctx := context.Background()
+	eng := gedlib.New(gedlib.WithWorkers(4))
+
+	g, stats := workload.KnowledgeBase(42, 200, 0.15)
 	fmt.Printf("knowledge base: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 	fmt.Printf("planted: %d bad creators, %d double capitals, %d inheritance breaks, %d family cycles\n",
 		stats.BadCreators, stats.BadCapitals, stats.BadInherits, stats.BadCycles)
 
-	sigma := ged.Set{gen.PaperPhi1(), gen.PaperPhi2(), gen.PaperPhi3(), gen.PaperPhi4()}
+	sigma := gedlib.RuleSet{workload.PaperPhi1(), workload.PaperPhi2(), workload.PaperPhi3(), workload.PaperPhi4()}
 	fmt.Println("\nrules:")
 	for _, d := range sigma {
 		fmt.Println(" ", d)
 	}
 
-	vs := reason.Validate(g, sigma, 0)
+	vs, err := eng.Validate(ctx, g, sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
 	byRule := map[string]int{}
 	for _, v := range vs {
 		byRule[v.GED.Name]++
@@ -52,7 +59,7 @@ func main() {
 	}
 
 	// The rule set itself is sensible: it has a model.
-	if r := reason.CheckSat(sigma); r.Satisfiable {
+	if r, err := eng.CheckSat(ctx, sigma); err == nil && r.Satisfiable {
 		fmt.Println("Σ is satisfiable — the rules do not conflict with each other")
 	}
 }

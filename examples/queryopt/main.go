@@ -9,23 +9,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"gedlib/internal/chase"
-	"gedlib/internal/ged"
-	"gedlib/internal/gen"
-	"gedlib/internal/graph"
-	"gedlib/internal/optimize"
-	"gedlib/internal/pattern"
+	"gedlib"
+	"gedlib/workload"
 )
 
 func main() {
+	ctx := context.Background()
+	eng := gedlib.New()
+
 	// The catalog satisfies the recursive keys ψ1–ψ3 after resolution.
-	keys := gen.PaperKeys()
-	raw, _ := gen.MusicDB(21, 400, 0.3)
-	res := chase.Run(raw, keys)
+	keys := workload.PaperKeys()
+	raw, _ := workload.MusicDB(21, 400, 0.3)
+	res, err := eng.Chase(ctx, raw, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !res.Consistent() {
 		log.Fatal("catalog resolution failed")
 	}
@@ -33,14 +36,17 @@ func main() {
 	fmt.Printf("catalog: %d entities (resolved)\n", data.NumNodes())
 
 	// Query: pairs of albums sharing title and release — a dedup probe.
-	q := pattern.New()
+	q := gedlib.NewPattern()
 	q.AddVar("u", "album").AddVar("v", "album")
-	query := &optimize.Query{Pattern: q, X: []ged.Literal{
-		ged.VarLit("u", "title", "v", "title"),
-		ged.VarLit("u", "release", "v", "release"),
+	query := &gedlib.Query{Pattern: q, X: []gedlib.Literal{
+		gedlib.VarLit("u", "title", "v", "title"),
+		gedlib.VarLit("u", "release", "v", "release"),
 	}}
 
-	r := optimize.Rewrite(query, keys)
+	r, err := eng.OptimizeQuery(ctx, query, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\noriginal query: %s with %d selection literals\n", query.Pattern, len(query.X))
 	fmt.Printf("rewritten:      %s with %d selection literals (%d vars merged)\n",
 		r.Query.Pattern, len(r.Query.X), r.MergedVars)
@@ -48,10 +54,10 @@ func main() {
 	// Both forms return the same answers (over original variables), but
 	// the rewritten one scans one variable instead of joining two.
 	t0 := time.Now()
-	orig := optimize.Answers(query, data)
+	orig := gedlib.Answers(query, data)
 	dOrig := time.Since(t0)
 	t0 = time.Now()
-	rewr := optimize.Answers(r.Query, data)
+	rewr := gedlib.Answers(r.Query, data)
 	dRewr := time.Since(t0)
 	fmt.Printf("\nanswers: original %d in %s, rewritten %d in %s\n",
 		len(orig), dOrig.Round(time.Microsecond), len(rewr), dRewr.Round(time.Microsecond))
@@ -62,13 +68,16 @@ func main() {
 	// A query whose selection contradicts the keys is empty on every
 	// consistent database: two albums sharing title+release (hence, by
 	// ψ2, being one node) cannot carry two different release years.
-	contradictory := &optimize.Query{Pattern: q.Clone(), X: []ged.Literal{
-		ged.VarLit("u", "title", "v", "title"),
-		ged.VarLit("u", "release", "v", "release"),
-		ged.ConstLit("u", "release", graph.Int(1980)),
-		ged.ConstLit("v", "release", graph.Int(1999)),
+	contradictory := &gedlib.Query{Pattern: q.Clone(), X: []gedlib.Literal{
+		gedlib.VarLit("u", "title", "v", "title"),
+		gedlib.VarLit("u", "release", "v", "release"),
+		gedlib.ConstLit("u", "release", gedlib.Int(1980)),
+		gedlib.ConstLit("v", "release", gedlib.Int(1999)),
 	}}
-	cr := optimize.Rewrite(contradictory, keys)
+	cr, err := eng.OptimizeQuery(ctx, contradictory, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ncontradictory query detected empty without data access: %v\n", cr.Empty)
 	if !cr.Empty {
 		log.Fatal("expected the contradictory query to be empty")

@@ -1,17 +1,15 @@
-// Quickstart: define a graph and a GED, validate, reason, and chase.
+// Quickstart: define a graph and a GED, validate, reason, and chase —
+// entirely through the public gedlib facade.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"gedlib/internal/chase"
-	"gedlib/internal/ged"
-	"gedlib/internal/gedio"
-	"gedlib/internal/graph"
-	"gedlib/internal/reason"
+	"gedlib"
 )
 
 const rules = `
@@ -29,12 +27,11 @@ ged albumKey on (a:album), (b:album) {
 `
 
 func main() {
+	ctx := context.Background()
+	eng := gedlib.New()
+
 	// 1. Parse dependencies from the DSL.
-	parsed, err := gedio.Parse(rules)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sigma, err := gedio.GEDs(parsed)
+	sigma, err := gedlib.ParseRules(rules)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,51 +41,65 @@ func main() {
 	}
 
 	// 2. Build a small property graph.
-	g := graph.New()
-	dev := g.AddNodeAttrs("person", map[graph.Attr]graph.Value{
-		"name": graph.String("Tony Gibson"),
-		"type": graph.String("psychologist"), // the Yago3 inconsistency
+	g := gedlib.NewGraph()
+	dev := g.AddNodeAttrs("person", map[gedlib.Attr]gedlib.Value{
+		"name": gedlib.String("Tony Gibson"),
+		"type": gedlib.String("psychologist"), // the Yago3 inconsistency
 	})
-	game := g.AddNodeAttrs("product", map[graph.Attr]graph.Value{
-		"name": graph.String("Ghetto Blaster"),
-		"type": graph.String("video game"),
+	game := g.AddNodeAttrs("product", map[gedlib.Attr]gedlib.Value{
+		"name": gedlib.String("Ghetto Blaster"),
+		"type": gedlib.String("video game"),
 	})
 	g.AddEdge(dev, "create", game)
 	for i := 0; i < 2; i++ {
-		g.AddNodeAttrs("album", map[graph.Attr]graph.Value{
-			"title":   graph.String("Bleach"),
-			"release": graph.Int(1989),
+		g.AddNodeAttrs("album", map[gedlib.Attr]gedlib.Value{
+			"title":   gedlib.String("Bleach"),
+			"release": gedlib.Int(1989),
 		})
 	}
 
 	// 3. Validate: both rules are violated.
 	fmt.Println("\nviolations:")
-	for _, v := range reason.Validate(g, sigma, 0) {
+	vs, err := eng.Validate(ctx, g, sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range vs {
 		fmt.Printf("  %s at %v fails %s\n", v.GED.Name, v.Match, v.Literal)
 	}
 
 	// 4. Repair the type error and let the chase merge the duplicate
 	// albums (entity resolution).
-	g.SetAttr(dev, "type", graph.String("programmer"))
-	res := chase.Run(g, sigma)
+	g.SetAttr(dev, "type", gedlib.String("programmer"))
+	res, err := eng.Chase(ctx, g, sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !res.Consistent() {
 		log.Fatal("chase failed: ", res.Eq.Conflict())
 	}
 	fmt.Printf("\nchase applied %d steps; %d nodes -> %d nodes\n",
 		len(res.Steps), g.NumNodes(), res.Coercion.Graph.NumNodes())
-	if !reason.Satisfies(res.Materialize(), sigma) {
+	if !gedlib.Satisfies(res.Materialize(), sigma) {
 		log.Fatal("chase result must satisfy Σ")
 	}
 	fmt.Println("quotient graph satisfies Σ")
 
 	// 5. Static analyses: the rules are satisfiable, and a stronger key
 	// follows from the album key.
-	if !reason.CheckSat(sigma).Satisfiable {
+	sat, err := eng.CheckSat(ctx, sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sat.Satisfiable {
 		log.Fatal("Σ should be satisfiable")
 	}
-	stronger := ged.New("strongerKey", sigma[1].Pattern,
-		append(append([]ged.Literal{}, sigma[1].X...), ged.VarLit("a", "label", "b", "label")),
+	stronger := gedlib.NewRule("strongerKey", sigma[1].Pattern,
+		append(append([]gedlib.Literal{}, sigma[1].X...), gedlib.VarLit("a", "label", "b", "label")),
 		sigma[1].Y)
-	r := reason.Implies(sigma, stronger)
+	r, err := eng.Implies(ctx, sigma, stronger)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("Σ implies %s: %v\n", stronger.Name, r.Implied)
 }

@@ -9,33 +9,42 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"gedlib/internal/chase"
-	"gedlib/internal/ged"
-	"gedlib/internal/gen"
-	"gedlib/internal/graph"
-	"gedlib/internal/reason"
+	"gedlib"
+	"gedlib/workload"
 )
 
 func main() {
-	g, stats := gen.SocialNetwork(7, 6, 8)
+	ctx := context.Background()
+	eng := gedlib.New()
+
+	g, stats := workload.SocialNetwork(7, 6, 8)
 	fmt.Printf("social graph: %d nodes, %d edges, %d confirmed fakes, %d spam-posting accounts\n",
 		g.NumNodes(), g.NumEdges(), stats.SeedFakes, len(stats.Spammy))
 
-	phi5 := gen.PaperPhi5(2)
+	phi5 := workload.PaperPhi5(2)
 	fmt.Println("\nrule:", phi5)
 
 	// Validation: accounts violating φ₅ right now.
-	direct := map[graph.NodeID]bool{}
-	for _, v := range reason.Validate(g, ged.Set{phi5}, 0) {
+	vs, err := eng.Validate(ctx, g, gedlib.RuleSet{phi5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct := map[gedlib.NodeID]bool{}
+	for _, v := range vs {
 		direct[v.Match["x"]] = true
 	}
 	fmt.Printf("\ndirect violations flag %d accounts\n", len(direct))
 
 	// Chase: enforce the rule to a fixpoint. Every account reachable
 	// through shared-likes chains from a seed fake gets is_fake = 1.
-	res := chase.Run(g.Clone(), ged.Set{phi5})
+	res, err := eng.Chase(ctx, g.Clone(), gedlib.RuleSet{phi5})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !res.Consistent() {
 		panic("chase must be consistent: the rule only sets flags")
 	}
@@ -44,7 +53,7 @@ func main() {
 		if g.Label(id) != "account" {
 			continue
 		}
-		if v, ok := res.Eq.AttrConst(id, "is_fake"); ok && v.Equal(graph.Int(1)) {
+		if v, ok := res.Eq.AttrConst(id, "is_fake"); ok && v.Equal(gedlib.Int(1)) {
 			flagged++
 		}
 	}
@@ -54,7 +63,7 @@ func main() {
 	}
 
 	// The fixpoint graph satisfies the rule.
-	if !reason.Satisfies(res.Materialize(), ged.Set{phi5}) {
+	if !gedlib.Satisfies(res.Materialize(), gedlib.RuleSet{phi5}) {
 		panic("fixpoint must satisfy φ5")
 	}
 	fmt.Println("fixpoint graph satisfies φ5 — no unflagged spam remains")

@@ -1,0 +1,68 @@
+// Package gedor exposes GED∨ — the GED extension of Section 8.2 with
+// disjunctive consequents — through the same vocabulary as the root
+// gedlib package. Satisfiability and implication branch over disjunct
+// choices (Theorems 9 and 10), so the analyses return three-valued
+// Verdicts: True and False are certified, Unknown means the branch
+// budget was exhausted.
+package gedor
+
+import (
+	"gedlib"
+	"gedlib/internal/gedor"
+)
+
+// GEDor is a disjunctive dependency Q[x̄](X → l₁ ∨ ... ∨ lₖ).
+type GEDor = gedor.GEDor
+
+// Set is a set of GED∨s.
+type Set = gedor.Set
+
+// Violation is a match satisfying X with every disjunct of Y false.
+type Violation = gedor.Violation
+
+// Verdict is a three-valued answer; True and False are certified.
+type Verdict = gedor.Verdict
+
+// Three-valued verdicts.
+const (
+	False   = gedor.False
+	True    = gedor.True
+	Unknown = gedor.Unknown
+)
+
+// SatResult reports a GED∨ satisfiability analysis.
+type SatResult = gedor.SatResult
+
+// ImplResult reports a GED∨ implication analysis.
+type ImplResult = gedor.ImplResult
+
+// New returns the GED∨ Q[x̄](X → Y) with Y read disjunctively.
+func New(name string, q *gedlib.Pattern, x, y []gedlib.Literal) *GEDor {
+	return gedor.New(name, q, x, y)
+}
+
+// FromGED translates a plain rule into the equivalent GED∨s (one per
+// consequent literal).
+func FromGED(r *gedlib.Rule) []*GEDor { return gedor.FromGED(r) }
+
+// DomainConstraint returns the GED∨ asserting that attribute a of every
+// tau-labeled node takes one of the given values.
+func DomainConstraint(tau gedlib.Label, a gedlib.Attr, domain ...gedlib.Value) *GEDor {
+	return gedor.DomainConstraint(tau, a, domain...)
+}
+
+// Validate finds violations of Σ in g, up to limit (<= 0 means all).
+func Validate(g *gedlib.Graph, sigma Set, limit int) []Violation {
+	return gedor.Validate(g, sigma, limit)
+}
+
+// Satisfies reports g ⊨ Σ.
+func Satisfies(g *gedlib.Graph, sigma Set) bool { return gedor.Satisfies(g, sigma) }
+
+// CheckSat decides (three-valued) whether Σ has a model, certifying
+// True with a witness.
+func CheckSat(sigma Set) *SatResult { return gedor.CheckSat(sigma) }
+
+// Implies decides (three-valued) whether Σ ⊨ φ, certifying False with a
+// counterexample.
+func Implies(sigma Set, phi *GEDor) *ImplResult { return gedor.Implies(sigma, phi) }

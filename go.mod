@@ -1,0 +1,3 @@
+module gedlib
+
+go 1.24

@@ -4,36 +4,28 @@ package gedlib_test
 // through — parse rules from the DSL, load a graph from JSON, validate,
 // repair, re-validate, mine new rules, prune them by implication, and
 // produce a checkable A_GED proof — all against the paper's running
-// knowledge-base scenario.
+// knowledge-base scenario, and all through the public facade.
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
 
-	"gedlib/internal/axiom"
-	"gedlib/internal/discover"
-	"gedlib/internal/ged"
-	"gedlib/internal/gedio"
-	"gedlib/internal/gen"
-	"gedlib/internal/graph"
-	"gedlib/internal/optimize"
-	"gedlib/internal/pattern"
-	"gedlib/internal/reason"
-	"gedlib/internal/repair"
+	"gedlib"
+	"gedlib/workload"
 )
 
 func TestEndToEndPipeline(t *testing.T) {
+	ctx := context.Background()
+	eng := gedlib.New()
+
 	// 1. Rules from the DSL (the testdata files the CLI uses).
 	ruleSrc, err := os.ReadFile("testdata/rules.ged")
 	if err != nil {
 		t.Fatal(err)
 	}
-	parsed, err := gedio.Parse(string(ruleSrc))
-	if err != nil {
-		t.Fatal(err)
-	}
-	sigma, err := gedio.GEDs(parsed)
+	sigma, err := gedlib.ParseRules(string(ruleSrc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,87 +38,115 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, ids, err := gedio.UnmarshalGraph(graphSrc)
+	g, ids, err := gedlib.LoadGraph(graphSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// 3. Validate: the KB is dirty (wrong creator type, two capitals).
-	vs := reason.Validate(g, sigma, 0)
+	vs, err := eng.Validate(ctx, g, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(vs) < 2 {
 		t.Fatalf("expected at least 2 violations, got %d", len(vs))
 	}
 	// Parallel validation agrees.
-	pvs := reason.ValidateParallel(g, sigma, 0, 4)
+	pvs, err := gedlib.New(gedlib.WithWorkers(4)).Validate(ctx, g, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pvs) != len(vs) {
 		t.Fatalf("parallel validation disagrees: %d vs %d", len(pvs), len(vs))
 	}
 
 	// 4. Repair. The creator type contradicts a constant — unrepairable
 	// as-is, so the chase reports the conflict.
-	r := repair.Run(g, sigma)
+	r, err := eng.Repair(ctx, g, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Repaired {
 		t.Fatal("psychologist-vs-programmer conflict must be unrepairable")
 	}
 	// Clear the contradicting value and repair again: now the constant
 	// can be written and the capital names unified.
-	g.SetAttr(ids["gibson"], "type", graph.String("programmer"))
-	g.SetAttr(ids["stpetersburg"], "name", graph.String("Helsinki"))
-	r = repair.Run(g, sigma)
+	g.SetAttr(ids["gibson"], "type", gedlib.String("programmer"))
+	g.SetAttr(ids["stpetersburg"], "name", gedlib.String("Helsinki"))
+	r, err = eng.Repair(ctx, g, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.Repaired {
 		t.Fatalf("repair failed: %v", r.Conflict)
 	}
-	if !reason.Satisfies(r.Graph, sigma) {
+	if !gedlib.Satisfies(r.Graph, sigma) {
 		t.Fatal("repaired graph must satisfy the rules")
 	}
 
 	// 5. The rule set is satisfiable and sensible.
-	sat := reason.CheckSat(sigma)
-	if !sat.Satisfiable || !reason.IsModel(sat.Model, sigma) {
+	sat, err := eng.CheckSat(ctx, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat.Satisfiable || !gedlib.IsModel(sat.Model, sigma) {
 		t.Fatal("rule set must be satisfiable with a certified model")
 	}
 
 	// 6. Implication with a proof: the capital rule implies its
 	// reflexive weakening, with a machine-checked A_GED derivation.
 	phi2 := sigma[1]
-	weak := ged.New("weak", phi2.Pattern, phi2.Y, phi2.Y)
-	if !reason.Implies(sigma, weak).Implied {
-		t.Fatal("X → X must be implied")
-	}
-	proof, err := axiom.Prove(sigma, weak)
+	weak := gedlib.NewRule("weak", phi2.Pattern, phi2.Y, phi2.Y)
+	impl, err := eng.Implies(ctx, sigma, weak)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := axiom.Check(sigma, proof); err != nil {
+	if !impl.Implied {
+		t.Fatal("X → X must be implied")
+	}
+	proof, err := eng.Prove(ctx, sigma, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CheckProof(ctx, sigma, proof); err != nil {
 		t.Fatalf("proof rejected: %v\n%s", err, proof)
 	}
 
 	// 7. Mine rules from the repaired KB; every mined rule holds and
 	// none is implied by another kept rule.
-	mined := discover.GFDs(r.Graph, discover.Options{MinSupport: 1})
+	mined, err := eng.Discover(ctx, r.Graph, gedlib.DiscoverOptions{MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, d := range mined {
-		if !reason.Satisfies(r.Graph, ged.Set{d.GED}) {
+		if !gedlib.Satisfies(r.Graph, gedlib.RuleSet{d.GED}) {
 			t.Fatalf("mined rule does not hold: %s", d.GED)
 		}
 	}
 
 	// 8. Query optimization: asking for a country with two capitals of
 	// different names is empty on every repaired database.
-	q := pattern.New()
+	q := gedlib.NewPattern()
 	q.AddVar("c", "country").AddVar("y", "city").AddVar("z", "city")
 	q.AddEdge("c", "capital", "y")
 	q.AddEdge("c", "capital", "z")
-	query := &optimize.Query{Pattern: q, X: []ged.Literal{
-		ged.ConstLit("y", "name", graph.String("Helsinki")),
-		ged.ConstLit("z", "name", graph.String("Saint Petersburg")),
+	query := &gedlib.Query{Pattern: q, X: []gedlib.Literal{
+		gedlib.ConstLit("y", "name", gedlib.String("Helsinki")),
+		gedlib.ConstLit("z", "name", gedlib.String("Saint Petersburg")),
 	}}
-	opt := optimize.Rewrite(query, sigma)
+	opt, err := eng.OptimizeQuery(ctx, query, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !opt.Empty {
 		t.Fatal("contradictory query must be detected empty")
 	}
 }
 
 func TestEndToEndEntityResolutionScenario(t *testing.T) {
+	ctx := context.Background()
+	eng := gedlib.New()
+
 	// The Example 1(3) scenario driven through the public surfaces:
 	// recursive keys parsed from DSL text, resolution via repair, and
 	// the resolved catalog round-tripped through JSON.
@@ -144,45 +164,44 @@ ged psi3 on (x:album)-[by]->(z:artist), (x':album)-[by]->(z':artist) {
   then z.id = z'.id
 }
 `
-	parsed, err := gedio.Parse(src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	keys, err := gedio.GEDs(parsed)
+	keys, err := gedlib.ParseRules(src)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, k := range keys {
-		if !ged.IsGKey(k) {
+		if !gedlib.IsKey(k) {
 			t.Errorf("%s should be recognized as a GKey", k.Name)
 		}
 	}
 
-	g, stats := gen.MusicDB(31, 40, 0.4)
+	g, stats := workload.MusicDB(31, 40, 0.4)
 	if stats.DupPairs == 0 {
 		t.Skip("no duplicates planted")
 	}
-	r := repair.Run(g, keys)
+	r, err := eng.Repair(ctx, g, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.Repaired {
 		t.Fatalf("resolution failed: %v", r.Conflict)
 	}
 	if r.Graph.NumNodes() >= g.NumNodes() {
 		t.Fatal("duplicates must merge")
 	}
-	if !reason.Satisfies(r.Graph, keys) {
+	if !gedlib.Satisfies(r.Graph, keys) {
 		t.Fatal("resolved catalog must satisfy the keys")
 	}
 
 	// JSON round trip of the resolved catalog.
-	data, err := gedio.MarshalGraph(r.Graph)
+	data, err := gedlib.MarshalGraph(r.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, _, err := gedio.UnmarshalGraph(data)
+	back, _, err := gedlib.LoadGraph(data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reason.Satisfies(back, keys) {
+	if !gedlib.Satisfies(back, keys) {
 		t.Fatal("round-tripped catalog must still satisfy the keys")
 	}
 	if !strings.Contains(string(data), "album") {

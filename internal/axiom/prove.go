@@ -1,6 +1,7 @@
 package axiom
 
 import (
+	"context"
 	"fmt"
 
 	"gedlib/internal/chase"
@@ -25,6 +26,13 @@ import (
 //
 // Prove returns an error when Σ does not imply φ.
 func Prove(sigma ged.Set, phi *ged.GED) (*Proof, error) {
+	return ProveCtx(context.Background(), sigma, phi, 0)
+}
+
+// ProveCtx is Prove with cooperative cancellation and an optional chase
+// round bound: the underlying implication chase (the expensive part of
+// proof construction) aborts when ctx is cancelled or the bound is hit.
+func ProveCtx(ctx context.Context, sigma ged.Set, phi *ged.GED, maxRounds int) (*Proof, error) {
 	if err := phi.Validate(); err != nil {
 		return nil, err
 	}
@@ -40,9 +48,13 @@ func Prove(sigma ged.Set, phi *ged.GED) (*Proof, error) {
 	for _, l := range phi.X {
 		seeds = append(seeds, chase.SeedOf(l, vm))
 	}
+	res, err := chase.RunCtx(ctx, gq, sigma, seeds, maxRounds)
+	if err != nil {
+		return nil, err
+	}
 	pr := &prover{
 		sigma: sigma, phi: phi, vm: vm, inv: inv,
-		res:       chase.RunSeeded(gq, sigma, seeds),
+		res:       res,
 		singleton: make(map[string]int),
 		premises:  make(map[int]int),
 	}

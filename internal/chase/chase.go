@@ -1,12 +1,18 @@
 package chase
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"gedlib/internal/ged"
 	"gedlib/internal/graph"
 	"gedlib/internal/pattern"
 )
+
+// ErrDepthExceeded is returned by RunCtx when the chase has not reached
+// a fixpoint within the configured number of rounds.
+var ErrDepthExceeded = errors.New("chase: depth bound exceeded")
 
 // Coercion is the graph G_Eq of Section 4.1 together with the maps
 // relating it to the base graph: each node class becomes one node,
@@ -117,20 +123,57 @@ func Run(g *graph.Graph, sigma ged.Set) *Result {
 // applied with ReasonGiven in order; a conflicting seed set makes the
 // chase invalid immediately (an inconsistent Eq_X, Section 4.1 case (b)).
 func RunSeeded(g *graph.Graph, sigma ged.Set, seeds []Seed) *Result {
+	res, _ := RunCtx(context.Background(), g, sigma, seeds, 0)
+	return res
+}
+
+// RunCtx is RunSeeded with cooperative cancellation and an optional
+// round bound. The chase checks ctx between rounds, between matches and
+// inside the matcher's backtracking search; on cancellation the partial
+// Result (with its coercion materialized when the relation is still
+// consistent) is returned alongside ctx's error. maxRounds > 0 bounds
+// the number of fixpoint rounds (each round applies every GED over the
+// current coercion); if the chase has not converged within the bound,
+// ErrDepthExceeded is returned with the partial result. maxRounds <= 0
+// means unbounded — the chase always terminates by Theorem 1, so the
+// bound is a resource valve, not a semantics knob.
+func RunCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, seeds []Seed, maxRounds int) (*Result, error) {
 	eq := NewEq(g)
 	res := &Result{Eq: eq, Sigma: sigma}
+	// abort finalizes an interrupted chase: the partial result still
+	// carries a usable coercion so callers holding it do not trip over a
+	// nil Coercion in Materialize.
+	abort := func(err error) (*Result, error) {
+		if eq.Consistent() {
+			res.Coercion = Coerce(eq)
+		}
+		return res, err
+	}
 	for i, s := range seeds {
 		applyLiteral(eq, s.Literal, s.Nodes, Reason{Kind: ReasonGiven, Seed: i})
 		if !eq.Consistent() {
-			return res
+			return res, nil
 		}
 	}
+	stop := func() bool { return ctx.Err() != nil }
+	rounds := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return abort(err)
+		}
+		if maxRounds > 0 && rounds >= maxRounds {
+			return abort(ErrDepthExceeded)
+		}
+		rounds++
 		co := Coerce(eq)
 		changed := false
+		var ctxErr error
 		for gi, d := range sigma {
 			pat := d.Pattern
-			pattern.ForEachMatch(pat, co.Graph, func(m pattern.Match) bool {
+			pattern.ForEachMatchCancel(pat, co.Graph, stop, func(m pattern.Match) bool {
+				if ctxErr = ctx.Err(); ctxErr != nil {
+					return false
+				}
 				// Translate the coercion match to base-graph class
 				// representatives; representatives stay valid across
 				// merges performed later in this iteration.
@@ -155,8 +198,11 @@ func RunSeeded(g *graph.Graph, sigma ged.Set, seeds []Seed) *Result {
 				}
 				return true
 			})
+			if ctxErr = ctx.Err(); ctxErr != nil {
+				return abort(ctxErr)
+			}
 			if !eq.Consistent() {
-				return res
+				return res, nil
 			}
 		}
 		if !changed {
@@ -164,7 +210,7 @@ func RunSeeded(g *graph.Graph, sigma ged.Set, seeds []Seed) *Result {
 		}
 	}
 	res.Coercion = Coerce(eq)
-	return res
+	return res, nil
 }
 
 // satisfiesAll reports h(x̄) ⊨ X under eq: every literal holds, with the

@@ -22,6 +22,9 @@ func (r *Result) Materialize() *graph.Graph {
 	if !r.Consistent() {
 		panic("chase: materializing an invalid chase")
 	}
+	if r.Coercion == nil {
+		panic("chase: materializing a result without a coercion")
+	}
 	eq, co := r.Eq, r.Coercion
 	out := graph.New()
 	freshLabels := 0

@@ -20,9 +20,12 @@
 package discover
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"gedlib/internal/chase"
 	"gedlib/internal/ged"
 	"gedlib/internal/graph"
 	"gedlib/internal/pattern"
@@ -67,24 +70,56 @@ type Discovered struct {
 // GFDs mines rules from g. Results are deterministic: rules are
 // generated and kept in a canonical order.
 func GFDs(g *graph.Graph, opt Options) []Discovered {
+	out, _ := GFDsCtx(context.Background(), g, opt, 0)
+	return out
+}
+
+// GFDsCtx is GFDs with cooperative cancellation: ctx is threaded into
+// shape-match enumeration and into the implication chases that prune
+// redundant candidates, so a cancelled context aborts the search
+// mid-shape. maxRounds (<= 0 means unbounded) bounds each pruning
+// chase; a candidate whose pruning chase exceeds the bound is kept —
+// mining stays exact, pruning is best-effort under a resource cap. The
+// rules kept before an abort are returned alongside ctx's error.
+func GFDsCtx(ctx context.Context, g *graph.Graph, opt Options, maxRounds int) ([]Discovered, error) {
 	var out []Discovered
+	var ctxErr error
 	keep := func(d Discovered) {
+		if ctxErr != nil || ctx.Err() != nil {
+			return
+		}
 		if !opt.SkipPruning {
 			var kept ged.Set
 			for _, k := range out {
 				kept = append(kept, k.GED)
 			}
-			if len(kept) > 0 && reason.Implies(kept, d.GED).Implied {
-				return
+			if len(kept) > 0 {
+				impl, err := reason.ImpliesCtx(ctx, kept, d.GED, maxRounds)
+				switch {
+				case errors.Is(err, chase.ErrDepthExceeded):
+					// Implication unknown within the bound: keep the
+					// (exactly verified) rule rather than guess.
+				case err != nil:
+					ctxErr = err
+					return
+				case impl.Implied:
+					return
+				}
 			}
 		}
 		out = append(out, d)
 	}
 
-	for _, sh := range shapes(g) {
-		mineShape(g, sh, opt, keep)
+	for _, sh := range shapes(ctx, g) {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		mineShape(ctx, g, sh, opt, keep)
+		if ctxErr != nil {
+			return out, ctxErr
+		}
 	}
-	return out
+	return out, ctx.Err()
 }
 
 // shape is a mining target: a tiny pattern plus its matches.
@@ -94,9 +129,19 @@ type shape struct {
 	matches []pattern.Match
 }
 
-// shapes enumerates single-node and single-edge shapes present in g.
-func shapes(g *graph.Graph) []shape {
+// shapes enumerates single-node and single-edge shapes present in g,
+// aborting match collection when ctx is cancelled.
+func shapes(ctx context.Context, g *graph.Graph) []shape {
 	var out []shape
+	stop := func() bool { return ctx.Err() != nil }
+	collect := func(p *pattern.Pattern) []pattern.Match {
+		var ms []pattern.Match
+		pattern.ForEachMatchCancel(p, g, stop, func(m pattern.Match) bool {
+			ms = append(ms, m.Clone())
+			return ctx.Err() == nil
+		})
+		return ms
+	}
 	// Node shapes per concrete label.
 	labels := map[graph.Label]bool{}
 	for _, id := range g.Nodes() {
@@ -116,7 +161,7 @@ func shapes(g *graph.Graph) []shape {
 		out = append(out, shape{
 			name:    fmt.Sprintf("(%s)", l),
 			pattern: p,
-			matches: pattern.FindMatches(p, g, 0),
+			matches: collect(p),
 		})
 	}
 	// Edge shapes per (srcLabel, edgeLabel, dstLabel) triple.
@@ -145,14 +190,15 @@ func shapes(g *graph.Graph) []shape {
 		out = append(out, shape{
 			name:    fmt.Sprintf("(%s)-[%s]->(%s)", t.s, t.e, t.d),
 			pattern: p,
-			matches: pattern.FindMatches(p, g, 0),
+			matches: collect(p),
 		})
 	}
 	return out
 }
 
-// mineShape emits the rules of one shape through keep.
-func mineShape(g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
+// mineShape emits the rules of one shape through keep, abandoning the
+// shape as soon as ctx is cancelled.
+func mineShape(ctx context.Context, g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
 	if len(sh.matches) < opt.minSupport() {
 		return
 	}
@@ -194,6 +240,9 @@ func mineShape(g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
 	// Constant rules: x.A = c in every match.
 	for _, v := range vars {
 		for _, a := range sortedAttrs(v) {
+			if ctx.Err() != nil {
+				return
+			}
 			st := stats[v][a]
 			if st.present != n || len(st.values) != 1 {
 				continue
@@ -204,7 +253,7 @@ func mineShape(g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
 			}
 			rule := ged.New(fmt.Sprintf("const:%s.%s@%s", v, a, sh.name),
 				sh.pattern, nil, []ged.Literal{ged.ConstLit(v, a, c)})
-			emitVerified(g, rule, n, keep)
+			emitVerified(ctx, g, rule, n, keep)
 		}
 	}
 
@@ -213,6 +262,9 @@ func mineShape(g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
 		x, y := vars[0], vars[1]
 		for _, a := range sortedAttrs(x) {
 			for _, b := range sortedAttrs(y) {
+				if ctx.Err() != nil {
+					return
+				}
 				holds := 0
 				for _, m := range sh.matches {
 					va, ok1 := g.Attr(m[x], a)
@@ -226,7 +278,7 @@ func mineShape(g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
 				}
 				rule := ged.New(fmt.Sprintf("var:%s.%s=%s.%s@%s", x, a, y, b, sh.name),
 					sh.pattern, nil, []ged.Literal{ged.VarLit(x, a, y, b)})
-				emitVerified(g, rule, n, keep)
+				emitVerified(ctx, g, rule, n, keep)
 			}
 		}
 	}
@@ -234,6 +286,9 @@ func mineShape(g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
 	// Conditional rules: (v.A = c) → (w.B = d), with small domains.
 	for _, v := range vars {
 		for _, a := range sortedAttrs(v) {
+			if ctx.Err() != nil {
+				return
+			}
 			st := stats[v][a]
 			if len(st.values) > opt.maxDomain() {
 				continue
@@ -256,6 +311,9 @@ func mineShape(g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
 				}
 				for _, w := range vars {
 					for _, b := range sortedAttrs(w) {
+						if ctx.Err() != nil {
+							return
+						}
 						if w == v && b == a {
 							continue
 						}
@@ -284,7 +342,7 @@ func mineShape(g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
 							sh.pattern,
 							[]ged.Literal{ged.ConstLit(v, a, c)},
 							[]ged.Literal{ged.ConstLit(w, b, *d)})
-						emitVerified(g, rule, len(sel), keep)
+						emitVerified(ctx, g, rule, len(sel), keep)
 					}
 				}
 			}
@@ -292,9 +350,12 @@ func mineShape(g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
 	}
 }
 
-// emitVerified double-checks the rule exactly before keeping it.
-func emitVerified(g *graph.Graph, rule *ged.GED, support int, keep func(Discovered)) {
-	if len(reason.Validate(g, ged.Set{rule}, 1)) != 0 {
+// emitVerified double-checks the rule exactly before keeping it; the
+// verification itself honors ctx, so cancellation cannot strand a
+// full-graph validation.
+func emitVerified(ctx context.Context, g *graph.Graph, rule *ged.GED, support int, keep func(Discovered)) {
+	vs, err := reason.ValidateCtx(ctx, g, ged.Set{rule}, 1)
+	if err != nil || len(vs) != 0 {
 		return // should not happen; mining is exact, but stay safe
 	}
 	keep(Discovered{GED: rule, Support: support})

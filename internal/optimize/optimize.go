@@ -21,6 +21,7 @@
 package optimize
 
 import (
+	"context"
 	"sort"
 
 	"gedlib/internal/chase"
@@ -61,6 +62,14 @@ type Result struct {
 
 // Rewrite optimizes q under Σ.
 func Rewrite(q *Query, sigma ged.Set) *Result {
+	out, _ := RewriteCtx(context.Background(), q, sigma, 0)
+	return out
+}
+
+// RewriteCtx is Rewrite with cooperative cancellation and an optional
+// chase round bound (see chase.RunCtx). On cancellation or an exceeded
+// bound the error is non-nil and the result is not meaningful.
+func RewriteCtx(ctx context.Context, q *Query, sigma ged.Set, maxRounds int) (*Result, error) {
 	gq, vm := q.Pattern.ToGraph()
 	inv := make(map[graph.NodeID]pattern.Var, len(vm))
 	for v, n := range vm {
@@ -70,9 +79,12 @@ func Rewrite(q *Query, sigma ged.Set) *Result {
 	for _, l := range q.X {
 		seeds = append(seeds, chase.SeedOf(l, vm))
 	}
-	res := chase.RunSeeded(gq, sigma, seeds)
+	res, err := chase.RunCtx(ctx, gq, sigma, seeds, maxRounds)
+	if err != nil {
+		return nil, err
+	}
 	if !res.Consistent() {
-		return &Result{Empty: true}
+		return &Result{Empty: true}, nil
 	}
 	eq := res.Eq
 
@@ -155,7 +167,7 @@ func Rewrite(q *Query, sigma ged.Set) *Result {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 func substituteVars(l ged.Literal, m map[pattern.Var]pattern.Var) ged.Literal {

@@ -27,8 +27,15 @@ type matcher struct {
 	adj   map[Var][]Edge   // pattern edges incident to each variable
 	bind  Match            // current partial assignment
 	yield func(Match) bool // returns false to stop enumeration
+	stop  func() bool      // polled inside the search; true aborts
+	tick  uint32           // amortizes stop polling
 	done  bool
 }
+
+// stopEvery is how many search steps pass between stop polls: frequent
+// enough that a cancelled context aborts even a match-free exponential
+// search promptly, rare enough to stay off the hot path.
+const stopEvery = 1024
 
 // Plan is a compiled matching plan for one (pattern, graph) pair: the
 // variable order and adjacency index are computed once and shared across
@@ -58,6 +65,14 @@ func Compile(p *Pattern, g *graph.Graph) *Plan {
 // (which may be nil). Pre-bindings violating labels or edges yield no
 // matches. The Match passed to yield is reused; clone it to retain it.
 func (pl *Plan) ForEachBound(pre Match, yield func(Match) bool) {
+	pl.ForEachBoundCancel(pre, nil, yield)
+}
+
+// ForEachBoundCancel is ForEachBound with a cooperative abort hook:
+// stop (when non-nil) is polled periodically *inside* the backtracking
+// search, so even an exponential exploration that never completes a
+// match can be cut short. Enumeration ends when stop returns true.
+func (pl *Plan) ForEachBoundCancel(pre Match, stop func() bool, yield func(Match) bool) {
 	if len(pl.p.vars) == 0 {
 		yield(Match{})
 		return
@@ -68,6 +83,7 @@ func (pl *Plan) ForEachBound(pre Match, yield func(Match) bool) {
 		adj:   pl.adj,
 		bind:  make(Match, len(pl.p.vars)),
 		yield: yield,
+		stop:  stop,
 	}
 	for v, n := range pre {
 		if !pl.p.HasVar(v) {
@@ -97,6 +113,12 @@ func (pl *Plan) ForEachBound(pre Match, yield func(Match) bool) {
 // the low-overhead primitive behind parallel validation. Candidates that
 // violate the pivot's label or incident edges are skipped.
 func (pl *Plan) ForEachPivot(pivot Var, cands []graph.NodeID, yield func(Match) bool) {
+	pl.ForEachPivotCancel(pivot, cands, nil, yield)
+}
+
+// ForEachPivotCancel is ForEachPivot with the cooperative abort hook of
+// ForEachBoundCancel.
+func (pl *Plan) ForEachPivotCancel(pivot Var, cands []graph.NodeID, stop func() bool, yield func(Match) bool) {
 	if !pl.p.HasVar(pivot) {
 		return
 	}
@@ -106,6 +128,7 @@ func (pl *Plan) ForEachPivot(pivot Var, cands []graph.NodeID, yield func(Match) 
 		adj:   pl.adj,
 		bind:  make(Match, len(pl.p.vars)),
 		yield: yield,
+		stop:  stop,
 	}
 	order := make([]Var, 0, len(pl.order))
 	for _, v := range pl.order {
@@ -132,6 +155,12 @@ func (pl *Plan) ForEachPivot(pivot Var, cands []graph.NodeID, yield func(Match) 
 // yield is reused between invocations; clone it to retain it.
 func ForEachMatch(p *Pattern, g *graph.Graph, yield func(Match) bool) {
 	Compile(p, g).ForEachBound(nil, yield)
+}
+
+// ForEachMatchCancel is ForEachMatch with the cooperative abort hook of
+// ForEachBoundCancel.
+func ForEachMatchCancel(p *Pattern, g *graph.Graph, stop func() bool, yield func(Match) bool) {
+	Compile(p, g).ForEachBoundCancel(nil, stop, yield)
 }
 
 // ForEachMatchBound enumerates the matches of p in g extending the
@@ -242,6 +271,13 @@ func planOrder(p *Pattern, g *graph.Graph) []Var {
 func (m *matcher) search(i int) {
 	if m.done {
 		return
+	}
+	if m.stop != nil {
+		m.tick++
+		if m.tick%stopEvery == 0 && m.stop() {
+			m.done = true
+			return
+		}
 	}
 	if i == len(m.order) {
 		if !m.yield(m.bind) {

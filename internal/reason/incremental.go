@@ -1,6 +1,7 @@
 package reason
 
 import (
+	"context"
 	"fmt"
 
 	"gedlib/internal/ged"
@@ -26,13 +27,26 @@ import (
 // Matches touching several affected nodes are reported once. The result
 // order is canonical, as in ValidateParallel.
 func ValidateTouching(g *graph.Graph, sigma ged.Set, nodes []graph.NodeID, limit int) []Violation {
+	out, _ := ValidateTouchingCtx(context.Background(), g, sigma, nodes, limit)
+	return out
+}
+
+// ValidateTouchingCtx is ValidateTouching with cooperative cancellation,
+// checked between candidate matches; the violations found before the
+// abort are returned alongside ctx's error.
+func ValidateTouchingCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, nodes []graph.NodeID, limit int) ([]Violation, error) {
 	var out []Violation
+	var ctxErr error
+	stop := func() bool { return ctx.Err() != nil }
 	seen := make(map[string]bool)
 	for gi, d := range sigma {
 		pl := pattern.Compile(d.Pattern, g)
 		vars := d.Pattern.Vars()
 		for _, pivot := range vars {
-			pl.ForEachPivot(pivot, nodes, func(m pattern.Match) bool {
+			pl.ForEachPivotCancel(pivot, nodes, stop, func(m pattern.Match) bool {
+				if ctxErr = ctx.Err(); ctxErr != nil {
+					return false
+				}
 				// Dedup: a match with several affected bindings is found
 				// once per (pivot, binding); canonicalize.
 				key := matchKey(gi, vars, m)
@@ -53,13 +67,21 @@ func ValidateTouching(g *graph.Graph, sigma ged.Set, nodes []graph.NodeID, limit
 				}
 				return true
 			})
+			ctxErr = ctx.Err()
+			if ctxErr != nil {
+				break
+			}
+		}
+		if ctxErr != nil {
+			break
 		}
 	}
+	// Partial results keep the contract: canonical order, limit applied.
 	sortViolations(out, sigma)
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
-	return out
+	return out, ctxErr
 }
 
 // StillViolating re-checks a previously-found violation against the

@@ -1,6 +1,7 @@
 package reason
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strconv"
@@ -24,11 +25,21 @@ import (
 // (a positive limit bounds the result but, unlike Validate, the workers
 // may transiently find more).
 func ValidateParallel(g *graph.Graph, sigma ged.Set, limit, workers int) []Violation {
+	out, _ := ValidateParallelCtx(context.Background(), g, sigma, limit, workers)
+	return out
+}
+
+// ValidateParallelCtx is ValidateParallel with cooperative cancellation:
+// every worker checks ctx between candidate matches and between tasks,
+// so a cancelled context drains the whole pool promptly. The (canonical,
+// possibly partial) violations found before the abort are returned
+// alongside ctx's error.
+func ValidateParallelCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, limit, workers int) ([]Violation, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return Validate(g, sigma, limit)
+		return ValidateCtx(ctx, g, sigma, limit)
 	}
 
 	// One compiled plan per GED, shared by all workers; tasks are
@@ -70,15 +81,22 @@ func ValidateParallel(g *graph.Graph, sigma ged.Set, limit, workers int) []Viola
 	var mu sync.Mutex
 	var out []Violation
 	var wg sync.WaitGroup
+	stop := func() bool { return ctx.Err() != nil }
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var local []Violation
 			for t := range ch {
+				if ctx.Err() != nil {
+					break
+				}
 				d := sigma[t.gedIdx]
 				pl := plans[t.gedIdx]
 				collect := func(m pattern.Match) bool {
+					if ctx.Err() != nil {
+						return false
+					}
 					for _, l := range d.X {
 						if !HoldsInGraph(g, l, m) {
 							return true
@@ -93,10 +111,10 @@ func ValidateParallel(g *graph.Graph, sigma ged.Set, limit, workers int) []Viola
 					return true
 				}
 				if t.cands == nil {
-					pl.ForEachBound(nil, collect)
+					pl.ForEachBoundCancel(nil, stop, collect)
 					continue
 				}
-				pl.ForEachPivot(t.pivot, t.cands, collect)
+				pl.ForEachPivotCancel(t.pivot, t.cands, stop, collect)
 			}
 			if len(local) > 0 {
 				mu.Lock()
@@ -111,7 +129,7 @@ func ValidateParallel(g *graph.Graph, sigma ged.Set, limit, workers int) []Viola
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
-	return out
+	return out, ctx.Err()
 }
 
 // pivotVar picks the variable with the smallest candidate set, returning

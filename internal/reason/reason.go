@@ -16,6 +16,8 @@
 package reason
 
 import (
+	"context"
+
 	"gedlib/internal/chase"
 	"gedlib/internal/ged"
 	"gedlib/internal/graph"
@@ -38,13 +40,24 @@ type SatResult struct {
 // Section 5.1, by chasing the canonical graph G_Σ (Theorem 2: Σ is
 // satisfiable iff chase(G_Σ, Σ) is consistent).
 func CheckSat(sigma ged.Set) *SatResult {
+	out, _ := CheckSatCtx(context.Background(), sigma, 0)
+	return out
+}
+
+// CheckSatCtx is CheckSat with cooperative cancellation and an optional
+// chase round bound (see chase.RunCtx). On cancellation or an exceeded
+// bound the error is non-nil and the result is not meaningful.
+func CheckSatCtx(ctx context.Context, sigma ged.Set, maxRounds int) (*SatResult, error) {
 	gs, _ := sigma.CanonicalGraph()
-	res := chase.Run(gs, sigma)
+	res, err := chase.RunCtx(ctx, gs, sigma, nil, maxRounds)
+	if err != nil {
+		return nil, err
+	}
 	out := &SatResult{Satisfiable: res.Consistent(), Chase: res}
 	if res.Consistent() {
 		out.Model = res.Materialize()
 	}
-	return out
+	return out, nil
 }
 
 // DecideSat answers only the yes/no satisfiability question. For GFDx
@@ -79,22 +92,32 @@ type ImplResult struct {
 // inconsistent, or it is consistent and every literal of Y can be
 // deduced from its result.
 func Implies(sigma ged.Set, phi *ged.GED) *ImplResult {
+	out, _ := ImpliesCtx(context.Background(), sigma, phi, 0)
+	return out
+}
+
+// ImpliesCtx is Implies with cooperative cancellation and an optional
+// chase round bound (see chase.RunCtx).
+func ImpliesCtx(ctx context.Context, sigma ged.Set, phi *ged.GED, maxRounds int) (*ImplResult, error) {
 	gq, vm := phi.Pattern.ToGraph()
 	seeds := make([]chase.Seed, 0, len(phi.X))
 	for _, l := range phi.X {
 		seeds = append(seeds, chase.SeedOf(l, vm))
 	}
-	res := chase.RunSeeded(gq, sigma, seeds)
+	res, err := chase.RunCtx(ctx, gq, sigma, seeds, maxRounds)
+	if err != nil {
+		return nil, err
+	}
 	if !res.Consistent() {
-		return &ImplResult{Implied: true, ByInconsistency: true, Chase: res}
+		return &ImplResult{Implied: true, ByInconsistency: true, Chase: res}, nil
 	}
 	for _, l := range phi.Y {
 		if !res.Deduced(l, vm) {
 			ll := l
-			return &ImplResult{Implied: false, Chase: res, Missing: &ll}
+			return &ImplResult{Implied: false, Chase: res, Missing: &ll}, nil
 		}
 	}
-	return &ImplResult{Implied: true, Chase: res}
+	return &ImplResult{Implied: true, Chase: res}, nil
 }
 
 // Violation is one witness that G ⊭ Σ: a match of a GED's pattern that
@@ -112,10 +135,24 @@ type Violation struct {
 // Validate finds violations of Σ in G, up to limit (limit <= 0 means
 // all). G ⊨ Σ iff the result is empty (Section 5.3).
 func Validate(g *graph.Graph, sigma ged.Set, limit int) []Violation {
+	out, _ := ValidateCtx(context.Background(), g, sigma, limit)
+	return out
+}
+
+// ValidateCtx is Validate with cooperative cancellation: ctx is checked
+// between candidate matches and, via the matcher's abort hook, inside
+// the backtracking search itself — so a cancelled context aborts even a
+// match-free exponential exploration. The violations found so far are
+// returned alongside ctx's error.
+func ValidateCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, limit int) ([]Violation, error) {
 	var out []Violation
+	stop := func() bool { return ctx.Err() != nil }
 	for _, d := range sigma {
 		d := d
-		pattern.ForEachMatch(d.Pattern, g, func(m pattern.Match) bool {
+		pattern.ForEachMatchCancel(d.Pattern, g, stop, func(m pattern.Match) bool {
+			if ctx.Err() != nil {
+				return false
+			}
 			for _, l := range d.X {
 				if !HoldsInGraph(g, l, m) {
 					return true
@@ -129,11 +166,14 @@ func Validate(g *graph.Graph, sigma ged.Set, limit int) []Violation {
 			}
 			return limit <= 0 || len(out) < limit
 		})
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		if limit > 0 && len(out) >= limit {
 			break
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Satisfies reports G ⊨ Σ.

@@ -14,6 +14,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 
 	"gedlib/internal/chase"
@@ -84,21 +85,32 @@ type Result struct {
 
 // Run repairs g under sigma. The input graph is not modified.
 func Run(g *graph.Graph, sigma ged.Set) *Result {
+	out, _ := RunCtx(context.Background(), g, sigma, 0)
+	return out
+}
+
+// RunCtx is Run with cooperative cancellation and an optional chase
+// round bound (see chase.RunCtx). On cancellation or an exceeded bound
+// the error is non-nil and the result is not meaningful.
+func RunCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, maxRounds int) (*Result, error) {
 	work := g.Clone()
-	res := chase.Run(work, sigma)
+	res, err := chase.RunCtx(ctx, work, sigma, nil, maxRounds)
+	if err != nil {
+		return nil, err
+	}
 	out := &Result{}
 	if !res.Consistent() {
 		out.Conflict = res.Eq.Conflict()
 		if n := len(res.Steps); n > 0 {
 			out.ConflictRule = sigma[res.Steps[n-1].GED].Name
 		}
-		return out
+		return out, nil
 	}
 	out.Repaired = true
 	out.Graph = res.Materialize()
 	out.NodeOf = res.Coercion.NodeOf
 	out.Edits = editScript(g, res, sigma)
-	return out
+	return out, nil
 }
 
 // editScript translates the chase trace into user-facing edits.
