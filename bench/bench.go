@@ -36,3 +36,17 @@ func GFDxSatConstant(sizes []int) []ScalingPoint { return bench.GFDxSatConstant(
 
 // WriteScaling renders a scaling series as an aligned table.
 func WriteScaling(w io.Writer, name string, pts []ScalingPoint) { bench.WriteScaling(w, name, pts) }
+
+// ComparisonPoint is one measurement of the storage-model comparison:
+// validation over the mutable map-backed graph versus the frozen CSR
+// snapshot.
+type ComparisonPoint = bench.ComparisonPoint
+
+// CompareValidation measures both validation storage paths on growing
+// knowledge-base workloads; the two paths return identical violation
+// sets, so the comparison is pure representation cost.
+func CompareValidation(scales []int) []ComparisonPoint { return bench.CompareValidation(scales) }
+
+// WriteComparison renders the storage-model comparison as an aligned
+// table.
+func WriteComparison(w io.Writer, pts []ComparisonPoint) { bench.WriteComparison(w, pts) }

@@ -3,12 +3,18 @@
 //	gedbench -experiment table1            # Table 1 decision matrix
 //	gedbench -experiment table1 -full      # include the slowest instances
 //	gedbench -experiment scaling           # Section 5.3 tractable case + O(1) row
+//	gedbench -experiment validate          # snapshot vs map storage comparison
 //	gedbench -experiment all
+//
+// With -json, each experiment additionally writes a machine-readable
+// BENCH_<experiment>.json file to the current directory, feeding the
+// repository's performance trajectory.
 //
 // See EXPERIMENTS.md for how each experiment maps to the paper.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,9 +22,12 @@ import (
 	"gedlib/bench"
 )
 
+var emitJSON bool
+
 func main() {
-	experiment := flag.String("experiment", "table1", "table1 | scaling | all")
+	experiment := flag.String("experiment", "table1", "table1 | scaling | validate | all")
 	full := flag.Bool("full", false, "include the slowest instances (Grötzsch graph)")
+	flag.BoolVar(&emitJSON, "json", false, "also write BENCH_<experiment>.json files")
 	flag.Parse()
 
 	switch *experiment {
@@ -26,14 +35,37 @@ func main() {
 		table1(*full)
 	case "scaling":
 		scaling()
+	case "validate":
+		validate()
 	case "all":
 		table1(*full)
 		fmt.Println()
 		scaling()
+		fmt.Println()
+		validate()
 	default:
 		fmt.Fprintln(os.Stderr, "gedbench: unknown experiment", *experiment)
 		os.Exit(2)
 	}
+}
+
+// writeJSON persists one experiment's results as BENCH_<name>.json.
+func writeJSON(name string, v any) {
+	if !emitJSON {
+		return
+	}
+	path := "BENCH_" + name + ".json"
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gedbench: marshal", path+":", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gedbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
 }
 
 func table1(full bool) {
@@ -42,7 +74,13 @@ func table1(full bool) {
 	fmt.Println()
 	rep := bench.Table1(!full)
 	rep.Write(os.Stdout)
-	if ok, total := rep.Correct(); ok != total {
+	ok, total := rep.Correct()
+	writeJSON("table1", struct {
+		Rows    []bench.Row `json:"rows"`
+		Correct int         `json:"correct"`
+		Total   int         `json:"total"`
+	}{rep.Rows, ok, total})
+	if ok != total {
 		os.Exit(1)
 	}
 }
@@ -55,4 +93,19 @@ func scaling() {
 	fmt.Println("Theorem 3: GFDx satisfiability is O(1)")
 	cpts := bench.GFDxSatConstant([]int{4, 8, 16, 32, 64})
 	bench.WriteScaling(os.Stdout, "GFDx satisfiability (time flat as |Σ| grows):", cpts)
+	writeJSON("scaling", struct {
+		BoundedPatternValidation []bench.ScalingPoint `json:"bounded_pattern_validation"`
+		GFDxSatConstant          []bench.ScalingPoint `json:"gfdx_sat_constant"`
+	}{pts, cpts})
+}
+
+func validate() {
+	fmt.Println("Storage model: map-backed graph vs frozen CSR snapshot")
+	fmt.Println("(same matcher, same rules, identical violation sets; cached = Engine steady state)")
+	fmt.Println()
+	pts := bench.CompareValidation([]int{200, 400, 800, 1600})
+	bench.WriteComparison(os.Stdout, pts)
+	writeJSON("validate", struct {
+		Points []bench.ComparisonPoint `json:"points"`
+	}{pts})
 }

@@ -23,4 +23,27 @@
 // bench_test.go regenerate Table 1; run them with
 //
 //	go test -bench=. -benchmem
+//
+// # Storage model
+//
+// Graph is the mutable build-time representation. The hot analyses run
+// on Snapshot, a frozen read-only copy built by Graph.Freeze: labels,
+// attribute names and values interned into dense ints, CSR in/out
+// adjacency grouped and sorted by edge label, per-label node postings
+// and degree statistics, and the attribute-value index folded in.
+// Snapshots are immutable and safe for unsynchronized concurrent
+// readers; they reflect the graph at freeze time (compare
+// Snapshot.SourceVersion against Graph.Version to detect staleness).
+//
+// Callers normally never freeze explicitly: the Engine caches one
+// snapshot keyed on the graph's mutation counter, so repeated Validate,
+// Satisfies and Discover calls on an unchanged graph pay the freeze
+// cost once; any mutation invalidates the cache on the next call.
+// ValidateIncremental — which by definition runs right after mutations
+// — matches over the mutable graph instead, reusing the cached
+// snapshot only when it is still fresh. Matching over a Snapshot and
+// over its source Graph yields exactly the same result sets — only the
+// cost (and, under a positive violation limit, the enumeration-order
+// prefix) differs; the canonical-order APIs sort before truncating and
+// are host-independent even with a limit.
 package gedlib

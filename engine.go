@@ -3,6 +3,7 @@ package gedlib
 import (
 	"context"
 	"errors"
+	"sync"
 
 	"gedlib/internal/axiom"
 	"gedlib/internal/chase"
@@ -23,12 +24,58 @@ var ErrChaseDepthExceeded = chase.ErrDepthExceeded
 // return its error, so a server can bound each request with
 // context.WithTimeout.
 //
-// An Engine is cheap, immutable after New, and safe for concurrent use:
-// all state lives in the arguments of each call.
+// An Engine is cheap, configured once at New, and safe for concurrent
+// use. Its only mutable state is an internal snapshot cache: the
+// graph-bound methods (Validate, ValidateIncremental, Satisfies,
+// Discover) freeze the graph into a read-only gedlib.Snapshot and key
+// the cached copy on the graph's mutation counter (Graph.Version), so
+// repeated calls on an unchanged graph pay the freeze cost once. The
+// cache holds one snapshot — the last graph seen — and is guarded by a
+// mutex, so concurrent calls remain safe; alternating between two
+// graphs on one Engine simply re-freezes each time.
 type Engine struct {
 	workers        int
 	violationLimit int
 	chaseDepth     int
+
+	mu       sync.Mutex
+	snapOf   *Graph
+	snapVer  uint64
+	snapshot *Snapshot
+}
+
+// frozen returns a snapshot of g, reusing the cached one when g and its
+// mutation counter are unchanged since the previous graph-bound call.
+// The freeze itself runs outside the mutex, so one call freezing a cold
+// graph never blocks concurrent calls that hit the cache (two
+// concurrent cold calls may both freeze; the results are equivalent and
+// one wins the cache slot).
+func (e *Engine) frozen(g *Graph) *Snapshot {
+	v := g.Version()
+	e.mu.Lock()
+	if e.snapOf == g && e.snapVer == v && e.snapshot != nil {
+		s := e.snapshot
+		e.mu.Unlock()
+		return s
+	}
+	e.mu.Unlock()
+	s := g.Freeze()
+	e.mu.Lock()
+	e.snapOf, e.snapVer, e.snapshot = g, v, s
+	e.mu.Unlock()
+	return s
+}
+
+// cached returns the fresh cached snapshot of g if one exists, without
+// ever freezing: the incremental path wants the CSR host only when it
+// is already paid for.
+func (e *Engine) cached(g *Graph) *Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.snapOf == g && e.snapVer == g.Version() && e.snapshot != nil {
+		return e.snapshot
+	}
+	return nil
 }
 
 // Option configures an Engine.
@@ -79,23 +126,32 @@ func New(opts ...Option) *Engine {
 // On cancellation the violations found so far are returned together
 // with ctx's error.
 func (e *Engine) Validate(ctx context.Context, g *Graph, sigma RuleSet) ([]Violation, error) {
+	snap := e.frozen(g)
 	if e.workers == 1 {
-		return reason.ValidateCtx(ctx, g, sigma, e.violationLimit)
+		return reason.ValidateOnCtx(ctx, snap, sigma, e.violationLimit)
 	}
-	return reason.ValidateParallelCtx(ctx, g, sigma, e.violationLimit, e.workers)
+	return reason.ValidateParallelOnCtx(ctx, snap, sigma, e.violationLimit, e.workers)
 }
 
 // ValidateIncremental finds the violations of Σ whose match involves at
 // least one of the touched nodes. After a localized update, every *new*
 // violation touches an updated node, so re-checking only those matches
 // replaces a full re-validation.
+//
+// Because this is called right after mutations — when the cached
+// snapshot is stale by definition — it matches over the mutable graph
+// rather than paying a full O(|G|) freeze for a touched-neighborhood
+// check; a still-fresh cached snapshot is used when one exists.
 func (e *Engine) ValidateIncremental(ctx context.Context, g *Graph, sigma RuleSet, touched []NodeID) ([]Violation, error) {
-	return reason.ValidateTouchingCtx(ctx, g, sigma, touched, e.violationLimit)
+	if snap := e.cached(g); snap != nil {
+		return reason.ValidateTouchingOnCtx(ctx, snap, sigma, touched, e.violationLimit)
+	}
+	return reason.ValidateTouchingOnCtx(ctx, g, sigma, touched, e.violationLimit)
 }
 
 // Satisfies reports g ⊨ Σ, stopping at the first violation.
 func (e *Engine) Satisfies(ctx context.Context, g *Graph, sigma RuleSet) (bool, error) {
-	vs, err := reason.ValidateCtx(ctx, g, sigma, 1)
+	vs, err := reason.ValidateOnCtx(ctx, e.frozen(g), sigma, 1)
 	if err != nil {
 		return false, err
 	}
@@ -160,7 +216,7 @@ func (e *Engine) CheckProof(ctx context.Context, sigma RuleSet, p *Proof) error 
 // whose implication check exceeds the bound is kept rather than
 // guessed about.
 func (e *Engine) Discover(ctx context.Context, g *Graph, opt DiscoverOptions) ([]Discovered, error) {
-	return discover.GFDsCtx(ctx, g, opt, e.chaseDepth)
+	return discover.GFDsOnCtx(ctx, g, e.frozen(g), opt, e.chaseDepth)
 }
 
 // OptimizeQuery rewrites a pattern query under rules known to hold on

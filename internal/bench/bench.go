@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -28,15 +29,16 @@ import (
 // Row is one measured cell of the Table 1 reproduction.
 type Row struct {
 	// Class is the dependency class (GED, GFD, GKey, GEDx, GFDx, GDC, GED∨).
-	Class string
+	Class string `json:"class"`
 	// Problem is satisfiability, implication or validation.
-	Problem string
+	Problem string `json:"problem"`
 	// Instance describes the workload.
-	Instance string
+	Instance string `json:"instance"`
 	// Expected and Got are the ground-truth and computed decisions.
-	Expected, Got string
+	Expected string `json:"expected"`
+	Got      string `json:"got"`
 	// Elapsed is the wall-clock time of the decision procedure.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // Report is a collection of measured rows.
@@ -302,8 +304,8 @@ func nodePattern(l graph.Label) *pattern.Pattern {
 
 // ScalingPoint is one measurement of a scaling series.
 type ScalingPoint struct {
-	Size    int
-	Elapsed time.Duration
+	Size    int           `json:"size"`
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // BoundedPatternValidation measures Section 5.3's tractable case:
@@ -342,5 +344,79 @@ func WriteScaling(w io.Writer, name string, pts []ScalingPoint) {
 	fmt.Fprintf(w, "%s\n%-10s %12s\n", name, "SIZE", "TIME")
 	for _, p := range pts {
 		fmt.Fprintf(w, "%-10d %12s\n", p.Size, p.Elapsed.Round(time.Microsecond))
+	}
+}
+
+// ComparisonPoint is one measurement of the storage-model comparison:
+// full validation of the knowledge-base workload over the mutable
+// map-backed graph versus the frozen CSR snapshot (freeze cost
+// included, and separately the amortized re-run against a cached
+// snapshot — the Engine's steady state).
+type ComparisonPoint struct {
+	Size       int           `json:"size"`
+	Violations int           `json:"violations"`
+	Mutable    time.Duration `json:"mutable_ns"`
+	Freeze     time.Duration `json:"freeze_ns"`
+	Snapshot   time.Duration `json:"snapshot_ns"`
+	Cached     time.Duration `json:"cached_ns"`
+}
+
+// Speedup is the steady-state gain of the snapshot path: mutable time
+// over cached-snapshot time.
+func (p ComparisonPoint) Speedup() float64 {
+	if p.Cached <= 0 {
+		return 0
+	}
+	return float64(p.Mutable) / float64(p.Cached)
+}
+
+// CompareValidation measures both validation storage paths on growing
+// knowledge-base workloads under the paper's rules φ₁–φ₄. Both paths
+// run the same matcher over the same rule set and return identical
+// violation sets; only the host representation differs.
+func CompareValidation(scales []int) []ComparisonPoint {
+	ctx := context.Background()
+	sigma := ged.Set{gen.PaperPhi1(), gen.PaperPhi2(), gen.PaperPhi3(), gen.PaperPhi4()}
+	var out []ComparisonPoint
+	for _, n := range scales {
+		g, _ := gen.KnowledgeBase(11, n, 0.1)
+
+		start := time.Now()
+		vs, _ := reason.ValidateOnCtx(ctx, g, sigma, 0)
+		mutable := time.Since(start)
+
+		start = time.Now()
+		snap := g.Freeze()
+		freeze := time.Since(start)
+
+		start = time.Now()
+		vs2, _ := reason.ValidateOnCtx(ctx, snap, sigma, 0)
+		cached := time.Since(start)
+
+		if len(vs) != len(vs2) {
+			panic("bench: storage paths disagree on violation count")
+		}
+		out = append(out, ComparisonPoint{
+			Size:       g.Size(),
+			Violations: len(vs),
+			Mutable:    mutable,
+			Freeze:     freeze,
+			Snapshot:   freeze + cached,
+			Cached:     cached,
+		})
+	}
+	return out
+}
+
+// WriteComparison renders the storage-model comparison.
+func WriteComparison(w io.Writer, pts []ComparisonPoint) {
+	fmt.Fprintf(w, "%-10s %-6s %12s %12s %12s %12s %8s\n",
+		"SIZE", "VIOL", "MUTABLE", "FREEZE", "SNAPSHOT", "CACHED", "SPEEDUP")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10d %-6d %12s %12s %12s %12s %7.2fx\n",
+			p.Size, p.Violations,
+			p.Mutable.Round(time.Microsecond), p.Freeze.Round(time.Microsecond),
+			p.Snapshot.Round(time.Microsecond), p.Cached.Round(time.Microsecond),
+			p.Speedup())
 	}
 }

@@ -166,11 +166,16 @@ func RunCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, seeds []Seed, ma
 		}
 		rounds++
 		co := Coerce(eq)
+		// The coercion graph is immutable for the rest of the round (chase
+		// steps mutate eq, not G_Eq), so it is frozen once per round and
+		// the snapshot's CSR matcher is shared across every GED's match
+		// phase; the next round coerces and re-freezes.
+		host := co.Graph.Freeze()
 		changed := false
 		var ctxErr error
 		for gi, d := range sigma {
 			pat := d.Pattern
-			pattern.ForEachMatchCancel(pat, co.Graph, stop, func(m pattern.Match) bool {
+			pattern.ForEachMatchCancel(pat, host, stop, func(m pattern.Match) bool {
 				if ctxErr = ctx.Err(); ctxErr != nil {
 					return false
 				}

@@ -82,6 +82,15 @@ func GFDs(g *graph.Graph, opt Options) []Discovered {
 // mining stays exact, pruning is best-effort under a resource cap. The
 // rules kept before an abort are returned alongside ctx's error.
 func GFDsCtx(ctx context.Context, g *graph.Graph, opt Options, maxRounds int) ([]Discovered, error) {
+	return GFDsOnCtx(ctx, g, g.Freeze(), opt, maxRounds)
+}
+
+// GFDsOnCtx is GFDsCtx with the matching host supplied by the caller:
+// h is a snapshot of g (the Engine facade passes its cached one), built
+// once and shared across every shape enumeration and every exact
+// verification, while attribute statistics are still gathered from g's
+// native tuples.
+func GFDsOnCtx(ctx context.Context, g *graph.Graph, h pattern.Host, opt Options, maxRounds int) ([]Discovered, error) {
 	var out []Discovered
 	var ctxErr error
 	keep := func(d Discovered) {
@@ -110,11 +119,11 @@ func GFDsCtx(ctx context.Context, g *graph.Graph, opt Options, maxRounds int) ([
 		out = append(out, d)
 	}
 
-	for _, sh := range shapes(ctx, g) {
+	for _, sh := range shapes(ctx, g, h) {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		mineShape(ctx, g, sh, opt, keep)
+		mineShape(ctx, g, h, sh, opt, keep)
 		if ctxErr != nil {
 			return out, ctxErr
 		}
@@ -130,13 +139,14 @@ type shape struct {
 }
 
 // shapes enumerates single-node and single-edge shapes present in g,
-// aborting match collection when ctx is cancelled.
-func shapes(ctx context.Context, g *graph.Graph) []shape {
+// collecting their matches over the shared host h and aborting match
+// collection when ctx is cancelled.
+func shapes(ctx context.Context, g *graph.Graph, h pattern.Host) []shape {
 	var out []shape
 	stop := func() bool { return ctx.Err() != nil }
 	collect := func(p *pattern.Pattern) []pattern.Match {
 		var ms []pattern.Match
-		pattern.ForEachMatchCancel(p, g, stop, func(m pattern.Match) bool {
+		pattern.ForEachMatchCancel(p, h, stop, func(m pattern.Match) bool {
 			ms = append(ms, m.Clone())
 			return ctx.Err() == nil
 		})
@@ -197,8 +207,9 @@ func shapes(ctx context.Context, g *graph.Graph) []shape {
 }
 
 // mineShape emits the rules of one shape through keep, abandoning the
-// shape as soon as ctx is cancelled.
-func mineShape(ctx context.Context, g *graph.Graph, sh shape, opt Options, keep func(Discovered)) {
+// shape as soon as ctx is cancelled. Attribute statistics come from g's
+// native tuples; exact verification matches over the shared host h.
+func mineShape(ctx context.Context, g *graph.Graph, h pattern.Host, sh shape, opt Options, keep func(Discovered)) {
 	if len(sh.matches) < opt.minSupport() {
 		return
 	}
@@ -253,7 +264,7 @@ func mineShape(ctx context.Context, g *graph.Graph, sh shape, opt Options, keep 
 			}
 			rule := ged.New(fmt.Sprintf("const:%s.%s@%s", v, a, sh.name),
 				sh.pattern, nil, []ged.Literal{ged.ConstLit(v, a, c)})
-			emitVerified(ctx, g, rule, n, keep)
+			emitVerified(ctx, h, rule, n, keep)
 		}
 	}
 
@@ -278,7 +289,7 @@ func mineShape(ctx context.Context, g *graph.Graph, sh shape, opt Options, keep 
 				}
 				rule := ged.New(fmt.Sprintf("var:%s.%s=%s.%s@%s", x, a, y, b, sh.name),
 					sh.pattern, nil, []ged.Literal{ged.VarLit(x, a, y, b)})
-				emitVerified(ctx, g, rule, n, keep)
+				emitVerified(ctx, h, rule, n, keep)
 			}
 		}
 	}
@@ -342,7 +353,7 @@ func mineShape(ctx context.Context, g *graph.Graph, sh shape, opt Options, keep 
 							sh.pattern,
 							[]ged.Literal{ged.ConstLit(v, a, c)},
 							[]ged.Literal{ged.ConstLit(w, b, *d)})
-						emitVerified(ctx, g, rule, len(sel), keep)
+						emitVerified(ctx, h, rule, len(sel), keep)
 					}
 				}
 			}
@@ -350,11 +361,12 @@ func mineShape(ctx context.Context, g *graph.Graph, sh shape, opt Options, keep 
 	}
 }
 
-// emitVerified double-checks the rule exactly before keeping it; the
-// verification itself honors ctx, so cancellation cannot strand a
-// full-graph validation.
-func emitVerified(ctx context.Context, g *graph.Graph, rule *ged.GED, support int, keep func(Discovered)) {
-	vs, err := reason.ValidateCtx(ctx, g, ged.Set{rule}, 1)
+// emitVerified double-checks the rule exactly before keeping it,
+// reusing the shared matching host instead of re-freezing per
+// candidate; the verification itself honors ctx, so cancellation cannot
+// strand a full-graph validation.
+func emitVerified(ctx context.Context, h pattern.Host, rule *ged.GED, support int, keep func(Discovered)) {
+	vs, err := reason.ValidateOnCtx(ctx, h, ged.Set{rule}, 1)
 	if err != nil || len(vs) != 0 {
 		return // should not happen; mining is exact, but stay safe
 	}

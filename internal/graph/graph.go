@@ -83,6 +83,9 @@ type Graph struct {
 	out     map[NodeID][]Edge
 	in      map[NodeID][]Edge
 	byLabel map[Label][]NodeID
+	// version counts mutations; it keys snapshot caches (see Freeze and
+	// the Engine facade) so an unchanged graph is frozen only once.
+	version uint64
 }
 
 // New returns an empty graph.
@@ -102,6 +105,7 @@ func (g *Graph) AddNode(label Label) NodeID {
 	g.nodes = append(g.nodes, node{label: label})
 	g.ids = append(g.ids, id)
 	g.byLabel[label] = append(g.byLabel[label], id)
+	g.version++
 	return id
 }
 
@@ -124,6 +128,7 @@ func (g *Graph) AddEdge(src NodeID, label Label, dst NodeID) {
 	g.edges[e] = struct{}{}
 	g.out[src] = append(g.out[src], e)
 	g.in[dst] = append(g.in[dst], e)
+	g.version++
 }
 
 // HasEdge reports whether the exact edge (src, label, dst) is present.
@@ -139,7 +144,13 @@ func (g *Graph) SetAttr(id NodeID, a Attr, v Value) {
 		n.attrs = make(map[Attr]Value)
 	}
 	n.attrs[a] = v
+	g.version++
 }
+
+// Version is the mutation counter: it increments on every AddNode,
+// AddEdge and SetAttr, so callers holding a Snapshot (or any derived
+// structure) can detect staleness cheaply.
+func (g *Graph) Version() uint64 { return g.version }
 
 // Attr returns the value of attribute a at node id, and whether the node
 // carries that attribute. Graphs are schemaless, so absence is routine.
@@ -207,6 +218,60 @@ func (g *Graph) CandidateNodes(pat Label) []NodeID {
 		return g.Nodes()
 	}
 	return g.byLabel[pat]
+}
+
+// HasAnyEdge reports whether some edge src -> dst exists, under any
+// label — the host-side check for wildcard-labeled pattern edges.
+func (g *Graph) HasAnyEdge(src, dst NodeID) bool {
+	for _, e := range g.out[src] {
+		if e.Dst == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// OutNeighbors returns the distinct targets of src's outgoing edges
+// whose label is matched by l under ⪯ (the wildcard matches any label),
+// in first-seen order. Deduplication scans the (short) result slice:
+// adjacency lists of real graphs are small and this sits on the
+// matcher's fallback hot path; Snapshot.OutNeighbors is the
+// zero-allocation variant.
+func (g *Graph) OutNeighbors(src NodeID, l Label) []NodeID {
+	var out []NodeID
+	for _, e := range g.out[src] {
+		if !LabelMatches(l, e.Label) {
+			continue
+		}
+		if !containsID(out, e.Dst) {
+			out = append(out, e.Dst)
+		}
+	}
+	return out
+}
+
+// InNeighbors is OutNeighbors for incoming edges: the distinct sources
+// of dst's incoming edges whose label is matched by l under ⪯.
+func (g *Graph) InNeighbors(dst NodeID, l Label) []NodeID {
+	var out []NodeID
+	for _, e := range g.in[dst] {
+		if !LabelMatches(l, e.Label) {
+			continue
+		}
+		if !containsID(out, e.Src) {
+			out = append(out, e.Src)
+		}
+	}
+	return out
+}
+
+func containsID(xs []NodeID, n NodeID) bool {
+	for _, x := range xs {
+		if x == n {
+			return true
+		}
+	}
+	return false
 }
 
 // Clone returns a deep copy of g.

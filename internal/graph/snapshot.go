@@ -1,0 +1,539 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+)
+
+// Snapshot is a frozen, read-optimized view of a Graph: the storage
+// layout production graph matchers use. Labels, attribute names and
+// attribute values are interned into dense ints; in/out adjacency is
+// laid out in CSR form with each node's edges grouped and sorted by
+// (edge label, endpoint), so "neighbors of v via label ι" is one
+// contiguous slice and HasEdge is a binary search; per-label node
+// postings replace the byLabel map; the attribute-value index of
+// BuildAttrIndex is folded in as first-class postings; and per-node /
+// per-label degree statistics feed the matcher's planning heuristics.
+//
+// A Snapshot is immutable and safe for unsynchronized concurrent
+// readers. It reflects the graph at Freeze time: later mutations of the
+// source graph are not visible (compare Graph.Version against
+// SourceVersion to detect staleness). All slices returned by Snapshot
+// methods are the snapshot's own storage; callers must not mutate them.
+type Snapshot struct {
+	// symbol tables
+	labels   []Label
+	labelIDs map[Label]int32
+	attrs    []Attr
+	attrIDs  map[Attr]int32
+
+	// nodes
+	ids       []NodeID // all node ids in insertion order
+	nodeLabel []int32  // node -> label symbol
+
+	// CSR adjacency; within a node's segment entries are sorted by
+	// (label symbol, other endpoint).
+	outOff []int32
+	outLbl []int32
+	outDst []NodeID
+	inOff  []int32
+	inLbl  []int32
+	inSrc  []NodeID
+
+	// per-label postings and degree statistics; indexed by label symbol,
+	// sized to the node-label symbols only (edge-only labels have no
+	// nodes and fall outside the slice).
+	labelNodes [][]NodeID
+	labelDeg   []float64
+
+	// per-node attribute tuples in CSR form, sorted by attr symbol.
+	attrOff   []int32
+	attrKey   []int32
+	attrValue []Value
+
+	// (attr, value) -> nodes carrying that binding, ascending by id —
+	// the folded-in AttrIndex. Built lazily on first Lookup/Selectivity
+	// (sync.Once keeps concurrent readers safe): plain validation never
+	// touches value postings, so Freeze does not pay for them.
+	postingsOnce sync.Once
+	postings     map[postingKey][]NodeID
+
+	numEdges int
+	version  uint64
+}
+
+type postingKey struct {
+	attr int32
+	val  Value
+}
+
+func (s *Snapshot) internLabel(l Label) int32 {
+	if id, ok := s.labelIDs[l]; ok {
+		return id
+	}
+	id := int32(len(s.labels))
+	s.labels = append(s.labels, l)
+	s.labelIDs[l] = id
+	return id
+}
+
+func (s *Snapshot) internAttr(a Attr) int32 {
+	if id, ok := s.attrIDs[a]; ok {
+		return id
+	}
+	id := int32(len(s.attrs))
+	s.attrs = append(s.attrs, a)
+	s.attrIDs[a] = id
+	return id
+}
+
+// Freeze builds a read-only Snapshot of g. The cost is one pass over
+// nodes, edges and attributes plus a per-node sort of adjacency — the
+// price is paid once and amortized across every match enumeration run
+// against the result.
+func (g *Graph) Freeze() *Snapshot {
+	n := len(g.nodes)
+	s := &Snapshot{
+		labelIDs: make(map[Label]int32),
+		attrIDs:  make(map[Attr]int32),
+		numEdges: len(g.edges),
+		version:  g.version,
+	}
+	s.ids = g.ids[:n:n]
+
+	// Nodes, node-label symbols and per-label postings. Node labels are
+	// interned first so labelNodes/labelDeg cover exactly the symbols
+	// that can have postings.
+	s.nodeLabel = make([]int32, n)
+	for i := range g.nodes {
+		s.nodeLabel[i] = s.internLabel(g.nodes[i].label)
+	}
+	s.labelNodes = make([][]NodeID, len(s.labels))
+	for i := 0; i < n; i++ {
+		lid := s.nodeLabel[i]
+		s.labelNodes[lid] = append(s.labelNodes[lid], NodeID(i))
+	}
+
+	// CSR adjacency, label-grouped and sorted: edges are gathered once
+	// into parallel arrays and permuted by two global sorts — one per
+	// direction — rather than 2n per-node sorts.
+	s.buildAdjacency(g, n)
+
+	// Per-label average total degree, for plan seeding.
+	s.labelDeg = make([]float64, len(s.labelNodes))
+	for lid, nodes := range s.labelNodes {
+		if len(nodes) == 0 {
+			continue
+		}
+		total := 0
+		for _, id := range nodes {
+			total += int(s.outOff[id+1]-s.outOff[id]) + int(s.inOff[id+1]-s.inOff[id])
+		}
+		s.labelDeg[lid] = float64(total) / float64(len(nodes))
+	}
+
+	// Attribute tuples and the folded-in attribute-value index.
+	s.attrOff = make([]int32, n+1)
+	total := 0
+	for i := range g.nodes {
+		total += len(g.nodes[i].attrs)
+		s.attrOff[i+1] = int32(total)
+	}
+	s.attrKey = make([]int32, total)
+	s.attrValue = make([]Value, total)
+	type kv struct {
+		key int32
+		val Value
+	}
+	var scratch []kv
+	for i := range g.nodes {
+		scratch = scratch[:0]
+		for a, v := range g.nodes[i].attrs {
+			scratch = append(scratch, kv{s.internAttr(a), v})
+		}
+		// Attribute tuples are tiny; insertion sort avoids a sort.Slice
+		// closure per node.
+		for x := 1; x < len(scratch); x++ {
+			for y := x; y > 0 && scratch[y].key < scratch[y-1].key; y-- {
+				scratch[y], scratch[y-1] = scratch[y-1], scratch[y]
+			}
+		}
+		base := s.attrOff[i]
+		for k, p := range scratch {
+			s.attrKey[base+int32(k)] = p.key
+			s.attrValue[base+int32(k)] = p.val
+		}
+	}
+	return s
+}
+
+// buildAdjacency lays out both CSR directions: offsets plus parallel
+// (label symbol, endpoint) arrays, each node's segment sorted by
+// (label, endpoint) so per-label neighbor runs are contiguous. Edges
+// are flattened once and permuted by one global sort per direction.
+func (s *Snapshot) buildAdjacency(g *Graph, n int) {
+	m := len(g.edges)
+	esrc := make([]NodeID, 0, m)
+	elbl := make([]int32, 0, m)
+	edst := make([]NodeID, 0, m)
+	for i := 0; i < n; i++ {
+		for _, e := range g.out[NodeID(i)] {
+			esrc = append(esrc, e.Src)
+			elbl = append(elbl, s.internLabel(e.Label))
+			edst = append(edst, e.Dst)
+		}
+	}
+	perm := make([]int32, m)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+
+	s.outOff = make([]int32, n+1)
+	s.outLbl = make([]int32, m)
+	s.outDst = make([]NodeID, m)
+	sort.Slice(perm, func(x, y int) bool {
+		a, b := perm[x], perm[y]
+		if esrc[a] != esrc[b] {
+			return esrc[a] < esrc[b]
+		}
+		if elbl[a] != elbl[b] {
+			return elbl[a] < elbl[b]
+		}
+		return edst[a] < edst[b]
+	})
+	for i, p := range perm {
+		s.outOff[esrc[p]+1]++
+		s.outLbl[i] = elbl[p]
+		s.outDst[i] = edst[p]
+	}
+	for i := 0; i < n; i++ {
+		s.outOff[i+1] += s.outOff[i]
+	}
+
+	s.inOff = make([]int32, n+1)
+	s.inLbl = make([]int32, m)
+	s.inSrc = make([]NodeID, m)
+	sort.Slice(perm, func(x, y int) bool {
+		a, b := perm[x], perm[y]
+		if edst[a] != edst[b] {
+			return edst[a] < edst[b]
+		}
+		if elbl[a] != elbl[b] {
+			return elbl[a] < elbl[b]
+		}
+		return esrc[a] < esrc[b]
+	})
+	for i, p := range perm {
+		s.inOff[edst[p]+1]++
+		s.inLbl[i] = elbl[p]
+		s.inSrc[i] = esrc[p]
+	}
+	for i := 0; i < n; i++ {
+		s.inOff[i+1] += s.inOff[i]
+	}
+}
+
+// ---- node accessors ----
+
+// NumNodes returns |V| at freeze time.
+func (s *Snapshot) NumNodes() int { return len(s.nodeLabel) }
+
+// NumEdges returns |E| at freeze time.
+func (s *Snapshot) NumEdges() int { return s.numEdges }
+
+// Size returns |G| = |V| + |E|.
+func (s *Snapshot) Size() int { return s.NumNodes() + s.numEdges }
+
+// Nodes returns all node ids in insertion order.
+func (s *Snapshot) Nodes() []NodeID { return s.ids }
+
+// Label returns the label of node id.
+func (s *Snapshot) Label(id NodeID) Label { return s.labels[s.nodeLabel[id]] }
+
+// SourceVersion is the mutation counter of the source graph at Freeze
+// time; comparing it against Graph.Version detects staleness.
+func (s *Snapshot) SourceVersion() uint64 { return s.version }
+
+// Attr returns the value of attribute a at node id, and whether the
+// node carries it, by binary search over the node's interned tuple.
+func (s *Snapshot) Attr(id NodeID, a Attr) (Value, bool) {
+	aid, ok := s.attrIDs[a]
+	if !ok {
+		return Value{}, false
+	}
+	lo, hi := s.attrOff[id], s.attrOff[id+1]
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		switch {
+		case s.attrKey[mid] < aid:
+			lo = mid + 1
+		case s.attrKey[mid] > aid:
+			hi = mid
+		default:
+			return s.attrValue[mid], true
+		}
+	}
+	return Value{}, false
+}
+
+// ---- label postings ----
+
+// NodesWithLabel returns the nodes carrying exactly the given label
+// (wildcard-labeled nodes only for label == Wildcard), mirroring
+// Graph.NodesWithLabel.
+func (s *Snapshot) NodesWithLabel(label Label) []NodeID {
+	lid, ok := s.labelIDs[label]
+	if !ok || int(lid) >= len(s.labelNodes) {
+		return nil
+	}
+	return s.labelNodes[lid]
+}
+
+// CandidateNodes returns the nodes a pattern node labeled pat may map
+// to under ⪯: every node for the wildcard, otherwise the label posting.
+func (s *Snapshot) CandidateNodes(pat Label) []NodeID {
+	if pat == Wildcard {
+		return s.ids
+	}
+	return s.NodesWithLabel(pat)
+}
+
+// LabelCount returns how many nodes carry the label (all nodes for the
+// wildcard).
+func (s *Snapshot) LabelCount(l Label) int {
+	if l == Wildcard {
+		return s.NumNodes()
+	}
+	return len(s.NodesWithLabel(l))
+}
+
+// LabelAvgDegree returns the average total (in+out) degree of the nodes
+// carrying l — the density statistic the matcher's planner uses to
+// prefer well-connected seeds among equally selective ones. For the
+// wildcard it is the graph-wide average.
+func (s *Snapshot) LabelAvgDegree(l Label) float64 {
+	if l == Wildcard {
+		if len(s.nodeLabel) == 0 {
+			return 0
+		}
+		return 2 * float64(s.numEdges) / float64(len(s.nodeLabel))
+	}
+	lid, ok := s.labelIDs[l]
+	if !ok || int(lid) >= len(s.labelDeg) {
+		return 0
+	}
+	return s.labelDeg[lid]
+}
+
+// ---- adjacency ----
+
+// labelRun returns the [lo, hi) bounds of the lid-labeled run inside a
+// node's sorted CSR segment [off0, off1). The binary searches are
+// hand-rolled: this sits on the matcher's innermost loop, where the
+// sort.Search closure costs show up.
+func labelRun(lbls []int32, off0, off1 int32, lid int32) (int32, int32) {
+	lo, hi := off0, off1
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if lbls[mid] < lid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo
+	hi = off1
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if lbls[mid] <= lid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return start, lo
+}
+
+// OutNeighbors returns the distinct targets of src's outgoing edges
+// whose label is matched by l under ⪯ (the wildcard matches any label).
+// For a concrete label this is a zero-allocation sub-slice of the CSR
+// run; for the wildcard the per-label runs are merged and deduplicated.
+func (s *Snapshot) OutNeighbors(src NodeID, l Label) []NodeID {
+	off0, off1 := s.outOff[src], s.outOff[src+1]
+	if l != Wildcard {
+		lid, ok := s.labelIDs[l]
+		if !ok {
+			return nil
+		}
+		lo, hi := labelRun(s.outLbl, off0, off1, lid)
+		return s.outDst[lo:hi]
+	}
+	return dedupNeighbors(s.outDst[off0:off1])
+}
+
+// InNeighbors is OutNeighbors for incoming edges: the distinct sources
+// of dst's incoming edges whose label is matched by l under ⪯.
+func (s *Snapshot) InNeighbors(dst NodeID, l Label) []NodeID {
+	off0, off1 := s.inOff[dst], s.inOff[dst+1]
+	if l != Wildcard {
+		lid, ok := s.labelIDs[l]
+		if !ok {
+			return nil
+		}
+		lo, hi := labelRun(s.inLbl, off0, off1, lid)
+		return s.inSrc[lo:hi]
+	}
+	return dedupNeighbors(s.inSrc[off0:off1])
+}
+
+// dedupNeighbors returns the distinct ids of seg in first-seen order.
+// The input segment is sorted by (label, id), so ids may repeat across
+// labels; real adjacency lists are short, and the linear scan avoids a
+// sort (and its closure) on the matcher's hot path.
+func dedupNeighbors(seg []NodeID) []NodeID {
+	if len(seg) <= 1 {
+		return seg
+	}
+	out := make([]NodeID, 0, len(seg))
+	for _, d := range seg {
+		dup := false
+		for _, x := range out {
+			if x == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether the exact edge (src, label, dst) is present:
+// a label-run lookup plus a binary search over its sorted targets.
+func (s *Snapshot) HasEdge(src NodeID, label Label, dst NodeID) bool {
+	lid, ok := s.labelIDs[label]
+	if !ok {
+		return false
+	}
+	lo, hi := labelRun(s.outLbl, s.outOff[src], s.outOff[src+1], lid)
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		switch {
+		case s.outDst[mid] < dst:
+			lo = mid + 1
+		case s.outDst[mid] > dst:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// HasAnyEdge reports whether some edge src -> dst exists, under any
+// label — the host-side check for wildcard-labeled pattern edges.
+func (s *Snapshot) HasAnyEdge(src, dst NodeID) bool {
+	for _, d := range s.outDst[s.outOff[src]:s.outOff[src+1]] {
+		if d == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// OutDegree returns the number of outgoing edges of id.
+func (s *Snapshot) OutDegree(id NodeID) int { return int(s.outOff[id+1] - s.outOff[id]) }
+
+// InDegree returns the number of incoming edges of id.
+func (s *Snapshot) InDegree(id NodeID) int { return int(s.inOff[id+1] - s.inOff[id]) }
+
+// ---- the folded-in attribute-value index ----
+
+// Lookup returns the nodes with attribute a equal to v, ascending by
+// id — the access path that turns constant antecedent literals into
+// index probes. The postings are materialized on first use.
+func (s *Snapshot) Lookup(a Attr, v Value) []NodeID {
+	aid, ok := s.attrIDs[a]
+	if !ok {
+		return nil
+	}
+	s.postingsOnce.Do(s.buildPostings)
+	return s.postings[postingKey{attr: aid, val: v}]
+}
+
+// buildPostings folds the attribute CSR into (attr, value) postings.
+func (s *Snapshot) buildPostings() {
+	s.postings = make(map[postingKey][]NodeID)
+	for i := range s.nodeLabel {
+		for k := s.attrOff[i]; k < s.attrOff[i+1]; k++ {
+			pk := postingKey{attr: s.attrKey[k], val: s.attrValue[k]}
+			s.postings[pk] = append(s.postings[pk], NodeID(i))
+		}
+	}
+}
+
+// Selectivity returns the number of nodes carrying a = v.
+func (s *Snapshot) Selectivity(a Attr, v Value) int { return len(s.Lookup(a, v)) }
+
+// HasAttr reports whether any node carries attribute a.
+func (s *Snapshot) HasAttr(a Attr) bool {
+	_, ok := s.attrIDs[a]
+	return ok
+}
+
+// ---- interned fast paths ----
+//
+// The matcher compiles a pattern against one host; when that host is a
+// Snapshot it resolves pattern labels to dense symbols once per Compile
+// and then uses the *ID accessors below, keeping string hashing out of
+// the innermost search loop entirely.
+
+// LabelID returns the dense symbol of l and whether l occurs anywhere
+// in the snapshot (as a node or an edge label).
+func (s *Snapshot) LabelID(l Label) (int32, bool) {
+	id, ok := s.labelIDs[l]
+	return id, ok
+}
+
+// NodeLabelID returns the label symbol of node id.
+func (s *Snapshot) NodeLabelID(id NodeID) int32 { return s.nodeLabel[id] }
+
+// CandidateNodesID is CandidateNodes for a resolved node-label symbol.
+func (s *Snapshot) CandidateNodesID(lid int32) []NodeID {
+	if int(lid) >= len(s.labelNodes) {
+		return nil
+	}
+	return s.labelNodes[lid]
+}
+
+// OutNeighborsID is OutNeighbors for a resolved concrete edge-label
+// symbol: one CSR run lookup, no hashing, no allocation.
+func (s *Snapshot) OutNeighborsID(src NodeID, lid int32) []NodeID {
+	lo, hi := labelRun(s.outLbl, s.outOff[src], s.outOff[src+1], lid)
+	return s.outDst[lo:hi]
+}
+
+// InNeighborsID is InNeighbors for a resolved concrete edge-label symbol.
+func (s *Snapshot) InNeighborsID(dst NodeID, lid int32) []NodeID {
+	lo, hi := labelRun(s.inLbl, s.inOff[dst], s.inOff[dst+1], lid)
+	return s.inSrc[lo:hi]
+}
+
+// HasEdgeID is HasEdge for a resolved edge-label symbol.
+func (s *Snapshot) HasEdgeID(src NodeID, lid int32, dst NodeID) bool {
+	lo, hi := labelRun(s.outLbl, s.outOff[src], s.outOff[src+1], lid)
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		switch {
+		case s.outDst[mid] < dst:
+			lo = mid + 1
+		case s.outDst[mid] > dst:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package pattern_test
+
+// Differential tests for the two matcher hosts: matching over a frozen
+// graph.Snapshot must return exactly the same match sets as matching
+// over the mutable graph.Graph, across generated workloads
+// (testing/quick drives the seeds). An external test package is used so
+// the workload generators of internal/gen can be imported without a
+// cycle.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gedlib/internal/gen"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// canonMatches renders a match list canonically for set comparison.
+func canonMatches(p *pattern.Pattern, ms []pattern.Match) []string {
+	out := make([]string, 0, len(ms))
+	for _, m := range ms {
+		s := ""
+		for _, x := range p.Vars() {
+			s += fmt.Sprintf("%s=%d;", x, m[x])
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameCanon(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var (
+	diffLabels = []graph.Label{"a", "b", "c"}
+	diffAttrs  = []graph.Attr{"p", "q"}
+)
+
+// workloadFor derives a deterministic random host graph and rule set
+// from one seed.
+func workloadFor(seed int64) (*graph.Graph, []*pattern.Pattern) {
+	g := gen.RandomPropertyGraph(seed, 30, 2.5, diffLabels, diffAttrs, 3)
+	sigma := gen.RandomGEDSet(seed+1, 6, 4, diffLabels, diffAttrs, 3)
+	ps := make([]*pattern.Pattern, 0, len(sigma)+2)
+	for _, d := range sigma {
+		ps = append(ps, d.Pattern)
+	}
+	// A wildcard-heavy pattern and the empty pattern ride along: both
+	// exercise host paths the GED generator rarely produces.
+	wild := pattern.New()
+	wild.AddVar("x", graph.Wildcard)
+	wild.AddEdge("x", graph.Wildcard, "y")
+	ps = append(ps, wild, pattern.New())
+	return g, ps
+}
+
+// TestSnapshotMatchingDifferential: for quick-generated seeds, every
+// pattern finds exactly the same match set on both hosts.
+func TestSnapshotMatchingDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		g, ps := workloadFor(seed % 1_000_000)
+		snap := g.Freeze()
+		for _, p := range ps {
+			onGraph := canonMatches(p, pattern.FindMatches(p, g, 0))
+			onSnap := canonMatches(p, pattern.FindMatches(p, snap, 0))
+			if !sameCanon(onGraph, onSnap) {
+				t.Logf("seed %d: pattern %s: %d matches on graph, %d on snapshot",
+					seed, p, len(onGraph), len(onSnap))
+				return false
+			}
+			if pattern.HasMatch(p, g) != pattern.HasMatch(p, snap) {
+				return false
+			}
+			if pattern.CountMatches(p, g) != pattern.CountMatches(p, snap) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotPivotDifferential: the pivot-block primitive partitions
+// identically over both hosts.
+func TestSnapshotPivotDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		g, ps := workloadFor(seed % 1_000_000)
+		snap := g.Freeze()
+		for _, p := range ps {
+			if p.NumVars() == 0 {
+				continue
+			}
+			pivot := p.Vars()[0]
+			cands := g.CandidateNodes(p.Label(pivot))
+			var onGraph, onSnap []pattern.Match
+			pattern.Compile(p, g).ForEachPivot(pivot, cands, func(m pattern.Match) bool {
+				onGraph = append(onGraph, m.Clone())
+				return true
+			})
+			pattern.Compile(p, snap).ForEachPivot(pivot, cands, func(m pattern.Match) bool {
+				onSnap = append(onSnap, m.Clone())
+				return true
+			})
+			if !sameCanon(canonMatches(p, onGraph), canonMatches(p, onSnap)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyPatternYieldContract: the empty pattern delivers its single
+// empty match through the regular search, so the "return false to stop"
+// contract holds and pre-bindings (which necessarily name unknown
+// variables) yield nothing.
+func TestEmptyPatternYieldContract(t *testing.T) {
+	g := graph.New()
+	g.AddNode("a")
+	for _, host := range []pattern.Host{g, g.Freeze()} {
+		pl := pattern.Compile(pattern.New(), host)
+		calls := 0
+		pl.ForEachBound(nil, func(m pattern.Match) bool {
+			calls++
+			if len(m) != 0 {
+				t.Errorf("empty pattern yielded non-empty match %v", m)
+			}
+			return false // must be honored: no further yields
+		})
+		if calls != 1 {
+			t.Errorf("empty pattern yielded %d times, want 1", calls)
+		}
+		// A pre-binding on the empty pattern names an unknown variable
+		// and must match nothing.
+		pl.ForEachBound(pattern.Match{"zzz": 0}, func(pattern.Match) bool {
+			t.Error("pre-bound unknown variable yielded a match on the empty pattern")
+			return true
+		})
+	}
+}
+
+// BenchmarkMatcherHosts compares the two hosts on a mid-size random
+// graph with a 3-variable path pattern — the matcher's inner loop in
+// isolation.
+func BenchmarkMatcherHosts(b *testing.B) {
+	g := gen.RandomPropertyGraph(5, 2000, 4, diffLabels, diffAttrs, 4)
+	p := pattern.New()
+	p.AddVar("x", "a").AddVar("y", "b").AddVar("z", "c")
+	p.AddEdge("x", "e", "y").AddEdge("y", "e", "z")
+	b.Run("graph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pattern.CountMatches(p, g)
+		}
+	})
+	snap := g.Freeze()
+	b.Run("snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pattern.CountMatches(p, snap)
+		}
+	})
+}

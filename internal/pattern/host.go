@@ -1,0 +1,53 @@
+package pattern
+
+import "gedlib/internal/graph"
+
+// Host is the read-only graph surface the matcher binds against. Both
+// the mutable *graph.Graph and the frozen, interned *graph.Snapshot
+// implement it, so every matching entry point (and everything layered
+// on top: validation, the chase, discovery) runs unchanged over either
+// representation. Freeze once and pass the snapshot wherever matching
+// is repeated — the CSR-backed methods are allocation-free on the
+// concrete-label hot path.
+//
+// Slices returned by Host methods are the host's own storage; callers
+// must not mutate them. A Host used concurrently must itself be safe
+// for concurrent reads (snapshots are; a Graph is only while nobody
+// mutates it).
+type Host interface {
+	// NumNodes returns |V|.
+	NumNodes() int
+	// Label returns the label of node id.
+	Label(id graph.NodeID) graph.Label
+	// Attr returns the value of attribute a at node id, and whether the
+	// node carries it.
+	Attr(id graph.NodeID, a graph.Attr) (graph.Value, bool)
+	// CandidateNodes returns the nodes a pattern node labeled pat may
+	// map to under ⪯: every node for the wildcard, otherwise the nodes
+	// carrying exactly pat.
+	CandidateNodes(pat graph.Label) []graph.NodeID
+	// HasEdge reports whether the exact edge (src, label, dst) exists.
+	HasEdge(src graph.NodeID, label graph.Label, dst graph.NodeID) bool
+	// HasAnyEdge reports whether some edge src -> dst exists under any
+	// label — the check for wildcard-labeled pattern edges.
+	HasAnyEdge(src, dst graph.NodeID) bool
+	// OutNeighbors returns the distinct targets of src's outgoing edges
+	// whose label is matched by l under ⪯.
+	OutNeighbors(src graph.NodeID, l graph.Label) []graph.NodeID
+	// InNeighbors returns the distinct sources of dst's incoming edges
+	// whose label is matched by l under ⪯.
+	InNeighbors(dst graph.NodeID, l graph.Label) []graph.NodeID
+}
+
+var (
+	_ Host = (*graph.Graph)(nil)
+	_ Host = (*graph.Snapshot)(nil)
+)
+
+// degreeStats is optionally implemented by hosts that precompute
+// per-label degree statistics (graph.Snapshot does); planOrder and
+// pivot selection use it to break selectivity ties toward
+// better-connected seeds.
+type degreeStats interface {
+	LabelAvgDegree(l graph.Label) float64
+}

@@ -8,6 +8,10 @@ import (
 
 // Match is a homomorphism h from a pattern to a graph, i.e. the vector
 // h(x̄) of Section 2. Distinct variables may map to the same node.
+//
+// Match is the public boundary of the matcher; internally the compiled
+// plan binds variables through a dense []graph.NodeID keyed by variable
+// index and materializes the map only when a complete match is yielded.
 type Match map[Var]graph.NodeID
 
 // Clone returns a copy of m.
@@ -19,13 +23,38 @@ func (m Match) Clone() Match {
 	return c
 }
 
+// unbound marks an unassigned slot of the dense binding vector. Real
+// node ids are non-negative.
+const unbound = graph.NodeID(-1)
+
+// labelAbsent and labelWild are the sentinel resolved-label symbols of
+// snapshot-compiled plans: absent means the label occurs nowhere in the
+// snapshot (the edge or variable can never match), wild is the
+// wildcard.
+const (
+	labelAbsent int32 = -2
+	labelWild   int32 = -1
+)
+
+// cedge is a compiled pattern edge: endpoints resolved to variable
+// indexes so the search never hashes a Var, and — on snapshot hosts —
+// the edge label resolved to its interned symbol so the search never
+// hashes a label either.
+type cedge struct {
+	src, dst int
+	label    graph.Label
+	lid      int32 // resolved symbol; labelWild / labelAbsent sentinels
+}
+
 // matcher holds the state of one backtracking search.
 type matcher struct {
-	p     *Pattern
-	g     *graph.Graph
-	order []Var            // variable binding order
-	adj   map[Var][]Edge   // pattern edges incident to each variable
-	bind  Match            // current partial assignment
+	pl    *Plan
+	h     Host
+	snap  *graph.Snapshot  // non-nil fast path, mirrors pl.snap
+	bind  []graph.NodeID   // dense partial assignment, unbound = -1
+	last  []graph.NodeID   // binding each out entry currently holds
+	out   Match            // reused map handed to yield
+	order []int            // variable indexes still to bind, in order
 	yield func(Match) bool // returns false to stop enumeration
 	stop  func() bool      // polled inside the search; true aborts
 	tick  uint32           // amortizes stop polling
@@ -37,33 +66,91 @@ type matcher struct {
 // search promptly, rare enough to stay off the hot path.
 const stopEvery = 1024
 
-// Plan is a compiled matching plan for one (pattern, graph) pair: the
-// variable order and adjacency index are computed once and shared across
-// any number of (concurrent) enumerations. Plans are immutable after
-// Compile and safe for concurrent use.
+// Plan is a compiled matching plan for one (pattern, host) pair: the
+// variable order, index-resolved adjacency and binding layout are
+// computed once and shared across any number of (concurrent)
+// enumerations. Plans are immutable after Compile and safe for
+// concurrent use.
 type Plan struct {
-	p     *Pattern
-	g     *graph.Graph
-	order []Var
-	adj   map[Var][]Edge
+	p      *Pattern
+	h      Host
+	snap   *graph.Snapshot // non-nil when h is a snapshot: interned fast path
+	vars   []Var           // variable index -> variable
+	varIdx map[Var]int
+	labels []graph.Label // variable index -> label
+	varLid []int32       // variable index -> resolved label symbol (snapshot hosts)
+	adj    [][]cedge     // variable index -> incident pattern edges
+	order  []int         // variable binding order, as indexes
 }
 
-// Compile prepares a matching plan for p over g.
-func Compile(p *Pattern, g *graph.Graph) *Plan {
-	pl := &Plan{p: p, g: g, adj: make(map[Var][]Edge, len(p.vars))}
-	for _, e := range p.edges {
-		pl.adj[e.Src] = append(pl.adj[e.Src], e)
-		if e.Dst != e.Src {
-			pl.adj[e.Dst] = append(pl.adj[e.Dst], e)
+// Compile prepares a matching plan for p over h — a mutable graph or a
+// frozen snapshot.
+func Compile(p *Pattern, h Host) *Plan {
+	n := len(p.vars)
+	pl := &Plan{
+		p:      p,
+		h:      h,
+		vars:   p.vars,
+		varIdx: make(map[Var]int, n),
+		labels: make([]graph.Label, n),
+		adj:    make([][]cedge, n),
+	}
+	pl.snap, _ = h.(*graph.Snapshot)
+	resolve := func(l graph.Label) int32 {
+		if l == graph.Wildcard {
+			return labelWild
+		}
+		if lid, ok := pl.snap.LabelID(l); ok {
+			return lid
+		}
+		return labelAbsent
+	}
+	pl.varLid = make([]int32, n)
+	for i, x := range p.vars {
+		pl.varIdx[x] = i
+		pl.labels[i] = p.labels[x]
+		if pl.snap != nil {
+			pl.varLid[i] = resolve(p.labels[x])
 		}
 	}
-	pl.order = planOrder(p, g)
+	for _, e := range p.edges {
+		ce := cedge{src: pl.varIdx[e.Src], dst: pl.varIdx[e.Dst], label: e.Label}
+		if pl.snap != nil {
+			ce.lid = resolve(e.Label)
+		}
+		pl.adj[ce.src] = append(pl.adj[ce.src], ce)
+		if ce.dst != ce.src {
+			pl.adj[ce.dst] = append(pl.adj[ce.dst], ce)
+		}
+	}
+	pl.order = planOrder(pl, h)
 	return pl
 }
 
+// newMatcher allocates the per-enumeration state: one dense binding
+// vector and one reused output map.
+func (pl *Plan) newMatcher(stop func() bool, yield func(Match) bool) *matcher {
+	m := &matcher{
+		pl:    pl,
+		h:     pl.h,
+		snap:  pl.snap,
+		bind:  make([]graph.NodeID, len(pl.vars)),
+		last:  make([]graph.NodeID, len(pl.vars)),
+		out:   make(Match, len(pl.vars)),
+		yield: yield,
+		stop:  stop,
+	}
+	for i := range m.bind {
+		m.bind[i] = unbound
+		m.last[i] = unbound
+	}
+	return m
+}
+
 // ForEachBound enumerates matches extending the partial assignment pre
-// (which may be nil). Pre-bindings violating labels or edges yield no
-// matches. The Match passed to yield is reused; clone it to retain it.
+// (which may be nil). Pre-bindings violating labels or edges — or
+// naming variables the pattern does not have — yield no matches. The
+// Match passed to yield is reused; clone it to retain it.
 func (pl *Plan) ForEachBound(pre Match, yield func(Match) bool) {
 	pl.ForEachBoundCancel(pre, nil, yield)
 }
@@ -72,35 +159,29 @@ func (pl *Plan) ForEachBound(pre Match, yield func(Match) bool) {
 // stop (when non-nil) is polled periodically *inside* the backtracking
 // search, so even an exponential exploration that never completes a
 // match can be cut short. Enumeration ends when stop returns true.
+//
+// The empty pattern has exactly one (empty) match, delivered through
+// the same search path as every other pattern, so yield's "return false
+// to stop" verdict and pre-binding rejection apply uniformly.
 func (pl *Plan) ForEachBoundCancel(pre Match, stop func() bool, yield func(Match) bool) {
-	if len(pl.p.vars) == 0 {
-		yield(Match{})
-		return
-	}
-	m := &matcher{
-		p:     pl.p,
-		g:     pl.g,
-		adj:   pl.adj,
-		bind:  make(Match, len(pl.p.vars)),
-		yield: yield,
-		stop:  stop,
-	}
+	m := pl.newMatcher(stop, yield)
 	for v, n := range pre {
-		if !pl.p.HasVar(v) {
+		i, ok := pl.varIdx[v]
+		if !ok {
 			return
 		}
-		if !m.consistent(v, n) {
+		if !m.consistent(i, n) {
 			return
 		}
-		m.bind[v] = n
+		m.bind[i] = n
 	}
 	if len(pre) == 0 {
 		m.order = pl.order
 	} else {
-		order := make([]Var, 0, len(pl.order))
-		for _, v := range pl.order {
-			if _, ok := pre[v]; !ok {
-				order = append(order, v)
+		order := make([]int, 0, len(pl.order))
+		for _, i := range pl.order {
+			if m.bind[i] == unbound {
+				order = append(order, i)
 			}
 		}
 		m.order = order
@@ -119,81 +200,75 @@ func (pl *Plan) ForEachPivot(pivot Var, cands []graph.NodeID, yield func(Match) 
 // ForEachPivotCancel is ForEachPivot with the cooperative abort hook of
 // ForEachBoundCancel.
 func (pl *Plan) ForEachPivotCancel(pivot Var, cands []graph.NodeID, stop func() bool, yield func(Match) bool) {
-	if !pl.p.HasVar(pivot) {
+	pi, ok := pl.varIdx[pivot]
+	if !ok {
 		return
 	}
-	m := &matcher{
-		p:     pl.p,
-		g:     pl.g,
-		adj:   pl.adj,
-		bind:  make(Match, len(pl.p.vars)),
-		yield: yield,
-		stop:  stop,
-	}
-	order := make([]Var, 0, len(pl.order))
-	for _, v := range pl.order {
-		if v != pivot {
-			order = append(order, v)
+	m := pl.newMatcher(stop, yield)
+	order := make([]int, 0, len(pl.order))
+	for _, i := range pl.order {
+		if i != pi {
+			order = append(order, i)
 		}
 	}
 	m.order = order
 	for _, c := range cands {
-		if !m.consistent(pivot, c) {
+		if !m.consistent(pi, c) {
 			continue
 		}
-		m.bind[pivot] = c
+		m.bind[pi] = c
 		m.search(0)
-		delete(m.bind, pivot)
+		m.bind[pi] = unbound
 		if m.done {
 			return
 		}
 	}
 }
 
-// ForEachMatch enumerates the matches of p in g, invoking yield for each.
+// ForEachMatch enumerates the matches of p in h, invoking yield for each.
 // Enumeration stops early when yield returns false. The Match passed to
 // yield is reused between invocations; clone it to retain it.
-func ForEachMatch(p *Pattern, g *graph.Graph, yield func(Match) bool) {
-	Compile(p, g).ForEachBound(nil, yield)
+func ForEachMatch(p *Pattern, h Host, yield func(Match) bool) {
+	Compile(p, h).ForEachBound(nil, yield)
 }
 
 // ForEachMatchCancel is ForEachMatch with the cooperative abort hook of
 // ForEachBoundCancel.
-func ForEachMatchCancel(p *Pattern, g *graph.Graph, stop func() bool, yield func(Match) bool) {
-	Compile(p, g).ForEachBoundCancel(nil, stop, yield)
+func ForEachMatchCancel(p *Pattern, h Host, stop func() bool, yield func(Match) bool) {
+	Compile(p, h).ForEachBoundCancel(nil, stop, yield)
 }
 
-// ForEachMatchBound enumerates the matches of p in g extending the
-// partial assignment pre. For repeated enumeration over one graph,
+// ForEachMatchBound enumerates the matches of p in h extending the
+// partial assignment pre. For repeated enumeration over one host,
 // Compile once and use Plan.ForEachBound.
-func ForEachMatchBound(p *Pattern, g *graph.Graph, pre Match, yield func(Match) bool) {
-	Compile(p, g).ForEachBound(pre, yield)
+func ForEachMatchBound(p *Pattern, h Host, pre Match, yield func(Match) bool) {
+	Compile(p, h).ForEachBound(pre, yield)
 }
 
-// FindMatches returns up to limit matches of p in g; limit <= 0 means all.
-func FindMatches(p *Pattern, g *graph.Graph, limit int) []Match {
+// FindMatches returns up to limit matches of p in h; limit <= 0 means all.
+func FindMatches(p *Pattern, h Host, limit int) []Match {
 	var out []Match
-	ForEachMatch(p, g, func(m Match) bool {
+	ForEachMatch(p, h, func(m Match) bool {
 		out = append(out, m.Clone())
 		return limit <= 0 || len(out) < limit
 	})
 	return out
 }
 
-// HasMatch reports whether p has at least one match in g.
-func HasMatch(p *Pattern, g *graph.Graph) bool {
+// HasMatch reports whether p has at least one match in h.
+func HasMatch(p *Pattern, h Host) bool {
 	found := false
-	ForEachMatch(p, g, func(Match) bool {
+	ForEachMatch(p, h, func(Match) bool {
 		found = true
 		return false
 	})
 	return found
 }
 
-// CountMatches returns the number of matches of p in g.
-func CountMatches(p *Pattern, g *graph.Graph) int {
+// CountMatches returns the number of matches of p in h.
+func CountMatches(p *Pattern, h Host) int {
 	n := 0
-	ForEachMatch(p, g, func(Match) bool {
+	ForEachMatch(p, h, func(Match) bool {
 		n++
 		return true
 	})
@@ -204,36 +279,62 @@ func CountMatches(p *Pattern, g *graph.Graph) int {
 // fewest label candidates first, then greedily any variable connected to
 // an already-ordered one (preferring small candidate sets), so that
 // adjacency can prune candidates. Disconnected components are started at
-// their most selective variable.
-func planOrder(p *Pattern, g *graph.Graph) []Var {
-	candCount := func(x Var) int {
-		l := p.labels[x]
-		if l == graph.Wildcard {
-			return g.NumNodes()
+// their most selective variable. Hosts exposing degree statistics
+// (snapshots) break selectivity ties toward the label with the higher
+// average degree — a better-connected seed prunes its neighborhood
+// harder.
+func planOrder(pl *Plan, h Host) []int {
+	n := len(pl.vars)
+	stats, hasStats := h.(degreeStats)
+	candCount := func(i int) int {
+		if pl.labels[i] == graph.Wildcard {
+			return h.NumNodes()
 		}
-		return len(g.NodesWithLabel(l))
+		return len(h.CandidateNodes(pl.labels[i]))
 	}
-	neighbors := make(map[Var][]Var, len(p.vars))
-	for _, e := range p.edges {
-		if e.Src != e.Dst {
-			neighbors[e.Src] = append(neighbors[e.Src], e.Dst)
-			neighbors[e.Dst] = append(neighbors[e.Dst], e.Src)
+	avgDeg := func(i int) float64 {
+		if !hasStats {
+			return 0
+		}
+		return stats.LabelAvgDegree(pl.labels[i])
+	}
+	// better reports whether variable a is the more attractive next
+	// binding than b: fewer candidates, then higher average degree, then
+	// name for determinism.
+	better := func(a, b int) bool {
+		ca, cb := candCount(a), candCount(b)
+		if ca != cb {
+			return ca < cb
+		}
+		da, db := avgDeg(a), avgDeg(b)
+		if da != db {
+			return da > db
+		}
+		return pl.vars[a] < pl.vars[b]
+	}
+
+	neighbors := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, e := range pl.adj[i] {
+			if e.src == i && e.dst != i {
+				neighbors[i] = append(neighbors[i], e.dst)
+			}
+			if e.dst == i && e.src != i {
+				neighbors[i] = append(neighbors[i], e.src)
+			}
 		}
 	}
-	ordered := make([]Var, 0, len(p.vars))
-	placed := make(map[Var]bool, len(p.vars))
-	frontier := make(map[Var]bool)
 
-	remaining := append([]Var(nil), p.vars...)
-	sort.Slice(remaining, func(i, j int) bool {
-		ci, cj := candCount(remaining[i]), candCount(remaining[j])
-		if ci != cj {
-			return ci < cj
-		}
-		return remaining[i] < remaining[j]
-	})
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	sort.Slice(remaining, func(x, y int) bool { return better(remaining[x], remaining[y]) })
 
-	place := func(x Var) {
+	ordered := make([]int, 0, n)
+	placed := make([]bool, n)
+	frontier := make(map[int]bool)
+	place := func(x int) {
 		ordered = append(ordered, x)
 		placed[x] = true
 		delete(frontier, x)
@@ -244,14 +345,12 @@ func planOrder(p *Pattern, g *graph.Graph) []Var {
 		}
 	}
 
-	for len(ordered) < len(p.vars) {
-		var next Var
+	for len(ordered) < n {
+		next := -1
 		if len(frontier) > 0 {
-			best := -1
 			for x := range frontier {
-				c := candCount(x)
-				if best < 0 || c < best || (c == best && x < next) {
-					best, next = c, x
+				if next < 0 || better(x, next) {
+					next = x
 				}
 			}
 		} else {
@@ -280,9 +379,7 @@ func (m *matcher) search(i int) {
 		}
 	}
 	if i == len(m.order) {
-		if !m.yield(m.bind) {
-			m.done = true
-		}
+		m.emit()
 		return
 	}
 	x := m.order[i]
@@ -292,125 +389,180 @@ func (m *matcher) search(i int) {
 		}
 		m.bind[x] = v
 		m.search(i + 1)
-		delete(m.bind, x)
+		m.bind[x] = unbound
 		if m.done {
 			return
 		}
 	}
 }
 
-// candidates returns the nodes that x may be bound to, using a bound
-// neighbor's adjacency when available and the label index otherwise.
-func (m *matcher) candidates(x Var) []graph.NodeID {
-	lbl := m.p.labels[x]
-	// Prefer deriving candidates from a bound neighbor: follow the
-	// pattern edge from/to the bound node.
-	for _, e := range m.adj[x] {
-		if e.Src == x && e.Dst != x {
-			if v, ok := m.bind[e.Dst]; ok {
-				return sources(m.g.In(v), e.Label, lbl, m.g)
+// emit materializes the dense binding into the reused Match map and
+// yields it. Only bindings that changed since the previous emit are
+// written back: between consecutive leaves of a deep search only the
+// innermost variables move, so most string-keyed map writes are
+// skipped. At a leaf every variable is bound, so the map never carries
+// stale entries.
+func (m *matcher) emit() {
+	for i, x := range m.pl.vars {
+		if m.last[i] != m.bind[i] {
+			m.out[x] = m.bind[i]
+			m.last[i] = m.bind[i]
+		}
+	}
+	if !m.yield(m.out) {
+		m.done = true
+	}
+}
+
+// candidates returns the nodes that variable index x may be bound to:
+// the ⪯-compatible neighbors of a bound pattern-neighbor when one
+// exists (a label-grouped slice on snapshot hosts), the label candidate
+// set otherwise. Node-label compatibility is checked by consistent.
+func (m *matcher) candidates(x int) []graph.NodeID {
+	if m.snap != nil {
+		return m.candidatesSnap(x)
+	}
+	for _, e := range m.pl.adj[x] {
+		if e.src == x && e.dst != x {
+			if v := m.bind[e.dst]; v != unbound {
+				return m.h.InNeighbors(v, e.label)
 			}
 		}
-		if e.Dst == x && e.Src != x {
-			if v, ok := m.bind[e.Src]; ok {
-				return targets(m.g.Out(v), e.Label, lbl, m.g)
+		if e.dst == x && e.src != x {
+			if v := m.bind[e.src]; v != unbound {
+				return m.h.OutNeighbors(v, e.label)
 			}
 		}
 	}
-	return m.g.CandidateNodes(lbl)
+	return m.h.CandidateNodes(m.pl.labels[x])
 }
 
-// sources collects the ⪯-compatible sources of edges in `in` whose label
-// matches elabel, filtered by the node label nlabel. Deduplication scans
-// the (short) result slice instead of allocating a set: adjacency lists
-// of real patterns are small and this sits on the matcher's hot path.
-func sources(in []graph.Edge, elabel, nlabel graph.Label, g *graph.Graph) []graph.NodeID {
-	var out []graph.NodeID
-	for _, e := range in {
-		if !graph.LabelMatches(elabel, e.Label) {
-			continue
+// candidatesSnap is candidates over the interned snapshot symbols: the
+// common concrete-label case is one CSR run lookup with no hashing and
+// no allocation.
+func (m *matcher) candidatesSnap(x int) []graph.NodeID {
+	for _, e := range m.pl.adj[x] {
+		if e.src == x && e.dst != x {
+			if v := m.bind[e.dst]; v != unbound {
+				switch e.lid {
+				case labelAbsent:
+					return nil
+				case labelWild:
+					return m.snap.InNeighbors(v, graph.Wildcard)
+				default:
+					return m.snap.InNeighborsID(v, e.lid)
+				}
+			}
 		}
-		if containsNode(out, e.Src) {
-			continue
-		}
-		if graph.LabelMatches(nlabel, g.Label(e.Src)) {
-			out = append(out, e.Src)
-		}
-	}
-	return out
-}
-
-// targets collects the ⪯-compatible targets of edges in `out` whose label
-// matches elabel, filtered by the node label nlabel.
-func targets(outE []graph.Edge, elabel, nlabel graph.Label, g *graph.Graph) []graph.NodeID {
-	var out []graph.NodeID
-	for _, e := range outE {
-		if !graph.LabelMatches(elabel, e.Label) {
-			continue
-		}
-		if containsNode(out, e.Dst) {
-			continue
-		}
-		if graph.LabelMatches(nlabel, g.Label(e.Dst)) {
-			out = append(out, e.Dst)
+		if e.dst == x && e.src != x {
+			if v := m.bind[e.src]; v != unbound {
+				switch e.lid {
+				case labelAbsent:
+					return nil
+				case labelWild:
+					return m.snap.OutNeighbors(v, graph.Wildcard)
+				default:
+					return m.snap.OutNeighborsID(v, e.lid)
+				}
+			}
 		}
 	}
-	return out
-}
-
-func containsNode(xs []graph.NodeID, n graph.NodeID) bool {
-	for _, x := range xs {
-		if x == n {
-			return true
-		}
+	switch lid := m.pl.varLid[x]; lid {
+	case labelAbsent:
+		return nil
+	case labelWild:
+		return m.snap.Nodes()
+	default:
+		return m.snap.CandidateNodesID(lid)
 	}
-	return false
 }
 
 // consistent checks label compatibility of binding x↦v and every pattern
 // edge between x and already-bound variables (including self-loops).
-func (m *matcher) consistent(x Var, v graph.NodeID) bool {
-	if !graph.LabelMatches(m.p.labels[x], m.g.Label(v)) {
+func (m *matcher) consistent(x int, v graph.NodeID) bool {
+	if m.snap != nil {
+		return m.consistentSnap(x, v)
+	}
+	if !graph.LabelMatches(m.pl.labels[x], m.h.Label(v)) {
 		return false
 	}
-	for _, e := range m.adj[x] {
+	for _, e := range m.pl.adj[x] {
 		var src, dst graph.NodeID
-		var ok bool
 		switch {
-		case e.Src == x && e.Dst == x:
-			src, dst, ok = v, v, true
-		case e.Src == x:
-			dst, ok = m.bind[e.Dst]
+		case e.src == x && e.dst == x:
+			src, dst = v, v
+		case e.src == x:
+			dst = m.bind[e.dst]
+			if dst == unbound {
+				continue
+			}
 			src = v
-		default: // e.Dst == x
-			src, ok = m.bind[e.Src]
+		default: // e.dst == x
+			src = m.bind[e.src]
+			if src == unbound {
+				continue
+			}
 			dst = v
 		}
-		if !ok {
-			continue
-		}
-		if !m.hasCompatibleEdge(src, e.Label, dst) {
+		if !hostHasCompatibleEdge(m.h, src, e.label, dst) {
 			return false
 		}
 	}
 	return true
 }
 
-// hasCompatibleEdge reports whether g has an edge (src, ι′, dst) with
-// ι ⪯ ι′.
-func (m *matcher) hasCompatibleEdge(src graph.NodeID, label graph.Label, dst graph.NodeID) bool {
-	if label != graph.Wildcard {
-		if m.g.HasEdge(src, label, dst) {
-			return true
-		}
-		// A wildcard-labeled host edge is NOT matched by a concrete
-		// pattern label under ⪯; no fallback.
+// consistentSnap is consistent over the interned snapshot symbols.
+func (m *matcher) consistentSnap(x int, v graph.NodeID) bool {
+	switch lid := m.pl.varLid[x]; lid {
+	case labelWild:
+	case labelAbsent:
 		return false
-	}
-	for _, e := range m.g.Out(src) {
-		if e.Dst == dst {
-			return true
+	default:
+		if m.snap.NodeLabelID(v) != lid {
+			return false
 		}
 	}
-	return false
+	for _, e := range m.pl.adj[x] {
+		var src, dst graph.NodeID
+		switch {
+		case e.src == x && e.dst == x:
+			src, dst = v, v
+		case e.src == x:
+			dst = m.bind[e.dst]
+			if dst == unbound {
+				continue
+			}
+			src = v
+		default: // e.dst == x
+			src = m.bind[e.src]
+			if src == unbound {
+				continue
+			}
+			dst = v
+		}
+		switch e.lid {
+		case labelAbsent:
+			return false
+		case labelWild:
+			if !m.snap.HasAnyEdge(src, dst) {
+				return false
+			}
+		default:
+			if !m.snap.HasEdgeID(src, e.lid, dst) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hostHasCompatibleEdge reports whether h has an edge (src, ι′, dst)
+// with ι ⪯ ι′: the exact edge for a concrete pattern label (a
+// wildcard-labeled host edge is NOT matched by a concrete pattern label
+// under ⪯), any edge for the wildcard.
+func hostHasCompatibleEdge(h Host, src graph.NodeID, label graph.Label, dst graph.NodeID) bool {
+	if label != graph.Wildcard {
+		return h.HasEdge(src, label, dst)
+	}
+	return h.HasAnyEdge(src, dst)
 }

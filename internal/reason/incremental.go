@@ -26,6 +26,13 @@ import (
 //
 // Matches touching several affected nodes are reported once. The result
 // order is canonical, as in ValidateParallel.
+//
+// Unlike full validation, this path deliberately matches over the
+// mutable graph rather than freezing it: it runs right after a
+// mutation, when no cached snapshot can be fresh, and a full O(|G|)
+// freeze would dwarf the touched-neighborhood work it is meant to
+// replace. Callers that do hold a fresh snapshot can pass it to
+// ValidateTouchingOnCtx instead.
 func ValidateTouching(g *graph.Graph, sigma ged.Set, nodes []graph.NodeID, limit int) []Violation {
 	out, _ := ValidateTouchingCtx(context.Background(), g, sigma, nodes, limit)
 	return out
@@ -35,12 +42,19 @@ func ValidateTouching(g *graph.Graph, sigma ged.Set, nodes []graph.NodeID, limit
 // checked between candidate matches; the violations found before the
 // abort are returned alongside ctx's error.
 func ValidateTouchingCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, nodes []graph.NodeID, limit int) ([]Violation, error) {
+	return ValidateTouchingOnCtx(ctx, g, sigma, nodes, limit)
+}
+
+// ValidateTouchingOnCtx is ValidateTouchingCtx over any matcher host:
+// the mutable graph (the default — see ValidateTouching on why), or a
+// known-fresh snapshot of the post-update graph.
+func ValidateTouchingOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, nodes []graph.NodeID, limit int) ([]Violation, error) {
 	var out []Violation
 	var ctxErr error
 	stop := func() bool { return ctx.Err() != nil }
 	seen := make(map[string]bool)
 	for gi, d := range sigma {
-		pl := pattern.Compile(d.Pattern, g)
+		pl := pattern.Compile(d.Pattern, h)
 		vars := d.Pattern.Vars()
 		for _, pivot := range vars {
 			pl.ForEachPivotCancel(pivot, nodes, stop, func(m pattern.Match) bool {
@@ -55,12 +69,12 @@ func ValidateTouchingCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, nod
 				}
 				seen[key] = true
 				for _, l := range d.X {
-					if !HoldsInGraph(g, l, m) {
+					if !HoldsInGraph(h, l, m) {
 						return true
 					}
 				}
 				for _, l := range d.Y {
-					if !HoldsInGraph(g, l, m) {
+					if !HoldsInGraph(h, l, m) {
 						out = append(out, Violation{GED: d, Match: m.Clone(), Literal: l})
 						break
 					}
@@ -85,47 +99,43 @@ func ValidateTouchingCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, nod
 }
 
 // StillViolating re-checks a previously-found violation against the
-// current graph: the match must still exist (labels and edges), the
-// antecedent must still hold, and the recorded literal must still fail.
-func StillViolating(g *graph.Graph, v Violation) bool {
+// current state of a host (graph or snapshot): the match must still
+// exist (labels and edges), the antecedent must still hold, and the
+// recorded literal must still fail.
+func StillViolating(h pattern.Host, v Violation) bool {
 	// Nodes must still exist.
 	for _, x := range v.GED.Pattern.Vars() {
 		n, ok := v.Match[x]
-		if !ok || int(n) >= g.NumNodes() {
+		if !ok || int(n) >= h.NumNodes() {
 			return false
 		}
-		if !graph.LabelMatches(v.GED.Pattern.Label(x), g.Label(n)) {
+		if !graph.LabelMatches(v.GED.Pattern.Label(x), h.Label(n)) {
 			return false
 		}
 	}
 	for _, e := range v.GED.Pattern.Edges() {
-		if !hasCompatibleEdge(g, v.Match[e.Src], e.Label, v.Match[e.Dst]) {
+		if !hasCompatibleEdge(h, v.Match[e.Src], e.Label, v.Match[e.Dst]) {
 			return false
 		}
 	}
 	for _, l := range v.GED.X {
-		if !HoldsInGraph(g, l, v.Match) {
+		if !HoldsInGraph(h, l, v.Match) {
 			return false
 		}
 	}
 	for _, l := range v.GED.Y {
-		if !HoldsInGraph(g, l, v.Match) {
+		if !HoldsInGraph(h, l, v.Match) {
 			return true
 		}
 	}
 	return false
 }
 
-func hasCompatibleEdge(g *graph.Graph, src graph.NodeID, label graph.Label, dst graph.NodeID) bool {
+func hasCompatibleEdge(h pattern.Host, src graph.NodeID, label graph.Label, dst graph.NodeID) bool {
 	if label != graph.Wildcard {
-		return g.HasEdge(src, label, dst)
+		return h.HasEdge(src, label, dst)
 	}
-	for _, e := range g.Out(src) {
-		if e.Dst == dst {
-			return true
-		}
-	}
-	return false
+	return h.HasAnyEdge(src, dst)
 }
 
 func matchKey(gi int, vars []pattern.Var, m pattern.Match) string {

@@ -14,16 +14,23 @@ import (
 
 // ValidateParallel is the data-parallel validator, a first step toward
 // the "parallel scalable algorithms for reasoning about GEDs" the paper
-// leaves as future work (Section 9). The match space of each GED is
-// partitioned by pre-binding the pattern's most selective variable to
-// disjoint slices of its candidate nodes; workers search the partitions
-// independently and merge their violation lists. The result is
-// deterministic: violations are returned in the same canonical order
-// regardless of worker count.
+// leaves as future work (Section 9). The graph is frozen once into a
+// read-only snapshot shared by every worker; the match space of each
+// GED is partitioned by pre-binding a pivot variable — the most
+// selective constant-literal access path of the antecedent when the
+// snapshot's attribute index beats the label postings, the smallest
+// label candidate set otherwise — to disjoint candidate blocks; workers
+// search the partitions independently and merge their violation lists.
 //
-// workers ≤ 0 selects GOMAXPROCS. limit ≤ 0 returns all violations
-// (a positive limit bounds the result but, unlike Validate, the workers
-// may transiently find more).
+// The result is deterministic: violations are returned in the same
+// canonical order (by GED index, then by match bindings in variable
+// order) regardless of worker count. With a positive limit the workers
+// may transiently find more than limit violations; the merged list is
+// put into canonical order first and then truncated, so the reported
+// prefix is the canonically-least limit violations and is likewise
+// deterministic across runs and worker counts.
+//
+// workers ≤ 0 selects GOMAXPROCS. limit ≤ 0 returns all violations.
 func ValidateParallel(g *graph.Graph, sigma ged.Set, limit, workers int) []Violation {
 	out, _ := ValidateParallelCtx(context.Background(), g, sigma, limit, workers)
 	return out
@@ -35,15 +42,22 @@ func ValidateParallel(g *graph.Graph, sigma ged.Set, limit, workers int) []Viola
 // possibly partial) violations found before the abort are returned
 // alongside ctx's error.
 func ValidateParallelCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, limit, workers int) ([]Violation, error) {
+	return ValidateParallelOnCtx(ctx, g.Freeze(), sigma, limit, workers)
+}
+
+// ValidateParallelOnCtx is ValidateParallelCtx over any matcher host —
+// normally a pre-built *graph.Snapshot shared across calls; a mutable
+// *graph.Graph also works and returns identical results.
+func ValidateParallelOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, limit, workers int) ([]Violation, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return ValidateCtx(ctx, g, sigma, limit)
+		return ValidateOnCtx(ctx, h, sigma, limit)
 	}
 
 	// One compiled plan per GED, shared by all workers; tasks are
-	// candidate blocks of the GED's most selective variable.
+	// candidate blocks of the GED's pivot variable.
 	type task struct {
 		gedIdx int
 		pivot  pattern.Var
@@ -52,8 +66,8 @@ func ValidateParallelCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, lim
 	plans := make([]*pattern.Plan, len(sigma))
 	var tasks []task
 	for gi, d := range sigma {
-		plans[gi] = pattern.Compile(d.Pattern, g)
-		v, cands := pivotVar(d.Pattern, g)
+		plans[gi] = pattern.Compile(d.Pattern, h)
+		v, cands := pivotFor(d, h)
 		if v == "" {
 			tasks = append(tasks, task{gedIdx: gi})
 			continue
@@ -98,12 +112,12 @@ func ValidateParallelCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, lim
 						return false
 					}
 					for _, l := range d.X {
-						if !HoldsInGraph(g, l, m) {
+						if !HoldsInGraph(h, l, m) {
 							return true
 						}
 					}
 					for _, l := range d.Y {
-						if !HoldsInGraph(g, l, m) {
+						if !HoldsInGraph(h, l, m) {
 							local = append(local, Violation{GED: d, Match: m.Clone(), Literal: l})
 							break
 						}
@@ -132,14 +146,43 @@ func ValidateParallelCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, lim
 	return out, ctx.Err()
 }
 
-// pivotVar picks the variable with the smallest candidate set, returning
-// its sorted candidates. An empty pattern returns "".
-func pivotVar(p *pattern.Pattern, g *graph.Graph) (pattern.Var, []graph.NodeID) {
+// pivotFor selects the partitioning variable of d's match space. On a
+// snapshot host the most selective constant literal of the antecedent
+// is pushed down into the folded-in attribute index first — matches
+// outside its postings cannot satisfy the antecedent, so restricting
+// the pivot to them loses no violations; when no constant literal beats
+// the label postings the label-based pivotVar is used.
+func pivotFor(d *ged.GED, h pattern.Host) (pattern.Var, []graph.NodeID) {
+	if snap, ok := h.(*graph.Snapshot); ok {
+		if p := choosePivot(d, snap); p != nil {
+			return p.variable, p.cands
+		}
+	}
+	return pivotVar(d.Pattern, h)
+}
+
+// pivotVar picks the variable with the smallest candidate set, breaking
+// ties toward the label with the higher average degree when the host
+// exposes degree statistics, and returns its candidates. An empty
+// pattern returns "".
+func pivotVar(p *pattern.Pattern, h pattern.Host) (pattern.Var, []graph.NodeID) {
+	stats, hasStats := h.(interface {
+		LabelAvgDegree(graph.Label) float64
+	})
+	avgDeg := func(l graph.Label) float64 {
+		if !hasStats {
+			return 0
+		}
+		return stats.LabelAvgDegree(l)
+	}
 	var best pattern.Var
 	var bestCands []graph.NodeID
 	for _, v := range p.Vars() {
-		c := g.CandidateNodes(p.Label(v))
-		if best == "" || len(c) < len(bestCands) {
+		c := h.CandidateNodes(p.Label(v))
+		switch {
+		case best == "" || len(c) < len(bestCands):
+			best, bestCands = v, c
+		case len(c) == len(bestCands) && avgDeg(p.Label(v)) > avgDeg(p.Label(best)):
 			best, bestCands = v, c
 		}
 	}
@@ -147,23 +190,41 @@ func pivotVar(p *pattern.Pattern, g *graph.Graph) (pattern.Var, []graph.NodeID) 
 }
 
 // sortViolations puts violations into a canonical order: by GED index,
-// then by the match bindings in variable order.
+// then by the match bindings in variable order. The per-violation keys
+// are computed once up front — not inside the comparator, which would
+// redo the strconv/concat work O(n log n) times.
 func sortViolations(vs []Violation, sigma ged.Set) {
+	if len(vs) < 2 {
+		return
+	}
 	idx := make(map[*ged.GED]int, len(sigma))
 	for i, d := range sigma {
 		idx[d] = i
 	}
-	key := func(v Violation) string {
-		s := ""
-		for _, x := range v.GED.Pattern.Vars() {
-			s += string(x) + "=" + strconv.Itoa(int(v.Match[x])) + ";"
-		}
-		return s
+	type keyed struct {
+		gi  int
+		key string
+		v   Violation
 	}
-	sort.Slice(vs, func(i, j int) bool {
-		if idx[vs[i].GED] != idx[vs[j].GED] {
-			return idx[vs[i].GED] < idx[vs[j].GED]
+	ks := make([]keyed, len(vs))
+	var buf []byte
+	for i, v := range vs {
+		buf = buf[:0]
+		for _, x := range v.GED.Pattern.Vars() {
+			buf = append(buf, string(x)...)
+			buf = append(buf, '=')
+			buf = strconv.AppendInt(buf, int64(v.Match[x]), 10)
+			buf = append(buf, ';')
 		}
-		return key(vs[i]) < key(vs[j])
+		ks[i] = keyed{gi: idx[v.GED], key: string(buf), v: v}
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].gi != ks[j].gi {
+			return ks[i].gi < ks[j].gi
+		}
+		return ks[i].key < ks[j].key
 	})
+	for i := range ks {
+		vs[i] = ks[i].v
+	}
 }

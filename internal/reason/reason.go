@@ -144,22 +144,37 @@ func Validate(g *graph.Graph, sigma ged.Set, limit int) []Violation {
 // the backtracking search itself — so a cancelled context aborts even a
 // match-free exponential exploration. The violations found so far are
 // returned alongside ctx's error.
+//
+// The graph is frozen once into a read-only snapshot shared across all
+// of Σ's match enumerations; to validate against a pre-built snapshot
+// (or directly against the mutable graph) use ValidateOnCtx.
 func ValidateCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, limit int) ([]Violation, error) {
+	return ValidateOnCtx(ctx, g.Freeze(), sigma, limit)
+}
+
+// ValidateOnCtx is ValidateCtx over any matcher host: a frozen
+// *graph.Snapshot (the fast path) or a mutable *graph.Graph. With
+// limit <= 0 both hosts return exactly the same violation sets; a
+// positive limit truncates in enumeration order, which may differ
+// between hosts (snapshots enumerate neighbors in (label, id) order,
+// graphs in insertion order), so the reported prefix can differ even
+// though the full sets agree.
+func ValidateOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, limit int) ([]Violation, error) {
 	var out []Violation
 	stop := func() bool { return ctx.Err() != nil }
 	for _, d := range sigma {
 		d := d
-		pattern.ForEachMatchCancel(d.Pattern, g, stop, func(m pattern.Match) bool {
+		pattern.ForEachMatchCancel(d.Pattern, h, stop, func(m pattern.Match) bool {
 			if ctx.Err() != nil {
 				return false
 			}
 			for _, l := range d.X {
-				if !HoldsInGraph(g, l, m) {
+				if !HoldsInGraph(h, l, m) {
 					return true
 				}
 			}
 			for _, l := range d.Y {
-				if !HoldsInGraph(g, l, m) {
+				if !HoldsInGraph(h, l, m) {
 					out = append(out, Violation{GED: d, Match: m.Clone(), Literal: l})
 					break
 				}
@@ -182,20 +197,20 @@ func Satisfies(g *graph.Graph, sigma ged.Set) bool {
 }
 
 // HoldsInGraph evaluates h(x̄) ⊨ l directly against the stored attribute
-// values of g, with the paper's existence semantics: a literal over a
-// missing attribute is false.
-func HoldsInGraph(g *graph.Graph, l ged.Literal, m pattern.Match) bool {
+// values of the host (a graph or a snapshot), with the paper's existence
+// semantics: a literal over a missing attribute is false.
+func HoldsInGraph(h pattern.Host, l ged.Literal, m pattern.Match) bool {
 	k, ok := l.Kind()
 	if !ok {
 		panic("reason: non-GED literal in validation")
 	}
 	switch k {
 	case ged.ConstLiteral:
-		v, ok := g.Attr(m[l.Left.Var], l.Left.Attr)
+		v, ok := h.Attr(m[l.Left.Var], l.Left.Attr)
 		return ok && v.Equal(l.Right.Const)
 	case ged.VarLiteral:
-		v1, ok1 := g.Attr(m[l.Left.Var], l.Left.Attr)
-		v2, ok2 := g.Attr(m[l.Right.Var], l.Right.Attr)
+		v1, ok1 := h.Attr(m[l.Left.Var], l.Left.Attr)
+		v2, ok2 := h.Attr(m[l.Right.Var], l.Right.Attr)
 		return ok1 && ok2 && v1.Equal(v2)
 	default:
 		return m[l.Left.Var] == m[l.Right.Var]
@@ -206,8 +221,9 @@ func HoldsInGraph(g *graph.Graph, l ged.Literal, m pattern.Match) bool {
 // definition: every pattern of Σ has a match in g. CheckSat's models
 // have this by construction; the check is exposed for tests and tools.
 func ModelHasAllPatterns(g *graph.Graph, sigma ged.Set) bool {
+	h := g.Freeze()
 	for _, d := range sigma {
-		if !pattern.HasMatch(d.Pattern, g) {
+		if !pattern.HasMatch(d.Pattern, h) {
 			return false
 		}
 	}

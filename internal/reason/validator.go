@@ -7,19 +7,20 @@ import (
 )
 
 // Validator is a prepared validation context for repeated checking of
-// one graph against one rule set: pattern matching plans are compiled
-// once, an attribute-value index is built once, and constant literals of
-// each antecedent are pushed down into the index — the match enumeration
-// for a rule like φ₁ (y.type = "video game" → ...) starts from the
-// indexed video-game nodes instead of scanning every product.
+// one graph against one rule set: the graph is frozen once into a
+// read-only snapshot (interned symbols, label-grouped CSR adjacency,
+// and the attribute-value index folded in), pattern matching plans are
+// compiled once against it, and constant literals of each antecedent
+// are pushed down into the index — the match enumeration for a rule
+// like φ₁ (y.type = "video game" → ...) starts from the indexed
+// video-game nodes instead of scanning every product.
 //
-// The Validator snapshots nothing from the graph beyond the index; if
-// the graph is mutated, build a new Validator (or use ValidateTouching
-// for localized updates).
+// The Validator reflects the graph at construction time; if the graph
+// is mutated, build a new Validator (or use ValidateTouching for
+// localized updates). It is immutable and safe for concurrent use.
 type Validator struct {
-	g     *graph.Graph
+	snap  *graph.Snapshot
 	sigma ged.Set
-	idx   *graph.AttrIndex
 	plans []*pattern.Plan
 	// pivots[i] is the pushed-down access path for Σ[i], if any.
 	pivots []*pivotPlan
@@ -33,23 +34,28 @@ type pivotPlan struct {
 
 // NewValidator prepares g for repeated validation against sigma.
 func NewValidator(g *graph.Graph, sigma ged.Set) *Validator {
+	return NewValidatorOn(g.Freeze(), sigma)
+}
+
+// NewValidatorOn prepares a validation context over an existing
+// snapshot, sharing it instead of re-freezing.
+func NewValidatorOn(snap *graph.Snapshot, sigma ged.Set) *Validator {
 	v := &Validator{
-		g:      g,
+		snap:   snap,
 		sigma:  sigma,
-		idx:    graph.BuildAttrIndex(g),
 		plans:  make([]*pattern.Plan, len(sigma)),
 		pivots: make([]*pivotPlan, len(sigma)),
 	}
 	for i, d := range sigma {
-		v.plans[i] = pattern.Compile(d.Pattern, g)
-		v.pivots[i] = v.choosePivot(d)
+		v.plans[i] = pattern.Compile(d.Pattern, snap)
+		v.pivots[i] = choosePivot(d, snap)
 	}
 	return v
 }
 
 // choosePivot selects the most selective constant literal of d's
 // antecedent whose index postings beat the label-based candidate set.
-func (v *Validator) choosePivot(d *ged.GED) *pivotPlan {
+func choosePivot(d *ged.GED, snap *graph.Snapshot) *pivotPlan {
 	var best *pivotPlan
 	bestN := -1
 	for _, l := range d.X {
@@ -57,12 +63,12 @@ func (v *Validator) choosePivot(d *ged.GED) *pivotPlan {
 		if !ok || k != ged.ConstLiteral {
 			continue
 		}
-		n := v.idx.Selectivity(l.Left.Attr, l.Right.Const)
+		n := snap.Selectivity(l.Left.Attr, l.Right.Const)
 		if bestN < 0 || n < bestN {
 			bestN = n
 			best = &pivotPlan{
 				variable: l.Left.Var,
-				cands:    v.idx.Lookup(l.Left.Attr, l.Right.Const),
+				cands:    snap.Lookup(l.Left.Attr, l.Right.Const),
 			}
 		}
 	}
@@ -70,8 +76,7 @@ func (v *Validator) choosePivot(d *ged.GED) *pivotPlan {
 		return nil
 	}
 	// Only worth it when more selective than the label index.
-	labelCands := len(v.g.CandidateNodes(d.Pattern.Label(best.variable)))
-	if bestN >= labelCands {
+	if bestN >= snap.LabelCount(d.Pattern.Label(best.variable)) {
 		return nil
 	}
 	return best
@@ -85,12 +90,12 @@ func (v *Validator) Run(limit int) []Violation {
 		d := d
 		collect := func(m pattern.Match) bool {
 			for _, l := range d.X {
-				if !HoldsInGraph(v.g, l, m) {
+				if !HoldsInGraph(v.snap, l, m) {
 					return true
 				}
 			}
 			for _, l := range d.Y {
-				if !HoldsInGraph(v.g, l, m) {
+				if !HoldsInGraph(v.snap, l, m) {
 					out = append(out, Violation{GED: d, Match: m.Clone(), Literal: l})
 					break
 				}

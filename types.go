@@ -38,6 +38,15 @@ type Value = graph.Value
 // GraphEdge is one directed labeled edge of a Graph.
 type GraphEdge = graph.Edge
 
+// Snapshot is a frozen, read-optimized view of a Graph, built with
+// Graph.Freeze(): labels, attribute names and values interned into
+// dense ints, CSR adjacency grouped and sorted by edge label, per-label
+// node postings, degree statistics, and the attribute-value index
+// folded in. Snapshots are immutable and safe for concurrent readers;
+// the Engine caches one per graph keyed on Graph.Version, so most
+// callers never build one explicitly.
+type Snapshot = graph.Snapshot
+
 // Wildcard is the special label '_' that matches any label.
 const Wildcard = graph.Wildcard
 
