@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"gedlib"
+	ibench "gedlib/internal/bench"
+	"gedlib/workload"
+)
+
+// IncrementalPoint is one measurement of the incremental-validation
+// comparison: a small delta processed by Engine.Apply (delta snapshot
+// maintenance + maintained violation store) versus answering the same
+// question with a full Engine.Validate over the cached snapshot. Both
+// paths report identical violation sets; the comparison is maintenance
+// versus recomputation.
+type IncrementalPoint struct {
+	Size       int `json:"size"`
+	DeltaNodes int `json:"delta_nodes"`
+	Iters      int `json:"iters"`
+	Violations int `json:"violations"`
+	// FullValidate is the median per-update cost of the recompute path;
+	// the snapshot itself is delta-maintained in both paths, so this is
+	// pure match-enumeration work. Medians keep one GC pause from
+	// smearing either column.
+	FullValidate time.Duration `json:"full_validate_ns"`
+	// EngineApply is the median per-update cost of Engine.Apply.
+	EngineApply time.Duration `json:"engine_apply_ns"`
+}
+
+// Speedup is the full-validation time over the Engine.Apply time.
+func (p IncrementalPoint) Speedup() float64 {
+	if p.EngineApply <= 0 {
+		return 0
+	}
+	return float64(p.FullValidate) / float64(p.EngineApply)
+}
+
+// IncrementalValidation drives identical update streams — deltaNodes
+// localized mutations per iteration, iters iterations — against two
+// engines over growing knowledge-base workloads: one answering with
+// Engine.Apply, one recomputing with Engine.Validate. The violation
+// sets are asserted equal every iteration.
+func IncrementalValidation(scales []int, deltaNodes, iters int) []IncrementalPoint {
+	ctx := context.Background()
+	var out []IncrementalPoint
+	for _, n := range scales {
+		g, _ := workload.KnowledgeBase(11, n, 0.1)
+		sigma := gedlib.RuleSet{
+			workload.PaperPhi1(), workload.PaperPhi2(),
+			workload.PaperPhi3(), workload.PaperPhi4(),
+		}
+		inc := gedlib.New()
+		full := gedlib.New()
+		// Seed both engines outside the measured loop: Apply's first
+		// call runs its one full validation, Validate warms its caches.
+		if _, err := inc.Apply(ctx, g, sigma); err != nil {
+			panic(err)
+		}
+		if _, err := full.Validate(ctx, g, sigma); err != nil {
+			panic(err)
+		}
+
+		rng := rand.New(rand.NewSource(101))
+		types := []gedlib.Value{
+			gedlib.String("programmer"), gedlib.String("psychologist"),
+			gedlib.String("video game"),
+		}
+		applyTimes := make([]time.Duration, 0, iters)
+		fullTimes := make([]time.Duration, 0, iters)
+		viol := 0
+		for it := 0; it < iters; it++ {
+			for k := 0; k < deltaNodes; k++ {
+				id := gedlib.NodeID(rng.Intn(g.NumNodes()))
+				switch rng.Intn(3) {
+				case 0:
+					g.SetAttr(id, "type", types[rng.Intn(len(types))])
+				case 1:
+					g.SetAttr(id, "name", gedlib.String(fmt.Sprintf("renamed%d", it)))
+				default:
+					g.AddEdge(id, "create", gedlib.NodeID(rng.Intn(g.NumNodes())))
+				}
+			}
+			start := time.Now()
+			vsA, err := inc.Apply(ctx, g, sigma)
+			applyTimes = append(applyTimes, time.Since(start))
+			if err != nil {
+				panic(err)
+			}
+			start = time.Now()
+			vsB, err := full.Validate(ctx, g, sigma)
+			fullTimes = append(fullTimes, time.Since(start))
+			if err != nil {
+				panic(err)
+			}
+			if len(vsA) != len(vsB) {
+				panic("bench: incremental and full validation disagree")
+			}
+			viol = len(vsA)
+		}
+		out = append(out, IncrementalPoint{
+			Size:         g.Size(),
+			DeltaNodes:   deltaNodes,
+			Iters:        iters,
+			Violations:   viol,
+			FullValidate: median(fullTimes),
+			EngineApply:  median(applyTimes),
+		})
+	}
+	return out
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// WriteIncremental renders the incremental-validation comparison.
+func WriteIncremental(w io.Writer, pts []IncrementalPoint) {
+	fmt.Fprintf(w, "%-10s %-6s %-6s %12s %12s %8s\n",
+		"SIZE", "DELTA", "VIOL", "FULL", "APPLY", "SPEEDUP")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10d %-6d %-6d %12s %12s %7.2fx\n",
+			p.Size, p.DeltaNodes, p.Violations,
+			p.FullValidate.Round(time.Microsecond), p.EngineApply.Round(time.Microsecond),
+			p.Speedup())
+	}
+}
+
+// ChasePoint is one measurement of the chase hosting comparison:
+// per-round refreeze versus the delta-maintained live coercion.
+type ChasePoint = ibench.ChasePoint
+
+// ChaseComparison measures both chase hosting strategies; see the
+// internal harness for the workload mix.
+func ChaseComparison(musicScales, kbScales []int) []ChasePoint {
+	return ibench.ChaseComparison(musicScales, kbScales)
+}
+
+// WriteChase renders the chase comparison.
+func WriteChase(w io.Writer, pts []ChasePoint) { ibench.WriteChase(w, pts) }

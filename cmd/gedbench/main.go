@@ -4,11 +4,15 @@
 //	gedbench -experiment table1 -full      # include the slowest instances
 //	gedbench -experiment scaling           # Section 5.3 tractable case + O(1) row
 //	gedbench -experiment validate          # snapshot vs map storage comparison
+//	gedbench -experiment incremental       # Engine.Apply vs full re-validation
+//	gedbench -experiment chase             # delta-maintained vs refreeze chase
 //	gedbench -experiment all
 //
 // With -json, each experiment additionally writes a machine-readable
 // BENCH_<experiment>.json file to the current directory, feeding the
-// repository's performance trajectory.
+// repository's performance trajectory. -quick shrinks the incremental
+// and chase series to one iteration on a small instance, which is what
+// the CI smoke job runs.
 //
 // See EXPERIMENTS.md for how each experiment maps to the paper.
 package main
@@ -25,8 +29,9 @@ import (
 var emitJSON bool
 
 func main() {
-	experiment := flag.String("experiment", "table1", "table1 | scaling | validate | all")
+	experiment := flag.String("experiment", "table1", "table1 | scaling | validate | incremental | chase | all")
 	full := flag.Bool("full", false, "include the slowest instances (Grötzsch graph)")
+	quick := flag.Bool("quick", false, "one iteration on small instances (CI smoke)")
 	flag.BoolVar(&emitJSON, "json", false, "also write BENCH_<experiment>.json files")
 	flag.Parse()
 
@@ -37,12 +42,20 @@ func main() {
 		scaling()
 	case "validate":
 		validate()
+	case "incremental":
+		incremental(*quick)
+	case "chase":
+		chaseExperiment(*quick)
 	case "all":
 		table1(*full)
 		fmt.Println()
 		scaling()
 		fmt.Println()
 		validate()
+		fmt.Println()
+		incremental(*quick)
+		fmt.Println()
+		chaseExperiment(*quick)
 	default:
 		fmt.Fprintln(os.Stderr, "gedbench: unknown experiment", *experiment)
 		os.Exit(2)
@@ -97,6 +110,36 @@ func scaling() {
 		BoundedPatternValidation []bench.ScalingPoint `json:"bounded_pattern_validation"`
 		GFDxSatConstant          []bench.ScalingPoint `json:"gfdx_sat_constant"`
 	}{pts, cpts})
+}
+
+func incremental(quick bool) {
+	fmt.Println("Incremental validation: Engine.Apply (delta snapshot + violation store)")
+	fmt.Println("vs full cached-snapshot Validate, per localized 10-node update")
+	fmt.Println()
+	scales, iters := []int{500, 1000, 2000}, 15
+	if quick {
+		scales, iters = []int{200}, 1
+	}
+	pts := bench.IncrementalValidation(scales, 10, iters)
+	bench.WriteIncremental(os.Stdout, pts)
+	writeJSON("incremental", struct {
+		Points []bench.IncrementalPoint `json:"points"`
+	}{pts})
+}
+
+func chaseExperiment(quick bool) {
+	fmt.Println("Chase hosting: per-round coercion rebuild + freeze vs delta-maintained")
+	fmt.Println("live coercion (same chase result; maintenance cost only)")
+	fmt.Println()
+	music, kb := []int{20, 40, 80}, []int{100, 200}
+	if quick {
+		music, kb = []int{10}, []int{50}
+	}
+	pts := bench.ChaseComparison(music, kb)
+	bench.WriteChase(os.Stdout, pts)
+	writeJSON("chase", struct {
+		Points []bench.ChasePoint `json:"points"`
+	}{pts})
 }
 
 func validate() {

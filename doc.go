@@ -38,12 +38,33 @@
 // Callers normally never freeze explicitly: the Engine caches one
 // snapshot keyed on the graph's mutation counter, so repeated Validate,
 // Satisfies and Discover calls on an unchanged graph pay the freeze
-// cost once; any mutation invalidates the cache on the next call.
-// ValidateIncremental — which by definition runs right after mutations
-// — matches over the mutable graph instead, reusing the cached
-// snapshot only when it is still fresh. Matching over a Snapshot and
-// over its source Graph yields exactly the same result sets — only the
-// cost (and, under a positive violation limit, the enumeration-order
-// prefix) differs; the canonical-order APIs sort before truncating and
-// are host-independent even with a limit.
+// cost once. Matching over a Snapshot and over its source Graph yields
+// exactly the same result sets — only the cost (and, under a positive
+// violation limit, the enumeration-order prefix) differs; the
+// canonical-order APIs sort before truncating and are host-independent
+// even with a limit.
+//
+// # Deltas and incremental maintenance
+//
+// Graphs are add-only and journal every mutation: Graph.DeltaSince(v)
+// returns the Delta — added nodes, added edges, attribute writes —
+// applied after version v. Snapshot.Apply(delta) advances a frozen
+// snapshot by a delta in O(|Δ| + touched adjacency): the snapshot's
+// per-node tables are page-chunked and copy-on-write, so only the
+// pages, label postings and symbol tables the delta touches are
+// cloned; everything else is shared with the parent, and both remain
+// immutable and concurrently readable. Symbol ids are append-only
+// within a snapshot lineage, which lets compiled matcher plans rebind
+// to an advanced snapshot instead of recompiling.
+//
+// Engine.Apply drives the whole incremental-validation pipeline from
+// the journal: it keeps the cached snapshot perpetually fresh via
+// Apply, maintains the violation set of a rule set across deltas
+// (re-checking only violations the delta touches and searching only
+// the touched neighborhoods for new ones), and returns the complete
+// canonical violation set at O(|Δ|) cost per update. The stale-cache
+// catch-up also serves Validate and ValidateIncremental after
+// mutations, so no graph-bound method re-freezes an already-seen
+// graph; the chase similarly maintains one live coercion snapshot
+// across its fixpoint rounds instead of re-freezing per round.
 package gedlib

@@ -25,14 +25,26 @@ var ErrChaseDepthExceeded = chase.ErrDepthExceeded
 // context.WithTimeout.
 //
 // An Engine is cheap, configured once at New, and safe for concurrent
-// use. Its only mutable state is an internal snapshot cache: the
-// graph-bound methods (Validate, ValidateIncremental, Satisfies,
-// Discover) freeze the graph into a read-only gedlib.Snapshot and key
-// the cached copy on the graph's mutation counter (Graph.Version), so
-// repeated calls on an unchanged graph pay the freeze cost once. The
-// cache holds one snapshot — the last graph seen — and is guarded by a
-// mutex, so concurrent calls remain safe; alternating between two
-// graphs on one Engine simply re-freezes each time.
+// use. Its mutable state is maintained validation machinery, all
+// keyed on the last graph seen and guarded by a mutex:
+//
+//   - a snapshot cache: the graph-bound methods (Validate,
+//     ValidateIncremental, Apply, Satisfies, Discover) need a read-only
+//     gedlib.Snapshot of the graph. A cached snapshot whose version
+//     matches is reused as is; one that is merely stale is advanced by
+//     the graph's own change journal (Graph.DeltaSince +
+//     Snapshot.Apply) in time proportional to the changes — the engine
+//     pays a full O(|G|) freeze only on first contact with a graph (or
+//     when the backlog approaches the graph's size, where a fresh
+//     freeze is cheaper).
+//   - a plan cache: compiled match plans and pushed-down access paths
+//     (a prepared validator) keyed on (rule set, snapshot); when only
+//     the snapshot moved, plans are rebound rather than recompiled.
+//   - a violation store for Apply: the maintained violation set that
+//     makes repeated incremental validation O(|Δ|) end to end.
+//
+// Alternating between two graphs on one Engine simply rebuilds each
+// time; one Engine per long-lived graph is the intended shape.
 type Engine struct {
 	workers        int
 	violationLimit int
@@ -42,40 +54,90 @@ type Engine struct {
 	snapOf   *Graph
 	snapVer  uint64
 	snapshot *Snapshot
+
+	valSnap   *Snapshot
+	valSigma  RuleSet
+	validator *reason.Validator
+
+	// applyMu serializes Apply: the violation store is single-writer.
+	applyMu    sync.Mutex
+	storeOf    *Graph
+	storeSigma RuleSet
+	store      *reason.ViolationStore
 }
 
-// frozen returns a snapshot of g, reusing the cached one when g and its
-// mutation counter are unchanged since the previous graph-bound call.
-// The freeze itself runs outside the mutex, so one call freezing a cold
-// graph never blocks concurrent calls that hit the cache (two
-// concurrent cold calls may both freeze; the results are equivalent and
-// one wins the cache slot).
-func (e *Engine) frozen(g *Graph) *Snapshot {
+// fresh returns a snapshot of g's current state: the cached one when it
+// is current, the cached one advanced by the graph's change journal
+// when it is stale but close, a full freeze otherwise. The heavy work
+// runs outside the mutex, so one call catching up a cold graph never
+// blocks concurrent calls that hit the cache (two concurrent cold calls
+// may both build; the results are equivalent and one wins the slot).
+func (e *Engine) fresh(g *Graph) *Snapshot {
 	v := g.Version()
 	e.mu.Lock()
-	if e.snapOf == g && e.snapVer == v && e.snapshot != nil {
-		s := e.snapshot
-		e.mu.Unlock()
-		return s
-	}
+	base, baseVer, hit := e.snapshot, e.snapVer, e.snapOf == g && e.snapshot != nil
 	e.mu.Unlock()
-	s := g.Freeze()
+	if hit && baseVer == v {
+		return base
+	}
+	var s *Snapshot
+	if hit && baseVer < v {
+		// A backlog comparable to the graph is no cheaper to apply than
+		// a fresh freeze, and the freeze re-compacts the page storage;
+		// a nil delta means the journal no longer reaches back this far.
+		if d := g.DeltaSince(baseVer); d != nil && d.Size() <= g.Size()/4 {
+			s = base.Apply(d)
+		}
+	}
+	if s == nil {
+		s = g.Freeze()
+	}
 	e.mu.Lock()
-	e.snapOf, e.snapVer, e.snapshot = g, v, s
+	e.snapOf, e.snapVer, e.snapshot = g, s.SourceVersion(), s
 	e.mu.Unlock()
 	return s
 }
 
-// cached returns the fresh cached snapshot of g if one exists, without
-// ever freezing: the incremental path wants the CSR host only when it
-// is already paid for.
-func (e *Engine) cached(g *Graph) *Snapshot {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.snapOf == g && e.snapVer == g.Version() && e.snapshot != nil {
-		return e.snapshot
+// sameRules reports whether two rule sets are the same rules in the
+// same order (by identity — rules are built once and shared).
+func sameRules(a, b RuleSet) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return nil
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// plansFor returns a prepared validator (compiled plans + pushed-down
+// pivots) for sigma over snap, reusing the cached one outright when
+// nothing moved and rebinding its plans when only the snapshot advanced
+// within its lineage. Recompiling from scratch happens only on a new
+// rule set or an unrelated snapshot.
+func (e *Engine) plansFor(snap *Snapshot, sigma RuleSet) *reason.Validator {
+	e.mu.Lock()
+	val, valSnap, valSigma := e.validator, e.valSnap, e.valSigma
+	e.mu.Unlock()
+	if val != nil && sameRules(valSigma, sigma) {
+		if valSnap == snap {
+			return val
+		}
+		if valSnap.Lineage() == snap.Lineage() {
+			val = val.Rebase(snap)
+			e.mu.Lock()
+			e.validator, e.valSnap, e.valSigma = val, snap, sigma
+			e.mu.Unlock()
+			return val
+		}
+	}
+	val = reason.NewValidatorOn(snap, sigma)
+	e.mu.Lock()
+	e.validator, e.valSnap, e.valSigma = val, snap, sigma
+	e.mu.Unlock()
+	return val
 }
 
 // Option configures an Engine.
@@ -126,11 +188,11 @@ func New(opts ...Option) *Engine {
 // On cancellation the violations found so far are returned together
 // with ctx's error.
 func (e *Engine) Validate(ctx context.Context, g *Graph, sigma RuleSet) ([]Violation, error) {
-	snap := e.frozen(g)
+	val := e.plansFor(e.fresh(g), sigma)
 	if e.workers == 1 {
-		return reason.ValidateOnCtx(ctx, snap, sigma, e.violationLimit)
+		return val.RunCtx(ctx, e.violationLimit)
 	}
-	return reason.ValidateParallelOnCtx(ctx, snap, sigma, e.violationLimit, e.workers)
+	return val.RunParallelCtx(ctx, e.violationLimit, e.workers)
 }
 
 // ValidateIncremental finds the violations of Σ whose match involves at
@@ -138,20 +200,81 @@ func (e *Engine) Validate(ctx context.Context, g *Graph, sigma RuleSet) ([]Viola
 // violation touches an updated node, so re-checking only those matches
 // replaces a full re-validation.
 //
-// Because this is called right after mutations — when the cached
-// snapshot is stale by definition — it matches over the mutable graph
-// rather than paying a full O(|G|) freeze for a touched-neighborhood
-// check; a still-fresh cached snapshot is used when one exists.
+// The engine brings its cached snapshot up to date by applying the
+// graph's change journal (O(|Δ|), no freeze) and runs the
+// touched-neighborhood search over it with cached plans, so the whole
+// call is proportional to the update, not the graph. For a maintained
+// answer to "what are all current violations", use Apply instead.
 func (e *Engine) ValidateIncremental(ctx context.Context, g *Graph, sigma RuleSet, touched []NodeID) ([]Violation, error) {
-	if snap := e.cached(g); snap != nil {
-		return reason.ValidateTouchingOnCtx(ctx, snap, sigma, touched, e.violationLimit)
+	val := e.plansFor(e.fresh(g), sigma)
+	return val.TouchingCtx(ctx, touched, e.violationLimit)
+}
+
+// Apply incorporates the graph's mutations since the previous Apply (or
+// any other graph-bound call) into the engine's maintained validation
+// state, and returns the complete current violation set of Σ in
+// canonical order, truncated to WithViolationLimit.
+//
+// The first Apply for a (graph, rules) pair seeds a maintained
+// violation store with one full validation. Every later Apply costs
+// O(|Δ| + touched neighborhoods) matcher work plus a cheap filter scan
+// of the stored set: the cached snapshot advances by the graph's
+// change journal (Snapshot.Apply — no freeze), stored violations whose
+// match the delta touches are re-checked, and the touched
+// neighborhoods are searched for new ones. Apply serializes with
+// itself; other Engine methods may run concurrently.
+//
+// The maintained state is keyed on the graph and the rule set *by
+// identity* (same rules, same order, same pointers — rules are built
+// once and shared). Passing a freshly rebuilt RuleSet on every call
+// silently re-seeds every time, making Apply no cheaper than Validate;
+// build Σ once and reuse it.
+//
+// On error (cancellation mid-seed or mid-update) the store is
+// discarded and the next Apply re-seeds; no partial state is returned.
+func (e *Engine) Apply(ctx context.Context, g *Graph, sigma RuleSet) ([]Violation, error) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if st := e.store; st != nil && e.storeOf == g && sameRules(e.storeSigma, sigma) {
+		d := g.DeltaSince(st.Snapshot().SourceVersion())
+		if d != nil && d.Size() <= g.Size()/4 {
+			snap := st.Snapshot().Apply(d)
+			if err := st.Apply(ctx, snap, d.TouchedNodes()); err != nil {
+				e.store = nil
+				return nil, err
+			}
+			e.mu.Lock()
+			e.snapOf, e.snapVer, e.snapshot = g, snap.SourceVersion(), snap
+			e.mu.Unlock()
+			return e.limited(st.Violations()), nil
+		}
+		// The backlog rivals the graph; fall through and re-seed from a
+		// fresh freeze.
 	}
-	return reason.ValidateTouchingOnCtx(ctx, g, sigma, touched, e.violationLimit)
+	st, err := reason.NewViolationStoreCtx(ctx, e.plansFor(e.fresh(g), sigma))
+	if err != nil {
+		e.store = nil
+		return nil, err
+	}
+	e.store, e.storeOf, e.storeSigma = st, g, sigma
+	return e.limited(st.Violations()), nil
+}
+
+// limited applies the engine's violation limit and copies the result:
+// ViolationStore.Violations returns (possibly cached) store-owned
+// state, and Apply's callers get the same ownership Validate's do.
+func (e *Engine) limited(vs []Violation) []Violation {
+	if e.violationLimit > 0 && len(vs) > e.violationLimit {
+		vs = vs[:e.violationLimit]
+	}
+	out := make([]Violation, len(vs))
+	copy(out, vs)
+	return out
 }
 
 // Satisfies reports g ⊨ Σ, stopping at the first violation.
 func (e *Engine) Satisfies(ctx context.Context, g *Graph, sigma RuleSet) (bool, error) {
-	vs, err := reason.ValidateOnCtx(ctx, e.frozen(g), sigma, 1)
+	vs, err := e.plansFor(e.fresh(g), sigma).RunCtx(ctx, 1)
 	if err != nil {
 		return false, err
 	}
@@ -216,7 +339,7 @@ func (e *Engine) CheckProof(ctx context.Context, sigma RuleSet, p *Proof) error 
 // whose implication check exceeds the bound is kept rather than
 // guessed about.
 func (e *Engine) Discover(ctx context.Context, g *Graph, opt DiscoverOptions) ([]Discovered, error) {
-	return discover.GFDsOnCtx(ctx, g, e.frozen(g), opt, e.chaseDepth)
+	return discover.GFDsOnCtx(ctx, g, e.fresh(g), opt, e.chaseDepth)
 }
 
 // OptimizeQuery rewrites a pattern query under rules known to hold on

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"gedlib/internal/chase"
+	"gedlib/internal/ged"
+	"gedlib/internal/gen"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// ChasePoint is one measurement of the chase storage comparison: the
+// same chase run with the legacy per-round coercion rebuild + full
+// freeze versus the delta-maintained live coercion (the production
+// path, where a round's snapshot advances by Snapshot.Apply).
+type ChasePoint struct {
+	Workload string        `json:"workload"`
+	Size     int           `json:"size"`
+	Steps    int           `json:"steps"`
+	Refreeze time.Duration `json:"refreeze_ns"`
+	Delta    time.Duration `json:"delta_ns"`
+}
+
+// Speedup is refreeze time over delta time.
+func (p ChasePoint) Speedup() float64 {
+	if p.Delta <= 0 {
+		return 0
+	}
+	return float64(p.Refreeze) / float64(p.Delta)
+}
+
+// propagationChain builds the classic chase-chain workload: a path of
+// n "cell" nodes where a mark set on the head must propagate hop by
+// hop, one fixpoint round per hop. The rule set is a single GED
+// (x -next-> y ∧ x.mark = 1 → y.mark = 1), so every round after the
+// first applies exactly one bind step and changes nothing structural —
+// the regime where the delta-maintained chase does no coercion
+// rebuild, no freeze and no match re-enumeration at all.
+func propagationChain(n int) (*graph.Graph, ged.Set) {
+	g := graph.New()
+	prev := g.AddNodeAttrs("cell", map[graph.Attr]graph.Value{"mark": graph.Int(1)})
+	for i := 1; i < n; i++ {
+		cur := g.AddNode("cell")
+		g.AddEdge(prev, "next", cur)
+		prev = cur
+	}
+	q := pattern.New()
+	q.AddVar("x", "cell")
+	q.AddVar("y", "cell")
+	q.AddEdge("x", "next", "y")
+	prop := ged.New("propagate", q,
+		[]ged.Literal{ged.ConstLit("x", "mark", graph.Int(1))},
+		[]ged.Literal{ged.ConstLit("y", "mark", graph.Int(1))})
+	return g, ged.Set{prop}
+}
+
+// ChaseComparison measures both chase hosting strategies on three
+// workload families: the music catalog under the paper's recursive
+// keys (merge-heavy — every duplicate pair retires a coercion carrier,
+// where the adaptive rebuild keeps the delta path at parity), the
+// knowledge base under φ₁–φ₄ (mixed), and mark-propagation chains
+// (bind-only rounds — the delta path's home turf, one O(pending)
+// worklist re-check per round instead of a rebuild + freeze + full
+// re-enumeration). Both strategies compute the same result; the
+// comparison is pure maintenance cost.
+func ChaseComparison(musicScales, kbScales []int) []ChasePoint {
+	ctx := context.Background()
+	var out []ChasePoint
+	run := func(name string, build func() *graph.Graph, sigma ged.Set) {
+		// Best of three runs per mode, on fresh graphs (the chase does
+		// not mutate its input; fresh builds keep the runs independent
+		// and the minimum suppresses GC noise).
+		size := 0
+		measure := func(opts chase.Options) (time.Duration, *chase.Result) {
+			best := time.Duration(0)
+			var res *chase.Result
+			for i := 0; i < 3; i++ {
+				g := build()
+				size = g.Size()
+				start := time.Now()
+				r, err := chase.RunCtxOpts(ctx, g, sigma, nil, 0, opts)
+				el := time.Since(start)
+				if err != nil {
+					panic(err)
+				}
+				if res == nil || el < best {
+					best, res = el, r
+				}
+			}
+			return best, res
+		}
+		// One throwaway run per mode warms the allocator so neither
+		// mode pays the process's cold-start in its measurement.
+		measure(chase.Options{})
+		measure(chase.Options{RefreezeEachRound: true})
+		delta, resD := measure(chase.Options{})
+		refreeze, resR := measure(chase.Options{RefreezeEachRound: true})
+		if resD.Consistent() != resR.Consistent() {
+			panic("bench: chase hosting strategies disagree")
+		}
+		out = append(out, ChasePoint{
+			Workload: name,
+			Size:     size,
+			Steps:    len(resD.Steps),
+			Refreeze: refreeze,
+			Delta:    delta,
+		})
+	}
+	for _, n := range musicScales {
+		n := n
+		run(fmt.Sprintf("music(%d)", n), func() *graph.Graph {
+			g, _ := gen.MusicDB(7, n, 0.3)
+			return g
+		}, gen.PaperKeys())
+	}
+	for _, n := range kbScales {
+		n := n
+		run(fmt.Sprintf("kb(%d)", n), func() *graph.Graph {
+			g, _ := gen.KnowledgeBase(11, n, 0.1)
+			return g
+		}, ged.Set{gen.PaperPhi1(), gen.PaperPhi2(), gen.PaperPhi3(), gen.PaperPhi4()})
+	}
+	for _, n := range kbScales {
+		n := n
+		cg, sigma := propagationChain(n)
+		run(fmt.Sprintf("chain(%d)", n), func() *graph.Graph { return cg.Clone() }, sigma)
+	}
+	return out
+}
+
+// WriteChase renders the chase comparison.
+func WriteChase(w io.Writer, pts []ChasePoint) {
+	fmt.Fprintf(w, "%-12s %-8s %-7s %12s %12s %8s\n",
+		"WORKLOAD", "SIZE", "STEPS", "REFREEZE", "DELTA", "SPEEDUP")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-12s %-8d %-7d %12s %12s %7.2fx\n",
+			p.Workload, p.Size, p.Steps,
+			p.Refreeze.Round(time.Microsecond), p.Delta.Round(time.Microsecond),
+			p.Speedup())
+	}
+}

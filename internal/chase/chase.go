@@ -127,6 +127,19 @@ func RunSeeded(g *graph.Graph, sigma ged.Set, seeds []Seed) *Result {
 	return res
 }
 
+// Options tunes RunCtxOpts. The zero value selects the production
+// configuration.
+type Options struct {
+	// RefreezeEachRound forces the legacy behavior of re-coercing and
+	// re-freezing the coercion graph at the start of every fixpoint
+	// round, instead of maintaining one live coercion and advancing its
+	// snapshot by deltas. Both modes compute the same chase (the
+	// differential tests assert it); the flag exists so the benchmark
+	// harness can measure the delta path against the full-freeze
+	// baseline.
+	RefreezeEachRound bool
+}
+
 // RunCtx is RunSeeded with cooperative cancellation and an optional
 // round bound. The chase checks ctx between rounds, between matches and
 // inside the matcher's backtracking search; on cancellation the partial
@@ -137,17 +150,29 @@ func RunSeeded(g *graph.Graph, sigma ged.Set, seeds []Seed) *Result {
 // ErrDepthExceeded is returned with the partial result. maxRounds <= 0
 // means unbounded — the chase always terminates by Theorem 1, so the
 // bound is a resource valve, not a semantics knob.
+//
+// The coercion graph is immutable within a round (chase steps mutate
+// eq, not G_Eq), and between rounds it changes only by the node merges
+// the round performed. RunCtx therefore builds the coercion and its
+// frozen snapshot once, and each subsequent round only transports the
+// merged classes' adjacency onto their surviving carriers and advances
+// the snapshot by the resulting delta (graph.Snapshot.Apply) — no
+// per-round O(|G|) freeze. Compiled match plans are rebound across the
+// deltas for the same reason.
 func RunCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, seeds []Seed, maxRounds int) (*Result, error) {
+	return RunCtxOpts(ctx, g, sigma, seeds, maxRounds, Options{})
+}
+
+// RunCtxOpts is RunCtx with explicit Options.
+func RunCtxOpts(ctx context.Context, g *graph.Graph, sigma ged.Set, seeds []Seed, maxRounds int, opts Options) (*Result, error) {
 	eq := NewEq(g)
 	res := &Result{Eq: eq, Sigma: sigma}
-	// abort finalizes an interrupted chase: the partial result still
-	// carries a usable coercion so callers holding it do not trip over a
-	// nil Coercion in Materialize.
-	abort := func(err error) (*Result, error) {
-		if eq.Consistent() {
-			res.Coercion = Coerce(eq)
-		}
-		return res, err
+	c := &chaser{ctx: ctx, eq: eq, res: res, sigma: sigma, maxRounds: maxRounds}
+	c.vars = make([][]pattern.Var, len(sigma))
+	c.clits = make([]clitSet, len(sigma))
+	for gi, d := range sigma {
+		c.vars[gi] = d.Pattern.Vars()
+		c.clits[gi] = compileLits(d, c.vars[gi])
 	}
 	for i, s := range seeds {
 		applyLiteral(eq, s.Literal, s.Nodes, Reason{Kind: ReasonGiven, Seed: i})
@@ -155,67 +180,334 @@ func RunCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, seeds []Seed, ma
 			return res, nil
 		}
 	}
-	stop := func() bool { return ctx.Err() != nil }
-	rounds := 0
+	if opts.RefreezeEachRound {
+		return c.runRefreeze()
+	}
+	return c.runDelta()
+}
+
+// chaser carries the shared state of one chase run.
+type chaser struct {
+	ctx       context.Context
+	eq        *Eq
+	res       *Result
+	sigma     ged.Set
+	vars      [][]pattern.Var // per GED, the pattern's variable order
+	clits     []clitSet       // per GED, literals with variables index-resolved
+	baseBuf   []graph.NodeID  // reused base-node translation scratch
+	maxRounds int
+	rounds    int
+	// per-round accumulators
+	changed bool
+	// merges collects the node identifications of the current round, to
+	// be folded into the live coercion before the next one.
+	merges [][2]graph.NodeID
+}
+
+// clit is one GED literal with its variables resolved to indexes of the
+// pattern's variable order, so the fixpoint loop evaluates it straight
+// off a dense binding vector — no per-match map. Kind mirrors
+// Literal.Kind.
+type clit struct {
+	kind   ged.LiteralKind
+	li, ri int // variable indexes (ri unused for const literals)
+	la, ra graph.Attr
+	c      graph.Value
+	src    ged.Literal // the original literal, for step application
+}
+
+// clitSet is one GED's compiled antecedent and consequent.
+type clitSet struct {
+	x, y []clit
+}
+
+func compileLits(d *ged.GED, vars []pattern.Var) clitSet {
+	idx := make(map[pattern.Var]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	one := func(l ged.Literal) clit {
+		k, ok := l.Kind()
+		if !ok {
+			panic(fmt.Sprintf("chase: non-GED literal %s", l))
+		}
+		cl := clit{kind: k, li: idx[l.Left.Var], la: l.Left.Attr, src: l}
+		switch k {
+		case ConstKind:
+			cl.c = l.Right.Const
+		default:
+			cl.ri = idx[l.Right.Var]
+			cl.ra = l.Right.Attr
+		}
+		return cl
+	}
+	var cs clitSet
+	for _, l := range d.X {
+		cs.x = append(cs.x, one(l))
+	}
+	for _, l := range d.Y {
+		cs.y = append(cs.y, one(l))
+	}
+	return cs
+}
+
+// clitHolds evaluates one compiled literal against eq under the base
+// node vector (bind translated through repOf by the caller).
+func (c *chaser) clitHolds(cl *clit, base []graph.NodeID) bool {
+	switch cl.kind {
+	case ConstKind:
+		v, ok := c.eq.AttrConst(base[cl.li], cl.la)
+		return ok && v.Equal(cl.c)
+	case VarKind:
+		return c.eq.SameValue(base[cl.li], cl.la, base[cl.ri], cl.ra)
+	default:
+		return c.eq.SameNode(base[cl.li], base[cl.ri])
+	}
+}
+
+// abort finalizes an interrupted chase: the partial result still
+// carries a usable coercion so callers holding it do not trip over a
+// nil Coercion in Materialize.
+func (c *chaser) abort(err error) (*Result, error) {
+	if c.eq.Consistent() {
+		c.res.Coercion = Coerce(c.eq)
+	}
+	return c.res, err
+}
+
+// checkRound guards the top of each fixpoint round; done reports that
+// the caller must return (res, err) immediately.
+func (c *chaser) checkRound() (*Result, error, bool) {
+	if err := c.ctx.Err(); err != nil {
+		r, e := c.abort(err)
+		return r, e, true
+	}
+	if c.maxRounds > 0 && c.rounds >= c.maxRounds {
+		r, e := c.abort(ErrDepthExceeded)
+		return r, e, true
+	}
+	c.rounds++
+	return nil, nil, false
+}
+
+// enforce processes one coercion match of Σ[gi], given as the dense
+// binding vector bind over the pattern's variable order: translate to
+// base-graph class representatives, check the antecedent, and enforce
+// every failing consequent literal as chase steps. It reports whether
+// the match is settled — enforced or already satisfied — and therefore
+// never needs to be revisited: literal satisfaction under Eq is
+// monotone (Eq only grows), so a settled match stays settled. An
+// antecedent that does not (yet) hold leaves the match pending.
+//
+// The check phase runs entirely on dense vectors and compiled literals;
+// a variable map materializes only on the rare slow path that actually
+// applies a step (and is then owned by the recorded trace entry).
+func (c *chaser) enforce(gi int, repOf []graph.NodeID, bind []graph.NodeID) (settled bool) {
+	base := c.baseBuf[:0]
+	for _, cn := range bind {
+		base = append(base, repOf[cn])
+	}
+	c.baseBuf = base
+	cs := &c.clits[gi]
+	for i := range cs.x {
+		if !c.clitHolds(&cs.x[i], base) {
+			return false
+		}
+	}
+	for li := range cs.y {
+		cl := &cs.y[li]
+		if c.clitHolds(cl, base) {
+			continue
+		}
+		vars := c.vars[gi]
+		m := make(map[pattern.Var]graph.NodeID, len(vars))
+		for i, x := range vars {
+			m[x] = base[i]
+		}
+		step := len(c.res.Steps)
+		c.res.Steps = append(c.res.Steps, Step{GED: gi, Match: m, Literal: li})
+		if cl.kind == IDKind {
+			c.merges = append(c.merges, [2]graph.NodeID{base[cl.li], base[cl.ri]})
+		}
+		applyLiteral(c.eq, cl.src, m, Reason{Kind: ReasonStep, Step: step})
+		c.changed = true
+		if !c.eq.Consistent() {
+			return true
+		}
+	}
+	return true
+}
+
+// runRefreeze is the legacy fixpoint loop: every round re-coerces,
+// re-freezes and re-enumerates every match of every GED. It is the
+// benchmark baseline and the differential-test oracle for runDelta.
+func (c *chaser) runRefreeze() (*Result, error) {
+	eq, sigma := c.eq, c.sigma
+	stop := func() bool { return c.ctx.Err() != nil }
 	for {
-		if err := ctx.Err(); err != nil {
-			return abort(err)
+		if r, err, done := c.checkRound(); done {
+			return r, err
 		}
-		if maxRounds > 0 && rounds >= maxRounds {
-			return abort(ErrDepthExceeded)
-		}
-		rounds++
 		co := Coerce(eq)
-		// The coercion graph is immutable for the rest of the round (chase
-		// steps mutate eq, not G_Eq), so it is frozen once per round and
-		// the snapshot's CSR matcher is shared across every GED's match
-		// phase; the next round coerces and re-freezes.
 		host := co.Graph.Freeze()
-		changed := false
+		c.changed = false
+		// The per-round coercion rebuild makes enforce's merge list
+		// useless here; keep it from accumulating across the run.
+		c.merges = c.merges[:0]
 		var ctxErr error
 		for gi, d := range sigma {
-			pat := d.Pattern
-			pattern.ForEachMatchCancel(pat, host, stop, func(m pattern.Match) bool {
-				if ctxErr = ctx.Err(); ctxErr != nil {
+			pattern.Compile(d.Pattern, host).ForEachDenseCancel(stop, func(bind []graph.NodeID) bool {
+				if ctxErr = c.ctx.Err(); ctxErr != nil {
 					return false
 				}
-				// Translate the coercion match to base-graph class
-				// representatives; representatives stay valid across
-				// merges performed later in this iteration.
-				base := make(map[pattern.Var]graph.NodeID, len(m))
-				for v, cn := range m {
-					base[v] = co.RepOf[cn]
-				}
-				if !satisfiesAll(eq, d.X, base) {
-					return true
-				}
-				for li, l := range d.Y {
-					if literalHolds(eq, l, base) {
-						continue
-					}
-					step := len(res.Steps)
-					res.Steps = append(res.Steps, Step{GED: gi, Match: base, Literal: li})
-					applyLiteral(eq, l, base, Reason{Kind: ReasonStep, Step: step})
-					changed = true
-					if !eq.Consistent() {
-						return false
-					}
-				}
-				return true
+				c.enforce(gi, co.RepOf, bind)
+				return eq.Consistent()
 			})
-			if ctxErr = ctx.Err(); ctxErr != nil {
-				return abort(ctxErr)
+			if ctxErr = c.ctx.Err(); ctxErr != nil {
+				return c.abort(ctxErr)
 			}
 			if !eq.Consistent() {
-				return res, nil
+				return c.res, nil
 			}
 		}
-		if !changed {
+		if !c.changed {
 			break
 		}
 	}
-	res.Coercion = Coerce(eq)
-	return res, nil
+	c.res.Coercion = Coerce(eq)
+	return c.res, nil
+}
+
+// pendingMatch is one enumerated match whose antecedent did not hold
+// yet, kept on the worklist as its dense coercion-node binding vector.
+type pendingMatch []graph.NodeID
+
+// runDelta is the production fixpoint loop. It builds the coercion and
+// its frozen snapshot once (liveCoercion) and exploits two monotonicity
+// facts:
+//
+//   - the coercion graph changes between rounds only when the previous
+//     round merged node classes; a round after pure attribute-bind
+//     steps re-checks its parked worklist by literal evaluation alone —
+//     no coercion rebuild, no freeze, and no match enumeration at all;
+//   - Eq only grows, so a match that was enforced (or already
+//     satisfied) is settled forever; only matches whose antecedent did
+//     not hold yet are parked.
+//
+// After a merge round the live coercion absorbs the merges and advances
+// its snapshot by the working graph's own delta (Snapshot.Apply), and
+// the round re-sweeps the matches over the patched snapshot with
+// rebound plans — the legacy cost minus the per-round Coerce+Freeze,
+// which is the honest floor for merge-heavy rounds, whose new-match set
+// is of the same order as the full match set.
+func (c *chaser) runDelta() (*Result, error) {
+	eq, sigma := c.eq, c.sigma
+	stop := func() bool { return c.ctx.Err() != nil }
+	lc := newLiveCoercion(eq, sigma)
+
+	wl := make([][]pendingMatch, len(sigma))
+	// parked[gi] reports that wl[gi] holds gi's complete pending set for
+	// the current graph. Parking gives up past a cap — a pending set far
+	// larger than the graph (disconnected patterns cross-multiply) costs
+	// more to park and re-check than to re-enumerate, and would hold
+	// O(matches) memory.
+	parked := make([]bool, len(sigma))
+	parkCap := 64 + 8*lc.co.Graph.NumNodes()
+	var arena []graph.NodeID // chunked backing for parked binding vectors
+	park := func(gi int, bind []graph.NodeID) {
+		if len(wl[gi]) >= parkCap {
+			parked[gi] = false
+			wl[gi] = wl[gi][:0]
+			return
+		}
+		if len(arena)+len(bind) > cap(arena) {
+			arena = make([]graph.NodeID, 0, 16*1024)
+		}
+		lo := len(arena)
+		arena = append(arena, bind...)
+		wl[gi] = append(wl[gi], pendingMatch(arena[lo:len(arena):len(arena)]))
+	}
+	var ctxErr error
+	// fullSweep re-enumerates Σ[gi] over the live snapshot. With park
+	// set, antecedent-pending matches land on a rebuilt worklist so
+	// later bind-only rounds skip enumeration entirely; without it the
+	// sweep is as lean as the legacy loop (parking a merge-heavy chase's
+	// pending set every round would never pay for itself). Retired
+	// carriers are filtered out at binding time: their labels and edges
+	// are subsumed by their class carriers, so the carrier-only matches
+	// are the quotient's matches.
+	fullSweep := func(gi int, doPark bool) {
+		wl[gi] = wl[gi][:0]
+		parked[gi] = doPark
+		var filter func(graph.NodeID) bool
+		if lc.stale > 0 {
+			filter = lc.isCarrier
+		}
+		lc.plan(gi).ForEachDenseFiltered(stop, filter, func(bind []graph.NodeID) bool {
+			if ctxErr = c.ctx.Err(); ctxErr != nil {
+				return false
+			}
+			if !c.enforce(gi, lc.co.RepOf, bind) && parked[gi] {
+				park(gi, bind)
+			}
+			return eq.Consistent()
+		})
+	}
+
+	structural := true // graph-shape change since the last sweep
+	for {
+		if r, err, done := c.checkRound(); done {
+			return r, err
+		}
+		if len(c.merges) > 0 {
+			lc.advance(c.merges)
+			c.merges = c.merges[:0]
+			structural = true
+		}
+		c.changed = false
+
+		for gi := range sigma {
+			if structural || !parked[gi] {
+				// Park on the opening round and on the forced re-sweep
+				// at a merge→bind transition — the rounds a worklist
+				// will serve. Structural (merge) rounds rebuild the
+				// matching space anyway, so parking there would never
+				// pay for itself.
+				fullSweep(gi, c.rounds == 1 || !structural)
+			} else {
+				// The graph is unchanged since gi's worklist was built:
+				// every match is either settled forever or parked.
+				// Re-check the parked ones against the grown Eq — pure
+				// literal evaluation, no matcher.
+				kept := wl[gi][:0]
+				for _, pm := range wl[gi] {
+					if err := c.ctx.Err(); err != nil {
+						return c.abort(err)
+					}
+					if c.enforce(gi, lc.co.RepOf, pm) {
+						if !eq.Consistent() {
+							return c.res, nil
+						}
+						continue
+					}
+					kept = append(kept, pm)
+				}
+				wl[gi] = kept
+			}
+			if ctxErr != nil {
+				return c.abort(ctxErr)
+			}
+			if !eq.Consistent() {
+				return c.res, nil
+			}
+		}
+		structural = false
+		if !c.changed {
+			break
+		}
+	}
+	c.res.Coercion = Coerce(eq)
+	return c.res, nil
 }
 
 // satisfiesAll reports h(x̄) ⊨ X under eq: every literal holds, with the

@@ -86,6 +86,33 @@ type Graph struct {
 	// version counts mutations; it keys snapshot caches (see Freeze and
 	// the Engine facade) so an unchanged graph is frozen only once.
 	version uint64
+	// journal records recent version ticks as one op each, so DeltaSince
+	// can replay a suffix of the mutation history. Node and edge ops are
+	// bounded by the graph itself, but attribute overwrites are not, so
+	// the journal is trimmed once it outgrows the graph (see noteOp) —
+	// journalBase is the version of the oldest retained op, and
+	// DeltaSince answers nil for anything older. Clone does not copy the
+	// journal; the clone rebuilds its own as it replays the mutations.
+	journal     []op
+	journalBase uint64
+}
+
+// noteOp journals one mutation and ticks the version. When the journal
+// outgrows the graph by a comfortable margin it is trimmed to its
+// recent half: every delta consumer this library ships (the Engine's
+// caches, the chase's live coercion) falls back to a full freeze well
+// before lagging that far, so the trim only sheds history nobody can
+// use, and memory stays O(|G|) even under endless attribute overwrites.
+func (g *Graph) noteOp(o op) {
+	g.journal = append(g.journal, o)
+	g.version++
+	if limit := 4096 + 2*g.Size(); len(g.journal) > limit {
+		drop := len(g.journal) - limit/2
+		g.journalBase += uint64(drop)
+		trimmed := make([]op, len(g.journal)-drop)
+		copy(trimmed, g.journal[drop:])
+		g.journal = trimmed
+	}
 }
 
 // New returns an empty graph.
@@ -105,7 +132,7 @@ func (g *Graph) AddNode(label Label) NodeID {
 	g.nodes = append(g.nodes, node{label: label})
 	g.ids = append(g.ids, id)
 	g.byLabel[label] = append(g.byLabel[label], id)
-	g.version++
+	g.noteOp(op{kind: opAddNode, node: id, label: label})
 	return id
 }
 
@@ -128,7 +155,7 @@ func (g *Graph) AddEdge(src NodeID, label Label, dst NodeID) {
 	g.edges[e] = struct{}{}
 	g.out[src] = append(g.out[src], e)
 	g.in[dst] = append(g.in[dst], e)
-	g.version++
+	g.noteOp(op{kind: opAddEdge, src: src, dst: dst, label: label})
 }
 
 // HasEdge reports whether the exact edge (src, label, dst) is present.
@@ -144,7 +171,7 @@ func (g *Graph) SetAttr(id NodeID, a Attr, v Value) {
 		n.attrs = make(map[Attr]Value)
 	}
 	n.attrs[a] = v
-	g.version++
+	g.noteOp(op{kind: opSetAttr, node: id, attr: a, val: v})
 }
 
 // Version is the mutation counter: it increments on every AddNode,

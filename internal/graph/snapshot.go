@@ -3,69 +3,155 @@ package graph
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Snapshot is a frozen, read-optimized view of a Graph: the storage
 // layout production graph matchers use. Labels, attribute names and
-// attribute values are interned into dense ints; in/out adjacency is
-// laid out in CSR form with each node's edges grouped and sorted by
-// (edge label, endpoint), so "neighbors of v via label ι" is one
-// contiguous slice and HasEdge is a binary search; per-label node
-// postings replace the byLabel map; the attribute-value index of
-// BuildAttrIndex is folded in as first-class postings; and per-node /
-// per-label degree statistics feed the matcher's planning heuristics.
+// attribute values are interned into dense ints; each node's in/out
+// adjacency is one segment grouped and sorted by (edge label, endpoint),
+// so "neighbors of v via label ι" is one contiguous slice and HasEdge is
+// a binary search; per-label node postings replace the byLabel map; the
+// attribute-value index of BuildAttrIndex is folded in as first-class
+// postings; and per-label degree statistics feed the matcher's planning
+// heuristics.
+//
+// Storage is page-chunked: the per-node tables (label symbols, adjacency
+// segments, attribute tuples) are arrays of fixed-size pages, and every
+// segment of a freshly frozen snapshot is a view into one flat arena.
+// The chunking exists for Apply: advancing a snapshot by a Delta clones
+// only the pages and label postings the delta touches and shares every
+// other backing array with the parent — copy-on-write at page and
+// label-group granularity, so maintenance is O(|Δ| + touched adjacency)
+// instead of O(|G|).
 //
 // A Snapshot is immutable and safe for unsynchronized concurrent
-// readers. It reflects the graph at Freeze time: later mutations of the
-// source graph are not visible (compare Graph.Version against
-// SourceVersion to detect staleness). All slices returned by Snapshot
-// methods are the snapshot's own storage; callers must not mutate them.
+// readers. It reflects the graph at Freeze (or Apply) time: later
+// mutations of the source graph are not visible (compare Graph.Version
+// against SourceVersion to detect staleness, and use Apply with
+// Graph.DeltaSince to catch up). All slices returned by Snapshot methods
+// are the snapshot's own storage; callers must not mutate them.
 type Snapshot struct {
-	// symbol tables
+	// symbol tables; shared with the parent unless the delta interned
+	// new symbols (ids are append-only, so a child's symbols extend its
+	// parent's).
 	labels   []Label
 	labelIDs map[Label]int32
 	attrs    []Attr
 	attrIDs  map[Attr]int32
 
 	// nodes
-	ids       []NodeID // all node ids in insertion order
-	nodeLabel []int32  // node -> label symbol
+	numNodes  int
+	ids       []NodeID  // identity prefix, shared process-wide
+	nodeLabel [][]int32 // paged: node -> label symbol
 
-	// CSR adjacency; within a node's segment entries are sorted by
-	// (label symbol, other endpoint).
-	outOff []int32
-	outLbl []int32
-	outDst []NodeID
-	inOff  []int32
-	inLbl  []int32
-	inSrc  []NodeID
+	// per-node adjacency segments, paged; within a segment entries are
+	// sorted by (label symbol, other endpoint).
+	out [][]adjSeg
+	in  [][]adjSeg
 
-	// per-label postings and degree statistics; indexed by label symbol,
+	// per-node attribute tuples, paged; sorted by attr symbol.
+	attr [][]attrSeg
+
+	// per-label postings and degree totals; indexed by label symbol,
 	// sized to the node-label symbols only (edge-only labels have no
-	// nodes and fall outside the slice).
-	labelNodes [][]NodeID
-	labelDeg   []float64
-
-	// per-node attribute tuples in CSR form, sorted by attr symbol.
-	attrOff   []int32
-	attrKey   []int32
-	attrValue []Value
+	// nodes and fall outside the slice). labelDegTotal[l] is the summed
+	// in+out degree of the posting's nodes.
+	labelNodes    [][]NodeID
+	labelDegTotal []int64
 
 	// (attr, value) -> nodes carrying that binding, ascending by id —
 	// the folded-in AttrIndex. Built lazily on first Lookup/Selectivity
 	// (sync.Once keeps concurrent readers safe): plain validation never
-	// touches value postings, so Freeze does not pay for them.
+	// touches value postings, so Freeze does not pay for them. Apply
+	// drops them; the child rebuilds on first use.
 	postingsOnce sync.Once
 	postings     map[postingKey][]NodeID
 
 	numEdges int
 	version  uint64
+	// lineage identifies the Freeze root this snapshot derives from;
+	// Apply preserves it. Two snapshots with equal lineage share one
+	// append-only symbol universe, which is what lets compiled matcher
+	// plans rebind between them without re-resolving from strings.
+	lineage uint64
+}
+
+// adjSeg is one node's adjacency in one direction.
+type adjSeg struct {
+	lbl []int32
+	ids []NodeID
+}
+
+// attrSeg is one node's attribute tuple.
+type attrSeg struct {
+	key []int32
+	val []Value
+}
+
+// Pages are 64 entries: small enough that Apply's per-dirty-page
+// copies (the dominant cost of a scattered small delta — each clone
+// zeroes and copies a full page of segment headers) stay proportional
+// to the touched neighborhood, big enough that the outer page tables —
+// which Apply clones whole — stay a small fraction of a percent of the
+// graph.
+const (
+	pageShift = 6
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// pagesOf splits a flat arena into page views. Capacities are clamped
+// so a page can never grow into its neighbor's storage.
+func pagesOf[T any](flat []T) [][]T {
+	n := len(flat)
+	pgs := make([][]T, (n+pageSize-1)/pageSize)
+	for p := range pgs {
+		lo := p * pageSize
+		hi := lo + pageSize
+		if hi > n {
+			hi = n
+		}
+		pgs[p] = flat[lo:hi:hi]
+	}
+	return pgs
 }
 
 type postingKey struct {
 	attr int32
 	val  Value
 }
+
+// identity ids are shared process-wide: every snapshot's Nodes() is a
+// prefix of one immutable [0,1,2,...] table, grown under a lock and
+// published atomically, so neither Freeze nor Apply materializes it.
+var (
+	identityMu  sync.Mutex
+	identityTab atomic.Value // []NodeID
+)
+
+func identityIDs(n int) []NodeID {
+	tab, _ := identityTab.Load().([]NodeID)
+	if len(tab) < n {
+		identityMu.Lock()
+		tab, _ = identityTab.Load().([]NodeID)
+		if len(tab) < n {
+			m := 1024
+			for m < n {
+				m *= 2
+			}
+			tab = make([]NodeID, m)
+			for i := range tab {
+				tab[i] = NodeID(i)
+			}
+			identityTab.Store(tab)
+		}
+		identityMu.Unlock()
+	}
+	return tab[:n:n]
+}
+
+var lineageCounter atomic.Uint64
 
 func (s *Snapshot) internLabel(l Label) int32 {
 	if id, ok := s.labelIDs[l]; ok {
@@ -88,59 +174,59 @@ func (s *Snapshot) internAttr(a Attr) int32 {
 }
 
 // Freeze builds a read-only Snapshot of g. The cost is one pass over
-// nodes, edges and attributes plus a per-node sort of adjacency — the
-// price is paid once and amortized across every match enumeration run
-// against the result.
+// nodes, edges and attributes plus a global sort of each adjacency
+// direction — the price is paid once and amortized across every match
+// enumeration run against the result; later mutations are folded in
+// with Apply instead of re-freezing.
 func (g *Graph) Freeze() *Snapshot {
 	n := len(g.nodes)
 	s := &Snapshot{
 		labelIDs: make(map[Label]int32),
 		attrIDs:  make(map[Attr]int32),
+		numNodes: n,
 		numEdges: len(g.edges),
 		version:  g.version,
+		lineage:  lineageCounter.Add(1),
 	}
-	s.ids = g.ids[:n:n]
+	s.ids = identityIDs(n)
 
 	// Nodes, node-label symbols and per-label postings. Node labels are
-	// interned first so labelNodes/labelDeg cover exactly the symbols
-	// that can have postings.
-	s.nodeLabel = make([]int32, n)
+	// interned first so labelNodes/labelDegTotal cover exactly the
+	// symbols that can have postings.
+	nodeLabel := make([]int32, n)
 	for i := range g.nodes {
-		s.nodeLabel[i] = s.internLabel(g.nodes[i].label)
+		nodeLabel[i] = s.internLabel(g.nodes[i].label)
 	}
+	s.nodeLabel = pagesOf(nodeLabel)
 	s.labelNodes = make([][]NodeID, len(s.labels))
 	for i := 0; i < n; i++ {
-		lid := s.nodeLabel[i]
+		lid := nodeLabel[i]
 		s.labelNodes[lid] = append(s.labelNodes[lid], NodeID(i))
 	}
 
-	// CSR adjacency, label-grouped and sorted: edges are gathered once
-	// into parallel arrays and permuted by two global sorts — one per
-	// direction — rather than 2n per-node sorts.
+	// Adjacency segments, label-grouped and sorted: edges are gathered
+	// once into parallel arrays and permuted by two global sorts — one
+	// per direction — rather than 2n per-node sorts.
 	s.buildAdjacency(g, n)
 
-	// Per-label average total degree, for plan seeding.
-	s.labelDeg = make([]float64, len(s.labelNodes))
+	// Per-label total degree, for plan seeding.
+	s.labelDegTotal = make([]int64, len(s.labelNodes))
 	for lid, nodes := range s.labelNodes {
-		if len(nodes) == 0 {
-			continue
-		}
-		total := 0
+		total := int64(0)
 		for _, id := range nodes {
-			total += int(s.outOff[id+1]-s.outOff[id]) + int(s.inOff[id+1]-s.inOff[id])
+			total += int64(s.OutDegree(id) + s.InDegree(id))
 		}
-		s.labelDeg[lid] = float64(total) / float64(len(nodes))
+		s.labelDegTotal[lid] = total
 	}
 
-	// Attribute tuples and the folded-in attribute-value index.
-	s.attrOff = make([]int32, n+1)
+	// Attribute tuples in one arena, paged into per-node segments.
 	total := 0
 	for i := range g.nodes {
 		total += len(g.nodes[i].attrs)
-		s.attrOff[i+1] = int32(total)
 	}
-	s.attrKey = make([]int32, total)
-	s.attrValue = make([]Value, total)
+	keyArena := make([]int32, 0, total)
+	valArena := make([]Value, 0, total)
+	segs := make([]attrSeg, n)
 	type kv struct {
 		key int32
 		val Value
@@ -158,19 +244,25 @@ func (g *Graph) Freeze() *Snapshot {
 				scratch[y], scratch[y-1] = scratch[y-1], scratch[y]
 			}
 		}
-		base := s.attrOff[i]
-		for k, p := range scratch {
-			s.attrKey[base+int32(k)] = p.key
-			s.attrValue[base+int32(k)] = p.val
+		base := len(keyArena)
+		for _, p := range scratch {
+			keyArena = append(keyArena, p.key)
+			valArena = append(valArena, p.val)
+		}
+		segs[i] = attrSeg{
+			key: keyArena[base:len(keyArena):len(keyArena)],
+			val: valArena[base:len(valArena):len(valArena)],
 		}
 	}
+	s.attr = pagesOf(segs)
 	return s
 }
 
-// buildAdjacency lays out both CSR directions: offsets plus parallel
-// (label symbol, endpoint) arrays, each node's segment sorted by
-// (label, endpoint) so per-label neighbor runs are contiguous. Edges
-// are flattened once and permuted by one global sort per direction.
+// buildAdjacency lays out both directions: per-node (label symbol,
+// endpoint) segments sorted by (label, endpoint) so per-label neighbor
+// runs are contiguous. Edges are flattened once and permuted by one
+// global sort per direction; the segments are views into the flat
+// arenas.
 func (s *Snapshot) buildAdjacency(g *Graph, n int) {
 	m := len(g.edges)
 	esrc := make([]NodeID, 0, m)
@@ -188,11 +280,28 @@ func (s *Snapshot) buildAdjacency(g *Graph, n int) {
 		perm[i] = int32(i)
 	}
 
-	s.outOff = make([]int32, n+1)
-	s.outLbl = make([]int32, m)
-	s.outDst = make([]NodeID, m)
-	sort.Slice(perm, func(x, y int) bool {
-		a, b := perm[x], perm[y]
+	layout := func(major, minor []NodeID, dir func(a, b int32) bool) [][]adjSeg {
+		sort.Slice(perm, func(x, y int) bool { return dir(perm[x], perm[y]) })
+		off := make([]int32, n+1)
+		lblArena := make([]int32, m)
+		idArena := make([]NodeID, m)
+		for i, p := range perm {
+			off[major[p]+1]++
+			lblArena[i] = elbl[p]
+			idArena[i] = minor[p]
+		}
+		for i := 0; i < n; i++ {
+			off[i+1] += off[i]
+		}
+		segs := make([]adjSeg, n)
+		for i := 0; i < n; i++ {
+			lo, hi := off[i], off[i+1]
+			segs[i] = adjSeg{lbl: lblArena[lo:hi:hi], ids: idArena[lo:hi:hi]}
+		}
+		return pagesOf(segs)
+	}
+
+	s.out = layout(esrc, edst, func(a, b int32) bool {
 		if esrc[a] != esrc[b] {
 			return esrc[a] < esrc[b]
 		}
@@ -201,20 +310,7 @@ func (s *Snapshot) buildAdjacency(g *Graph, n int) {
 		}
 		return edst[a] < edst[b]
 	})
-	for i, p := range perm {
-		s.outOff[esrc[p]+1]++
-		s.outLbl[i] = elbl[p]
-		s.outDst[i] = edst[p]
-	}
-	for i := 0; i < n; i++ {
-		s.outOff[i+1] += s.outOff[i]
-	}
-
-	s.inOff = make([]int32, n+1)
-	s.inLbl = make([]int32, m)
-	s.inSrc = make([]NodeID, m)
-	sort.Slice(perm, func(x, y int) bool {
-		a, b := perm[x], perm[y]
+	s.in = layout(edst, esrc, func(a, b int32) bool {
 		if edst[a] != edst[b] {
 			return edst[a] < edst[b]
 		}
@@ -223,36 +319,44 @@ func (s *Snapshot) buildAdjacency(g *Graph, n int) {
 		}
 		return esrc[a] < esrc[b]
 	})
-	for i, p := range perm {
-		s.inOff[edst[p]+1]++
-		s.inLbl[i] = elbl[p]
-		s.inSrc[i] = esrc[p]
-	}
-	for i := 0; i < n; i++ {
-		s.inOff[i+1] += s.inOff[i]
-	}
+}
+
+// ---- paged accessors ----
+
+func (s *Snapshot) outSeg(id NodeID) *adjSeg { return &s.out[id>>pageShift][id&pageMask] }
+func (s *Snapshot) inSeg(id NodeID) *adjSeg  { return &s.in[id>>pageShift][id&pageMask] }
+func (s *Snapshot) attrSeg(id NodeID) *attrSeg {
+	return &s.attr[id>>pageShift][id&pageMask]
 }
 
 // ---- node accessors ----
 
 // NumNodes returns |V| at freeze time.
-func (s *Snapshot) NumNodes() int { return len(s.nodeLabel) }
+func (s *Snapshot) NumNodes() int { return s.numNodes }
 
 // NumEdges returns |E| at freeze time.
 func (s *Snapshot) NumEdges() int { return s.numEdges }
 
 // Size returns |G| = |V| + |E|.
-func (s *Snapshot) Size() int { return s.NumNodes() + s.numEdges }
+func (s *Snapshot) Size() int { return s.numNodes + s.numEdges }
 
 // Nodes returns all node ids in insertion order.
 func (s *Snapshot) Nodes() []NodeID { return s.ids }
 
 // Label returns the label of node id.
-func (s *Snapshot) Label(id NodeID) Label { return s.labels[s.nodeLabel[id]] }
+func (s *Snapshot) Label(id NodeID) Label {
+	return s.labels[s.nodeLabel[id>>pageShift][id&pageMask]]
+}
 
 // SourceVersion is the mutation counter of the source graph at Freeze
-// time; comparing it against Graph.Version detects staleness.
+// (or Apply) time; comparing it against Graph.Version detects staleness.
 func (s *Snapshot) SourceVersion() uint64 { return s.version }
+
+// Lineage identifies the Freeze root this snapshot derives from: a
+// snapshot and any snapshot produced from it by Apply share a lineage,
+// and with it one append-only symbol universe. Compiled plans may be
+// rebound between snapshots of equal lineage.
+func (s *Snapshot) Lineage() uint64 { return s.lineage }
 
 // Attr returns the value of attribute a at node id, and whether the
 // node carries it, by binary search over the node's interned tuple.
@@ -261,16 +365,17 @@ func (s *Snapshot) Attr(id NodeID, a Attr) (Value, bool) {
 	if !ok {
 		return Value{}, false
 	}
-	lo, hi := s.attrOff[id], s.attrOff[id+1]
+	seg := s.attrSeg(id)
+	lo, hi := 0, len(seg.key)
 	for lo < hi {
-		mid := int32(uint32(lo+hi) >> 1)
+		mid := int(uint(lo+hi) >> 1)
 		switch {
-		case s.attrKey[mid] < aid:
+		case seg.key[mid] < aid:
 			lo = mid + 1
-		case s.attrKey[mid] > aid:
+		case seg.key[mid] > aid:
 			hi = mid
 		default:
-			return s.attrValue[mid], true
+			return seg.val[mid], true
 		}
 	}
 	return Value{}, false
@@ -302,7 +407,7 @@ func (s *Snapshot) CandidateNodes(pat Label) []NodeID {
 // wildcard).
 func (s *Snapshot) LabelCount(l Label) int {
 	if l == Wildcard {
-		return s.NumNodes()
+		return s.numNodes
 	}
 	return len(s.NodesWithLabel(l))
 }
@@ -313,28 +418,28 @@ func (s *Snapshot) LabelCount(l Label) int {
 // wildcard it is the graph-wide average.
 func (s *Snapshot) LabelAvgDegree(l Label) float64 {
 	if l == Wildcard {
-		if len(s.nodeLabel) == 0 {
+		if s.numNodes == 0 {
 			return 0
 		}
-		return 2 * float64(s.numEdges) / float64(len(s.nodeLabel))
+		return 2 * float64(s.numEdges) / float64(s.numNodes)
 	}
 	lid, ok := s.labelIDs[l]
-	if !ok || int(lid) >= len(s.labelDeg) {
+	if !ok || int(lid) >= len(s.labelNodes) || len(s.labelNodes[lid]) == 0 {
 		return 0
 	}
-	return s.labelDeg[lid]
+	return float64(s.labelDegTotal[lid]) / float64(len(s.labelNodes[lid]))
 }
 
 // ---- adjacency ----
 
 // labelRun returns the [lo, hi) bounds of the lid-labeled run inside a
-// node's sorted CSR segment [off0, off1). The binary searches are
-// hand-rolled: this sits on the matcher's innermost loop, where the
-// sort.Search closure costs show up.
-func labelRun(lbls []int32, off0, off1 int32, lid int32) (int32, int32) {
-	lo, hi := off0, off1
+// node's sorted segment. The binary searches are hand-rolled: this sits
+// on the matcher's innermost loop, where the sort.Search closure costs
+// show up.
+func labelRun(lbls []int32, lid int32) (int, int) {
+	lo, hi := 0, len(lbls)
 	for lo < hi {
-		mid := int32(uint32(lo+hi) >> 1)
+		mid := int(uint(lo+hi) >> 1)
 		if lbls[mid] < lid {
 			lo = mid + 1
 		} else {
@@ -342,9 +447,9 @@ func labelRun(lbls []int32, off0, off1 int32, lid int32) (int32, int32) {
 		}
 	}
 	start := lo
-	hi = off1
+	hi = len(lbls)
 	for lo < hi {
-		mid := int32(uint32(lo+hi) >> 1)
+		mid := int(uint(lo+hi) >> 1)
 		if lbls[mid] <= lid {
 			lo = mid + 1
 		} else {
@@ -356,45 +461,64 @@ func labelRun(lbls []int32, off0, off1 int32, lid int32) (int32, int32) {
 
 // OutNeighbors returns the distinct targets of src's outgoing edges
 // whose label is matched by l under ⪯ (the wildcard matches any label).
-// For a concrete label this is a zero-allocation sub-slice of the CSR
-// run; for the wildcard the per-label runs are merged and deduplicated.
+// For a concrete label this is a zero-allocation sub-slice of the
+// segment's label run; for the wildcard the per-label runs are merged
+// and deduplicated.
 func (s *Snapshot) OutNeighbors(src NodeID, l Label) []NodeID {
-	off0, off1 := s.outOff[src], s.outOff[src+1]
+	seg := s.outSeg(src)
 	if l != Wildcard {
 		lid, ok := s.labelIDs[l]
 		if !ok {
 			return nil
 		}
-		lo, hi := labelRun(s.outLbl, off0, off1, lid)
-		return s.outDst[lo:hi]
+		lo, hi := labelRun(seg.lbl, lid)
+		return seg.ids[lo:hi]
 	}
-	return dedupNeighbors(s.outDst[off0:off1])
+	if len(seg.ids) <= 1 {
+		return seg.ids
+	}
+	return dedupNeighbors(nil, seg.ids)
 }
 
 // InNeighbors is OutNeighbors for incoming edges: the distinct sources
 // of dst's incoming edges whose label is matched by l under ⪯.
 func (s *Snapshot) InNeighbors(dst NodeID, l Label) []NodeID {
-	off0, off1 := s.inOff[dst], s.inOff[dst+1]
+	seg := s.inSeg(dst)
 	if l != Wildcard {
 		lid, ok := s.labelIDs[l]
 		if !ok {
 			return nil
 		}
-		lo, hi := labelRun(s.inLbl, off0, off1, lid)
-		return s.inSrc[lo:hi]
+		lo, hi := labelRun(seg.lbl, lid)
+		return seg.ids[lo:hi]
 	}
-	return dedupNeighbors(s.inSrc[off0:off1])
+	if len(seg.ids) <= 1 {
+		return seg.ids
+	}
+	return dedupNeighbors(nil, seg.ids)
 }
 
-// dedupNeighbors returns the distinct ids of seg in first-seen order.
-// The input segment is sorted by (label, id), so ids may repeat across
-// labels; real adjacency lists are short, and the linear scan avoids a
-// sort (and its closure) on the matcher's hot path.
-func dedupNeighbors(seg []NodeID) []NodeID {
-	if len(seg) <= 1 {
-		return seg
-	}
-	out := make([]NodeID, 0, len(seg))
+// AppendOutNeighbors appends the distinct targets of src's outgoing
+// wildcard-matched edges to buf and returns it — the allocation-free
+// variant of OutNeighbors(src, Wildcard) for callers (the matcher's
+// pooled scratch) that recycle buffers.
+func (s *Snapshot) AppendOutNeighbors(buf []NodeID, src NodeID) []NodeID {
+	return dedupNeighbors(buf, s.outSeg(src).ids)
+}
+
+// AppendInNeighbors is AppendOutNeighbors for incoming edges.
+func (s *Snapshot) AppendInNeighbors(buf []NodeID, dst NodeID) []NodeID {
+	return dedupNeighbors(buf, s.inSeg(dst).ids)
+}
+
+// dedupNeighbors appends the distinct ids of seg to buf in first-seen
+// order; the result never aliases snapshot storage, so callers may
+// recycle it as the buf of a later call. The input segment is sorted by
+// (label, id), so ids may repeat across labels; real adjacency lists
+// are short, and the linear scan avoids a sort (and its closure) on the
+// matcher's hot path.
+func dedupNeighbors(buf []NodeID, seg []NodeID) []NodeID {
+	out := buf
 	for _, d := range seg {
 		dup := false
 		for _, x := range out {
@@ -417,25 +541,13 @@ func (s *Snapshot) HasEdge(src NodeID, label Label, dst NodeID) bool {
 	if !ok {
 		return false
 	}
-	lo, hi := labelRun(s.outLbl, s.outOff[src], s.outOff[src+1], lid)
-	for lo < hi {
-		mid := int32(uint32(lo+hi) >> 1)
-		switch {
-		case s.outDst[mid] < dst:
-			lo = mid + 1
-		case s.outDst[mid] > dst:
-			hi = mid
-		default:
-			return true
-		}
-	}
-	return false
+	return s.HasEdgeID(src, lid, dst)
 }
 
 // HasAnyEdge reports whether some edge src -> dst exists, under any
 // label — the host-side check for wildcard-labeled pattern edges.
 func (s *Snapshot) HasAnyEdge(src, dst NodeID) bool {
-	for _, d := range s.outDst[s.outOff[src]:s.outOff[src+1]] {
+	for _, d := range s.outSeg(src).ids {
 		if d == dst {
 			return true
 		}
@@ -444,10 +556,10 @@ func (s *Snapshot) HasAnyEdge(src, dst NodeID) bool {
 }
 
 // OutDegree returns the number of outgoing edges of id.
-func (s *Snapshot) OutDegree(id NodeID) int { return int(s.outOff[id+1] - s.outOff[id]) }
+func (s *Snapshot) OutDegree(id NodeID) int { return len(s.outSeg(id).ids) }
 
 // InDegree returns the number of incoming edges of id.
-func (s *Snapshot) InDegree(id NodeID) int { return int(s.inOff[id+1] - s.inOff[id]) }
+func (s *Snapshot) InDegree(id NodeID) int { return len(s.inSeg(id).ids) }
 
 // ---- the folded-in attribute-value index ----
 
@@ -463,12 +575,14 @@ func (s *Snapshot) Lookup(a Attr, v Value) []NodeID {
 	return s.postings[postingKey{attr: aid, val: v}]
 }
 
-// buildPostings folds the attribute CSR into (attr, value) postings.
+// buildPostings folds the attribute segments into (attr, value)
+// postings.
 func (s *Snapshot) buildPostings() {
 	s.postings = make(map[postingKey][]NodeID)
-	for i := range s.nodeLabel {
-		for k := s.attrOff[i]; k < s.attrOff[i+1]; k++ {
-			pk := postingKey{attr: s.attrKey[k], val: s.attrValue[k]}
+	for i := 0; i < s.numNodes; i++ {
+		seg := s.attrSeg(NodeID(i))
+		for k := range seg.key {
+			pk := postingKey{attr: seg.key[k], val: seg.val[k]}
 			s.postings[pk] = append(s.postings[pk], NodeID(i))
 		}
 	}
@@ -498,7 +612,9 @@ func (s *Snapshot) LabelID(l Label) (int32, bool) {
 }
 
 // NodeLabelID returns the label symbol of node id.
-func (s *Snapshot) NodeLabelID(id NodeID) int32 { return s.nodeLabel[id] }
+func (s *Snapshot) NodeLabelID(id NodeID) int32 {
+	return s.nodeLabel[id>>pageShift][id&pageMask]
+}
 
 // CandidateNodesID is CandidateNodes for a resolved node-label symbol.
 func (s *Snapshot) CandidateNodesID(lid int32) []NodeID {
@@ -509,27 +625,30 @@ func (s *Snapshot) CandidateNodesID(lid int32) []NodeID {
 }
 
 // OutNeighborsID is OutNeighbors for a resolved concrete edge-label
-// symbol: one CSR run lookup, no hashing, no allocation.
+// symbol: one label-run lookup, no hashing, no allocation.
 func (s *Snapshot) OutNeighborsID(src NodeID, lid int32) []NodeID {
-	lo, hi := labelRun(s.outLbl, s.outOff[src], s.outOff[src+1], lid)
-	return s.outDst[lo:hi]
+	seg := s.outSeg(src)
+	lo, hi := labelRun(seg.lbl, lid)
+	return seg.ids[lo:hi]
 }
 
 // InNeighborsID is InNeighbors for a resolved concrete edge-label symbol.
 func (s *Snapshot) InNeighborsID(dst NodeID, lid int32) []NodeID {
-	lo, hi := labelRun(s.inLbl, s.inOff[dst], s.inOff[dst+1], lid)
-	return s.inSrc[lo:hi]
+	seg := s.inSeg(dst)
+	lo, hi := labelRun(seg.lbl, lid)
+	return seg.ids[lo:hi]
 }
 
 // HasEdgeID is HasEdge for a resolved edge-label symbol.
 func (s *Snapshot) HasEdgeID(src NodeID, lid int32, dst NodeID) bool {
-	lo, hi := labelRun(s.outLbl, s.outOff[src], s.outOff[src+1], lid)
+	seg := s.outSeg(src)
+	lo, hi := labelRun(seg.lbl, lid)
 	for lo < hi {
-		mid := int32(uint32(lo+hi) >> 1)
+		mid := int(uint(lo+hi) >> 1)
 		switch {
-		case s.outDst[mid] < dst:
+		case seg.ids[mid] < dst:
 			lo = mid + 1
-		case s.outDst[mid] > dst:
+		case seg.ids[mid] > dst:
 			hi = mid
 		default:
 			return true

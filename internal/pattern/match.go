@@ -2,6 +2,7 @@ package pattern
 
 import (
 	"sort"
+	"sync"
 
 	"gedlib/internal/graph"
 )
@@ -46,19 +47,27 @@ type cedge struct {
 	lid      int32 // resolved symbol; labelWild / labelAbsent sentinels
 }
 
-// matcher holds the state of one backtracking search.
+// matcher holds the scratch state of one backtracking search. Matchers
+// are pooled per Plan: the small per-update searches of incremental
+// validation run thousands of times per second, and re-allocating the
+// binding vector, dirty set, output map and candidate buffers on every
+// enumeration dominates their cost.
 type matcher struct {
-	pl    *Plan
-	h     Host
-	snap  *graph.Snapshot  // non-nil fast path, mirrors pl.snap
-	bind  []graph.NodeID   // dense partial assignment, unbound = -1
-	last  []graph.NodeID   // binding each out entry currently holds
-	out   Match            // reused map handed to yield
-	order []int            // variable indexes still to bind, in order
-	yield func(Match) bool // returns false to stop enumeration
-	stop  func() bool      // polled inside the search; true aborts
-	tick  uint32           // amortizes stop polling
-	done  bool
+	pl       *Plan
+	h        Host
+	snap     *graph.Snapshot           // non-nil fast path, mirrors pl.snap
+	bind     []graph.NodeID            // dense partial assignment, unbound = -1
+	last     []graph.NodeID            // binding each out entry currently holds
+	out      Match                     // reused map handed to yield
+	order    []int                     // variable indexes still to bind, in order
+	orderBuf []int                     // pooled backing for filtered orders
+	wild     [][]graph.NodeID          // per-variable wildcard-neighbor dedup buffers
+	yield    func(Match) bool          // returns false to stop enumeration
+	dense    func([]graph.NodeID) bool // dense-vector alternative to yield
+	filter   func(graph.NodeID) bool   // optional host-node admission filter
+	stop     func() bool               // polled inside the search; true aborts
+	tick     uint32                    // amortizes stop polling
+	done     bool
 }
 
 // stopEvery is how many search steps pass between stop polls: frequent
@@ -81,6 +90,9 @@ type Plan struct {
 	varLid []int32       // variable index -> resolved label symbol (snapshot hosts)
 	adj    [][]cedge     // variable index -> incident pattern edges
 	order  []int         // variable binding order, as indexes
+
+	// pool recycles matcher scratch across enumerations; see matcher.
+	pool sync.Pool
 }
 
 // Compile prepares a matching plan for p over h — a mutable graph or a
@@ -127,24 +139,131 @@ func Compile(p *Pattern, h Host) *Plan {
 	return pl
 }
 
-// newMatcher allocates the per-enumeration state: one dense binding
-// vector and one reused output map.
-func (pl *Plan) newMatcher(stop func() bool, yield func(Match) bool) *matcher {
-	m := &matcher{
-		pl:    pl,
-		h:     pl.h,
-		snap:  pl.snap,
-		bind:  make([]graph.NodeID, len(pl.vars)),
-		last:  make([]graph.NodeID, len(pl.vars)),
-		out:   make(Match, len(pl.vars)),
-		yield: yield,
-		stop:  stop,
+// Rebind returns a plan equivalent to pl but bound to snap, an
+// immutable snapshot of the same lineage as the plan's host (i.e. one
+// produced from it by graph.Snapshot.Apply, in any number of steps).
+// Within a lineage symbol ids are append-only, so the compiled variable
+// order and adjacency carry over unchanged; only label symbols that
+// were absent at Compile time are re-resolved — a delta may have
+// interned them since. The cost is proportional to the pattern, never
+// the host, which is what lets validators follow a delta-maintained
+// snapshot without recompiling.
+//
+// Rebinding onto an unrelated snapshot corrupts label resolution
+// silently; callers are expected to check Lineage, as the Engine's plan
+// cache does.
+func (pl *Plan) Rebind(snap *graph.Snapshot) *Plan {
+	if snap == pl.snap {
+		return pl
 	}
+	np := &Plan{
+		p:      pl.p,
+		h:      snap,
+		snap:   snap,
+		vars:   pl.vars,
+		varIdx: pl.varIdx,
+		labels: pl.labels,
+		varLid: pl.varLid,
+		adj:    pl.adj,
+		order:  pl.order,
+	}
+	resolve := func(l graph.Label) int32 {
+		if l == graph.Wildcard {
+			return labelWild
+		}
+		if lid, ok := snap.LabelID(l); ok {
+			return lid
+		}
+		return labelAbsent
+	}
+	for i, lid := range pl.varLid {
+		if lid != labelAbsent {
+			continue
+		}
+		if resolve(pl.labels[i]) == labelAbsent {
+			continue
+		}
+		// A previously-absent symbol exists now: re-resolve the whole
+		// (tiny) table once.
+		nv := make([]int32, len(pl.varLid))
+		for j := range nv {
+			nv[j] = resolve(pl.labels[j])
+		}
+		np.varLid = nv
+		break
+	}
+	for x := range pl.adj {
+		for _, e := range pl.adj[x] {
+			if e.lid != labelAbsent || resolve(e.label) == labelAbsent {
+				continue
+			}
+			// Same for edge labels: clone the adjacency with fresh
+			// resolutions.
+			nadj := make([][]cedge, len(pl.adj))
+			for y := range pl.adj {
+				es := make([]cedge, len(pl.adj[y]))
+				copy(es, pl.adj[y])
+				for k := range es {
+					es[k].lid = resolve(es[k].label)
+				}
+				nadj[y] = es
+			}
+			np.adj = nadj
+			return np
+		}
+	}
+	return np
+}
+
+// newMatcher checks the plan's pool for recycled per-enumeration state —
+// the dense binding vector, dirty set, output map and candidate
+// buffers — and allocates it only on a cold pool. Callers must hand the
+// matcher back with putMatcher when the enumeration ends.
+func (pl *Plan) newMatcher(stop func() bool, yield func(Match) bool) *matcher {
+	m, ok := pl.pool.Get().(*matcher)
+	if !ok {
+		m = &matcher{
+			pl:   pl,
+			h:    pl.h,
+			snap: pl.snap,
+			bind: make([]graph.NodeID, len(pl.vars)),
+			last: make([]graph.NodeID, len(pl.vars)),
+			out:  make(Match, len(pl.vars)),
+		}
+	}
+	m.yield = yield
+	m.stop = stop
+	m.tick = 0
+	m.done = false
+	// The out map may carry entries from a previous run; they are all
+	// overwritten before the next yield because every last slot resets
+	// to unbound, and a yield only ever happens with every variable
+	// bound.
 	for i := range m.bind {
 		m.bind[i] = unbound
 		m.last[i] = unbound
 	}
 	return m
+}
+
+// putMatcher returns scratch to the plan's pool, dropping the caller's
+// closures so the pool never pins them.
+func (pl *Plan) putMatcher(m *matcher) {
+	m.yield = nil
+	m.dense = nil
+	m.filter = nil
+	m.stop = nil
+	pl.pool.Put(m)
+}
+
+// wildBuf returns variable x's recycled wildcard-neighbor buffer,
+// emptied. Buffers are per variable because candidate slices stay live
+// while deeper search levels compute theirs.
+func (m *matcher) wildBuf(x int) []graph.NodeID {
+	if m.wild == nil {
+		m.wild = make([][]graph.NodeID, len(m.pl.vars))
+	}
+	return m.wild[x][:0]
 }
 
 // ForEachBound enumerates matches extending the partial assignment pre
@@ -165,6 +284,7 @@ func (pl *Plan) ForEachBound(pre Match, yield func(Match) bool) {
 // to stop" verdict and pre-binding rejection apply uniformly.
 func (pl *Plan) ForEachBoundCancel(pre Match, stop func() bool, yield func(Match) bool) {
 	m := pl.newMatcher(stop, yield)
+	defer pl.putMatcher(m)
 	for v, n := range pre {
 		i, ok := pl.varIdx[v]
 		if !ok {
@@ -178,14 +298,41 @@ func (pl *Plan) ForEachBoundCancel(pre Match, stop func() bool, yield func(Match
 	if len(pre) == 0 {
 		m.order = pl.order
 	} else {
-		order := make([]int, 0, len(pl.order))
+		order := m.orderBuf[:0]
 		for _, i := range pl.order {
 			if m.bind[i] == unbound {
 				order = append(order, i)
 			}
 		}
+		m.orderBuf = order
 		m.order = order
 	}
+	m.search(0)
+}
+
+// ForEachDenseCancel enumerates every match as its dense binding
+// vector, indexed by the position of each variable in the pattern's
+// Vars() order — no Match map is materialized. The vector is the
+// matcher's own scratch: read it during the callback, copy it to
+// retain it. stop is the cooperative abort hook of ForEachBoundCancel.
+//
+// This is the entry point for high-volume consumers (the chase's
+// fixpoint loop) where the per-match map handling of the Match boundary
+// dominates.
+func (pl *Plan) ForEachDenseCancel(stop func() bool, yield func([]graph.NodeID) bool) {
+	pl.ForEachDenseFiltered(stop, nil, yield)
+}
+
+// ForEachDenseFiltered is ForEachDenseCancel restricted to host nodes
+// the filter admits: rejected nodes are pruned at binding time, so a
+// search never descends below an inadmissible assignment. The chase
+// uses it to make retired coercion carriers invisible to matching.
+func (pl *Plan) ForEachDenseFiltered(stop func() bool, filter func(graph.NodeID) bool, yield func([]graph.NodeID) bool) {
+	m := pl.newMatcher(stop, nil)
+	m.dense = yield
+	m.filter = filter
+	defer pl.putMatcher(m)
+	m.order = pl.order
 	m.search(0)
 }
 
@@ -205,12 +352,14 @@ func (pl *Plan) ForEachPivotCancel(pivot Var, cands []graph.NodeID, stop func() 
 		return
 	}
 	m := pl.newMatcher(stop, yield)
-	order := make([]int, 0, len(pl.order))
+	defer pl.putMatcher(m)
+	order := m.orderBuf[:0]
 	for _, i := range pl.order {
 		if i != pi {
 			order = append(order, i)
 		}
 	}
+	m.orderBuf = order
 	m.order = order
 	for _, c := range cands {
 		if !m.consistent(pi, c) {
@@ -396,13 +545,20 @@ func (m *matcher) search(i int) {
 	}
 }
 
-// emit materializes the dense binding into the reused Match map and
-// yields it. Only bindings that changed since the previous emit are
-// written back: between consecutive leaves of a deep search only the
-// innermost variables move, so most string-keyed map writes are
-// skipped. At a leaf every variable is bound, so the map never carries
-// stale entries.
+// emit delivers a complete assignment. Dense consumers receive the
+// binding vector itself (indexed by variable position, not retained);
+// map consumers get the reused Match map, into which only bindings that
+// changed since the previous emit are written back: between consecutive
+// leaves of a deep search only the innermost variables move, so most
+// string-keyed map writes are skipped. At a leaf every variable is
+// bound, so the map never carries stale entries.
 func (m *matcher) emit() {
+	if m.dense != nil {
+		if !m.dense(m.bind) {
+			m.done = true
+		}
+		return
+	}
 	for i, x := range m.pl.vars {
 		if m.last[i] != m.bind[i] {
 			m.out[x] = m.bind[i]
@@ -448,7 +604,9 @@ func (m *matcher) candidatesSnap(x int) []graph.NodeID {
 				case labelAbsent:
 					return nil
 				case labelWild:
-					return m.snap.InNeighbors(v, graph.Wildcard)
+					buf := m.snap.AppendInNeighbors(m.wildBuf(x), v)
+					m.wild[x] = buf
+					return buf
 				default:
 					return m.snap.InNeighborsID(v, e.lid)
 				}
@@ -460,7 +618,9 @@ func (m *matcher) candidatesSnap(x int) []graph.NodeID {
 				case labelAbsent:
 					return nil
 				case labelWild:
-					return m.snap.OutNeighbors(v, graph.Wildcard)
+					buf := m.snap.AppendOutNeighbors(m.wildBuf(x), v)
+					m.wild[x] = buf
+					return buf
 				default:
 					return m.snap.OutNeighborsID(v, e.lid)
 				}
@@ -480,6 +640,9 @@ func (m *matcher) candidatesSnap(x int) []graph.NodeID {
 // consistent checks label compatibility of binding x↦v and every pattern
 // edge between x and already-bound variables (including self-loops).
 func (m *matcher) consistent(x int, v graph.NodeID) bool {
+	if m.filter != nil && !m.filter(v) {
+		return false
+	}
 	if m.snap != nil {
 		return m.consistentSnap(x, v)
 	}
@@ -504,7 +667,7 @@ func (m *matcher) consistent(x int, v graph.NodeID) bool {
 			}
 			dst = v
 		}
-		if !hostHasCompatibleEdge(m.h, src, e.label, dst) {
+		if !HostHasCompatibleEdge(m.h, src, e.label, dst) {
 			return false
 		}
 	}
@@ -556,11 +719,13 @@ func (m *matcher) consistentSnap(x int, v graph.NodeID) bool {
 	return true
 }
 
-// hostHasCompatibleEdge reports whether h has an edge (src, ι′, dst)
+// HostHasCompatibleEdge reports whether h has an edge (src, ι′, dst)
 // with ι ⪯ ι′: the exact edge for a concrete pattern label (a
 // wildcard-labeled host edge is NOT matched by a concrete pattern label
-// under ⪯), any edge for the wildcard.
-func hostHasCompatibleEdge(h Host, src graph.NodeID, label graph.Label, dst graph.NodeID) bool {
+// under ⪯), any edge for the wildcard. It is the single home of that
+// asymmetric rule — the validator's re-check path shares it with the
+// matcher.
+func HostHasCompatibleEdge(h Host, src graph.NodeID, label graph.Label, dst graph.NodeID) bool {
 	if label != graph.Wildcard {
 		return h.HasEdge(src, label, dst)
 	}

@@ -2,7 +2,7 @@ package reason
 
 import (
 	"context"
-	"fmt"
+	"strconv"
 
 	"gedlib/internal/ged"
 	"gedlib/internal/graph"
@@ -22,17 +22,12 @@ import (
 // Deletions are different: removing an edge or attribute can only
 // *remove* violations (matches and antecedent satisfactions are
 // monotone in the graph), so the stale entries of a maintained violation
-// list are re-checked with StillViolating instead.
+// list are re-checked with StillViolating instead. ViolationStore
+// packages both halves into one maintained set, and Engine.Apply drives
+// it from the graph's own change journal.
 //
 // Matches touching several affected nodes are reported once. The result
 // order is canonical, as in ValidateParallel.
-//
-// Unlike full validation, this path deliberately matches over the
-// mutable graph rather than freezing it: it runs right after a
-// mutation, when no cached snapshot can be fresh, and a full O(|G|)
-// freeze would dwarf the touched-neighborhood work it is meant to
-// replace. Callers that do hold a fresh snapshot can pass it to
-// ValidateTouchingOnCtx instead.
 func ValidateTouching(g *graph.Graph, sigma ged.Set, nodes []graph.NodeID, limit int) []Violation {
 	out, _ := ValidateTouchingCtx(context.Background(), g, sigma, nodes, limit)
 	return out
@@ -46,15 +41,30 @@ func ValidateTouchingCtx(ctx context.Context, g *graph.Graph, sigma ged.Set, nod
 }
 
 // ValidateTouchingOnCtx is ValidateTouchingCtx over any matcher host:
-// the mutable graph (the default — see ValidateTouching on why), or a
-// known-fresh snapshot of the post-update graph.
+// a delta-maintained snapshot of the post-update graph (the fast path
+// the Engine uses), or the mutable graph itself. Plans are compiled per
+// call; a Validator's TouchingCtx reuses its prepared plans instead.
 func ValidateTouchingOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, nodes []graph.NodeID, limit int) ([]Violation, error) {
+	if len(nodes) == 0 {
+		// The empty delta touches nothing: no plan compilation, no
+		// per-GED sort/dedup bookkeeping.
+		return nil, ctx.Err()
+	}
+	return validateTouching(ctx, h, sigma, nodes, limit, func(i int) *pattern.Plan {
+		return pattern.Compile(sigma[i].Pattern, h)
+	})
+}
+
+// validateTouching is the shared touched-neighborhood core: plans come
+// from planOf, so one-shot callers compile on the fly while prepared
+// validators hand out cached plans.
+func validateTouching(ctx context.Context, h pattern.Host, sigma ged.Set, nodes []graph.NodeID, limit int, planOf func(int) *pattern.Plan) ([]Violation, error) {
 	var out []Violation
 	var ctxErr error
 	stop := func() bool { return ctx.Err() != nil }
-	seen := make(map[string]bool)
+	var seen seenSet
 	for gi, d := range sigma {
-		pl := pattern.Compile(d.Pattern, h)
+		pl := planOf(gi)
 		vars := d.Pattern.Vars()
 		for _, pivot := range vars {
 			pl.ForEachPivotCancel(pivot, nodes, stop, func(m pattern.Match) bool {
@@ -63,11 +73,9 @@ func ValidateTouchingOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, n
 				}
 				// Dedup: a match with several affected bindings is found
 				// once per (pivot, binding); canonicalize.
-				key := matchKey(gi, vars, m)
-				if seen[key] {
+				if !seen.add(gi, vars, m) {
 					return true
 				}
-				seen[key] = true
 				for _, l := range d.X {
 					if !HoldsInGraph(h, l, m) {
 						return true
@@ -100,48 +108,120 @@ func ValidateTouchingOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, n
 
 // StillViolating re-checks a previously-found violation against the
 // current state of a host (graph or snapshot): the match must still
-// exist (labels and edges), the antecedent must still hold, and the
-// recorded literal must still fail.
+// exist (labels and edges), the antecedent must still hold, and some
+// consequent literal must still fail.
 func StillViolating(h pattern.Host, v Violation) bool {
+	_, ok := FailingLiteral(h, v)
+	return ok
+}
+
+// FailingLiteral is StillViolating exposing the evidence: the first
+// consequent literal that currently fails. It may differ from the
+// recorded v.Literal — an update can fix the recorded literal while
+// breaking another — which is why maintained stores must refresh their
+// entries from it rather than keep the stale one.
+func FailingLiteral(h pattern.Host, v Violation) (ged.Literal, bool) {
 	// Nodes must still exist.
 	for _, x := range v.GED.Pattern.Vars() {
 		n, ok := v.Match[x]
 		if !ok || int(n) >= h.NumNodes() {
-			return false
+			return ged.Literal{}, false
 		}
 		if !graph.LabelMatches(v.GED.Pattern.Label(x), h.Label(n)) {
-			return false
+			return ged.Literal{}, false
 		}
 	}
 	for _, e := range v.GED.Pattern.Edges() {
-		if !hasCompatibleEdge(h, v.Match[e.Src], e.Label, v.Match[e.Dst]) {
-			return false
+		if !pattern.HostHasCompatibleEdge(h, v.Match[e.Src], e.Label, v.Match[e.Dst]) {
+			return ged.Literal{}, false
 		}
 	}
 	for _, l := range v.GED.X {
 		if !HoldsInGraph(h, l, v.Match) {
-			return false
+			return ged.Literal{}, false
 		}
 	}
 	for _, l := range v.GED.Y {
 		if !HoldsInGraph(h, l, v.Match) {
-			return true
+			return l, true
 		}
 	}
-	return false
+	return ged.Literal{}, false
 }
 
-func hasCompatibleEdge(h pattern.Host, src graph.NodeID, label graph.Label, dst graph.NodeID) bool {
-	if label != graph.Wildcard {
-		return h.HasEdge(src, label, dst)
+// denseKeyVars is how many bindings the allocation-free match key holds
+// inline; patterns are small (the paper's examples top out at four
+// variables, doubled keys at eight), so the string spill path is all
+// but dead code.
+const denseKeyVars = 8
+
+// denseKey identifies one (GED, match) pair without allocating: the
+// dense binding vector in variable order, inlined into a comparable
+// array. It replaces the fmt.Sprintf string key that used to dominate
+// the touched-neighborhood profile.
+type denseKey struct {
+	gi  int32
+	n   int32
+	ids [denseKeyVars]graph.NodeID
+}
+
+// seenSet is a set of (GED, match) keys: dense for patterns that fit
+// the inline array, a string map as the spill path for wider ones. The
+// zero value is ready to use.
+type seenSet struct {
+	dense map[denseKey]bool
+	wide  map[string]bool
+}
+
+func makeKey(gi int, vars []pattern.Var, m pattern.Match) (denseKey, bool) {
+	if len(vars) > denseKeyVars {
+		return denseKey{}, false
 	}
-	return h.HasAnyEdge(src, dst)
+	k := denseKey{gi: int32(gi), n: int32(len(vars))}
+	for i, v := range vars {
+		k.ids[i] = m[v]
+	}
+	return k, true
 }
 
-func matchKey(gi int, vars []pattern.Var, m pattern.Match) string {
-	s := fmt.Sprintf("g%d:", gi)
+func wideKey(gi int, vars []pattern.Var, m pattern.Match) string {
+	buf := make([]byte, 0, 16+8*len(vars))
+	buf = strconv.AppendInt(buf, int64(gi), 10)
 	for _, v := range vars {
-		s += fmt.Sprintf("%d,", m[v])
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(m[v]), 10)
 	}
-	return s
+	return string(buf)
+}
+
+// add inserts the key of (gi, m) and reports whether it was absent.
+func (s *seenSet) add(gi int, vars []pattern.Var, m pattern.Match) bool {
+	if k, ok := makeKey(gi, vars, m); ok {
+		if s.dense == nil {
+			s.dense = make(map[denseKey]bool)
+		}
+		if s.dense[k] {
+			return false
+		}
+		s.dense[k] = true
+		return true
+	}
+	k := wideKey(gi, vars, m)
+	if s.wide == nil {
+		s.wide = make(map[string]bool)
+	}
+	if s.wide[k] {
+		return false
+	}
+	s.wide[k] = true
+	return true
+}
+
+// remove deletes the key of (gi, m).
+func (s *seenSet) remove(gi int, vars []pattern.Var, m pattern.Match) {
+	if k, ok := makeKey(gi, vars, m); ok {
+		delete(s.dense, k)
+		return
+	}
+	delete(s.wide, wideKey(gi, vars, m))
 }

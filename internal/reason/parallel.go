@@ -55,6 +55,19 @@ func ValidateParallelOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, l
 	if workers == 1 {
 		return ValidateOnCtx(ctx, h, sigma, limit)
 	}
+	return validateParallel(ctx, h, sigma, limit, workers,
+		func(i int) *pattern.Plan { return pattern.Compile(sigma[i].Pattern, h) },
+		func(i int) (pattern.Var, []graph.NodeID) { return pivotFor(sigma[i], h) })
+}
+
+// validateParallel is the shared data-parallel core: plans and pivots
+// come from the callbacks, so one-shot callers compile on the fly while
+// prepared validators hand out cached state.
+func validateParallel(ctx context.Context, h pattern.Host, sigma ged.Set, limit, workers int,
+	planOf func(int) *pattern.Plan, pivotOf func(int) (pattern.Var, []graph.NodeID)) ([]Violation, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	// One compiled plan per GED, shared by all workers; tasks are
 	// candidate blocks of the GED's pivot variable.
@@ -65,9 +78,9 @@ func ValidateParallelOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, l
 	}
 	plans := make([]*pattern.Plan, len(sigma))
 	var tasks []task
-	for gi, d := range sigma {
-		plans[gi] = pattern.Compile(d.Pattern, h)
-		v, cands := pivotFor(d, h)
+	for gi := range sigma {
+		plans[gi] = planOf(gi)
+		v, cands := pivotOf(gi)
 		if v == "" {
 			tasks = append(tasks, task{gedIdx: gi})
 			continue
@@ -189,6 +202,20 @@ func pivotVar(p *pattern.Pattern, h pattern.Host) (pattern.Var, []graph.NodeID) 
 	return best, bestCands
 }
 
+// appendViolationKey appends the canonical within-GED sort key of v —
+// the match bindings in variable order — to buf. The ViolationStore
+// precomputes and caches these keys so its per-delta maintenance never
+// re-strings the stored set.
+func appendViolationKey(buf []byte, v Violation) []byte {
+	for _, x := range v.GED.Pattern.Vars() {
+		buf = append(buf, string(x)...)
+		buf = append(buf, '=')
+		buf = strconv.AppendInt(buf, int64(v.Match[x]), 10)
+		buf = append(buf, ';')
+	}
+	return buf
+}
+
 // sortViolations puts violations into a canonical order: by GED index,
 // then by the match bindings in variable order. The per-violation keys
 // are computed once up front — not inside the comparator, which would
@@ -209,13 +236,7 @@ func sortViolations(vs []Violation, sigma ged.Set) {
 	ks := make([]keyed, len(vs))
 	var buf []byte
 	for i, v := range vs {
-		buf = buf[:0]
-		for _, x := range v.GED.Pattern.Vars() {
-			buf = append(buf, string(x)...)
-			buf = append(buf, '=')
-			buf = strconv.AppendInt(buf, int64(v.Match[x]), 10)
-			buf = append(buf, ';')
-		}
+		buf = appendViolationKey(buf[:0], v)
 		ks[i] = keyed{gi: idx[v.GED], key: string(buf), v: v}
 	}
 	sort.Slice(ks, func(i, j int) bool {

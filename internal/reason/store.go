@@ -1,0 +1,306 @@
+package reason
+
+import (
+	"context"
+	"sort"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// ViolationStore is a maintained violation set: the answer to "which
+// matches violate Σ" kept perpetually fresh under graph updates instead
+// of recomputed. Seeding runs one full validation; from then on every
+// update costs work proportional to the delta — the touched
+// neighborhoods searched for new violations, and the stored entries
+// that actually bind a touched node (found through an inverted
+// node→entry index), re-checked:
+//
+//	st, _ := NewViolationStoreCtx(ctx, g.Freeze(), sigma)
+//	...
+//	from := st.Snapshot().SourceVersion()
+//	mutate g
+//	delta := g.DeltaSince(from)
+//	st.Apply(ctx, st.Snapshot().Apply(delta), delta.TouchedNodes())
+//
+// Apply exploits the two monotonicity facts of add-only graphs that
+// ValidateTouching documents: every *new* violation's match touches an
+// updated node (matches are monotone, and attribute writes land on a
+// match's own bindings), and an *existing* violation can only change
+// status if its match touches an updated node. Touched entries are
+// re-checked with FailingLiteral — which also refreshes the recorded
+// evidence, since an update can fix the recorded literal while
+// breaking another — and the touched neighborhoods are searched for
+// new violations, deduplicated against what is already stored.
+//
+// Entries carry their canonical sort key and dense binding vector,
+// computed once at admission: a delta re-sorts nothing — survivors stay
+// in order and the (few, already-sorted) newcomers merge in.
+//
+// The store is single-writer: Apply must not run concurrently with
+// itself or Violations. Engine.Apply provides the locking.
+type ViolationStore struct {
+	val    *Validator
+	sigma  ged.Set
+	gedIdx map[*ged.GED]int
+	vs     []*storedViolation
+	seen   seenSet
+	// byNode indexes live entries by every node their match binds.
+	// Lists are pruned of dropped entries as they are visited and the
+	// whole index is rebuilt when dross piles up.
+	byNode map[graph.NodeID][]*storedViolation
+	dross  int
+	// stamp deduplicates multi-bind entries within one Apply.
+	stamp uint64
+	// view is the cached materialization of vs; deltas that change
+	// nothing (the common case for localized updates) hand the same
+	// slice back instead of rebuilding O(|V|) state per call. The
+	// backing array is never written after materialization.
+	view []Violation
+}
+
+// storedViolation is one maintained violation with its admission-time
+// derived data.
+type storedViolation struct {
+	v       Violation
+	gi      int
+	key     string         // canonical within-GED sort key
+	bind    []graph.NodeID // match bindings in variable order
+	dropped bool
+	stamp   uint64
+}
+
+func (e *storedViolation) less(o *storedViolation) bool {
+	if e.gi != o.gi {
+		return e.gi < o.gi
+	}
+	return e.key < o.key
+}
+
+func (st *ViolationStore) admit(v Violation) *storedViolation {
+	gi := st.gedIdx[v.GED]
+	vars := v.GED.Pattern.Vars()
+	bind := make([]graph.NodeID, len(vars))
+	for i, x := range vars {
+		bind[i] = v.Match[x]
+	}
+	e := &storedViolation{
+		v:    v,
+		gi:   gi,
+		key:  string(appendViolationKey(nil, v)),
+		bind: bind,
+	}
+	for _, n := range distinctBind(bind) {
+		st.byNode[n] = append(st.byNode[n], e)
+	}
+	return e
+}
+
+// distinctBind returns bind's distinct nodes (in place of a set; match
+// vectors are tiny).
+func distinctBind(bind []graph.NodeID) []graph.NodeID {
+	out := bind[:0:0]
+	for i, n := range bind {
+		dup := false
+		for _, m := range bind[:i] {
+			if m == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// distinctBindCount is len(distinctBind(bind)) without the allocation.
+func distinctBindCount(bind []graph.NodeID) int {
+	count := 0
+	for i, n := range bind {
+		dup := false
+		for _, m := range bind[:i] {
+			if m == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			count++
+		}
+	}
+	return count
+}
+
+// NewViolationStoreCtx seeds a maintained violation set with one full
+// validation through the prepared validator — share the Engine's (or
+// any existing) validator to reuse its compiled plans; build a one-off
+// with NewValidatorOn otherwise. On cancellation the partial store is
+// not returned: a store is either complete or absent.
+func NewViolationStoreCtx(ctx context.Context, val *Validator) (*ViolationStore, error) {
+	sigma := val.sigma
+	vs, err := val.RunCtx(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	st := &ViolationStore{
+		val:    val,
+		sigma:  sigma,
+		gedIdx: make(map[*ged.GED]int, len(sigma)),
+		byNode: make(map[graph.NodeID][]*storedViolation),
+	}
+	for i, d := range sigma {
+		st.gedIdx[d] = i
+	}
+	st.vs = make([]*storedViolation, len(vs))
+	for i, v := range vs {
+		st.vs[i] = st.admit(v)
+		st.seen.add(st.vs[i].gi, v.GED.Pattern.Vars(), v.Match)
+	}
+	sort.Slice(st.vs, func(i, j int) bool { return st.vs[i].less(st.vs[j]) })
+	return st, nil
+}
+
+// Snapshot returns the snapshot the store currently reflects.
+func (st *ViolationStore) Snapshot() *graph.Snapshot { return st.val.Snapshot() }
+
+// Sigma returns the rule set the store maintains violations of.
+func (st *ViolationStore) Sigma() ged.Set { return st.sigma }
+
+// Violations returns the maintained set in canonical order. The slice
+// (cached across no-change deltas, its backing array never rewritten)
+// and the Match maps are read-only for the caller.
+func (st *ViolationStore) Violations() []Violation {
+	if st.view == nil {
+		view := make([]Violation, len(st.vs))
+		for i, e := range st.vs {
+			view[i] = e.v
+		}
+		st.view = view
+	}
+	return st.view
+}
+
+// Len returns the current violation count.
+func (st *ViolationStore) Len() int { return len(st.vs) }
+
+// Apply advances the store to snap — the delta-updated successor of the
+// store's current snapshot — where touched are the delta's touched
+// nodes (Delta.TouchedNodes). On a non-nil error the store may reflect
+// only part of the delta; callers should discard and re-seed it.
+func (st *ViolationStore) Apply(ctx context.Context, snap *graph.Snapshot, touched []graph.NodeID) error {
+	st.val = st.val.Rebase(snap)
+	if len(touched) == 0 {
+		return ctx.Err()
+	}
+	// Re-check exactly the stored violations whose match the delta
+	// touches — an untouched match cannot have changed status. The
+	// index lists are compacted of dropped entries as a side effect.
+	st.stamp++
+	refreshed := false
+	droppedAny := false
+	for _, n := range touched {
+		list := st.byNode[n]
+		if len(list) == 0 {
+			continue
+		}
+		live := list[:0]
+		for _, e := range list {
+			if e.dropped {
+				st.dross--
+				continue
+			}
+			live = append(live, e)
+			if e.stamp == st.stamp {
+				continue
+			}
+			e.stamp = st.stamp
+			l, still := FailingLiteral(snap, e.v)
+			switch {
+			case !still:
+				st.seen.remove(e.gi, e.v.GED.Pattern.Vars(), e.v.Match)
+				e.dropped = true
+				// The entry appears in one index list per distinct
+				// bound node; one reference is pruned right here.
+				st.dross += distinctBindCount(e.bind) - 1
+				live = live[:len(live)-1]
+				droppedAny = true
+			case l != e.v.Literal:
+				// The update fixed the recorded literal but broke
+				// another; keep the evidence current.
+				e.v.Literal = l
+				refreshed = true
+			}
+		}
+		if len(live) == 0 {
+			delete(st.byNode, n)
+		} else {
+			st.byNode[n] = live
+		}
+	}
+	mutated := refreshed || droppedAny
+	if droppedAny {
+		kept := st.vs[:0]
+		for _, e := range st.vs {
+			if !e.dropped {
+				kept = append(kept, e)
+			}
+		}
+		st.vs = kept
+	}
+	// Find the new violations around the touched nodes; matches already
+	// stored re-surface here and are dropped by the key set. The fresh
+	// list arrives canonically sorted, so it merges rather than
+	// re-sorting the store.
+	fresh, err := st.val.TouchingCtx(ctx, touched, 0)
+	var add []*storedViolation
+	for _, v := range fresh {
+		if st.seen.add(st.gedIdx[v.GED], v.GED.Pattern.Vars(), v.Match) {
+			add = append(add, st.admit(v))
+		}
+	}
+	if len(add) > 0 {
+		st.vs = mergeStored(st.vs, add)
+	}
+	if mutated || len(add) > 0 {
+		st.view = nil
+	}
+	if st.dross > 4*len(st.vs)+64 {
+		st.rebuildIndex()
+	}
+	return err
+}
+
+// rebuildIndex re-derives byNode from the live entries, shedding the
+// references dropped entries left in unvisited lists.
+func (st *ViolationStore) rebuildIndex() {
+	st.byNode = make(map[graph.NodeID][]*storedViolation, len(st.byNode))
+	for _, e := range st.vs {
+		for _, n := range distinctBind(e.bind) {
+			st.byNode[n] = append(st.byNode[n], e)
+		}
+	}
+	st.dross = 0
+}
+
+// mergeStored folds the sorted newcomers into the sorted store by a
+// backward in-place merge, reusing the store's capacity (growing it
+// only amortizedly) instead of reallocating the whole set per delta.
+func mergeStored(a, b []*storedViolation) []*storedViolation {
+	i := len(a) - 1
+	out := append(a, b...)
+	for j, w := len(b)-1, len(out)-1; j >= 0; w-- {
+		if i >= 0 && b[j].less(a[i]) {
+			out[w] = a[i]
+			i--
+		} else {
+			out[w] = b[j]
+			j--
+		}
+	}
+	return out
+}
+
+var _ pattern.Host = (*graph.Snapshot)(nil)

@@ -1,6 +1,10 @@
 package reason
 
 import (
+	"context"
+	"runtime"
+	"sync"
+
 	"gedlib/internal/ged"
 	"gedlib/internal/graph"
 	"gedlib/internal/pattern"
@@ -8,22 +12,26 @@ import (
 
 // Validator is a prepared validation context for repeated checking of
 // one graph against one rule set: the graph is frozen once into a
-// read-only snapshot (interned symbols, label-grouped CSR adjacency,
-// and the attribute-value index folded in), pattern matching plans are
+// read-only snapshot (interned symbols, label-grouped adjacency, and
+// the attribute-value index folded in), pattern matching plans are
 // compiled once against it, and constant literals of each antecedent
 // are pushed down into the index — the match enumeration for a rule
 // like φ₁ (y.type = "video game" → ...) starts from the indexed
 // video-game nodes instead of scanning every product.
 //
-// The Validator reflects the graph at construction time; if the graph
-// is mutated, build a new Validator (or use ValidateTouching for
-// localized updates). It is immutable and safe for concurrent use.
+// The Validator reflects the snapshot it was built on; when the graph
+// moves, Rebase follows a delta-maintained snapshot at the cost of the
+// rule set, not the graph. It is immutable (the pushed-down pivots are
+// materialized lazily under a sync.Once) and safe for concurrent use.
 type Validator struct {
 	snap  *graph.Snapshot
 	sigma ged.Set
 	plans []*pattern.Plan
-	// pivots[i] is the pushed-down access path for Σ[i], if any.
-	pivots []*pivotPlan
+	// pivots[i] is the pushed-down access path for Σ[i], if any; built
+	// on first full Run so that incremental-only validators never pay
+	// for the value postings.
+	pivotOnce sync.Once
+	pivots    []*pivotPlan
 }
 
 // pivotPlan records the most selective constant-literal access path.
@@ -41,16 +49,52 @@ func NewValidator(g *graph.Graph, sigma ged.Set) *Validator {
 // snapshot, sharing it instead of re-freezing.
 func NewValidatorOn(snap *graph.Snapshot, sigma ged.Set) *Validator {
 	v := &Validator{
-		snap:   snap,
-		sigma:  sigma,
-		plans:  make([]*pattern.Plan, len(sigma)),
-		pivots: make([]*pivotPlan, len(sigma)),
+		snap:  snap,
+		sigma: sigma,
+		plans: make([]*pattern.Plan, len(sigma)),
 	}
 	for i, d := range sigma {
 		v.plans[i] = pattern.Compile(d.Pattern, snap)
-		v.pivots[i] = choosePivot(d, snap)
 	}
 	return v
+}
+
+// Rebase returns a validator over snap, reusing the receiver's compiled
+// plans when snap shares the receiver's snapshot lineage (it was
+// produced by graph.Snapshot.Apply) — the per-delta cost is then
+// proportional to the rule set. An unrelated snapshot falls back to a
+// full recompile.
+func (v *Validator) Rebase(snap *graph.Snapshot) *Validator {
+	if snap == v.snap {
+		return v
+	}
+	if snap.Lineage() != v.snap.Lineage() {
+		return NewValidatorOn(snap, v.sigma)
+	}
+	nv := &Validator{
+		snap:  snap,
+		sigma: v.sigma,
+		plans: make([]*pattern.Plan, len(v.plans)),
+	}
+	for i, pl := range v.plans {
+		nv.plans[i] = pl.Rebind(snap)
+	}
+	return nv
+}
+
+// Snapshot returns the snapshot the validator is bound to.
+func (v *Validator) Snapshot() *graph.Snapshot { return v.snap }
+
+// ensurePivots materializes the constant-literal access paths; first
+// use triggers the snapshot's lazy value postings.
+func (v *Validator) ensurePivots() {
+	v.pivotOnce.Do(func() {
+		pv := make([]*pivotPlan, len(v.sigma))
+		for i, d := range v.sigma {
+			pv[i] = choosePivot(d, v.snap)
+		}
+		v.pivots = pv
+	})
 }
 
 // choosePivot selects the most selective constant literal of d's
@@ -85,6 +129,7 @@ func choosePivot(d *ged.GED, snap *graph.Snapshot) *pivotPlan {
 // Run finds violations, up to limit (≤ 0 means all). Results match
 // Validate's exactly.
 func (v *Validator) Run(limit int) []Violation {
+	v.ensurePivots()
 	var out []Violation
 	for i, d := range v.sigma {
 		d := d
@@ -112,6 +157,72 @@ func (v *Validator) Run(limit int) []Violation {
 		}
 	}
 	return out
+}
+
+// RunCtx is sequential full validation through the prepared plans, with
+// cooperative cancellation. It mirrors ValidateOnCtx exactly — same
+// enumeration, same result order — but skips the per-call plan
+// compilation, which is what the Engine's plan cache buys.
+func (v *Validator) RunCtx(ctx context.Context, limit int) ([]Violation, error) {
+	var out []Violation
+	stop := func() bool { return ctx.Err() != nil }
+	for i, d := range v.sigma {
+		d := d
+		v.plans[i].ForEachBoundCancel(nil, stop, func(m pattern.Match) bool {
+			if ctx.Err() != nil {
+				return false
+			}
+			for _, l := range d.X {
+				if !HoldsInGraph(v.snap, l, m) {
+					return true
+				}
+			}
+			for _, l := range d.Y {
+				if !HoldsInGraph(v.snap, l, m) {
+					out = append(out, Violation{GED: d, Match: m.Clone(), Literal: l})
+					break
+				}
+			}
+			return limit <= 0 || len(out) < limit
+		})
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// RunParallelCtx is data-parallel full validation through the prepared
+// plans; semantics and determinism match ValidateParallelOnCtx.
+func (v *Validator) RunParallelCtx(ctx context.Context, limit, workers int) ([]Violation, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return v.RunCtx(ctx, limit)
+	}
+	v.ensurePivots()
+	return validateParallel(ctx, v.snap, v.sigma, limit, workers,
+		func(i int) *pattern.Plan { return v.plans[i] },
+		func(i int) (pattern.Var, []graph.NodeID) {
+			if p := v.pivots[i]; p != nil {
+				return p.variable, p.cands
+			}
+			return pivotVar(v.sigma[i].Pattern, v.snap)
+		})
+}
+
+// TouchingCtx finds the violations whose match involves at least one of
+// the given nodes — ValidateTouchingOnCtx through the prepared plans.
+func (v *Validator) TouchingCtx(ctx context.Context, nodes []graph.NodeID, limit int) ([]Violation, error) {
+	if len(nodes) == 0 {
+		return nil, ctx.Err()
+	}
+	return validateTouching(ctx, v.snap, v.sigma, nodes, limit,
+		func(i int) *pattern.Plan { return v.plans[i] })
 }
 
 // Satisfies reports G ⊨ Σ through the prepared context.

@@ -36,6 +36,7 @@ func TestValidatorUsesIndexPivot(t *testing.T) {
 	g, _ := gen.KnowledgeBase(17, 100, 0.1)
 	sigma := ged.Set{gen.PaperPhi1()}
 	v := NewValidator(g, sigma)
+	v.ensurePivots() // built lazily on first Run
 	if v.pivots[0] == nil {
 		t.Skip("index pivot not selected; label index already tighter")
 	}

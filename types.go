@@ -47,6 +47,20 @@ type GraphEdge = graph.Edge
 // callers never build one explicitly.
 type Snapshot = graph.Snapshot
 
+// Delta is an add-only batch of graph changes between two values of
+// Graph.Version: added nodes and edges plus attribute writes.
+// Graph.DeltaSince captures one from the graph's own change journal;
+// Snapshot.Apply consumes it to advance a frozen snapshot in time
+// proportional to the delta, and Engine.Apply drives the whole
+// incremental-validation pipeline from it.
+type Delta = graph.Delta
+
+// NodeAdd is one added node of a Delta.
+type NodeAdd = graph.NodeAdd
+
+// AttrWrite is one attribute write of a Delta.
+type AttrWrite = graph.AttrWrite
+
 // Wildcard is the special label '_' that matches any label.
 const Wildcard = graph.Wildcard
 
