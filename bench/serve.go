@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"gedlib"
+	"gedlib/serve"
+	"gedlib/workload"
+)
+
+// ServeOptions configures the serving-subsystem load experiment: an
+// in-process gedserve (real HTTP handlers, admission control, write
+// batcher) driven by concurrent clients replaying a Zipfian-skewed
+// multi-tenant request mix.
+type ServeOptions struct {
+	// Scale is the knowledge-base scale of the hottest tenant; further
+	// tenants shrink geometrically (Scale/4, Scale/16, ... with a floor).
+	Scale int
+	// Tenants is how many graphs the catalog hosts.
+	Tenants int
+	// Clients is the number of concurrent load-generating clients.
+	Clients int
+	// RequestsPerClient is each client's request budget.
+	RequestsPerClient int
+	// ReadFraction is the read share of the mix (0.9 = 90/10).
+	ReadFraction float64
+	// Skew is the Zipf exponent of the graph/node hot-key skew.
+	Skew float64
+	// Seed makes the request streams deterministic.
+	Seed int64
+}
+
+// DefaultServeOptions is the acceptance workload: 64 concurrent
+// clients, 90/10 read/write, KB2000 hottest tenant.
+func DefaultServeOptions() ServeOptions {
+	return ServeOptions{
+		Scale: 2000, Tenants: 3, Clients: 64, RequestsPerClient: 150,
+		ReadFraction: 0.9, Skew: 1.2, Seed: 1,
+	}
+}
+
+// QuickServeOptions is the CI smoke variant.
+func QuickServeOptions() ServeOptions {
+	return ServeOptions{
+		Scale: 200, Tenants: 2, Clients: 16, RequestsPerClient: 25,
+		ReadFraction: 0.9, Skew: 1.2, Seed: 1,
+	}
+}
+
+// LatencySummary is the percentile digest of one request class.
+type LatencySummary struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+func summarize(ds []time.Duration) LatencySummary {
+	if len(ds) == 0 {
+		return LatencySummary{}
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	return LatencySummary{Count: len(s), P50: pct(0.50), P95: pct(0.95), P99: pct(0.99)}
+}
+
+// ServeResult is one run of the serving load experiment.
+type ServeResult struct {
+	Scale        int     `json:"scale"`
+	Tenants      int     `json:"tenants"`
+	Clients      int     `json:"clients"`
+	ReadFraction float64 `json:"read_fraction"`
+
+	// Requests is the attempted total; Throughput counts only the
+	// Requests-Errors that completed (a shed 503 must not inflate the
+	// served rate).
+	Requests   int           `json:"requests"`
+	Errors     int           `json:"errors"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Throughput float64       `json:"throughput_rps"`
+
+	Overall LatencySummary `json:"overall"`
+	Read    LatencySummary `json:"read"`
+	Write   LatencySummary `json:"write"`
+
+	// Coalescing visibility, summed over tenants from /statsz.
+	Flushes          uint64  `json:"flushes"`
+	FlushedOps       uint64  `json:"flushed_ops"`
+	FlushedReqs      uint64  `json:"flushed_reqs"`
+	AvgBatchOps      float64 `json:"avg_batch_ops"`
+	AvgBatchReqs     float64 `json:"avg_batch_reqs"`
+	RejectedWrites   uint64  `json:"rejected_writes"`
+	RejectedRequests uint64  `json:"rejected_requests"`
+}
+
+// serveClient is one load generator: its own request mix, its own
+// latency log.
+type serveClient struct {
+	mix       *workload.ServeMix
+	tenants   []string
+	nodeCount []int
+	readLat   []time.Duration
+	writeLat  []time.Duration
+	errors    int
+}
+
+// ServeLoad builds the catalog, fires the clients, and digests the
+// result. It panics on setup errors (the experiment is a harness, not a
+// server) and counts per-request failures instead of aborting — load
+// shedding is an expected behavior under saturation, not a bug.
+func ServeLoad(opts ServeOptions) ServeResult {
+	srv := serve.NewServer(serve.Config{
+		MaxInFlight: 2*opts.Clients + 16,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * opts.Clients,
+		MaxIdleConnsPerHost: 2 * opts.Clients,
+	}}
+
+	sigma := gedlib.RuleSet{
+		workload.PaperPhi1(), workload.PaperPhi2(),
+		workload.PaperPhi3(), workload.PaperPhi4(),
+	}
+	rulesSrc := gedlib.FormatRules(sigma)
+
+	tenants := make([]string, opts.Tenants)
+	nodeCount := make([]int, opts.Tenants)
+	scale := opts.Scale
+	for i := range tenants {
+		if scale < 50 {
+			scale = 50
+		}
+		g, _ := workload.KnowledgeBase(opts.Seed+int64(i), scale, 0.1)
+		data, err := gedlib.MarshalGraph(g)
+		if err != nil {
+			panic(err)
+		}
+		name := fmt.Sprintf("tenant%d", i)
+		tenants[i] = name
+		nodeCount[i] = g.NumNodes()
+		mustPost(client, ts.URL+"/graphs?name="+name, data)
+		mustPost(client, ts.URL+"/graphs/"+name+"/rules", []byte(rulesSrc))
+		scale /= 4
+	}
+
+	clients := make([]*serveClient, opts.Clients)
+	for i := range clients {
+		clients[i] = &serveClient{
+			mix: workload.NewServeMix(opts.Seed+int64(1000+i), opts.Tenants,
+				nodeCount[0], opts.ReadFraction, opts.Skew),
+			tenants:   tenants,
+			nodeCount: nodeCount,
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *serveClient) {
+			defer wg.Done()
+			c.run(client, ts.URL, opts.RequestsPerClient)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all, reads, writes []time.Duration
+	errors := 0
+	for _, c := range clients {
+		reads = append(reads, c.readLat...)
+		writes = append(writes, c.writeLat...)
+		errors += c.errors
+	}
+	all = append(append(all, reads...), writes...)
+
+	attempted := opts.Clients * opts.RequestsPerClient
+	res := ServeResult{
+		Scale:        opts.Scale,
+		Tenants:      opts.Tenants,
+		Clients:      opts.Clients,
+		ReadFraction: opts.ReadFraction,
+		Requests:     attempted,
+		Errors:       errors,
+		Elapsed:      elapsed,
+		Throughput:   float64(attempted-errors) / elapsed.Seconds(),
+		Overall:      summarize(all),
+		Read:         summarize(reads),
+		Write:        summarize(writes),
+	}
+
+	var stats serve.ServerStats
+	getJSON(client, ts.URL+"/statsz", &stats)
+	for _, e := range stats.Entries {
+		res.Flushes += e.Flushes
+		res.FlushedOps += e.FlushedOps
+		res.FlushedReqs += e.FlushedReqs
+		res.RejectedWrites += e.RejectedWrites
+	}
+	if res.Flushes > 0 {
+		res.AvgBatchOps = float64(res.FlushedOps) / float64(res.Flushes)
+		res.AvgBatchReqs = float64(res.FlushedReqs) / float64(res.Flushes)
+	}
+	res.RejectedRequests = stats.RejectedRequests
+	return res
+}
+
+// run replays the client's request budget against the server.
+func (c *serveClient) run(hc *http.Client, base string, requests int) {
+	for i := 0; i < requests; i++ {
+		req := c.mix.Next()
+		tenant := c.tenants[req.Graph]
+		n := c.nodeCount[req.Graph]
+		var (
+			err   error
+			start = time.Now()
+		)
+		switch req.Op {
+		case workload.OpListViolations:
+			err = c.get(hc, base+"/graphs/"+tenant+"/violations?limit=5")
+		case workload.OpStats:
+			err = c.get(hc, base+"/graphs/"+tenant+"/stats")
+		case workload.OpValidateNodes:
+			nodes := make([]string, len(req.Nodes))
+			for j, nd := range req.Nodes {
+				nodes[j] = fmt.Sprintf("n%d", nd%n)
+			}
+			body, _ := json.Marshal(map[string]any{"nodes": nodes, "limit": 10})
+			err = c.post(hc, base+"/graphs/"+tenant+"/validate", body)
+		case workload.OpMutate:
+			ops := make([]serve.Op, 0, len(req.Nodes))
+			for j, nd := range req.Nodes {
+				node := fmt.Sprintf("n%d", nd%n)
+				if req.AttrWrite[j] {
+					ops = append(ops, serve.Op{
+						Op: "set_attr", ID: node, Attr: "type", Value: "programmer",
+					})
+				} else {
+					dst := fmt.Sprintf("n%d", (nd+1+j)%n)
+					ops = append(ops, serve.Op{
+						Op: "add_edge", Src: node, Label: "create", Dst: dst,
+					})
+				}
+			}
+			body, _ := json.Marshal(map[string]any{"ops": ops})
+			err = c.post(hc, base+"/graphs/"+tenant+"/mutate", body)
+		}
+		lat := time.Since(start)
+		if err != nil {
+			c.errors++
+			continue
+		}
+		if req.IsRead() {
+			c.readLat = append(c.readLat, lat)
+		} else {
+			c.writeLat = append(c.writeLat, lat)
+		}
+	}
+}
+
+func (c *serveClient) get(hc *http.Client, url string) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (c *serveClient) post(hc *http.Client, url string, body []byte) error {
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func mustPost(hc *http.Client, url string, body []byte) {
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		panic(fmt.Sprintf("bench: POST %s: status %d: %s", url, resp.StatusCode, data))
+	}
+}
+
+func getJSON(hc *http.Client, url string, v any) {
+	resp, err := hc.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		panic(err)
+	}
+}
+
+// WriteServe renders the serving-load result.
+func WriteServe(w io.Writer, r ServeResult) {
+	fmt.Fprintf(w, "tenants=%d (hottest KB%d)  clients=%d  mix=%d/%d read/write  requests=%d\n",
+		r.Tenants, r.Scale, r.Clients,
+		int(r.ReadFraction*100), 100-int(r.ReadFraction*100), r.Requests)
+	fmt.Fprintf(w, "elapsed %.2fs  throughput %.0f req/s  errors %d  shed %d  queue-full %d\n",
+		r.Elapsed.Seconds(), r.Throughput, r.Errors, r.RejectedRequests, r.RejectedWrites)
+	fmt.Fprintf(w, "%-8s %8s %12s %12s %12s\n", "CLASS", "COUNT", "P50", "P95", "P99")
+	row := func(name string, s LatencySummary) {
+		fmt.Fprintf(w, "%-8s %8d %12s %12s %12s\n", name, s.Count,
+			s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond))
+	}
+	row("all", r.Overall)
+	row("read", r.Read)
+	row("write", r.Write)
+	fmt.Fprintf(w, "coalescing: %d flushes, %d ops, %d reqs — %.2f ops/flush, %.2f reqs/flush\n",
+		r.Flushes, r.FlushedOps, r.FlushedReqs, r.AvgBatchOps, r.AvgBatchReqs)
+}

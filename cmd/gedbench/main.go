@@ -6,7 +6,11 @@
 //	gedbench -experiment validate          # snapshot vs map storage comparison
 //	gedbench -experiment incremental       # Engine.Apply vs full re-validation
 //	gedbench -experiment chase             # delta-maintained vs refreeze chase
+//	gedbench -experiment serve             # serving-subsystem load (64 clients, 90/10)
 //	gedbench -experiment all
+//
+// Unknown -experiment values are rejected up front with the list of
+// known experiments.
 //
 // With -json, each experiment additionally writes a machine-readable
 // BENCH_<experiment>.json file to the current directory, feeding the
@@ -22,44 +26,71 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 
 	"gedlib/bench"
 )
 
 var emitJSON bool
 
+// experiments names every known experiment, in `all` execution order;
+// "all" itself and the usage text derive from it.
+var experiments = []string{"table1", "scaling", "validate", "incremental", "chase", "serve"}
+
 func main() {
-	experiment := flag.String("experiment", "table1", "table1 | scaling | validate | incremental | chase | all")
+	experiment := flag.String("experiment", "table1",
+		"experiment to run: "+strings.Join(experiments, " | ")+" | all")
 	full := flag.Bool("full", false, "include the slowest instances (Grötzsch graph)")
 	quick := flag.Bool("quick", false, "one iteration on small instances (CI smoke)")
 	flag.BoolVar(&emitJSON, "json", false, "also write BENCH_<experiment>.json files")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: gedbench [flags]\n\nknown experiments: %s, all\n\nflags:\n",
+			strings.Join(experiments, ", "))
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
-	switch *experiment {
-	case "table1":
-		table1(*full)
-	case "scaling":
-		scaling()
-	case "validate":
-		validate()
-	case "incremental":
-		incremental(*quick)
-	case "chase":
-		chaseExperiment(*quick)
-	case "all":
-		table1(*full)
-		fmt.Println()
-		scaling()
-		fmt.Println()
-		validate()
-		fmt.Println()
-		incremental(*quick)
-		fmt.Println()
-		chaseExperiment(*quick)
-	default:
-		fmt.Fprintln(os.Stderr, "gedbench: unknown experiment", *experiment)
+	// Validate up front so a typo fails loudly before any experiment
+	// burns minutes of work.
+	if *experiment != "all" && !slices.Contains(experiments, *experiment) {
+		fmt.Fprintf(os.Stderr, "gedbench: unknown experiment %q (known: %s, all)\n",
+			*experiment, strings.Join(experiments, ", "))
+		flag.Usage()
 		os.Exit(2)
 	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			table1(*full)
+		case "scaling":
+			scaling()
+		case "validate":
+			validate()
+		case "incremental":
+			incremental(*quick)
+		case "chase":
+			chaseExperiment(*quick)
+		case "serve":
+			serveExperiment(*quick)
+		default:
+			// The experiments list and this switch must agree; the
+			// up-front validation already admitted the name.
+			panic("gedbench: unhandled experiment " + name)
+		}
+	}
+	if *experiment == "all" {
+		for i, name := range experiments {
+			if i > 0 {
+				fmt.Println()
+			}
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
 }
 
 // writeJSON persists one experiment's results as BENCH_<name>.json.
@@ -140,6 +171,23 @@ func chaseExperiment(quick bool) {
 	writeJSON("chase", struct {
 		Points []bench.ChasePoint `json:"points"`
 	}{pts})
+}
+
+func serveExperiment(quick bool) {
+	fmt.Println("Serving subsystem: in-process gedserve under concurrent mixed load")
+	fmt.Println("(real HTTP handlers, admission control, per-graph write coalescing)")
+	fmt.Println()
+	opts := bench.DefaultServeOptions()
+	if quick {
+		opts = bench.QuickServeOptions()
+	}
+	res := bench.ServeLoad(opts)
+	bench.WriteServe(os.Stdout, res)
+	writeJSON("serve", res)
+	if !quick && res.AvgBatchOps <= 1 {
+		fmt.Fprintln(os.Stderr, "gedbench: serve: write coalescing not visible (avg batch <= 1 op)")
+		os.Exit(1)
+	}
 }
 
 func validate() {

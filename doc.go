@@ -67,4 +67,20 @@
 // mutations, so no graph-bound method re-freezes an already-seen
 // graph; the chase similarly maintains one live coercion snapshot
 // across its fixpoint rounds instead of re-freezing per round.
+//
+// # Serving
+//
+// The serve subpackage (daemon: cmd/gedserve) turns the library into a
+// long-running multi-tenant system: a catalog of named graphs behind an
+// HTTP+JSON API. Its read path is lock-free — every write flush
+// publishes an immutable view (snapshot, rebased validator, maintained
+// violation set, id mapping) through an atomic pointer, so concurrent
+// readers never block writers — and its write path coalesces: mutations
+// enqueue onto a per-graph bounded batcher flushed by size or deadline,
+// one Engine.Apply per merged batch. One Engine serves the whole
+// catalog; its per-graph caches are LRU-bounded (WithGraphCacheBound)
+// and released eagerly with Forget, so a daemon hosting many tenants
+// holds snapshots and validators for only the hot ones. SnapshotOf and
+// NewSnapshotValidator are the handoff points a custom serving layer
+// needs to build the same shape.
 package gedlib

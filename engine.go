@@ -25,8 +25,9 @@ var ErrChaseDepthExceeded = chase.ErrDepthExceeded
 // context.WithTimeout.
 //
 // An Engine is cheap, configured once at New, and safe for concurrent
-// use. Its mutable state is maintained validation machinery, all
-// keyed on the last graph seen and guarded by a mutex:
+// use. Its mutable state is maintained validation machinery, kept in a
+// per-graph cache entry (bounded across graphs — see below) and guarded
+// by a mutex:
 //
 //   - a snapshot cache: the graph-bound methods (Validate,
 //     ValidateIncremental, Apply, Satisfies, Discover) need a read-only
@@ -43,15 +44,35 @@ var ErrChaseDepthExceeded = chase.ErrDepthExceeded
 //   - a violation store for Apply: the maintained violation set that
 //     makes repeated incremental validation O(|Δ|) end to end.
 //
-// Alternating between two graphs on one Engine simply rebuilds each
-// time; one Engine per long-lived graph is the intended shape.
+// One Engine may host many long-lived graphs — the shape a serving
+// catalog needs. The cache holds at most WithGraphCacheBound entries
+// (default DefaultGraphCacheBound); touching a graph beyond the bound
+// evicts the least-recently-used other graph's entry, whose state is
+// simply rebuilt on next contact. Forget releases a graph's entry
+// eagerly when the caller knows the graph is gone for good.
 type Engine struct {
 	workers        int
 	violationLimit int
 	chaseDepth     int
+	cacheBound     int
 
-	mu       sync.Mutex
-	snapOf   *Graph
+	mu    sync.Mutex
+	clock uint64
+	cache map[*Graph]*engEntry
+}
+
+// engEntry is the engine's maintained state for one graph. Entries are
+// created on first contact and evicted in LRU order past the cache
+// bound. Apply pins its entry for the duration of the call — eviction
+// skips pinned entries (the bound is soft while calls are in flight),
+// which is what keeps "Apply serializes with itself per graph" true
+// even when the cache is churning. Forget removes an entry regardless;
+// an in-flight Apply then finishes on the orphan with correct results
+// and the state is rebuilt on next contact.
+type engEntry struct {
+	lastUse uint64 // engine clock at last touch, under Engine.mu
+	pinned  int    // in-flight Applies holding this entry, under Engine.mu
+
 	snapVer  uint64
 	snapshot *Snapshot
 
@@ -59,11 +80,71 @@ type Engine struct {
 	valSigma  RuleSet
 	validator *reason.Validator
 
-	// applyMu serializes Apply: the violation store is single-writer.
+	// applyMu serializes Apply per graph: each violation store is
+	// single-writer. Applies on different graphs run concurrently.
 	applyMu    sync.Mutex
-	storeOf    *Graph
 	storeSigma RuleSet
 	store      *reason.ViolationStore
+}
+
+// DefaultGraphCacheBound is how many graphs an Engine retains cached
+// state for unless WithGraphCacheBound overrides it.
+const DefaultGraphCacheBound = 16
+
+// entryLocked returns g's cache entry, creating it (and evicting the
+// LRU entry past the bound) if needed. Engine.mu must be held.
+func (e *Engine) entryLocked(g *Graph) *engEntry {
+	ent := e.cache[g]
+	if ent == nil {
+		ent = &engEntry{}
+		e.cache[g] = ent
+		e.evictLocked(g)
+	}
+	e.clock++
+	ent.lastUse = e.clock
+	return ent
+}
+
+// evictLocked drops least-recently-used entries until the cache is
+// back under its bound, never touching keep or pinned entries. Called
+// on entry creation and again when an Apply unpins — while every
+// over-bound entry is pinned the bound is soft, and the unpin is what
+// brings the cache back down afterwards. Engine.mu must be held.
+func (e *Engine) evictLocked(keep *Graph) {
+	for e.cacheBound > 0 && len(e.cache) > e.cacheBound {
+		var victim *Graph
+		oldest := uint64(0)
+		for vg, vent := range e.cache {
+			if vg == keep || vent.pinned > 0 {
+				continue
+			}
+			if victim == nil || vent.lastUse < oldest {
+				victim, oldest = vg, vent.lastUse
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(e.cache, victim)
+	}
+}
+
+// Forget releases every cached artifact for g (snapshot, prepared
+// validator, maintained violation store). A serving catalog calls this
+// when it drops a graph, so the entry does not linger until LRU
+// eviction; calling it for an unknown graph is a no-op.
+func (e *Engine) Forget(g *Graph) {
+	e.mu.Lock()
+	delete(e.cache, g)
+	e.mu.Unlock()
+}
+
+// CachedGraphs reports how many graphs the engine currently retains
+// cached state for. It is bounded by WithGraphCacheBound.
+func (e *Engine) CachedGraphs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
 }
 
 // fresh returns a snapshot of g's current state: the cached one when it
@@ -75,13 +156,14 @@ type Engine struct {
 func (e *Engine) fresh(g *Graph) *Snapshot {
 	v := g.Version()
 	e.mu.Lock()
-	base, baseVer, hit := e.snapshot, e.snapVer, e.snapOf == g && e.snapshot != nil
+	ent := e.entryLocked(g)
+	base, baseVer := ent.snapshot, ent.snapVer
 	e.mu.Unlock()
-	if hit && baseVer == v {
+	if base != nil && baseVer == v {
 		return base
 	}
 	var s *Snapshot
-	if hit && baseVer < v {
+	if base != nil && baseVer < v {
 		// A backlog comparable to the graph is no cheaper to apply than
 		// a fresh freeze, and the freeze re-compacts the page storage;
 		// a nil delta means the journal no longer reaches back this far.
@@ -93,14 +175,34 @@ func (e *Engine) fresh(g *Graph) *Snapshot {
 		s = g.Freeze()
 	}
 	e.mu.Lock()
-	e.snapOf, e.snapVer, e.snapshot = g, s.SourceVersion(), s
+	// Write back lookup-only: re-creating the entry here would
+	// resurrect a graph Forget dropped mid-call (an LRU-evicted entry
+	// merely misses this one caching opportunity).
+	if cur := e.cache[g]; cur != nil {
+		e.clock++
+		cur.lastUse = e.clock
+		cur.snapVer, cur.snapshot = s.SourceVersion(), s
+	}
 	e.mu.Unlock()
 	return s
 }
 
-// sameRules reports whether two rule sets are the same rules in the
-// same order (by identity — rules are built once and shared).
-func sameRules(a, b RuleSet) bool {
+// SnapshotOf returns an up-to-date immutable snapshot of g, reusing and
+// advancing the engine's cached one exactly like the graph-bound
+// methods do. This is the read-path handoff a serving layer publishes
+// to concurrent readers: the snapshot is safe for unsynchronized
+// concurrent use, while the call itself reads g and must be
+// synchronized with g's mutators like any other graph-bound method.
+func (e *Engine) SnapshotOf(g *Graph) *Snapshot {
+	return e.fresh(g)
+}
+
+// SameRules reports whether two rule sets are the same rules in the
+// same order, by identity — rules are built once and shared. This is
+// exactly the keying Apply uses for its maintained state, exported so
+// a serving layer can make the same "did the rules actually change"
+// decision the engine will.
+func SameRules(a, b RuleSet) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -113,31 +215,40 @@ func sameRules(a, b RuleSet) bool {
 }
 
 // plansFor returns a prepared validator (compiled plans + pushed-down
-// pivots) for sigma over snap, reusing the cached one outright when
+// pivots) for sigma over snap, reusing g's cached one outright when
 // nothing moved and rebinding its plans when only the snapshot advanced
 // within its lineage. Recompiling from scratch happens only on a new
 // rule set or an unrelated snapshot.
-func (e *Engine) plansFor(snap *Snapshot, sigma RuleSet) *reason.Validator {
+func (e *Engine) plansFor(g *Graph, snap *Snapshot, sigma RuleSet) *reason.Validator {
 	e.mu.Lock()
-	val, valSnap, valSigma := e.validator, e.valSnap, e.valSigma
+	ent := e.entryLocked(g)
+	val, valSnap, valSigma := ent.validator, ent.valSnap, ent.valSigma
 	e.mu.Unlock()
-	if val != nil && sameRules(valSigma, sigma) {
+	if val != nil && SameRules(valSigma, sigma) {
 		if valSnap == snap {
 			return val
 		}
 		if valSnap.Lineage() == snap.Lineage() {
 			val = val.Rebase(snap)
-			e.mu.Lock()
-			e.validator, e.valSnap, e.valSigma = val, snap, sigma
-			e.mu.Unlock()
+			e.storePlans(g, snap, sigma, val)
 			return val
 		}
 	}
 	val = reason.NewValidatorOn(snap, sigma)
-	e.mu.Lock()
-	e.validator, e.valSnap, e.valSigma = val, snap, sigma
-	e.mu.Unlock()
+	e.storePlans(g, snap, sigma, val)
 	return val
+}
+
+// storePlans records a prepared validator in g's cache entry —
+// lookup-only, so it cannot resurrect an entry Forget removed.
+func (e *Engine) storePlans(g *Graph, snap *Snapshot, sigma RuleSet, val *reason.Validator) {
+	e.mu.Lock()
+	if ent := e.cache[g]; ent != nil {
+		e.clock++
+		ent.lastUse = e.clock
+		ent.validator, ent.valSnap, ent.valSigma = val, snap, sigma
+	}
+	e.mu.Unlock()
 }
 
 // Option configures an Engine.
@@ -169,10 +280,25 @@ func WithChaseDepth(d int) Option {
 	return func(e *Engine) { e.chaseDepth = d }
 }
 
+// WithGraphCacheBound bounds how many graphs the engine retains cached
+// state for (snapshot, prepared validator, maintained violation store).
+// Past the bound the least-recently-used graph's entry is evicted and
+// rebuilt on next contact. The default is DefaultGraphCacheBound; n <= 0
+// removes the bound (the pre-catalog behavior — only safe when the set
+// of graphs an engine ever sees is itself bounded).
+func WithGraphCacheBound(n int) Option {
+	return func(e *Engine) { e.cacheBound = n }
+}
+
 // New returns an Engine with the given options applied over the
-// defaults: sequential validation, no violation limit, no chase bound.
+// defaults: sequential validation, no violation limit, no chase bound,
+// cached state for up to DefaultGraphCacheBound graphs.
 func New(opts ...Option) *Engine {
-	e := &Engine{workers: 1}
+	e := &Engine{
+		workers:    1,
+		cacheBound: DefaultGraphCacheBound,
+		cache:      make(map[*Graph]*engEntry),
+	}
 	for _, o := range opts {
 		o(e)
 	}
@@ -188,7 +314,7 @@ func New(opts ...Option) *Engine {
 // On cancellation the violations found so far are returned together
 // with ctx's error.
 func (e *Engine) Validate(ctx context.Context, g *Graph, sigma RuleSet) ([]Violation, error) {
-	val := e.plansFor(e.fresh(g), sigma)
+	val := e.plansFor(g, e.fresh(g), sigma)
 	if e.workers == 1 {
 		return val.RunCtx(ctx, e.violationLimit)
 	}
@@ -202,11 +328,15 @@ func (e *Engine) Validate(ctx context.Context, g *Graph, sigma RuleSet) ([]Viola
 //
 // The engine brings its cached snapshot up to date by applying the
 // graph's change journal (O(|Δ|), no freeze) and runs the
-// touched-neighborhood search over it with cached plans, so the whole
-// call is proportional to the update, not the graph. For a maintained
-// answer to "what are all current violations", use Apply instead.
+// touched-neighborhood search over it with cached plans, so the
+// steady-state call is proportional to the update, not the graph. The
+// exceptions are the same as every graph-bound method's: first contact
+// with a graph (or contact after LRU eviction, or after a backlog
+// rivaling the graph) pays one full freeze before the cheap regime
+// resumes. For a maintained answer to "what are all current
+// violations", use Apply instead.
 func (e *Engine) ValidateIncremental(ctx context.Context, g *Graph, sigma RuleSet, touched []NodeID) ([]Violation, error) {
-	val := e.plansFor(e.fresh(g), sigma)
+	val := e.plansFor(g, e.fresh(g), sigma)
 	return val.TouchingCtx(ctx, touched, e.violationLimit)
 }
 
@@ -233,30 +363,47 @@ func (e *Engine) ValidateIncremental(ctx context.Context, g *Graph, sigma RuleSe
 // On error (cancellation mid-seed or mid-update) the store is
 // discarded and the next Apply re-seeds; no partial state is returned.
 func (e *Engine) Apply(ctx context.Context, g *Graph, sigma RuleSet) ([]Violation, error) {
-	e.applyMu.Lock()
-	defer e.applyMu.Unlock()
-	if st := e.store; st != nil && e.storeOf == g && sameRules(e.storeSigma, sigma) {
+	// Pin the entry so LRU churn cannot evict it mid-call: a concurrent
+	// Apply for the same graph must find this same entry (and block on
+	// its applyMu) rather than seed a duplicate store on a fresh one.
+	e.mu.Lock()
+	ent := e.entryLocked(g)
+	ent.pinned++
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		ent.pinned--
+		e.evictLocked(nil)
+		e.mu.Unlock()
+	}()
+	ent.applyMu.Lock()
+	defer ent.applyMu.Unlock()
+	if st := ent.store; st != nil && SameRules(ent.storeSigma, sigma) {
 		d := g.DeltaSince(st.Snapshot().SourceVersion())
 		if d != nil && d.Size() <= g.Size()/4 {
 			snap := st.Snapshot().Apply(d)
 			if err := st.Apply(ctx, snap, d.TouchedNodes()); err != nil {
-				e.store = nil
+				ent.store = nil
 				return nil, err
 			}
 			e.mu.Lock()
-			e.snapOf, e.snapVer, e.snapshot = g, snap.SourceVersion(), snap
+			// ent is pinned against LRU eviction, but Forget may have
+			// removed it; lookup-only so a dropped graph stays dropped.
+			if cur := e.cache[g]; cur != nil {
+				cur.snapVer, cur.snapshot = snap.SourceVersion(), snap
+			}
 			e.mu.Unlock()
 			return e.limited(st.Violations()), nil
 		}
 		// The backlog rivals the graph; fall through and re-seed from a
 		// fresh freeze.
 	}
-	st, err := reason.NewViolationStoreCtx(ctx, e.plansFor(e.fresh(g), sigma))
+	st, err := reason.NewViolationStoreParallelCtx(ctx, e.plansFor(g, e.fresh(g), sigma), e.workers)
 	if err != nil {
-		e.store = nil
+		ent.store = nil
 		return nil, err
 	}
-	e.store, e.storeOf, e.storeSigma = st, g, sigma
+	ent.store, ent.storeSigma = st, sigma
 	return e.limited(st.Violations()), nil
 }
 
@@ -274,7 +421,7 @@ func (e *Engine) limited(vs []Violation) []Violation {
 
 // Satisfies reports g ⊨ Σ, stopping at the first violation.
 func (e *Engine) Satisfies(ctx context.Context, g *Graph, sigma RuleSet) (bool, error) {
-	vs, err := e.plansFor(e.fresh(g), sigma).RunCtx(ctx, 1)
+	vs, err := e.plansFor(g, e.fresh(g), sigma).RunCtx(ctx, 1)
 	if err != nil {
 		return false, err
 	}

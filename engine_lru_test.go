@@ -1,0 +1,123 @@
+package gedlib_test
+
+import (
+	"context"
+	"testing"
+
+	"gedlib"
+	"gedlib/workload"
+)
+
+// TestEngineGraphCacheBound: one engine hosting more graphs than its
+// cache bound keeps at most bound entries alive, and an evicted graph
+// still validates correctly (its state is rebuilt on next contact).
+func TestEngineGraphCacheBound(t *testing.T) {
+	ctx := context.Background()
+	const bound = 4
+	eng := gedlib.New(gedlib.WithGraphCacheBound(bound))
+	sigma := gedlib.RuleSet{workload.PaperPhi1(), workload.PaperPhi2()}
+
+	graphs := make([]*gedlib.Graph, 3*bound)
+	want := make([]int, len(graphs))
+	for i := range graphs {
+		g, _ := workload.KnowledgeBase(int64(i), 20+i, 0.2)
+		graphs[i] = g
+		vs, err := eng.Validate(ctx, g, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = len(vs)
+		if n := eng.CachedGraphs(); n > bound {
+			t.Fatalf("after %d graphs the cache holds %d entries, bound %d", i+1, n, bound)
+		}
+	}
+	if n := eng.CachedGraphs(); n != bound {
+		t.Fatalf("steady-state cache holds %d entries, want %d", n, bound)
+	}
+
+	// Revisit every graph, including the evicted ones: same answers.
+	for i, g := range graphs {
+		vs, err := eng.Validate(ctx, g, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) != want[i] {
+			t.Fatalf("graph %d after eviction: %d violations, want %d", i, len(vs), want[i])
+		}
+	}
+}
+
+// TestEngineGraphCacheLRUOrder: the hottest graph survives eviction —
+// re-touching it between colder graphs keeps its entry resident.
+func TestEngineGraphCacheLRUOrder(t *testing.T) {
+	ctx := context.Background()
+	eng := gedlib.New(gedlib.WithGraphCacheBound(2))
+	sigma := gedlib.RuleSet{workload.PaperPhi1()}
+
+	hot, _ := workload.KnowledgeBase(1, 30, 0.2)
+	if _, err := eng.Apply(ctx, hot, sigma); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		cold, _ := workload.KnowledgeBase(int64(10+i), 15, 0.1)
+		if _, err := eng.Validate(ctx, cold, sigma); err != nil {
+			t.Fatal(err)
+		}
+		// Touch the hot graph so it stays the most recently used; its
+		// maintained Apply state must survive every cold interloper.
+		hot.SetAttr(gedlib.NodeID(i), "name", gedlib.String("renamed"))
+		if _, err := eng.Apply(ctx, hot, sigma); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := eng.CachedGraphs(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2", n)
+	}
+}
+
+// TestEngineForget: Forget drops a graph's cached state immediately and
+// later calls rebuild it.
+func TestEngineForget(t *testing.T) {
+	ctx := context.Background()
+	eng := gedlib.New()
+	sigma := gedlib.RuleSet{workload.PaperPhi1()}
+	g, _ := workload.KnowledgeBase(2, 25, 0.2)
+
+	before, err := eng.Apply(ctx, g, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.CachedGraphs() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", eng.CachedGraphs())
+	}
+	eng.Forget(g)
+	if eng.CachedGraphs() != 0 {
+		t.Fatalf("cache holds %d entries after Forget, want 0", eng.CachedGraphs())
+	}
+	after, err := eng.Apply(ctx, g, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("re-seeded Apply found %d violations, want %d", len(after), len(before))
+	}
+}
+
+// TestEngineSnapshotOf: the published snapshot tracks the graph and is
+// shared with the engine's own cache.
+func TestEngineSnapshotOf(t *testing.T) {
+	eng := gedlib.New()
+	g, _ := workload.KnowledgeBase(3, 20, 0.1)
+	s1 := eng.SnapshotOf(g)
+	if got, want := s1.SourceVersion(), g.Version(); got != want {
+		t.Fatalf("snapshot at version %d, graph at %d", got, want)
+	}
+	if s2 := eng.SnapshotOf(g); s2 != s1 {
+		t.Fatal("unchanged graph re-snapshotted instead of reusing the cache")
+	}
+	g.SetAttr(gedlib.NodeID(0), "name", gedlib.String("moved"))
+	s3 := eng.SnapshotOf(g)
+	if s3 == s1 || s3.SourceVersion() != g.Version() {
+		t.Fatal("snapshot did not advance with the graph")
+	}
+}

@@ -510,18 +510,6 @@ func (c *chaser) runDelta() (*Result, error) {
 	return c.res, nil
 }
 
-// satisfiesAll reports h(x̄) ⊨ X under eq: every literal holds, with the
-// paper's attribute-existence semantics (a missing attribute falsifies
-// the literal, hence the whole antecedent).
-func satisfiesAll(eq *Eq, lits []ged.Literal, m map[pattern.Var]graph.NodeID) bool {
-	for _, l := range lits {
-		if !literalHolds(eq, l, m) {
-			return false
-		}
-	}
-	return true
-}
-
 // Holds evaluates one GED literal against eq under node assignment m:
 // h(x̄) ⊨ l in the sense of Section 3, with equality read modulo Eq.
 // It accepts the flipped intermediate forms (c = x.A) that proofs use.

@@ -28,15 +28,22 @@ func (pp *pagedPatch[T]) cloneOuter(extraPages int) {
 	pp.ownOuter = true
 }
 
+// clonePage copies page p to full-page capacity on first touch; the
+// caller must have cloned the outer table already.
+func (pp *pagedPatch[T]) clonePage(p int) {
+	if pp.ownPage[p] {
+		return
+	}
+	pg := pp.pgs[p]
+	np := make([]T, len(pg), pageSize)
+	copy(np, pg)
+	pp.pgs[p] = np
+	pp.ownPage[p] = true
+}
+
 func (pp *pagedPatch[T]) ownedPage(p int) []T {
 	pp.cloneOuter(0)
-	if !pp.ownPage[p] {
-		pg := pp.pgs[p]
-		np := make([]T, len(pg), pageSize)
-		copy(np, pg)
-		pp.pgs[p] = np
-		pp.ownPage[p] = true
-	}
+	pp.clonePage(p)
 	return pp.pgs[p]
 }
 
@@ -60,12 +67,8 @@ func (pp *pagedPatch[T]) extend(oldN int, items []T) {
 		if p == len(pp.pgs) {
 			pp.pgs = append(pp.pgs, make([]T, 0, pageSize))
 			pp.ownPage[p] = true
-		} else if !pp.ownPage[p] {
-			pg := pp.pgs[p]
-			np := make([]T, len(pg), pageSize)
-			copy(np, pg)
-			pp.pgs[p] = np
-			pp.ownPage[p] = true
+		} else {
+			pp.clonePage(p)
 		}
 		pp.pgs[p] = append(pp.pgs[p], v)
 	}

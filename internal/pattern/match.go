@@ -92,7 +92,11 @@ type Plan struct {
 	order  []int         // variable binding order, as indexes
 
 	// pool recycles matcher scratch across enumerations; see matcher.
-	pool sync.Pool
+	// It is a pointer so Rebind-derived plans share one pool: the
+	// scratch is sized by the pattern (identical across a lineage of
+	// rebinds), and sharing keeps the pool warm on the per-delta path
+	// where validators rebase for every update.
+	pool *sync.Pool
 }
 
 // Compile prepares a matching plan for p over h — a mutable graph or a
@@ -106,6 +110,7 @@ func Compile(p *Pattern, h Host) *Plan {
 		varIdx: make(map[Var]int, n),
 		labels: make([]graph.Label, n),
 		adj:    make([][]cedge, n),
+		pool:   new(sync.Pool),
 	}
 	pl.snap, _ = h.(*graph.Snapshot)
 	resolve := func(l graph.Label) int32 {
@@ -166,6 +171,7 @@ func (pl *Plan) Rebind(snap *graph.Snapshot) *Plan {
 		varLid: pl.varLid,
 		adj:    pl.adj,
 		order:  pl.order,
+		pool:   pl.pool, // same pattern, same scratch shape: stay warm
 	}
 	resolve := func(l graph.Label) int32 {
 		if l == graph.Wildcard {
@@ -223,14 +229,14 @@ func (pl *Plan) newMatcher(stop func() bool, yield func(Match) bool) *matcher {
 	m, ok := pl.pool.Get().(*matcher)
 	if !ok {
 		m = &matcher{
-			pl:   pl,
-			h:    pl.h,
-			snap: pl.snap,
 			bind: make([]graph.NodeID, len(pl.vars)),
 			last: make([]graph.NodeID, len(pl.vars)),
 			out:  make(Match, len(pl.vars)),
 		}
 	}
+	// The pool is shared across same-lineage rebinds, so a recycled
+	// matcher may carry a predecessor plan; re-point it every time.
+	m.pl, m.h, m.snap = pl, pl.h, pl.snap
 	m.yield = yield
 	m.stop = stop
 	m.tick = 0
@@ -247,12 +253,17 @@ func (pl *Plan) newMatcher(stop func() bool, yield func(Match) bool) *matcher {
 }
 
 // putMatcher returns scratch to the plan's pool, dropping the caller's
-// closures so the pool never pins them.
+// closures — and the plan/host/snapshot references, which would
+// otherwise pin a superseded snapshot's COW pages across rebinds — so
+// the pool never pins them. newMatcher re-points them on every Get.
 func (pl *Plan) putMatcher(m *matcher) {
 	m.yield = nil
 	m.dense = nil
 	m.filter = nil
 	m.stop = nil
+	m.pl = nil
+	m.h = nil
+	m.snap = nil
 	pl.pool.Put(m)
 }
 

@@ -21,8 +21,13 @@ import (
 //	...
 //	from := st.Snapshot().SourceVersion()
 //	mutate g
-//	delta := g.DeltaSince(from)
-//	st.Apply(ctx, st.Snapshot().Apply(delta), delta.TouchedNodes())
+//	if delta := g.DeltaSince(from); delta != nil {
+//		st.Apply(ctx, st.Snapshot().Apply(delta), delta.TouchedNodes())
+//	} else {
+//		// the journal no longer reaches back to from: re-seed from a
+//		// fresh freeze (Engine.Apply does exactly this, and also
+//		// re-seeds when the backlog rivals the graph)
+//	}
 //
 // Apply exploits the two monotonicity facts of add-only graphs that
 // ValidateTouching documents: every *new* violation's match touches an
@@ -135,13 +140,22 @@ func distinctBindCount(bind []graph.NodeID) int {
 }
 
 // NewViolationStoreCtx seeds a maintained violation set with one full
-// validation through the prepared validator — share the Engine's (or
-// any existing) validator to reuse its compiled plans; build a one-off
-// with NewValidatorOn otherwise. On cancellation the partial store is
-// not returned: a store is either complete or absent.
+// sequential validation through the prepared validator — share the
+// Engine's (or any existing) validator to reuse its compiled plans;
+// build a one-off with NewValidatorOn otherwise. On cancellation the
+// partial store is not returned: a store is either complete or absent.
 func NewViolationStoreCtx(ctx context.Context, val *Validator) (*ViolationStore, error) {
+	return NewViolationStoreParallelCtx(ctx, val, 1)
+}
+
+// NewViolationStoreParallelCtx is NewViolationStoreCtx with the seeding
+// validation data-parallel across workers (1 = sequential, <= 0 =
+// GOMAXPROCS); the resulting store is identical — seeding is the one
+// O(|G|) step of the store's life, so it deserves the same parallelism
+// a full Validate gets.
+func NewViolationStoreParallelCtx(ctx context.Context, val *Validator, workers int) (*ViolationStore, error) {
 	sigma := val.sigma
-	vs, err := val.RunCtx(ctx, 0)
+	vs, err := val.RunParallelCtx(ctx, 0, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// admission is the server's load shedder: a semaphore of concurrently
+// admitted requests. A request that cannot be admitted immediately is
+// rejected with 503 rather than queued — under overload the server
+// answers "not now" fast instead of letting latency collapse for
+// everyone (the write path has its own, separate backpressure in the
+// batcher's bounded queue).
+type admission struct {
+	sem      chan struct{}
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+func newAdmission(maxInFlight int) *admission {
+	return &admission{sem: make(chan struct{}, maxInFlight)}
+}
+
+// inFlight reports the currently admitted request count.
+func (a *admission) inFlight() int { return len(a.sem) }
+
+// wrap gates h behind the semaphore.
+func (a *admission) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case a.sem <- struct{}{}:
+			defer func() { <-a.sem }()
+			a.admitted.Add(1)
+			h.ServeHTTP(w, r)
+		default:
+			a.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "server saturated: max in-flight requests reached")
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestEntry(t *testing.T, cfg Config) (*Catalog, *GraphEntry) {
+	t.Helper()
+	cat := NewCatalog(cfg)
+	t.Cleanup(cat.Close)
+	ent, err := cat.Create("g", []byte(`{
+		"nodes": [
+			{"id": "game", "label": "product", "attrs": {"type": "video game", "name": "GB"}},
+			{"id": "dev", "label": "person", "attrs": {"type": "artist"}}
+		],
+		"edges": [{"src": "dev", "label": "create", "dst": "game"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `ged phi1 on (x:person)-[create]->(y:product) {
+		when y.type = "video game"
+		then x.type = "programmer"
+	}`
+	if _, err := ent.RegisterRules(context.Background(), src); err != nil {
+		t.Fatal(err)
+	}
+	return cat, ent
+}
+
+// TestBatcherCoalesces: concurrent writers land in fewer flushes than
+// requests, and every writer observes its own write in the view it is
+// told about.
+func TestBatcherCoalesces(t *testing.T) {
+	// A long deadline forces coalescing: the first write opens a 50ms
+	// window and the rest of the burst joins it.
+	_, ent := newTestEntry(t, Config{MaxDelay: 50 * time.Millisecond, FlushOps: 1 << 20})
+	const writers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := ent.Mutate(context.Background(), []Op{
+				{Op: "set_attr", ID: "dev", Attr: "type", Value: "programmer"},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Applied != 1 {
+				t.Errorf("applied %d ops, want 1", res.Applied)
+			}
+		}()
+	}
+	wg.Wait()
+	s := ent.Stats()
+	if s.Flushes == 0 || s.FlushedOps != writers {
+		t.Fatalf("flushed %d ops in %d flushes, want %d ops", s.FlushedOps, s.Flushes, writers)
+	}
+	if s.Flushes >= writers {
+		t.Fatalf("no coalescing: %d flushes for %d writes", s.Flushes, writers)
+	}
+	if s.AvgBatchOps <= 1 {
+		t.Fatalf("avg batch %.2f ops, want > 1", s.AvgBatchOps)
+	}
+	// The writes repaired the planted violation; the published view
+	// must reflect the flushed state.
+	if view := ent.CurrentView(); len(view.Violations) != 0 {
+		t.Fatalf("view still reports %d violations after repair", len(view.Violations))
+	}
+}
+
+// TestBatcherDeadlineFlush: a lone write flushes by deadline, not never.
+func TestBatcherDeadlineFlush(t *testing.T) {
+	_, ent := newTestEntry(t, Config{MaxDelay: 5 * time.Millisecond, FlushOps: 1 << 20})
+	start := time.Now()
+	if _, err := ent.Mutate(context.Background(), []Op{
+		{Op: "set_attr", ID: "dev", Attr: "name", Value: "Ada"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deadline flush took %v", d)
+	}
+}
+
+// TestBatcherSizeTriggerBeatsDeadline: hitting FlushOps flushes
+// immediately, well before a long deadline.
+func TestBatcherSizeTriggerBeatsDeadline(t *testing.T) {
+	_, ent := newTestEntry(t, Config{MaxDelay: 10 * time.Second, FlushOps: 2})
+	start := time.Now()
+	if _, err := ent.Mutate(context.Background(), []Op{
+		{Op: "set_attr", ID: "dev", Attr: "name", Value: "Grace"},
+		{Op: "set_attr", ID: "game", Attr: "name", Value: "GB2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("size-triggered flush waited for the deadline: %v", d)
+	}
+}
+
+// TestBatcherBackpressure: a full queue rejects with ErrQueueFull
+// instead of buffering unboundedly.
+func TestBatcherBackpressure(t *testing.T) {
+	_, ent := newTestEntry(t, Config{MaxQueueOps: 2, MaxDelay: time.Hour, FlushOps: 1 << 20})
+	// Park two ops in the queue without waiting for their flush.
+	bg, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ent.Mutate(bg, []Op{
+			{Op: "set_attr", ID: "dev", Attr: "name", Value: "a"},
+			{Op: "set_attr", ID: "dev", Attr: "name", Value: "b"},
+		})
+		done <- err
+	}()
+	// Wait until they are queued.
+	for i := 0; i < 1000 && ent.b.queueDepth() < 2; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if ent.b.queueDepth() != 2 {
+		t.Fatalf("queue depth %d, want 2", ent.b.queueDepth())
+	}
+	if _, err := ent.Mutate(context.Background(), []Op{
+		{Op: "set_attr", ID: "dev", Attr: "name", Value: "c"},
+	}); err != ErrQueueFull {
+		t.Fatalf("overfull enqueue returned %v, want ErrQueueFull", err)
+	}
+	if s := ent.Stats(); s.RejectedWrites != 1 {
+		t.Fatalf("rejected_writes %d, want 1", s.RejectedWrites)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("abandoned wait returned %v, want context.Canceled", err)
+	}
+}
+
+// TestBatcherOversizedRequest: a single request larger than the whole
+// queue bound is rejected as permanent (ErrTooManyOps), not as
+// retryable backpressure.
+func TestBatcherOversizedRequest(t *testing.T) {
+	_, ent := newTestEntry(t, Config{MaxQueueOps: 2, MaxDelay: time.Millisecond})
+	ops := []Op{
+		{Op: "set_attr", ID: "dev", Attr: "name", Value: "a"},
+		{Op: "set_attr", ID: "dev", Attr: "name", Value: "b"},
+		{Op: "set_attr", ID: "dev", Attr: "name", Value: "c"},
+	}
+	if _, err := ent.Mutate(context.Background(), ops); err != ErrTooManyOps {
+		t.Fatalf("oversized request returned %v, want ErrTooManyOps", err)
+	}
+}
+
+// TestBatcherCloseDrains: Delete flushes pending writes before the
+// batcher stops, and later writes fail with ErrClosed.
+func TestBatcherCloseDrains(t *testing.T) {
+	cat, ent := newTestEntry(t, Config{MaxDelay: time.Hour, FlushOps: 1 << 20})
+	done := make(chan WriteResult, 1)
+	go func() {
+		res, _ := ent.Mutate(context.Background(), []Op{
+			{Op: "set_attr", ID: "dev", Attr: "type", Value: "programmer"},
+		})
+		done <- res
+	}()
+	for i := 0; i < 1000 && ent.b.queueDepth() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if err := cat.Delete("g"); err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if res.Applied != 1 || res.Err != nil {
+		t.Fatalf("pending write not drained at close: %+v", res)
+	}
+	if _, err := ent.Mutate(context.Background(), []Op{
+		{Op: "set_attr", ID: "dev", Attr: "name", Value: "late"},
+	}); err != ErrClosed {
+		t.Fatalf("write after close returned %v, want ErrClosed", err)
+	}
+}
+
+// TestOpErrors: invalid ops are reported per-op while the rest of the
+// batch applies.
+func TestOpErrors(t *testing.T) {
+	_, ent := newTestEntry(t, Config{MaxDelay: time.Millisecond})
+	res, err := ent.Mutate(context.Background(), []Op{
+		{Op: "set_attr", ID: "nobody", Attr: "type", Value: "x"},
+		{Op: "add_node", ID: "qa", Label: "person", Attrs: map[string]any{"type": "tester"}},
+		{Op: "add_edge", Src: "qa", Label: "create", Dst: "game"},
+		{Op: "frobnicate"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || len(res.OpErrors) != 2 {
+		t.Fatalf("applied=%d errors=%v, want 2 applied and 2 errors", res.Applied, res.OpErrors)
+	}
+	view := ent.CurrentView()
+	id, ok := view.Names.Resolve("qa")
+	if !ok {
+		t.Fatal("added node qa not resolvable in the published view")
+	}
+	if view.Names.NameOf(id) != "qa" {
+		t.Fatalf("round-trip name %q, want qa", view.Names.NameOf(id))
+	}
+	// The new non-programmer creator of a video game is a violation the
+	// maintained set must have picked up.
+	found := false
+	for _, v := range view.Violations {
+		for _, nid := range v.Match {
+			if nid == id {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("maintained set missed the violation added by the batch: %d violations", len(view.Violations))
+	}
+}

@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gedlib"
+)
+
+// Catalog owns the tenant graphs of a serving process: each entry is a
+// mutable graph, its registered rule set, its coalescing write batcher,
+// and the lineage of immutable views published to readers. All methods
+// are safe for concurrent use.
+type Catalog struct {
+	cfg Config
+	eng *gedlib.Engine
+
+	mu      sync.RWMutex
+	entries map[string]*GraphEntry
+	// creating reserves names while their entry is still being loaded
+	// and seeded, so a racing duplicate Create fails fast instead of
+	// burning a full validation (and an engine cache slot) first.
+	creating map[string]struct{}
+}
+
+// NewCatalog returns an empty catalog configured by cfg.
+func NewCatalog(cfg Config) *Catalog {
+	cfg = cfg.withDefaults()
+	return &Catalog{
+		cfg:      cfg,
+		eng:      cfg.engine(),
+		entries:  make(map[string]*GraphEntry),
+		creating: make(map[string]struct{}),
+	}
+}
+
+// Engine exposes the catalog's shared engine (chase requests and tests
+// use it directly).
+func (c *Catalog) Engine() *gedlib.Engine { return c.eng }
+
+// View is one published read-path state of a graph: everything a
+// reader needs, immutable, handed over atomically. Readers load the
+// current view once and work against it for the whole request; a flush
+// landing meanwhile publishes a successor without disturbing them.
+type View struct {
+	// Epoch increments once per publication (flush, rules change, load).
+	Epoch uint64
+	// Version is the graph's mutation-journal version the view reflects.
+	Version uint64
+	// Snap is the immutable snapshot reads run against.
+	Snap *gedlib.Snapshot
+	// Val is a prepared validator over Snap for the entry's rules.
+	Val *gedlib.Validator
+	// Violations is the complete maintained violation set of the rules
+	// in Snap, in canonical order.
+	Violations []gedlib.Violation
+	// Names maps between wire-format string node ids and NodeIDs as of
+	// this view.
+	Names *nameTable
+	// Rules is the rule set the violations were maintained under.
+	Rules gedlib.RuleSet
+}
+
+// GraphEntry is one tenant graph of the catalog.
+type GraphEntry struct {
+	name string
+	cat  *Catalog
+
+	// mu guards the mutable graph, the name working-copy, the rule set
+	// and the closed flag. The flusher holds it exclusively for the
+	// whole mutate+Apply+publish sequence; chase requests hold it
+	// shared just long enough to clone the graph. The read path never
+	// takes it.
+	mu     sync.RWMutex
+	graph  *gedlib.Graph
+	names  *nameTable
+	sigma  gedlib.RuleSet
+	closed bool
+
+	epoch atomic.Uint64
+	view  atomic.Pointer[View]
+
+	// retained is a bounded observability history of recent views
+	// (newest last). Reader correctness never depends on it — a reader
+	// holds its view alive through its own reference; retention exists
+	// so epochs just replaced remain inspectable, and stays cheap
+	// because successive snapshots share storage copy-on-write.
+	retainMu sync.Mutex
+	retained []*View
+
+	b *batcher
+
+	readsServed atomic.Uint64
+}
+
+// Create adds a named graph to the catalog. graphJSON, when non-nil, is
+// the JSON wire format accepted by gedlib.LoadGraph; nil creates an
+// empty graph. The new entry starts with an empty rule set and an
+// already-published first view.
+func (c *Catalog) Create(name string, graphJSON []byte) (*GraphEntry, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("serve: invalid graph name %q (want [A-Za-z0-9_.-]{1,128})", name)
+	}
+	// Reserve the name before the load/seed work: a racing duplicate
+	// fails here instead of seeding a throwaway graph through the
+	// shared engine (which could LRU-evict a live tenant's store).
+	c.mu.Lock()
+	_, dup := c.entries[name]
+	if _, mid := c.creating[name]; dup || mid {
+		c.mu.Unlock()
+		return nil, ErrExists
+	}
+	c.creating[name] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.creating, name)
+		c.mu.Unlock()
+	}()
+	g := gedlib.NewGraph()
+	names := newNameTable(nil)
+	if graphJSON != nil {
+		var byName map[string]gedlib.NodeID
+		var err error
+		g, byName, err = gedlib.LoadGraph(graphJSON)
+		if err != nil {
+			return nil, fmt.Errorf("serve: load graph %q: %w", name, err)
+		}
+		names = newNameTable(byName)
+	}
+	ent := &GraphEntry{name: name, cat: c, graph: g, names: names, sigma: gedlib.RuleSet{}}
+	if err := ent.refreshLocked(context.Background()); err != nil {
+		c.eng.Forget(g) // release whatever the failed seed cached
+		return nil, err
+	}
+	ent.b = newBatcher(ent, c.cfg)
+
+	c.mu.Lock()
+	c.entries[name] = ent // the reservation guarantees the slot is free
+	c.mu.Unlock()
+	go ent.b.run()
+	return ent, nil
+}
+
+// Get returns the named entry.
+func (c *Catalog) Get(name string) (*GraphEntry, error) {
+	c.mu.RLock()
+	ent := c.entries[name]
+	c.mu.RUnlock()
+	if ent == nil {
+		return nil, ErrNotFound
+	}
+	return ent, nil
+}
+
+// Names lists the catalog's graph names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	out := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		out = append(out, n)
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a graph: pending writes are flushed, the batcher
+// stops, and the engine's cached state for the graph is released.
+func (c *Catalog) Delete(name string) error {
+	c.mu.Lock()
+	ent := c.entries[name]
+	delete(c.entries, name)
+	c.mu.Unlock()
+	if ent == nil {
+		return ErrNotFound
+	}
+	ent.close()
+	return nil
+}
+
+// Close shuts the whole catalog down, flushing every pending write.
+func (c *Catalog) Close() {
+	c.mu.Lock()
+	ents := make([]*GraphEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		ents = append(ents, e)
+	}
+	c.entries = make(map[string]*GraphEntry)
+	c.mu.Unlock()
+	for _, e := range ents {
+		e.close()
+	}
+}
+
+func (ent *GraphEntry) close() {
+	// Drain the batcher first (its flusher exits only with an empty
+	// queue), then mark the entry closed and forget the engine state
+	// under the entry lock: an in-flight RegisterRules either finished
+	// before the Forget or will observe closed and leave no trace — it
+	// cannot re-seed a cache entry for a graph the catalog dropped.
+	ent.b.close()
+	ent.mu.Lock()
+	ent.closed = true
+	ent.cat.eng.Forget(ent.graph)
+	ent.mu.Unlock()
+}
+
+// Name returns the entry's catalog name.
+func (ent *GraphEntry) Name() string { return ent.name }
+
+// CurrentView returns the latest published view. It never blocks and
+// never observes a partially applied batch.
+func (ent *GraphEntry) CurrentView() *View {
+	ent.readsServed.Add(1)
+	return ent.view.Load()
+}
+
+// RegisterRules replaces the entry's rule set with the rules parsed
+// from the DSL source, runs the seeding validation, and publishes a
+// view carrying the new maintained violation set. It returns the new
+// view.
+func (ent *GraphEntry) RegisterRules(ctx context.Context, src string) (*View, error) {
+	sigma, err := gedlib.ParseRules(src)
+	if err != nil {
+		return nil, err
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.closed {
+		return nil, ErrClosed
+	}
+	old := ent.sigma
+	ent.sigma = sigma
+	if err := ent.refreshLocked(ctx); err != nil {
+		// A failed seed (cancellation mid-validation) must not leave the
+		// rejected rules installed: later flushes would maintain a set
+		// the caller was told did not take effect.
+		ent.sigma = old
+		return nil, err
+	}
+	return ent.view.Load(), nil
+}
+
+// Mutate enqueues ops onto the entry's write batcher and waits for the
+// flush that applies them. The returned result carries the post-flush
+// version/epoch and any per-op errors. A ctx expiry abandons only the
+// wait: the enqueued ops are still applied by a later flush.
+func (ent *GraphEntry) Mutate(ctx context.Context, ops []Op) (WriteResult, error) {
+	return ent.b.enqueue(ctx, ops)
+}
+
+// Chase runs the engine's chase over a point-in-time copy of the graph
+// under the entry's current rules. The copy is taken under a shared
+// lock (the one read that briefly coordinates with flushes — the chase
+// inspects the build-time graph, not the published snapshot).
+func (ent *GraphEntry) Chase(ctx context.Context) (*gedlib.ChaseResult, error) {
+	ent.mu.RLock()
+	clone := ent.graph.Clone()
+	sigma := ent.sigma
+	ent.mu.RUnlock()
+	return ent.cat.eng.Chase(ctx, clone, sigma)
+}
+
+// refreshLocked re-runs Engine.Apply under the entry's current rules
+// and publishes a fresh view. Callers hold ent.mu exclusively (or have
+// sole access during Create).
+func (ent *GraphEntry) refreshLocked(ctx context.Context) error {
+	vs, err := ent.cat.eng.Apply(ctx, ent.graph, ent.sigma)
+	if err != nil {
+		return err
+	}
+	snap := ent.cat.eng.SnapshotOf(ent.graph)
+	ent.publishLocked(snap, vs)
+	return nil
+}
+
+// publishLocked hands a new view to the read path: epoch bump, atomic
+// pointer swap, bounded retention of the predecessors. The prepared
+// validator is rebased from the previous view when the rules did not
+// change, so steady-state publication costs O(|Σ|), not a recompile.
+func (ent *GraphEntry) publishLocked(snap *gedlib.Snapshot, vs []gedlib.Violation) {
+	prev := ent.view.Load()
+	var val *gedlib.Validator
+	if prev != nil && prev.Val != nil && gedlib.SameRules(prev.Rules, ent.sigma) {
+		val = prev.Val.Rebase(snap)
+	} else {
+		val = gedlib.NewSnapshotValidator(snap, ent.sigma)
+	}
+	v := &View{
+		Epoch:      ent.epoch.Add(1),
+		Version:    snap.SourceVersion(),
+		Snap:       snap,
+		Val:        val,
+		Violations: vs,
+		Names:      ent.names,
+		Rules:      ent.sigma,
+	}
+	ent.view.Store(v)
+
+	ent.retainMu.Lock()
+	ent.retained = append(ent.retained, v)
+	if n := ent.cat.cfg.RetainViews; len(ent.retained) > n {
+		ent.retained = append(ent.retained[:0:0], ent.retained[len(ent.retained)-n:]...)
+	}
+	ent.retainMu.Unlock()
+}
+
+// validName accepts names every /graphs/{name}/... route can address:
+// the HTTP mux's {name} wildcard matches exactly one path segment, so a
+// name containing '/' (or other URL-significant bytes) would create a
+// tenant no request could ever reach again.
+func validName(name string) bool {
+	if len(name) == 0 || len(name) > 128 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// flushBatch applies one merged batch: every op of every request is
+// applied to the mutable graph, then a single Engine.Apply advances the
+// snapshot and the maintained violation set in O(|Δ|), and one view is
+// published covering the whole batch. Requests are completed after the
+// view lands, so a returned write is visible to subsequent reads.
+func (ent *GraphEntry) flushBatch(reqs []*writeReq) {
+	ent.mu.Lock()
+	nb := &nameBuilder{cur: ent.names}
+	for _, req := range reqs {
+		req.res.Applied = 0
+		for i := range req.ops {
+			if err := applyOp(ent.graph, nb, req.ops[i]); err != nil {
+				req.res.OpErrors = append(req.res.OpErrors, OpError{Index: i, Message: err.Error()})
+				continue
+			}
+			req.res.Applied++
+		}
+	}
+	ent.names = nb.table()
+	vs, err := ent.cat.eng.Apply(context.Background(), ent.graph, ent.sigma)
+	if err == nil {
+		snap := ent.cat.eng.SnapshotOf(ent.graph)
+		ent.publishLocked(snap, vs)
+	}
+	view := ent.view.Load()
+	ent.mu.Unlock()
+
+	for _, req := range reqs {
+		if err != nil {
+			req.res.Err = fmt.Errorf("%w: %v", ErrFlush, err)
+		}
+		if view != nil {
+			req.res.Version, req.res.Epoch = view.Version, view.Epoch
+		}
+		req.done <- req.res
+	}
+}
+
+// Stats reports the entry's serving statistics.
+func (ent *GraphEntry) Stats() EntryStats {
+	view := ent.view.Load()
+	ent.retainMu.Lock()
+	retained := len(ent.retained)
+	ent.retainMu.Unlock()
+	s := ent.b.stats()
+	s.Name = ent.name
+	s.ReadsServed = ent.readsServed.Load()
+	s.RetainedViews = retained
+	if view != nil {
+		s.Epoch = view.Epoch
+		s.Version = view.Version
+		s.Nodes = view.Snap.NumNodes()
+		s.Edges = view.Snap.NumEdges()
+		s.Rules = len(view.Rules)
+		s.Violations = len(view.Violations)
+	}
+	return s
+}

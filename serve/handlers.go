@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gedlib"
+)
+
+// Server is the HTTP front of a catalog: JSON handlers with per-request
+// contexts, admission control, and a /statsz endpoint. Build one with
+// NewServer and mount Handler() on any http.Server; Close flushes every
+// pending write.
+type Server struct {
+	cat     *Catalog
+	adm     *admission
+	handler http.Handler
+}
+
+// NewServer returns a server over a fresh catalog configured by cfg.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cat: NewCatalog(cfg), adm: newAdmission(cfg.MaxInFlight)}
+
+	api := http.NewServeMux()
+	api.HandleFunc("GET /graphs", s.handleList)
+	api.HandleFunc("POST /graphs", s.handleCreate)
+	api.HandleFunc("DELETE /graphs/{name}", s.handleDelete)
+	api.HandleFunc("POST /graphs/{name}/rules", s.handleRules)
+	api.HandleFunc("POST /graphs/{name}/mutate", s.handleMutate)
+	api.HandleFunc("GET /graphs/{name}/violations", s.handleViolations)
+	api.HandleFunc("POST /graphs/{name}/validate", s.handleValidate)
+	api.HandleFunc("POST /graphs/{name}/chase", s.handleChase)
+	api.HandleFunc("GET /graphs/{name}/stats", s.handleEntryStats)
+
+	// Health and stats bypass admission control: they must answer even
+	// (especially) when the server is shedding load.
+	root := http.NewServeMux()
+	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.HandleFunc("GET /statsz", s.handleStatsz)
+	root.Handle("/", s.adm.wrap(withTimeout(cfg.RequestTimeout, api)))
+	s.handler = root
+	return s
+}
+
+// Catalog exposes the server's catalog (the daemon preloads through
+// it; tests inspect it).
+func (s *Server) Catalog() *Catalog { return s.cat }
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Close flushes and stops every graph's batcher.
+func (s *Server) Close() { s.cat.Close() }
+
+// ---- plumbing ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// fail maps catalog/batcher errors onto status codes.
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrExists):
+		httpError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrTooManyOps):
+		httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusGone, err.Error())
+	case errors.Is(err, ErrFlush):
+		httpError(w, http.StatusInternalServerError, err.Error())
+	case gedlib.IsCancellation(err):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) entry(w http.ResponseWriter, r *http.Request) (*GraphEntry, bool) {
+	ent, err := s.cat.Get(r.PathValue("name"))
+	if err != nil {
+		fail(w, err)
+		return nil, false
+	}
+	return ent, true
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return nil, false
+	}
+	return data, true
+}
+
+func withTimeout(d time.Duration, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	if s := r.URL.Query().Get(key); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// violationJSON renders one violation with wire-format node ids.
+type violationJSON struct {
+	Rule    string            `json:"rule"`
+	Match   map[string]string `json:"match"`
+	Literal string            `json:"literal"`
+}
+
+func renderViolations(view *View, vs []gedlib.Violation) []violationJSON {
+	out := make([]violationJSON, len(vs))
+	for i, v := range vs {
+		m := make(map[string]string, len(v.Match))
+		for x, id := range v.Match {
+			m[string(x)] = view.Names.NameOf(id)
+		}
+		out[i] = violationJSON{Rule: v.GED.Name, Match: m, Literal: v.Literal.String()}
+	}
+	return out
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	entries := s.cat.Stats()
+	writeJSON(w, http.StatusOK, ServerStats{
+		Graphs:             len(entries),
+		EngineCachedGraphs: s.cat.Engine().CachedGraphs(),
+		InFlight:           s.adm.inFlight(),
+		Admitted:           s.adm.admitted.Load(),
+		RejectedRequests:   s.adm.rejected.Load(),
+		Entries:            entries,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.cat.Names()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	body, ok := readBody(w, r, 64<<20)
+	if !ok {
+		return
+	}
+	var graphJSON []byte
+	if len(body) > 0 {
+		graphJSON = body
+	}
+	ent, err := s.cat.Create(name, graphJSON)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	view := ent.CurrentView()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":  ent.Name(),
+		"nodes": view.Snap.NumNodes(),
+		"edges": view.Snap.NumEdges(),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.cat.Delete(r.PathValue("name")); err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	body, ok := readBody(w, r, 4<<20)
+	if !ok {
+		return
+	}
+	view, err := ent.RegisterRules(r.Context(), string(body))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rules":      len(view.Rules),
+		"violations": len(view.Violations),
+		"epoch":      view.Epoch,
+	})
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	body, ok := readBody(w, r, 4<<20)
+	if !ok {
+		return
+	}
+	var req struct {
+		Ops []Op `json:"ops"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad mutate body: "+err.Error())
+		return
+	}
+	if len(req.Ops) == 0 {
+		httpError(w, http.StatusBadRequest, "no ops")
+		return
+	}
+	res, err := ent.Mutate(r.Context(), req.Ops)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	view := ent.CurrentView()
+	vs := view.Violations
+	total := len(vs)
+	offset := queryInt(r, "offset", 0)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	vs = vs[offset:]
+	if limit := queryInt(r, "limit", 100); limit >= 0 && len(vs) > limit {
+		vs = vs[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":      total,
+		"epoch":      view.Epoch,
+		"version":    view.Version,
+		"violations": renderViolations(view, vs),
+	})
+}
+
+// handleValidate re-validates the neighborhoods of the requested nodes
+// against the latest view — the "is this region clean right now" read.
+// With no nodes it reports whether the whole graph currently satisfies
+// its rules (from the maintained set, O(1)).
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	body, ok := readBody(w, r, 1<<20)
+	if !ok {
+		return
+	}
+	var req struct {
+		Nodes []string `json:"nodes"`
+		Limit int      `json:"limit"`
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad validate body: "+err.Error())
+			return
+		}
+	}
+	view := ent.CurrentView()
+	if len(req.Nodes) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"satisfies": len(view.Violations) == 0,
+			"epoch":     view.Epoch,
+		})
+		return
+	}
+	ids := make([]gedlib.NodeID, 0, len(req.Nodes))
+	for _, n := range req.Nodes {
+		id, ok := view.Names.Resolve(n)
+		if !ok {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown node %q", n))
+			return
+		}
+		ids = append(ids, id)
+	}
+	vs, err := view.Val.TouchingCtx(r.Context(), ids, req.Limit)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":      view.Epoch,
+		"count":      len(vs),
+		"violations": renderViolations(view, vs),
+	})
+}
+
+func (s *Server) handleChase(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	res, err := ent.Chase(r.Context())
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	out := map[string]any{
+		"consistent": res.Consistent(),
+		"steps":      len(res.Steps),
+	}
+	if res.Consistent() {
+		m := res.Materialize()
+		out["nodes"], out["edges"] = m.NumNodes(), m.NumEdges()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEntryStats(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, ent.Stats())
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gedlib"
+	"gedlib/workload"
+)
+
+// canonViolations renders a violation set order-independently (the
+// bindings are sorted by variable so rule sets built programmatically
+// and parsed from the DSL compare equal).
+func canonViolations(vs []gedlib.Violation) []string {
+	out := make([]string, 0, len(vs))
+	for _, v := range vs {
+		parts := make([]string, 0, len(v.Match))
+		for _, x := range v.GED.Pattern.Vars() {
+			parts = append(parts, fmt.Sprintf("%s=%d", x, v.Match[x]))
+		}
+		sort.Strings(parts)
+		out = append(out, v.GED.Name+":"+strings.Join(parts, ":"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestConcurrentReadWriteOracle hammers one catalog entry with parallel
+// mutators and parallel validators (run under -race in CI) and checks
+// two equivalences:
+//
+//   - per view, online: the maintained violation set a reader is handed
+//     must equal a from-scratch recomputation over that same immutable
+//     snapshot (the incremental pipeline cannot drift from the direct
+//     one);
+//   - at quiesce, against a serial oracle: the final published set must
+//     equal what a fresh engine computes over the final graph.
+func TestConcurrentReadWriteOracle(t *testing.T) {
+	g, _ := workload.KnowledgeBase(17, 50, 0.2)
+	data, err := gedlib.MarshalGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(Config{MaxDelay: time.Millisecond, FlushOps: 16})
+	defer cat.Close()
+	ent, err := cat.Create("kb", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := gedlib.RuleSet{
+		workload.PaperPhi1(), workload.PaperPhi2(),
+		workload.PaperPhi3(), workload.PaperPhi4(),
+	}
+	if _, err := ent.RegisterRules(context.Background(), gedlib.FormatRules(sigma)); err != nil {
+		t.Fatal(err)
+	}
+	numNodes := ent.CurrentView().Snap.NumNodes()
+
+	const (
+		writers         = 4
+		writesPerWriter = 25
+		readers         = 4
+		readsPerReader  = 40
+		opsPerWrite     = 3
+	)
+	types := []string{"programmer", "psychologist", "video game"}
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	ctx := context.Background()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < writesPerWriter; i++ {
+				ops := make([]Op, 0, opsPerWrite)
+				for k := 0; k < opsPerWrite; k++ {
+					node := fmt.Sprintf("n%d", rng.Intn(numNodes))
+					switch rng.Intn(3) {
+					case 0:
+						ops = append(ops, Op{Op: "set_attr", ID: node, Attr: "type", Value: types[rng.Intn(len(types))]})
+					case 1:
+						ops = append(ops, Op{Op: "set_attr", ID: node, Attr: "name", Value: fmt.Sprintf("renamed%d-%d", w, i)})
+					default:
+						dst := fmt.Sprintf("n%d", rng.Intn(numNodes))
+						ops = append(ops, Op{Op: "add_edge", Src: node, Label: "create", Dst: dst})
+					}
+				}
+				res, err := ent.Mutate(ctx, ops)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					failed.Store(true)
+					return
+				}
+				if res.Applied != len(ops) {
+					t.Errorf("writer %d: applied %d/%d ops: %v", w, res.Applied, len(ops), res.OpErrors)
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastEpoch uint64
+			for i := 0; i < readsPerReader; i++ {
+				view := ent.CurrentView()
+				if view.Epoch < lastEpoch {
+					t.Errorf("reader %d: epoch went backwards %d -> %d", r, lastEpoch, view.Epoch)
+					failed.Store(true)
+					return
+				}
+				lastEpoch = view.Epoch
+				// Recompute over the same immutable snapshot: must match
+				// the maintained set exactly.
+				direct, err := view.Val.RunCtx(ctx, 0)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					failed.Store(true)
+					return
+				}
+				a, b := canonViolations(view.Violations), canonViolations(direct)
+				if len(a) != len(b) {
+					t.Errorf("reader %d epoch %d: maintained %d violations, direct %d", r, view.Epoch, len(a), len(b))
+					failed.Store(true)
+					return
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Errorf("reader %d epoch %d: sets differ at %d: %s vs %s", r, view.Epoch, j, a[j], b[j])
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	if failed.Load() {
+		return
+	}
+
+	// Quiesce: drain any pending window, then compare the published set
+	// against a completely fresh engine over the final graph (the
+	// serial oracle — no shared caches, no incremental state).
+	if _, err := ent.Mutate(ctx, []Op{{Op: "set_attr", ID: "n0", Attr: "name", Value: "quiesce"}}); err != nil {
+		t.Fatal(err)
+	}
+	view := ent.CurrentView()
+	ent.mu.RLock()
+	oracle, err := gedlib.New().Validate(ctx, ent.graph, sigma)
+	version := ent.graph.Version()
+	ent.mu.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Version != version {
+		t.Fatalf("final view at version %d, graph at %d", view.Version, version)
+	}
+	a, b := canonViolations(view.Violations), canonViolations(oracle)
+	if len(a) != len(b) {
+		t.Fatalf("final maintained set has %d violations, serial oracle %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("final sets differ at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestConcurrentMultiTenant: parallel traffic across several catalog
+// entries sharing one engine (the LRU-bounded cache) stays correct per
+// tenant.
+func TestConcurrentMultiTenant(t *testing.T) {
+	cat := NewCatalog(Config{MaxDelay: time.Millisecond, GraphCacheBound: 2})
+	defer cat.Close()
+	sigma := gedlib.RuleSet{workload.PaperPhi1()}
+	src := gedlib.FormatRules(sigma)
+
+	const tenants = 5
+	ents := make([]*GraphEntry, tenants)
+	sizes := make([]int, tenants)
+	for i := range ents {
+		g, _ := workload.KnowledgeBase(int64(20+i), 25, 0.2)
+		data, err := gedlib.MarshalGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ent, err := cat.Create(fmt.Sprintf("t%d", i), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ent.RegisterRules(context.Background(), src); err != nil {
+			t.Fatal(err)
+		}
+		ents[i] = ent
+		sizes[i] = ent.CurrentView().Snap.NumNodes()
+	}
+
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for i, ent := range ents {
+		wg.Add(1)
+		go func(i int, ent *GraphEntry) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for k := 0; k < 15; k++ {
+				node := fmt.Sprintf("n%d", rng.Intn(sizes[i]))
+				if _, err := ent.Mutate(ctx, []Op{
+					{Op: "set_attr", ID: node, Attr: "type", Value: "programmer"},
+				}); err != nil {
+					t.Errorf("tenant %d: %v", i, err)
+					return
+				}
+				view := ent.CurrentView()
+				direct, err := view.Val.RunCtx(ctx, 0)
+				if err != nil {
+					t.Errorf("tenant %d: %v", i, err)
+					return
+				}
+				if len(direct) != len(view.Violations) {
+					t.Errorf("tenant %d: maintained %d, direct %d", i, len(view.Violations), len(direct))
+					return
+				}
+			}
+		}(i, ent)
+	}
+	wg.Wait()
+
+	if n := cat.Engine().CachedGraphs(); n > 2 {
+		t.Fatalf("engine cache holds %d graphs, bound 2", n)
+	}
+}

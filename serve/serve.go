@@ -1,0 +1,130 @@
+// Package serve is the multi-tenant serving subsystem over the gedlib
+// engine: a long-running catalog of named property graphs, each with a
+// registered rule set, a perpetually maintained violation set, and an
+// HTTP+JSON API for mutating the graphs and querying dependency state
+// under heavy concurrent traffic.
+//
+// The design separates a lock-free read path from a coalescing write
+// path:
+//
+//   - Reads (violation listings, targeted re-validation, stats) run
+//     against an immutable View — the latest published (snapshot,
+//     prepared validator, violation set, name table) — loaded from an
+//     atomic pointer. Readers never take the graph lock and never block
+//     writers; an in-flight reader keeps working against the view it
+//     loaded even as successors land (its own reference keeps the view
+//     alive). A small bounded history of recent views is additionally
+//     retained for observability — delta-advanced snapshots share
+//     their storage copy-on-write, so the history costs O(recent Δs),
+//     not full copies.
+//   - Writes enqueue onto a per-graph coalescing batcher: a bounded
+//     queue flushed when it reaches FlushOps operations or when
+//     MaxDelay elapses, whichever is first. One flush applies the
+//     merged batch to the mutable graph and runs a single Engine.Apply,
+//     so the snapshot and the maintained violation set advance in
+//     O(|Δ|) once per batch rather than once per request. A full queue
+//     pushes back (ErrQueueFull → HTTP 429) instead of buffering
+//     unboundedly.
+//
+// Consistency model: a write is durable and visible to every subsequent
+// read once its request returns — the mutation call waits for the flush
+// that contains it. Reads see the state as of the last flushed batch;
+// they are never dirty (a view is only published after Engine.Apply
+// committed the whole batch) and never torn (views are immutable).
+//
+// Command gedserve is a thin daemon over this package; `gedbench
+// -experiment serve` drives it with a Zipfian multi-tenant load.
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"gedlib"
+)
+
+// Errors surfaced by the catalog and batcher; the HTTP layer maps them
+// to status codes (404, 409, 429, 503).
+var (
+	ErrNotFound  = errors.New("serve: no such graph")
+	ErrExists    = errors.New("serve: graph already exists")
+	ErrQueueFull = errors.New("serve: write queue full")
+	// ErrTooManyOps rejects a single write request larger than the
+	// whole queue bound — unlike ErrQueueFull it can never succeed on
+	// retry (HTTP 413, not 429).
+	ErrTooManyOps = errors.New("serve: request exceeds the write queue bound")
+	ErrClosed     = errors.New("serve: graph closed")
+	// ErrFlush wraps a server-side failure of the flush that carried a
+	// write (HTTP 500 — the fault is the server's, not the request's).
+	ErrFlush = errors.New("serve: flush failed")
+)
+
+// Config tunes a Server. The zero value selects every default.
+type Config struct {
+	// Workers is the engine's validation parallelism (WithWorkers).
+	Workers int
+	// GraphCacheBound bounds the engine's per-graph cached state
+	// (WithGraphCacheBound); 0 selects the engine default.
+	GraphCacheBound int
+	// ChaseDepth bounds chase requests (WithChaseDepth); 0 = unbounded.
+	ChaseDepth int
+
+	// FlushOps flushes a graph's write queue once this many operations
+	// are pending. Default 128.
+	FlushOps int
+	// MaxDelay flushes a non-empty write queue after this long even if
+	// FlushOps was not reached. Default 2ms.
+	MaxDelay time.Duration
+	// MaxQueueOps bounds a graph's pending write queue; an enqueue that
+	// would exceed it fails with ErrQueueFull. Default 4096.
+	MaxQueueOps int
+
+	// MaxInFlight bounds concurrently admitted HTTP requests; excess
+	// requests are rejected with 503 rather than queued. Default 256.
+	MaxInFlight int
+	// RequestTimeout bounds each admitted request's context. Default 30s.
+	RequestTimeout time.Duration
+
+	// RetainViews is how many recently published views each graph keeps
+	// referenced beyond the latest (an observability history; readers
+	// keep their own views alive regardless). Default 4.
+	RetainViews int
+}
+
+// withDefaults fills in the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.FlushOps <= 0 {
+		c.FlushOps = 128
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.MaxQueueOps <= 0 {
+		c.MaxQueueOps = 4096
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetainViews <= 0 {
+		c.RetainViews = 4
+	}
+	return c
+}
+
+// engine builds the configured engine.
+func (c Config) engine() *gedlib.Engine {
+	opts := []gedlib.Option{}
+	if c.Workers != 0 {
+		opts = append(opts, gedlib.WithWorkers(c.Workers))
+	}
+	if c.GraphCacheBound != 0 {
+		opts = append(opts, gedlib.WithGraphCacheBound(c.GraphCacheBound))
+	}
+	if c.ChaseDepth != 0 {
+		opts = append(opts, gedlib.WithChaseDepth(c.ChaseDepth))
+	}
+	return gedlib.New(opts...)
+}

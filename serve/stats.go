@@ -1,0 +1,57 @@
+package serve
+
+// EntryStats is one graph's serving statistics, as reported by
+// GET /graphs/{name}/stats and aggregated under /statsz.
+type EntryStats struct {
+	Name string `json:"name"`
+
+	// Graph state as of the latest published view.
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Version    uint64 `json:"version"`
+	Epoch      uint64 `json:"epoch"`
+	Rules      int    `json:"rules"`
+	Violations int    `json:"violations"`
+
+	// Read path.
+	ReadsServed   uint64 `json:"reads_served"`
+	RetainedViews int    `json:"retained_views"`
+
+	// Write path: coalescing visibility. AvgBatchOps > 1 means flushes
+	// are merging concurrent writes.
+	QueueOps       int     `json:"queue_ops"`
+	Flushes        uint64  `json:"flushes"`
+	FlushedOps     uint64  `json:"flushed_ops"`
+	FlushedReqs    uint64  `json:"flushed_reqs"`
+	RejectedWrites uint64  `json:"rejected_writes"`
+	MaxBatchOps    uint64  `json:"max_batch_ops"`
+	AvgBatchOps    float64 `json:"avg_batch_ops"`
+	AvgBatchReqs   float64 `json:"avg_batch_reqs"`
+}
+
+// ServerStats is the /statsz payload.
+type ServerStats struct {
+	Graphs int `json:"graphs"`
+	// EngineCachedGraphs is how many graphs the shared engine currently
+	// retains cached state for (bounded by its LRU).
+	EngineCachedGraphs int `json:"engine_cached_graphs"`
+
+	// Admission control.
+	InFlight         int    `json:"in_flight"`
+	Admitted         uint64 `json:"admitted"`
+	RejectedRequests uint64 `json:"rejected_requests"`
+
+	Entries []EntryStats `json:"entries"`
+}
+
+// Stats aggregates every entry's statistics.
+func (c *Catalog) Stats() []EntryStats {
+	names := c.Names()
+	out := make([]EntryStats, 0, len(names))
+	for _, n := range names {
+		if ent, err := c.Get(n); err == nil {
+			out = append(out, ent.Stats())
+		}
+	}
+	return out
+}

@@ -238,6 +238,15 @@ type Validator = reason.Validator
 // attribute indexes so selective antecedent literals pivot the search.
 func NewValidator(g *Graph, sigma RuleSet) *Validator { return reason.NewValidator(g, sigma) }
 
+// NewSnapshotValidator prepares a validator over an existing immutable
+// snapshot, sharing it instead of re-freezing. This is the read-path
+// building block of a serving layer: the validator is safe for
+// concurrent use, never touches the mutable graph, and Rebase follows a
+// delta-advanced snapshot at the cost of the rule set.
+func NewSnapshotValidator(snap *Snapshot, sigma RuleSet) *Validator {
+	return reason.NewValidatorOn(snap, sigma)
+}
+
 // ---- convenience decision shortcuts (context-free) ----
 
 // Satisfies reports g ⊨ Σ. For cancellation and parallelism use

@@ -1,0 +1,118 @@
+package workload
+
+import "math/rand"
+
+// ServeOp discriminates the request classes of the serving workload.
+type ServeOp uint8
+
+const (
+	// OpListViolations reads the maintained violation set of a graph.
+	OpListViolations ServeOp = iota
+	// OpValidateNodes re-validates the neighborhood of specific nodes
+	// against the latest snapshot.
+	OpValidateNodes
+	// OpStats reads a graph's serving statistics.
+	OpStats
+	// OpMutate applies a small batch of mutations (attribute writes and
+	// edge inserts) to a graph.
+	OpMutate
+)
+
+// ServeRequest is one request of the generated mix: which tenant graph
+// it targets, what it does, and which (hot-skewed) nodes it touches.
+type ServeRequest struct {
+	// Graph indexes the tenant graph, 0 being the hottest.
+	Graph int
+	// Op is the request class.
+	Op ServeOp
+	// Nodes are the hot-skewed node indexes the request touches:
+	// validation targets for OpValidateNodes, mutation targets for
+	// OpMutate (one mutation per node). Nil for the other classes.
+	Nodes []int
+	// AttrWrite reports, per mutation target, whether to write an
+	// attribute (true) or insert an edge (false). Parallel to Nodes.
+	AttrWrite []bool
+}
+
+// IsRead reports whether the request only reads serving state.
+func (r ServeRequest) IsRead() bool { return r.Op != OpMutate }
+
+// ServeMix generates the request stream of the serving benchmark: a
+// Zipfian-skewed multi-tenant mix in which a few graphs are hot and,
+// within each graph, a few nodes absorb most of the traffic (the
+// hot-key shape a production catalog sees). The read fraction splits
+// the remainder between violation listing, targeted validation and
+// stats reads. Everything is deterministic in the seed; each concurrent
+// client should own its own ServeMix (the generator is not
+// goroutine-safe) seeded distinctly.
+type ServeMix struct {
+	rng       *rand.Rand
+	graphZipf *rand.Zipf
+	nodeZipf  *rand.Zipf
+	readFrac  float64
+	graphs    int
+}
+
+// NewServeMix returns a generator over `graphs` tenant graphs of
+// `nodes` nodes each. readFrac in [0,1] is the fraction of read
+// requests (0.9 gives the 90/10 mix); skew > 1 is the Zipf exponent for
+// both the graph and node choice (1.2 is a gentle production-like skew,
+// larger is hotter).
+func NewServeMix(seed int64, graphs, nodes int, readFrac, skew float64) *ServeMix {
+	if graphs < 1 {
+		graphs = 1
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	if skew <= 1 {
+		skew = 1.2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ServeMix{
+		rng:       rng,
+		graphZipf: rand.NewZipf(rng, skew, 1, uint64(graphs-1)),
+		nodeZipf:  rand.NewZipf(rng, skew, 1, uint64(nodes-1)),
+		readFrac:  readFrac,
+		graphs:    graphs,
+	}
+}
+
+// Next returns the next request of the stream.
+func (m *ServeMix) Next() ServeRequest {
+	req := ServeRequest{Graph: int(m.graphZipf.Uint64())}
+	if m.rng.Float64() < m.readFrac {
+		// Reads: mostly violation listings, a targeted validation of a
+		// hot neighborhood for one in three, an occasional stats probe.
+		switch m.rng.Intn(6) {
+		case 0, 1, 2:
+			req.Op = OpListViolations
+		case 3, 4:
+			req.Op = OpValidateNodes
+			req.Nodes = m.hotNodes(1 + m.rng.Intn(3))
+		default:
+			req.Op = OpStats
+		}
+		return req
+	}
+	// Writes: 1–3 mutations, each an attribute write or an edge insert
+	// on a hot node. Bursty writes to the same hot graph are what the
+	// coalescing batcher is for.
+	req.Op = OpMutate
+	req.Nodes = m.hotNodes(1 + m.rng.Intn(3))
+	req.AttrWrite = make([]bool, len(req.Nodes))
+	for i := range req.AttrWrite {
+		req.AttrWrite[i] = m.rng.Intn(3) != 0
+	}
+	return req
+}
+
+// hotNodes draws n Zipf-skewed node indexes (duplicates possible —
+// traffic really does hammer the same node twice).
+func (m *ServeMix) hotNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(m.nodeZipf.Uint64())
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package workload
+
+import "testing"
+
+// TestServeMixDeterministicAndSkewed: same seed, same stream; the mix
+// honors the read fraction roughly and node 0 is the hottest key.
+func TestServeMixDeterministicAndSkewed(t *testing.T) {
+	a := NewServeMix(7, 4, 100, 0.9, 1.2)
+	b := NewServeMix(7, 4, 100, 0.9, 1.2)
+	const n = 5000
+	reads := 0
+	nodeHits := make(map[int]int)
+	for i := 0; i < n; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra.Graph != rb.Graph || ra.Op != rb.Op || len(ra.Nodes) != len(rb.Nodes) {
+			t.Fatalf("streams diverged at %d: %+v vs %+v", i, ra, rb)
+		}
+		if ra.Graph < 0 || ra.Graph >= 4 {
+			t.Fatalf("graph index %d out of range", ra.Graph)
+		}
+		if ra.IsRead() {
+			reads++
+		}
+		for _, nd := range ra.Nodes {
+			if nd < 0 || nd >= 100 {
+				t.Fatalf("node index %d out of range", nd)
+			}
+			nodeHits[nd]++
+		}
+		if ra.Op == OpMutate && len(ra.AttrWrite) != len(ra.Nodes) {
+			t.Fatalf("AttrWrite not parallel to Nodes: %+v", ra)
+		}
+	}
+	if frac := float64(reads) / n; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("read fraction %.3f, want ~0.9", frac)
+	}
+	best, bestHits := -1, -1
+	for nd, c := range nodeHits {
+		if c > bestHits {
+			best, bestHits = nd, c
+		}
+	}
+	if best != 0 {
+		t.Fatalf("hottest node is %d (%d hits), want 0", best, bestHits)
+	}
+}
