@@ -37,6 +37,26 @@ func GFDxSatConstant(sizes []int) []ScalingPoint { return bench.GFDxSatConstant(
 // WriteScaling renders a scaling series as an aligned table.
 func WriteScaling(w io.Writer, name string, pts []ScalingPoint) { bench.WriteScaling(w, name, pts) }
 
+// MatchPoint is one measurement of the match-enumeration comparison:
+// the legacy scan-and-probe extension step versus worst-case-optimal
+// sorted-run intersection with pushed-down literal postings.
+type MatchPoint = bench.MatchPoint
+
+// MatchEnumeration measures both extension strategies on the
+// triangle/diamond-heavy and selective-literal knowledge-base
+// scenarios; quick shrinks the instance for CI.
+func MatchEnumeration(quick bool) []MatchPoint { return bench.MatchEnumeration(quick) }
+
+// MatchScenarioSpeedup returns the median per-point speedup of one
+// scenario ("dense" or "selective").
+func MatchScenarioSpeedup(pts []MatchPoint, scenario string) float64 {
+	return bench.ScenarioSpeedup(pts, scenario)
+}
+
+// WriteMatch renders the match-enumeration comparison as an aligned
+// table.
+func WriteMatch(w io.Writer, pts []MatchPoint) { bench.WriteMatch(w, pts) }
+
 // ComparisonPoint is one measurement of the storage-model comparison:
 // validation over the mutable map-backed graph versus the frozen CSR
 // snapshot.

@@ -4,6 +4,7 @@
 //	gedbench -experiment table1 -full      # include the slowest instances
 //	gedbench -experiment scaling           # Section 5.3 tractable case + O(1) row
 //	gedbench -experiment validate          # snapshot vs map storage comparison
+//	gedbench -experiment match             # probe vs worst-case-optimal enumeration
 //	gedbench -experiment incremental       # Engine.Apply vs full re-validation
 //	gedbench -experiment chase             # delta-maintained vs refreeze chase
 //	gedbench -experiment serve             # serving-subsystem load (64 clients, 90/10)
@@ -36,7 +37,7 @@ var emitJSON bool
 
 // experiments names every known experiment, in `all` execution order;
 // "all" itself and the usage text derive from it.
-var experiments = []string{"table1", "scaling", "validate", "incremental", "chase", "serve"}
+var experiments = []string{"table1", "scaling", "validate", "match", "incremental", "chase", "serve"}
 
 func main() {
 	experiment := flag.String("experiment", "table1",
@@ -69,6 +70,8 @@ func main() {
 			scaling()
 		case "validate":
 			validate()
+		case "match":
+			matchExperiment(*quick)
 		case "incremental":
 			incremental(*quick)
 		case "chase":
@@ -187,6 +190,31 @@ func serveExperiment(quick bool) {
 	if !quick && res.AvgBatchOps <= 1 {
 		fmt.Fprintln(os.Stderr, "gedbench: serve: write coalescing not visible (avg batch <= 1 op)")
 		os.Exit(1)
+	}
+}
+
+func matchExperiment(quick bool) {
+	fmt.Println("Match enumeration: scan-and-probe baseline vs worst-case-optimal")
+	fmt.Println("sorted-run intersection + constant-literal pushdown (same match sets)")
+	fmt.Println()
+	pts := bench.MatchEnumeration(quick)
+	bench.WriteMatch(os.Stdout, pts)
+	dense := bench.MatchScenarioSpeedup(pts, "dense")
+	selective := bench.MatchScenarioSpeedup(pts, "selective")
+	writeJSON("match", struct {
+		Points           []bench.MatchPoint `json:"points"`
+		DenseSpeedup     float64            `json:"dense_speedup_median"`
+		SelectiveSpeedup float64            `json:"selective_speedup_median"`
+	}{pts, dense, selective})
+	if !quick {
+		if dense < 2 {
+			fmt.Fprintf(os.Stderr, "gedbench: match: dense-scenario speedup %.2fx below 2x\n", dense)
+			os.Exit(1)
+		}
+		if selective < 3 {
+			fmt.Fprintf(os.Stderr, "gedbench: match: selective-scenario speedup %.2fx below 3x\n", selective)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -20,6 +20,13 @@
 //	GET    /statsz                 server-wide stats (bypasses admission)
 //	GET    /healthz                liveness (bypasses admission)
 //
+// With -pprof, the net/http/pprof debug endpoints are additionally
+// served under /debug/pprof/ (bypassing admission control), so
+// serving-path matcher profiles can be captured in situ:
+//
+//	gedserve -addr :8080 -pprof
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//
 // Consistency model: a write is visible to every subsequent read once
 // its mutate request returns; reads see the state as of the last
 // flushed batch. See package gedlib/serve.
@@ -30,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -62,6 +70,7 @@ func main() {
 	maxQueue := flag.Int("queue", 0, "max pending write ops per graph (0 = default)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently admitted requests (0 = default)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request context timeout (0 = default)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling the serving-path matcher in situ)")
 	flag.Var(&loads, "load", "preload a graph: name=graph.json (repeatable)")
 	flag.Var(&rules, "rules", "preregister rules: name=rules.ged (repeatable)")
 	flag.Parse()
@@ -107,7 +116,24 @@ func main() {
 		fmt.Printf("gedserve: %s: %d rules, %d violations\n", name, len(view.Rules), len(view.Violations))
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Debug endpoints ride next to the API, bypassing its admission
+		// control: a profile of an overloaded server is exactly when you
+		// want them reachable. Guarded by the flag so production
+		// deployments opt in explicitly.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Printf("gedserve: pprof enabled at %s/debug/pprof/\n", *addr)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
 	fmt.Printf("gedserve: serving on %s\n", *addr)

@@ -68,6 +68,27 @@
 // graph; the chase similarly maintains one live coercion snapshot
 // across its fixpoint rounds instead of re-freezing per round.
 //
+// # Match enumeration
+//
+// On snapshot hosts the matcher's extension step is worst-case-optimal:
+// binding a variable with several already-bound pattern-neighbors
+// leapfrog-intersects their sorted CSR adjacency runs (with galloping
+// seeks), so only candidates satisfying every incident concrete-labeled
+// edge are ever enumerated — the decisive case on cyclic patterns; with
+// one bound neighbor the smallest eligible run drives and residual
+// constraints are probed per candidate (the mutable-graph host mirrors
+// the min-length selection). Constant antecedent literals (x.A = c) are
+// pushed down into compiled plans: they resolve to the snapshot's
+// (attr, value) posting lists, join the candidate intersection, and
+// their postings stay valid across Snapshot.Apply, maintained lazily
+// per posting actually read. Variable literals, id literals and
+// consequent literals are not pushable and remain post-match checks.
+// Plan costing counts literal postings toward a variable's candidate
+// estimate and orders the search toward intersection-tight variables.
+// The pre-intersection scan-and-probe path survives as the measured
+// baseline (gedbench -experiment match) and the differential-test
+// oracle.
+//
 // # Serving
 //
 // The serve subpackage (daemon: cmd/gedserve) turns the library into a

@@ -78,6 +78,16 @@ func (lc *liveCoercion) find(c graph.NodeID) graph.NodeID {
 func (lc *liveCoercion) isCarrier(c graph.NodeID) bool { return lc.parent[c] == c }
 
 // plan returns the compiled (and delta-rebound) match plan for Σ[gi].
+//
+// Chase plans pick up the matcher's intersection-based extension step
+// (multi-way sorted-run intersection over the coercion snapshot's CSR
+// runs) but deliberately push NO constant literals down: the chase
+// evaluates literals against the equivalence relation Eq — where
+// attribute values are *bound by chase steps*, not stored on the
+// coercion graph, whose nodes start attribute-free — so the snapshot's
+// value postings do not describe what X-literal satisfaction means
+// here. Enforce's compiled-literal check is the single source of truth
+// for that.
 func (lc *liveCoercion) plan(gi int) *pattern.Plan {
 	if lc.plans[gi] == nil {
 		lc.plans[gi] = pattern.Compile(lc.sigma[gi].Pattern, lc.snap)

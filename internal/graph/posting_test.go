@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// attrValueDomain is the (attr, value) space applyRandomOps draws from,
+// plus ghosts that no node carries.
+func attrValueDomain() (attrs []Attr, vals []Value) {
+	attrs = []Attr{"name", "age", "type", "afresh0", "afresh5", "ghostattr"}
+	for i := 0; i < 5; i++ {
+		vals = append(vals, Int(i), String(fmt.Sprintf("v%d", i)))
+	}
+	vals = append(vals, String("ghostvalue"))
+	return attrs, vals
+}
+
+// TestPostingsMaintainedAcrossApply materializes the postings up front
+// and then drives enough delta batches through Apply to exercise the
+// lazy maintenance in all three regimes — clean pairs served from the
+// base, dirty pairs rebuilt on demand, and the pending-chain
+// compaction (batches > postingChainMax) — checking after every batch
+// that the maintained postings equal a fresh Freeze's. Most batches
+// probe only Lookup/LookupAttrID (which keep the snapshot
+// unmaterialized, letting the chain grow); every few batches the
+// interned PostingID/PostingByID surface forces a materialization and
+// is checked too.
+func TestPostingsMaintainedAcrossApply(t *testing.T) {
+	attrs, vals := attrValueDomain()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		applyRandomOps(g, rng, 20+rng.Intn(30))
+		snap := g.Freeze()
+		snap.ensurePostings() // force the maintained path from batch one
+		for batch := 0; batch < 3*postingChainMax; batch++ {
+			from := g.Version()
+			applyRandomOps(g, rng, 1+rng.Intn(8))
+			snap = snap.Apply(g.DeltaSince(from))
+			if !snap.postingsReady.Load() && snap.postingBase == nil {
+				t.Errorf("seed %d batch %d: postings not carried across Apply", seed, batch)
+				return false
+			}
+			full := batch%11 == 10 || batch == 3*postingChainMax-1
+			fresh := g.Freeze()
+			for _, a := range attrs {
+				aid, aok := snap.AttrID(a)
+				for _, v := range vals {
+					want := fresh.Lookup(a, v)
+					if got := snap.Lookup(a, v); !sameIDSet(got, want) {
+						t.Errorf("seed %d batch %d: Lookup(%s,%v) = %v, want %v", seed, batch, a, v, got, want)
+						return false
+					}
+					if aok {
+						if got := snap.LookupAttrID(aid, v); !sameIDSet(got, want) {
+							t.Errorf("seed %d batch %d: LookupAttrID(%s,%v) = %v, want %v", seed, batch, a, v, got, want)
+							return false
+						}
+					}
+					if !full {
+						continue
+					}
+					pid, ok := snap.PostingID(a, v)
+					if !ok && len(want) > 0 {
+						// A pair can retain an interned id with an empty
+						// posting after overwrites; only a missing id for a
+						// non-empty posting is a bug.
+						t.Errorf("seed %d batch %d: PostingID(%s,%v) absent with %d nodes", seed, batch, a, v, len(want))
+						return false
+					}
+					if ok {
+						if got := snap.PostingByID(pid); !sameIDSet(got, want) {
+							t.Errorf("seed %d batch %d: PostingByID(%d) = %v, want %v", seed, batch, pid, got, want)
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPostingsParentUntouchedByApply: maintaining the child's postings
+// must not disturb the parent's — copy-on-write, not sharing-by-alias.
+func TestPostingsParentUntouchedByApply(t *testing.T) {
+	g := New()
+	a := g.AddNodeAttrs("person", map[Attr]Value{"type": String("x")})
+	b := g.AddNodeAttrs("person", map[Attr]Value{"type": String("x")})
+	parent := g.Freeze()
+	if got := parent.Lookup("type", String("x")); !sameIDSet(got, []NodeID{a, b}) {
+		t.Fatalf("parent Lookup = %v", got)
+	}
+
+	from := g.Version()
+	g.SetAttr(a, "type", String("y"))
+	g.SetAttr(b, "kind", String("z"))
+	child := parent.Apply(g.DeltaSince(from))
+
+	if got := parent.Lookup("type", String("x")); !sameIDSet(got, []NodeID{a, b}) {
+		t.Fatalf("parent postings disturbed: %v", got)
+	}
+	if got := parent.Lookup("kind", String("z")); len(got) != 0 {
+		t.Fatalf("parent sees child-only posting: %v", got)
+	}
+	if got := child.Lookup("type", String("x")); !sameIDSet(got, []NodeID{b}) {
+		t.Fatalf("child Lookup(type,x) = %v, want [%d]", got, b)
+	}
+	if got := child.Lookup("type", String("y")); !sameIDSet(got, []NodeID{a}) {
+		t.Fatalf("child Lookup(type,y) = %v, want [%d]", got, a)
+	}
+	if got := child.Lookup("kind", String("z")); !sameIDSet(got, []NodeID{b}) {
+		t.Fatalf("child Lookup(kind,z) = %v, want [%d]", got, b)
+	}
+}
+
+// TestPostingsLazyWhenParentLazy: an unmaterialized parent must hand
+// the child nothing — the child rebuilds on first use and still agrees
+// with a fresh Freeze.
+func TestPostingsLazyWhenParentLazy(t *testing.T) {
+	g := New()
+	g.AddNodeAttrs("person", map[Attr]Value{"type": String("x")})
+	parent := g.Freeze()
+	from := g.Version()
+	id := g.AddNode("person")
+	g.SetAttr(id, "type", String("x"))
+	child := parent.Apply(g.DeltaSince(from))
+	if child.postingsReady.Load() || child.postingBase != nil {
+		t.Fatal("child postings materialized without a materialized parent")
+	}
+	if got, want := child.Lookup("type", String("x")), g.Freeze().Lookup("type", String("x")); !sameIDSet(got, want) {
+		t.Fatalf("lazy child Lookup = %v, want %v", got, want)
+	}
+}

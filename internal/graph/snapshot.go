@@ -61,12 +61,29 @@ type Snapshot struct {
 	labelDegTotal []int64
 
 	// (attr, value) -> nodes carrying that binding, ascending by id —
-	// the folded-in AttrIndex. Built lazily on first Lookup/Selectivity
-	// (sync.Once keeps concurrent readers safe): plain validation never
-	// touches value postings, so Freeze does not pay for them. Apply
-	// drops them; the child rebuilds on first use.
-	postingsOnce sync.Once
-	postings     map[postingKey][]NodeID
+	// the folded-in AttrIndex, interned: each distinct (attrID, value)
+	// pair gets a dense posting id, resolved through postingTables.
+	// Built lazily on first Lookup/Selectivity/PostingID (postingsReady
+	// + postingsMu keep concurrent readers safe): plain validation
+	// never touches value postings, so Freeze does not pay for them.
+	//
+	// Apply keeps materialized postings valid across deltas *lazily*:
+	// the child references the nearest materialized ancestor's tables
+	// (postingBase) plus the pending attribute-edit batches since
+	// (postingPending, oldest first), and a lookup serves a pair the
+	// pending batches never touch straight from the base — zero
+	// maintenance for postings nobody reads — while a dirty pair is
+	// rebuilt from base + replayed edits once and memoized in
+	// postingPatch. A deep pending chain is compacted into a fresh
+	// materialized table at the next Apply, bounding both replay cost
+	// and retention. An unmaterialized parent hands the child nothing
+	// and the child builds from its own attribute segments as before.
+	postingsMu     sync.Mutex
+	postingsReady  atomic.Bool
+	postings       *postingTables
+	postingBase    *postingTables
+	postingPending []postingBatch
+	postingPatch   map[postingKey][]NodeID
 
 	numEdges int
 	version  uint64
@@ -120,6 +137,72 @@ func pagesOf[T any](flat []T) [][]T {
 type postingKey struct {
 	attr int32
 	val  Value
+}
+
+// postingTables is a materialized posting index: the pid-resolution
+// maps as a newest-first overlay chain (Apply-time compaction gives
+// each generation a small private overlay instead of cloning the whole
+// map) and the paged pid -> sorted node-list table. Tables are
+// immutable once published.
+type postingTables struct {
+	maps  []map[postingKey]int32
+	pages [][][]NodeID
+	num   int
+}
+
+// pid resolves a posting key through the overlay chain, newest first.
+// Keys appear in at most one chain member, so first hit wins.
+func (pt *postingTables) pid(pk postingKey) (int32, bool) {
+	for _, m := range pt.maps {
+		if pid, ok := m[pk]; ok {
+			return pid, true
+		}
+	}
+	return 0, false
+}
+
+func (pt *postingTables) at(pid int32) []NodeID {
+	return pt.pages[pid>>pageShift][pid&pageMask]
+}
+
+func (pt *postingTables) lookup(pk postingKey) []NodeID {
+	pid, ok := pt.pid(pk)
+	if !ok {
+		return nil
+	}
+	return pt.at(pid)
+}
+
+// postingEdit is one membership change of a posting: id joined (or,
+// when del, left) the (attr, value) pair's node set.
+type postingEdit struct {
+	id  NodeID
+	del bool
+}
+
+// postingBatch is one delta's worth of posting edits, keyed by pair;
+// per-pair edits are in write order, so the last edit per id wins.
+type postingBatch map[postingKey][]postingEdit
+
+// replayPosting applies batches' edits for pk, in order, to the sorted
+// base list, returning a fresh slice (never aliasing base).
+func replayPosting(base []NodeID, batches []postingBatch, pk postingKey) []NodeID {
+	out := append(make([]NodeID, 0, len(base)+4), base...)
+	for _, b := range batches {
+		for _, e := range b[pk] {
+			pos := sort.Search(len(out), func(k int) bool { return out[k] >= e.id })
+			present := pos < len(out) && out[pos] == e.id
+			switch {
+			case e.del && present:
+				out = append(out[:pos], out[pos+1:]...)
+			case !e.del && !present:
+				out = append(out, 0)
+				copy(out[pos+1:], out[pos:])
+				out[pos] = e.id
+			}
+		}
+	}
+	return out
 }
 
 // identity ids are shared process-wide: every snapshot's Nodes() is a
@@ -365,20 +448,7 @@ func (s *Snapshot) Attr(id NodeID, a Attr) (Value, bool) {
 	if !ok {
 		return Value{}, false
 	}
-	seg := s.attrSeg(id)
-	lo, hi := 0, len(seg.key)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		switch {
-		case seg.key[mid] < aid:
-			lo = mid + 1
-		case seg.key[mid] > aid:
-			hi = mid
-		default:
-			return seg.val[mid], true
-		}
-	}
-	return Value{}, false
+	return s.AttrValueID(id, aid)
 }
 
 // ---- label postings ----
@@ -571,20 +641,135 @@ func (s *Snapshot) Lookup(a Attr, v Value) []NodeID {
 	if !ok {
 		return nil
 	}
-	s.postingsOnce.Do(s.buildPostings)
-	return s.postings[postingKey{attr: aid, val: v}]
+	return s.LookupAttrID(aid, v)
 }
 
-// buildPostings folds the attribute segments into (attr, value)
-// postings.
+// LookupAttrID is Lookup for a resolved attribute symbol — the form
+// compiled matcher plans re-resolve their pushed-down literal postings
+// through on every rebind, since attr symbols are append-only within a
+// snapshot lineage while the posting contents move with each Apply.
+func (s *Snapshot) LookupAttrID(aid int32, v Value) []NodeID {
+	pk := postingKey{attr: aid, val: v}
+	if s.postingsReady.Load() {
+		return s.postings.lookup(pk)
+	}
+	if s.postingBase != nil {
+		return s.lookupViaBase(pk)
+	}
+	s.ensurePostings()
+	return s.postings.lookup(pk)
+}
+
+// lookupViaBase serves a posting of a delta-maintained, not yet
+// materialized snapshot: a pair the pending batches never touched
+// comes straight from the materialized ancestor's table; a dirty pair
+// is rebuilt once (base + replayed edits) and memoized.
+func (s *Snapshot) lookupViaBase(pk postingKey) []NodeID {
+	s.postingsMu.Lock()
+	defer s.postingsMu.Unlock()
+	if s.postingsReady.Load() {
+		// Materialized while we waited for the lock.
+		return s.postings.lookup(pk)
+	}
+	if l, ok := s.postingPatch[pk]; ok {
+		return l
+	}
+	dirty := false
+	for _, b := range s.postingPending {
+		if _, ok := b[pk]; ok {
+			dirty = true
+			break
+		}
+	}
+	base := s.postingBase.lookup(pk)
+	if !dirty {
+		return base
+	}
+	l := replayPosting(base, s.postingPending, pk)
+	if s.postingPatch == nil {
+		s.postingPatch = make(map[postingKey][]NodeID)
+	}
+	s.postingPatch[pk] = l
+	return l
+}
+
+// PostingID returns the interned id of the (a, v) posting and whether
+// any node carries that binding, materializing the postings if needed.
+// Posting ids are dense and stable for the life of one snapshot;
+// across Apply they stay aligned while the lineage compacts its
+// pending batches in sequence, but a lazily rebuilt child may assign
+// them afresh — resolve by (attr symbol, value) when crossing
+// snapshots, as Plan.Rebind does.
+func (s *Snapshot) PostingID(a Attr, v Value) (int32, bool) {
+	aid, ok := s.attrIDs[a]
+	if !ok {
+		return 0, false
+	}
+	s.ensurePostings()
+	return s.postings.pid(postingKey{attr: aid, val: v})
+}
+
+// PostingByID returns the sorted node list of an interned posting id.
+func (s *Snapshot) PostingByID(pid int32) []NodeID {
+	s.ensurePostings()
+	if pid < 0 || int(pid) >= s.postings.num {
+		return nil
+	}
+	return s.postings.at(pid)
+}
+
+// NumPostings returns the number of distinct (attr, value) pairs,
+// materializing the postings if needed.
+func (s *Snapshot) NumPostings() int {
+	s.ensurePostings()
+	return s.postings.num
+}
+
+// ensurePostings materializes the value postings once; concurrent
+// readers either see the ready flag (acquire) or serialize on the
+// build lock. A snapshot holding a materialized base compacts base +
+// pending batches — cost proportional to the edits and the postings
+// they touch; only a snapshot with no materialized ancestor scans its
+// attribute segments.
+func (s *Snapshot) ensurePostings() {
+	if s.postingsReady.Load() {
+		return
+	}
+	s.postingsMu.Lock()
+	defer s.postingsMu.Unlock()
+	if s.postingsReady.Load() {
+		return
+	}
+	if s.postingBase != nil {
+		s.postings = compactPostings(s.postingBase, s.postingPending)
+	} else {
+		s.buildPostings()
+	}
+	s.postingsReady.Store(true)
+}
+
+// buildPostings folds the attribute segments into interned (attr,
+// value) postings.
 func (s *Snapshot) buildPostings() {
-	s.postings = make(map[postingKey][]NodeID)
+	ids := make(map[postingKey]int32)
+	var lists [][]NodeID
 	for i := 0; i < s.numNodes; i++ {
 		seg := s.attrSeg(NodeID(i))
 		for k := range seg.key {
 			pk := postingKey{attr: seg.key[k], val: seg.val[k]}
-			s.postings[pk] = append(s.postings[pk], NodeID(i))
+			pid, ok := ids[pk]
+			if !ok {
+				pid = int32(len(lists))
+				ids[pk] = pid
+				lists = append(lists, nil)
+			}
+			lists[pid] = append(lists[pid], NodeID(i))
 		}
+	}
+	s.postings = &postingTables{
+		maps:  []map[postingKey]int32{ids},
+		pages: pagesOf(lists),
+		num:   len(lists),
 	}
 }
 
@@ -614,6 +799,33 @@ func (s *Snapshot) LabelID(l Label) (int32, bool) {
 // NodeLabelID returns the label symbol of node id.
 func (s *Snapshot) NodeLabelID(id NodeID) int32 {
 	return s.nodeLabel[id>>pageShift][id&pageMask]
+}
+
+// AttrID returns the dense symbol of attribute a and whether any node
+// carries it. Attr symbols, like label symbols, are append-only within
+// a snapshot lineage, so compiled plans may keep them across rebinds.
+func (s *Snapshot) AttrID(a Attr) (int32, bool) {
+	id, ok := s.attrIDs[a]
+	return id, ok
+}
+
+// AttrValueID is Attr for a resolved attribute symbol: one binary
+// search over the node's interned tuple, no hashing.
+func (s *Snapshot) AttrValueID(id NodeID, aid int32) (Value, bool) {
+	seg := s.attrSeg(id)
+	lo, hi := 0, len(seg.key)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		switch {
+		case seg.key[mid] < aid:
+			lo = mid + 1
+		case seg.key[mid] > aid:
+			hi = mid
+		default:
+			return seg.val[mid], true
+		}
+	}
+	return Value{}, false
 }
 
 // CandidateNodesID is CandidateNodes for a resolved node-label symbol.

@@ -82,11 +82,15 @@ type epatch struct {
 }
 
 // Apply produces the snapshot of the graph after delta d, in time
-// proportional to |Δ| plus the adjacency and attribute tuples of the
-// touched nodes — not the graph. The result shares every untouched
-// page, label posting and symbol table with s; both snapshots remain
-// fully usable and immutable. The value postings of Lookup are not
-// carried over (the child rebuilds them lazily on first use).
+// proportional to |Δ| plus the adjacency, attribute tuples and touched
+// value postings of the touched nodes — not the graph. The result
+// shares every untouched page, label posting and symbol table with s;
+// both snapshots remain fully usable and immutable. Materialized value
+// postings (Lookup/PostingID) are carried forward copy-on-write at
+// posting granularity, so compiled plans with pushed-down constant
+// literals follow a delta-maintained snapshot without an O(|G|)
+// posting rebuild; postings a parent never materialized stay lazy in
+// the child.
 //
 // d.FromVersion must equal s.SourceVersion(): deltas compose in
 // sequence, exactly as Graph.DeltaSince hands them out. Apply panics on
@@ -243,6 +247,29 @@ func (s *Snapshot) Apply(d *Delta) *Snapshot {
 		mergePatches(inPP, inAdd, nil)
 	}
 
+	// Posting maintenance is lazy: when the parent carries materialized
+	// postings (its own or an ancestor's base), the child inherits the
+	// base tables plus the pending edit batches, and this delta's
+	// attribute writes are recorded as one more batch. Reads then serve
+	// untouched pairs from the base for free and rebuild only the pairs
+	// someone actually asks for; a deep pending chain compacts here.
+	var postingBase *postingTables
+	var pending []postingBatch
+	if s.postingsReady.Load() {
+		postingBase = s.postings
+	} else if s.postingBase != nil {
+		postingBase = s.postingBase
+		pending = s.postingPending
+	}
+	var batch postingBatch
+	record := func(aid int32, v Value, id NodeID, del bool) {
+		if batch == nil {
+			batch = make(postingBatch)
+		}
+		pk := postingKey{attr: aid, val: v}
+		batch[pk] = append(batch[pk], postingEdit{id: id, del: del})
+	}
+
 	// --- attribute writes ---
 	if len(d.Attrs) > 0 {
 		writes := make([]AttrWrite, len(d.Attrs))
@@ -266,8 +293,15 @@ func (s *Snapshot) Apply(d *Delta) *Snapshot {
 				aid := internAttr(w.Attr)
 				pos := sort.Search(len(key), func(k int) bool { return key[k] >= aid })
 				if pos < len(key) && key[pos] == aid {
+					if postingBase != nil && !val[pos].Equal(w.Value) {
+						record(aid, val[pos], id, true)
+						record(aid, w.Value, id, false)
+					}
 					val[pos] = w.Value
 				} else {
+					if postingBase != nil {
+						record(aid, w.Value, id, false)
+					}
 					key = append(key, 0)
 					copy(key[pos+1:], key[pos:])
 					key[pos] = aid
@@ -281,11 +315,91 @@ func (s *Snapshot) Apply(d *Delta) *Snapshot {
 		}
 	}
 
+	if postingBase != nil {
+		if batch != nil {
+			pending = append(append(make([]postingBatch, 0, len(pending)+1), pending...), batch)
+		}
+		switch {
+		case len(pending) == 0:
+			// Nothing moved a posting: the base describes the child
+			// verbatim (node and edge additions never touch one).
+			ns.postings = postingBase
+			ns.postingsReady.Store(true)
+		case len(pending) > postingChainMax:
+			ns.postings = compactPostings(postingBase, pending)
+			ns.postingsReady.Store(true)
+		default:
+			ns.postingBase = postingBase
+			ns.postingPending = pending
+		}
+	}
+
 	ns.nodeLabel = nodeLabelPP.pgs
 	ns.out = outPP.pgs
 	ns.in = inPP.pgs
 	ns.attr = attrPP.pgs
 	return ns
+}
+
+// postingChainMax bounds the pending-batch chain: a chain past this
+// depth is compacted into a fresh materialized table at Apply time, so
+// both per-lookup replay cost and ancestor-table retention stay
+// bounded. Compaction reuses the overlay-map scheme: the new
+// generation gets a small private pid map in front of the base's, and
+// the base's accumulated overlays merge once they pile up — the large
+// root map built at materialization is never copied.
+const postingChainMax = 8
+
+// compactPostings folds pending edit batches into base, producing a
+// fresh materialized table. Cost is proportional to the batches and
+// the size of the postings they touch; untouched pages and postings
+// are shared with base copy-on-write.
+func compactPostings(base *postingTables, pending []postingBatch) *postingTables {
+	over := make(map[postingKey]int32)
+	var maps []map[postingKey]int32
+	if len(base.maps) >= postingChainMax {
+		// Merge the base's overlays (all small), keep its root as is.
+		// Keys appear in at most one chain member, so fold order is
+		// free.
+		overlays := base.maps[:len(base.maps)-1]
+		total := 0
+		for _, m := range overlays {
+			total += len(m)
+		}
+		merged := make(map[postingKey]int32, total+8)
+		for _, m := range overlays {
+			for k, v := range m {
+				merged[k] = v
+			}
+		}
+		maps = []map[postingKey]int32{over, merged, base.maps[len(base.maps)-1]}
+	} else {
+		maps = append(append(make([]map[postingKey]int32, 0, len(base.maps)+1), over), base.maps...)
+	}
+	pt := &postingTables{maps: maps, num: base.num}
+	pp := newPagedPatch(base.pages)
+	done := make(map[postingKey]bool)
+	for _, b := range pending {
+		for pk := range b {
+			if done[pk] {
+				continue
+			}
+			done[pk] = true
+			var old []NodeID
+			pid, ok := pt.pid(pk)
+			if ok {
+				old = pp.at(NodeID(pid))
+			} else {
+				pid = int32(pt.num)
+				pt.num++
+				over[pk] = pid
+				pp.extend(int(pid), [][]NodeID{nil})
+			}
+			pp.set(NodeID(pid), replayPosting(old, pending, pk))
+		}
+	}
+	pt.pages = pp.pgs
+	return pt
 }
 
 // sortPatches orders edge patches by (owner, label, endpoint) and drops

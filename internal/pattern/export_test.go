@@ -1,0 +1,9 @@
+package pattern
+
+import "gedlib/internal/graph"
+
+// IntersectSortedForTest exposes the leapfrog intersection to the
+// external differential-test package.
+func IntersectSortedForTest(lists [][]graph.NodeID) []graph.NodeID {
+	return intersectInto(nil, lists)
+}

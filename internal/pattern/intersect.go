@@ -1,0 +1,132 @@
+package pattern
+
+import "gedlib/internal/graph"
+
+// Multi-way sorted-set intersection — the extension step of worst-case-
+// optimal join processing. The CSR snapshot stores every per-label
+// adjacency run and every (attr, value) posting as an ascending
+// []graph.NodeID, so "candidates of a variable with k bound pattern
+// neighbors (and pushed-down constant literals)" is exactly the
+// intersection of k sorted lists, computed here by a leapfrog walk with
+// galloping seeks instead of scanning one list and probing the rest.
+
+// gallopSearch returns the smallest index i in xs with xs[i] >= target,
+// starting from a hint position: exponential probes double the step
+// until the target is bracketed, then a binary search finishes inside
+// the bracket. For the near-sorted access pattern of a leapfrog walk
+// this is O(log gap) per seek rather than O(log n).
+func gallopSearch(xs []graph.NodeID, from int, target graph.NodeID) int {
+	n := len(xs)
+	if from >= n || xs[from] >= target {
+		return from
+	}
+	// Invariant: xs[lo] < target. Probe lo+1, lo+2, lo+4, ...
+	lo, step := from, 1
+	for {
+		hi := lo + step
+		if hi >= n {
+			hi = n
+			lo++
+			// Binary search in (lo, hi).
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if xs[mid] < target {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			return lo
+		}
+		if xs[hi] >= target {
+			lo++
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if xs[mid] < target {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			return lo
+		}
+		lo = hi
+		step <<= 1
+	}
+}
+
+// intersectInto appends the intersection of the ascending lists to dst
+// and returns it. The walk leapfrogs: the smallest list drives, every
+// other list gallops to the current candidate, and any overshoot
+// becomes the next candidate — so the cost is proportional to the
+// smallest list times the log of the skip distances, not to the sum of
+// list lengths. lists must each be sorted ascending and duplicate-free;
+// the result is ascending. lists is reordered in place (smallest
+// first).
+func intersectInto(dst []graph.NodeID, lists [][]graph.NodeID) []graph.NodeID {
+	switch len(lists) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, lists[0]...)
+	}
+	// Smallest list first: it drives the walk.
+	min := 0
+	for i := 1; i < len(lists); i++ {
+		if len(lists[i]) < len(lists[min]) {
+			min = i
+		}
+	}
+	lists[0], lists[min] = lists[min], lists[0]
+	if len(lists[0]) == 0 {
+		return dst
+	}
+	if len(lists) == 2 {
+		return intersect2Into(dst, lists[0], lists[1])
+	}
+	// cursors[i] is the frontier of lists[i].
+	var cursorBuf [8]int
+	cursors := cursorBuf[:0]
+	for range lists {
+		cursors = append(cursors, 0)
+	}
+outer:
+	for {
+		if cursors[0] >= len(lists[0]) {
+			return dst
+		}
+		cand := lists[0][cursors[0]]
+		for i := 1; i < len(lists); i++ {
+			j := gallopSearch(lists[i], cursors[i], cand)
+			cursors[i] = j
+			if j >= len(lists[i]) {
+				return dst
+			}
+			if lists[i][j] != cand {
+				// Overshoot: restart the round from the new, larger
+				// candidate.
+				cursors[0] = gallopSearch(lists[0], cursors[0], lists[i][j])
+				continue outer
+			}
+		}
+		dst = append(dst, cand)
+		cursors[0]++
+	}
+}
+
+// intersect2Into is the two-list case of intersectInto with the driver
+// already known to be no longer than probe.
+func intersect2Into(dst, drive, probe []graph.NodeID) []graph.NodeID {
+	j := 0
+	for _, cand := range drive {
+		j = gallopSearch(probe, j, cand)
+		if j >= len(probe) {
+			return dst
+		}
+		if probe[j] == cand {
+			dst = append(dst, cand)
+			j++
+		}
+	}
+	return dst
+}

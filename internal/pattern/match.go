@@ -62,6 +62,9 @@ type matcher struct {
 	order    []int                     // variable indexes still to bind, in order
 	orderBuf []int                     // pooled backing for filtered orders
 	wild     [][]graph.NodeID          // per-variable wildcard-neighbor dedup buffers
+	isect    [][]graph.NodeID          // per-variable intersection output buffers
+	runs     [][][]graph.NodeID        // per-variable sorted-run collection buffers
+	covered  []bool                    // candidates(x) already enforced x's bound edges+filters
 	yield    func(Match) bool          // returns false to stop enumeration
 	dense    func([]graph.NodeID) bool // dense-vector alternative to yield
 	filter   func(graph.NodeID) bool   // optional host-node admission filter
@@ -75,11 +78,35 @@ type matcher struct {
 // search promptly, rare enough to stay off the hot path.
 const stopEvery = 1024
 
+// ConstFilter is a constant literal x.A = c pushed down into a plan:
+// the enumeration then emits only matches whose binding of Var carries
+// attribute Attr with exactly Value, skipping literal-failing partial
+// bindings inside the search instead of post-filtering whole matches.
+// On snapshot hosts the filter resolves to the snapshot's (attr,
+// value) posting list and joins the candidate intersection; on mutable
+// hosts it is enforced per candidate at binding time. Filters naming
+// variables the pattern does not have are ignored.
+type ConstFilter struct {
+	Var   Var
+	Attr  graph.Attr
+	Value graph.Value
+}
+
+// cfilter is a compiled pushed-down filter: the attribute resolved to
+// its interned symbol and, on snapshot hosts, the posting list of
+// nodes carrying (attr, value).
+type cfilter struct {
+	attr graph.Attr
+	val  graph.Value
+	aid  int32          // resolved attr symbol; -1 = unresolved/absent
+	post []graph.NodeID // snapshot posting, ascending; nil on mutable hosts
+}
+
 // Plan is a compiled matching plan for one (pattern, host) pair: the
-// variable order, index-resolved adjacency and binding layout are
-// computed once and shared across any number of (concurrent)
-// enumerations. Plans are immutable after Compile and safe for
-// concurrent use.
+// variable order, index-resolved adjacency, pushed-down literal
+// postings and binding layout are computed once and shared across any
+// number of (concurrent) enumerations. Plans are immutable after
+// Compile and safe for concurrent use.
 type Plan struct {
 	p      *Pattern
 	h      Host
@@ -90,6 +117,15 @@ type Plan struct {
 	varLid []int32       // variable index -> resolved label symbol (snapshot hosts)
 	adj    [][]cedge     // variable index -> incident pattern edges
 	order  []int         // variable binding order, as indexes
+
+	filters []ConstFilter // pushed-down constant literals, as given
+	varFilt [][]cfilter   // variable index -> compiled filters
+	// probe selects the legacy scan-and-probe extension step (first
+	// bound neighbor's adjacency list, every other constraint probed per
+	// candidate) instead of the default multi-way sorted intersection.
+	// It exists as the measured baseline of BENCH_match and as the
+	// differential-test oracle for the intersection path.
+	probe bool
 
 	// pool recycles matcher scratch across enumerations; see matcher.
 	// It is a pointer so Rebind-derived plans share one pool: the
@@ -102,15 +138,41 @@ type Plan struct {
 // Compile prepares a matching plan for p over h — a mutable graph or a
 // frozen snapshot.
 func Compile(p *Pattern, h Host) *Plan {
+	return compile(p, h, nil, false)
+}
+
+// CompileFiltered is Compile with constant literals pushed down into
+// the plan: enumeration skips bindings that fail them, so callers that
+// would post-filter matches on x.A = c literals (validators checking a
+// GED's antecedent) never enumerate the failing matches at all. On
+// snapshot hosts each filter resolves to the attribute-value index's
+// posting list and candidate generation intersects it alongside the
+// adjacency runs.
+func CompileFiltered(p *Pattern, h Host, filters []ConstFilter) *Plan {
+	return compile(p, h, filters, false)
+}
+
+// CompileProbe compiles the legacy scan-and-probe plan: candidates come
+// from the first bound pattern-neighbor's adjacency list and every
+// remaining constraint is probed per candidate, with the pre-intersection
+// variable ordering. It is the measured baseline of the worst-case-
+// optimal extension step and the oracle of its differential tests.
+func CompileProbe(p *Pattern, h Host) *Plan {
+	return compile(p, h, nil, true)
+}
+
+func compile(p *Pattern, h Host, filters []ConstFilter, probe bool) *Plan {
 	n := len(p.vars)
 	pl := &Plan{
-		p:      p,
-		h:      h,
-		vars:   p.vars,
-		varIdx: make(map[Var]int, n),
-		labels: make([]graph.Label, n),
-		adj:    make([][]cedge, n),
-		pool:   new(sync.Pool),
+		p:       p,
+		h:       h,
+		vars:    p.vars,
+		varIdx:  make(map[Var]int, n),
+		labels:  make([]graph.Label, n),
+		adj:     make([][]cedge, n),
+		varFilt: make([][]cfilter, n),
+		probe:   probe,
+		pool:    new(sync.Pool),
 	}
 	pl.snap, _ = h.(*graph.Snapshot)
 	resolve := func(l graph.Label) int32 {
@@ -140,6 +202,23 @@ func Compile(p *Pattern, h Host) *Plan {
 			pl.adj[ce.dst] = append(pl.adj[ce.dst], ce)
 		}
 	}
+	if len(filters) > 0 {
+		pl.filters = append([]ConstFilter(nil), filters...)
+		for _, f := range pl.filters {
+			i, ok := pl.varIdx[f.Var]
+			if !ok {
+				continue
+			}
+			cf := cfilter{attr: f.Attr, val: f.Value, aid: -1}
+			if pl.snap != nil {
+				if aid, ok := pl.snap.AttrID(f.Attr); ok {
+					cf.aid = aid
+					cf.post = pl.snap.LookupAttrID(aid, f.Value)
+				}
+			}
+			pl.varFilt[i] = append(pl.varFilt[i], cf)
+		}
+	}
 	pl.order = planOrder(pl, h)
 	return pl
 }
@@ -162,16 +241,46 @@ func (pl *Plan) Rebind(snap *graph.Snapshot) *Plan {
 		return pl
 	}
 	np := &Plan{
-		p:      pl.p,
-		h:      snap,
-		snap:   snap,
-		vars:   pl.vars,
-		varIdx: pl.varIdx,
-		labels: pl.labels,
-		varLid: pl.varLid,
-		adj:    pl.adj,
-		order:  pl.order,
-		pool:   pl.pool, // same pattern, same scratch shape: stay warm
+		p:       pl.p,
+		h:       snap,
+		snap:    snap,
+		vars:    pl.vars,
+		varIdx:  pl.varIdx,
+		labels:  pl.labels,
+		varLid:  pl.varLid,
+		adj:     pl.adj,
+		order:   pl.order,
+		filters: pl.filters,
+		varFilt: pl.varFilt,
+		probe:   pl.probe,
+		pool:    pl.pool, // same pattern, same scratch shape: stay warm
+	}
+	// Pushed-down postings are per-snapshot: attr symbols carry over
+	// (append-only within a lineage, re-resolved if they appeared since
+	// Compile) but the posting contents move with every Apply, so they
+	// are re-fetched here — at pattern cost, through the posting index
+	// the snapshot maintains across deltas.
+	if len(pl.filters) > 0 {
+		nf := make([][]cfilter, len(pl.varFilt))
+		for i, fs := range pl.varFilt {
+			if len(fs) == 0 {
+				continue
+			}
+			cs := make([]cfilter, len(fs))
+			copy(cs, fs)
+			for k := range cs {
+				if cs[k].aid < 0 {
+					if aid, ok := snap.AttrID(cs[k].attr); ok {
+						cs[k].aid = aid
+					}
+				}
+				if cs[k].aid >= 0 {
+					cs[k].post = snap.LookupAttrID(cs[k].aid, cs[k].val)
+				}
+			}
+			nf[i] = cs
+		}
+		np.varFilt = nf
 	}
 	resolve := func(l graph.Label) int32 {
 		if l == graph.Wildcard {
@@ -229,9 +338,10 @@ func (pl *Plan) newMatcher(stop func() bool, yield func(Match) bool) *matcher {
 	m, ok := pl.pool.Get().(*matcher)
 	if !ok {
 		m = &matcher{
-			bind: make([]graph.NodeID, len(pl.vars)),
-			last: make([]graph.NodeID, len(pl.vars)),
-			out:  make(Match, len(pl.vars)),
+			bind:    make([]graph.NodeID, len(pl.vars)),
+			last:    make([]graph.NodeID, len(pl.vars)),
+			covered: make([]bool, len(pl.vars)),
+			out:     make(Match, len(pl.vars)),
 		}
 	}
 	// The pool is shared across same-lineage rebinds, so a recycled
@@ -248,6 +358,7 @@ func (pl *Plan) newMatcher(stop func() bool, yield func(Match) bool) *matcher {
 	for i := range m.bind {
 		m.bind[i] = unbound
 		m.last[i] = unbound
+		m.covered[i] = false
 	}
 	return m
 }
@@ -264,6 +375,17 @@ func (pl *Plan) putMatcher(m *matcher) {
 	m.pl = nil
 	m.h = nil
 	m.snap = nil
+	// The run-collection buffers hold views into snapshot CSR storage;
+	// nil them so a pooled matcher never pins a superseded snapshot's
+	// pages (the buffers themselves — a few slice headers per variable —
+	// stay recycled).
+	for x := range m.runs {
+		rs := m.runs[x]
+		for j := range rs {
+			rs[j] = nil
+		}
+		m.runs[x] = rs[:0]
+	}
 	pl.pool.Put(m)
 }
 
@@ -275,6 +397,34 @@ func (m *matcher) wildBuf(x int) []graph.NodeID {
 		m.wild = make([][]graph.NodeID, len(m.pl.vars))
 	}
 	return m.wild[x][:0]
+}
+
+// runsBuf returns variable x's recycled sorted-run collection buffer,
+// emptied; isectBuf its intersection output buffer. Both are per
+// variable for the same reason as wildBuf: a level's candidate slice
+// stays live while deeper levels compute theirs.
+func (m *matcher) runsBuf(x int) [][]graph.NodeID {
+	if m.runs == nil {
+		m.runs = make([][][]graph.NodeID, len(m.pl.vars))
+	}
+	return m.runs[x][:0]
+}
+
+func (m *matcher) isectBuf(x int) []graph.NodeID {
+	if m.isect == nil {
+		m.isect = make([][]graph.NodeID, len(m.pl.vars))
+	}
+	return m.isect[x][:0]
+}
+
+// candFail is the empty-candidate-set exit of candidatesSnap: it hands
+// a non-nil run collection buffer back to its per-variable slot (so
+// its capacity is recycled) and yields no candidates.
+func (m *matcher) candFail(x int, runs [][]graph.NodeID) []graph.NodeID {
+	if runs != nil {
+		m.runs[x] = runs
+	}
+	return nil
 }
 
 // ForEachBound enumerates matches extending the partial assignment pre
@@ -356,7 +506,11 @@ func (pl *Plan) ForEachPivot(pivot Var, cands []graph.NodeID, yield func(Match) 
 }
 
 // ForEachPivotCancel is ForEachPivot with the cooperative abort hook of
-// ForEachBoundCancel.
+// ForEachBoundCancel. Pivot candidates are intersected with the pivot's
+// pushed-down literal postings up front when the candidate list is
+// sorted (it usually is: label postings and attribute-value postings
+// both arrive ascending); unsorted candidate lists fall back to the
+// per-candidate literal check in consistent.
 func (pl *Plan) ForEachPivotCancel(pivot Var, cands []graph.NodeID, stop func() bool, yield func(Match) bool) {
 	pi, ok := pl.varIdx[pivot]
 	if !ok {
@@ -364,6 +518,7 @@ func (pl *Plan) ForEachPivotCancel(pivot Var, cands []graph.NodeID, stop func() 
 	}
 	m := pl.newMatcher(stop, yield)
 	defer pl.putMatcher(m)
+	cands = m.pivotCands(pi, cands)
 	order := m.orderBuf[:0]
 	for _, i := range pl.order {
 		if i != pi {
@@ -383,6 +538,39 @@ func (pl *Plan) ForEachPivotCancel(pivot Var, cands []graph.NodeID, stop func() 
 			return
 		}
 	}
+}
+
+// pivotCands narrows a pivot block to the candidates satisfying the
+// pivot's pushed-down literals, by sorted intersection with their
+// posting lists when the block itself is ascending. Candidates the
+// filters reject would be discarded one by one by consistent anyway;
+// the intersection skips them wholesale, which is what makes pivoted
+// re-checks over selective literals cheap.
+func (m *matcher) pivotCands(pi int, cands []graph.NodeID) []graph.NodeID {
+	if m.snap == nil || m.pl.probe || len(m.pl.varFilt[pi]) == 0 || len(cands) == 0 {
+		return cands
+	}
+	for fi := range m.pl.varFilt[pi] {
+		f := &m.pl.varFilt[pi][fi]
+		if f.aid < 0 || len(f.post) == 0 {
+			return nil
+		}
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i] <= cands[i-1] {
+			return cands // unsorted block: consistent filters per candidate
+		}
+	}
+	runs := m.runsBuf(pi)
+	runs = append(runs, cands)
+	for fi := range m.pl.varFilt[pi] {
+		runs = append(runs, m.pl.varFilt[pi][fi].post)
+	}
+	out := intersectInto(m.isectBuf(pi), runs)
+	m.isect[pi] = out
+	m.runs[pi] = runs
+	m.covered[pi] = true // literals pre-satisfied; edges all unbound yet
+	return out
 }
 
 // ForEachMatch enumerates the matches of p in h, invoking yield for each.
@@ -436,21 +624,40 @@ func CountMatches(p *Pattern, h Host) int {
 }
 
 // planOrder chooses a variable binding order: the variable with the
-// fewest label candidates first, then greedily any variable connected to
-// an already-ordered one (preferring small candidate sets), so that
-// adjacency can prune candidates. Disconnected components are started at
-// their most selective variable. Hosts exposing degree statistics
-// (snapshots) break selectivity ties toward the label with the higher
-// average degree — a better-connected seed prunes its neighborhood
-// harder.
+// fewest candidates first — counting pushed-down literal postings, not
+// just label postings, so a selective constant literal pulls its
+// variable to the front — then greedily the frontier variable with the
+// most edges into already-ordered variables (the intersection-tight
+// choice: every such edge contributes one more sorted run to the
+// extension step's intersection), breaking ties toward small candidate
+// sets. Disconnected components are started at their most selective
+// variable. Hosts exposing degree statistics (snapshots) break
+// remaining ties toward the label with the higher average degree — a
+// better-connected seed prunes its neighborhood harder. Probe-mode
+// plans keep the legacy frontier rule (selectivity only), as the
+// faithful baseline of the pre-intersection matcher.
 func planOrder(pl *Plan, h Host) []int {
 	n := len(pl.vars)
 	stats, hasStats := h.(degreeStats)
 	candCount := func(i int) int {
+		c := 0
 		if pl.labels[i] == graph.Wildcard {
-			return h.NumNodes()
+			c = h.NumNodes()
+		} else {
+			c = len(h.CandidateNodes(pl.labels[i]))
 		}
-		return len(h.CandidateNodes(pl.labels[i]))
+		if pl.snap != nil {
+			for fi := range pl.varFilt[i] {
+				f := &pl.varFilt[i][fi]
+				if f.aid < 0 {
+					return 0
+				}
+				if len(f.post) < c {
+					c = len(f.post)
+				}
+			}
+		}
+		return c
 	}
 	avgDeg := func(i int) float64 {
 		if !hasStats {
@@ -505,12 +712,28 @@ func planOrder(pl *Plan, h Host) []int {
 		}
 	}
 
+	// tightness counts x's pattern edges into already-placed variables:
+	// each is one more sorted run in x's extension intersection.
+	tightness := func(x int) int {
+		t := 0
+		for _, y := range neighbors[x] {
+			if placed[y] {
+				t++
+			}
+		}
+		return t
+	}
+
 	for len(ordered) < n {
-		next := -1
+		next, nextTight := -1, -1
 		if len(frontier) > 0 {
 			for x := range frontier {
-				if next < 0 || better(x, next) {
-					next = x
+				t := 0
+				if !pl.probe {
+					t = tightness(x)
+				}
+				if next < 0 || t > nextTight || (t == nextTight && better(x, next)) {
+					next, nextTight = x, t
 				}
 			}
 		} else {
@@ -581,33 +804,213 @@ func (m *matcher) emit() {
 	}
 }
 
-// candidates returns the nodes that variable index x may be bound to:
-// the ⪯-compatible neighbors of a bound pattern-neighbor when one
-// exists (a label-grouped slice on snapshot hosts), the label candidate
-// set otherwise. Node-label compatibility is checked by consistent.
+// candidates returns the nodes that variable index x may be bound to.
+// On snapshot hosts the default path intersects the sorted CSR
+// adjacency runs of every already-bound pattern-neighbor, together
+// with x's pushed-down literal postings — candidates then satisfy
+// every incident concrete-labeled edge and every pushed-down literal
+// by construction (worst-case-optimal extension). On mutable hosts the
+// smallest bound-neighbor list is scanned and the residual constraints
+// are probed by consistent. Node-label compatibility is checked by
+// consistent.
 func (m *matcher) candidates(x int) []graph.NodeID {
 	if m.snap != nil {
+		if m.pl.probe {
+			return m.candidatesSnapProbe(x)
+		}
 		return m.candidatesSnap(x)
 	}
+	if m.pl.probe {
+		for _, e := range m.pl.adj[x] {
+			if e.src == x && e.dst != x {
+				if v := m.bind[e.dst]; v != unbound {
+					return m.h.InNeighbors(v, e.label)
+				}
+			}
+			if e.dst == x && e.src != x {
+				if v := m.bind[e.src]; v != unbound {
+					return m.h.OutNeighbors(v, e.label)
+				}
+			}
+		}
+		return m.h.CandidateNodes(m.pl.labels[x])
+	}
+	// Mutable-host parity with the snapshot path's min-run selection:
+	// scan every bound pattern-neighbor and extend from the *smallest*
+	// neighbor list, not the first one hit; the other edges are probed
+	// per candidate by consistent.
+	var best []graph.NodeID
+	found := false
 	for _, e := range m.pl.adj[x] {
+		var c []graph.NodeID
 		if e.src == x && e.dst != x {
-			if v := m.bind[e.dst]; v != unbound {
-				return m.h.InNeighbors(v, e.label)
+			v := m.bind[e.dst]
+			if v == unbound {
+				continue
+			}
+			c = m.h.InNeighbors(v, e.label)
+		} else if e.dst == x && e.src != x {
+			v := m.bind[e.src]
+			if v == unbound {
+				continue
+			}
+			c = m.h.OutNeighbors(v, e.label)
+		} else {
+			continue
+		}
+		if !found || len(c) < len(best) {
+			best, found = c, true
+			if len(best) == 0 {
+				return best
 			}
 		}
-		if e.dst == x && e.src != x {
-			if v := m.bind[e.src]; v != unbound {
-				return m.h.OutNeighbors(v, e.label)
-			}
-		}
+	}
+	if found {
+		return best
 	}
 	return m.h.CandidateNodes(m.pl.labels[x])
 }
 
-// candidatesSnap is candidates over the interned snapshot symbols: the
-// common concrete-label case is one CSR run lookup with no hashing and
-// no allocation.
+// candidatesSnap is the snapshot extension step: collect the sorted
+// adjacency run of every bound concrete-labeled incident edge plus the
+// pushed-down literal postings, and leapfrog-intersect them. With one
+// eligible run the run itself is returned (zero copy) — the smallest,
+// since it is the only one. Wildcard-labeled incident edges cannot
+// feed the intersection (their neighbor sets are merged across label
+// runs, not sorted) and stay residual checks in consistent, unless
+// they are the only bound edges, in which case the legacy deduped
+// neighbor buffer is used, picked from the smallest bound neighborhood.
 func (m *matcher) candidatesSnap(x int) []graph.NodeID {
+	m.covered[x] = false
+	pl := m.pl
+	// run0 carries the first sorted run; the collection buffer is only
+	// touched once a second run shows up, keeping the dominant
+	// single-bound-edge case free of bookkeeping.
+	var run0 []graph.NodeID
+	var runs [][]graph.NodeID
+	nAdj := 0
+	// The smallest-neighborhood bound wildcard edge, kept as the
+	// fallback candidate source when no sorted run exists.
+	wildEdge := -1
+	wildIn := false
+	var wildV graph.NodeID
+	wildLen := 0
+	push := func(run []graph.NodeID) {
+		if run0 == nil {
+			run0 = run
+			return
+		}
+		if runs == nil {
+			runs = append(m.runsBuf(x), run0)
+		}
+		runs = append(runs, run)
+	}
+	for ei := range pl.adj[x] {
+		e := &pl.adj[x][ei]
+		var v graph.NodeID
+		var in bool
+		if e.src == x && e.dst != x {
+			if v = m.bind[e.dst]; v == unbound {
+				continue
+			}
+			in = true // x -> v: candidates are in-neighbors of v
+		} else if e.dst == x && e.src != x {
+			if v = m.bind[e.src]; v == unbound {
+				continue
+			}
+			in = false // v -> x: candidates are out-neighbors of v
+		} else {
+			continue
+		}
+		switch e.lid {
+		case labelAbsent:
+			return m.candFail(x, runs)
+		case labelWild:
+			deg := m.snap.OutDegree(v)
+			if in {
+				deg = m.snap.InDegree(v)
+			}
+			if wildEdge < 0 || deg < wildLen {
+				wildEdge, wildIn, wildV, wildLen = ei, in, v, deg
+			}
+		default:
+			var run []graph.NodeID
+			if in {
+				run = m.snap.InNeighborsID(v, e.lid)
+			} else {
+				run = m.snap.OutNeighborsID(v, e.lid)
+			}
+			if len(run) == 0 {
+				return m.candFail(x, runs)
+			}
+			nAdj++
+			push(run)
+		}
+	}
+	// Pushed-down literal postings join the intersection; a filter whose
+	// attribute or value occurs nowhere in the snapshot admits nothing.
+	for fi := range pl.varFilt[x] {
+		f := &pl.varFilt[x][fi]
+		if f.aid < 0 || len(f.post) == 0 {
+			return m.candFail(x, runs)
+		}
+		push(f.post)
+	}
+	if nAdj == 0 && run0 != nil && wildEdge < 0 {
+		// Seed variable driven by its literal postings alone: fold the
+		// label posting in too, so the intersection is as tight as both
+		// indexes allow.
+		switch lid := pl.varLid[x]; lid {
+		case labelAbsent:
+			return m.candFail(x, runs)
+		case labelWild:
+		default:
+			post := m.snap.CandidateNodesID(lid)
+			if len(post) == 0 {
+				return m.candFail(x, runs)
+			}
+			push(post)
+		}
+	}
+	if run0 == nil {
+		if wildEdge >= 0 {
+			// Only wildcard-labeled bound edges: fall back to the merged,
+			// deduplicated neighbor buffer of the smallest neighborhood;
+			// consistent probes it (and every other constraint).
+			var buf []graph.NodeID
+			if wildIn {
+				buf = m.snap.AppendInNeighbors(m.wildBuf(x), wildV)
+			} else {
+				buf = m.snap.AppendOutNeighbors(m.wildBuf(x), wildV)
+			}
+			m.wild[x] = buf
+			return buf
+		}
+		switch lid := pl.varLid[x]; lid {
+		case labelAbsent:
+			return nil
+		case labelWild:
+			return m.snap.Nodes()
+		default:
+			return m.snap.CandidateNodesID(lid)
+		}
+	}
+	// Every concrete bound edge and every pushed-down literal is folded
+	// into the candidate set; consistent skips re-probing them.
+	m.covered[x] = true
+	if runs == nil {
+		return run0
+	}
+	out := intersectInto(m.isectBuf(x), runs)
+	m.isect[x] = out
+	m.runs[x] = runs
+	return out
+}
+
+// candidatesSnapProbe is the legacy scan-and-probe extension step over
+// the interned snapshot symbols: the first bound pattern-neighbor's
+// run is scanned and every other constraint is probed per candidate.
+func (m *matcher) candidatesSnapProbe(x int) []graph.NodeID {
 	for _, e := range m.pl.adj[x] {
 		if e.src == x && e.dst != x {
 			if v := m.bind[e.dst]; v != unbound {
@@ -648,8 +1051,9 @@ func (m *matcher) candidatesSnap(x int) []graph.NodeID {
 	}
 }
 
-// consistent checks label compatibility of binding x↦v and every pattern
-// edge between x and already-bound variables (including self-loops).
+// consistent checks label compatibility of binding x↦v, x's pushed-down
+// constant literals, and every pattern edge between x and already-bound
+// variables (including self-loops).
 func (m *matcher) consistent(x int, v graph.NodeID) bool {
 	if m.filter != nil && !m.filter(v) {
 		return false
@@ -659,6 +1063,13 @@ func (m *matcher) consistent(x int, v graph.NodeID) bool {
 	}
 	if !graph.LabelMatches(m.pl.labels[x], m.h.Label(v)) {
 		return false
+	}
+	for fi := range m.pl.varFilt[x] {
+		f := &m.pl.varFilt[x][fi]
+		val, ok := m.h.Attr(v, f.attr)
+		if !ok || !val.Equal(f.val) {
+			return false
+		}
 	}
 	for _, e := range m.pl.adj[x] {
 		var src, dst graph.NodeID
@@ -686,6 +1097,11 @@ func (m *matcher) consistent(x int, v graph.NodeID) bool {
 }
 
 // consistentSnap is consistent over the interned snapshot symbols.
+// When the candidate came out of candidatesSnap's intersection
+// (covered), the concrete bound-edge and pushed-down literal
+// constraints were satisfied by construction and only the residual
+// constraints — node label, self-loops, wildcard-labeled edges — are
+// checked.
 func (m *matcher) consistentSnap(x int, v graph.NodeID) bool {
 	switch lid := m.pl.varLid[x]; lid {
 	case labelWild:
@@ -696,11 +1112,26 @@ func (m *matcher) consistentSnap(x int, v graph.NodeID) bool {
 			return false
 		}
 	}
+	covered := m.covered[x]
+	if !covered {
+		for fi := range m.pl.varFilt[x] {
+			f := &m.pl.varFilt[x][fi]
+			if f.aid < 0 {
+				return false
+			}
+			val, ok := m.snap.AttrValueID(v, f.aid)
+			if !ok || !val.Equal(f.val) {
+				return false
+			}
+		}
+	}
 	for _, e := range m.pl.adj[x] {
 		var src, dst graph.NodeID
+		selfLoop := false
 		switch {
 		case e.src == x && e.dst == x:
 			src, dst = v, v
+			selfLoop = true
 		case e.src == x:
 			dst = m.bind[e.dst]
 			if dst == unbound {
@@ -722,6 +1153,10 @@ func (m *matcher) consistentSnap(x int, v graph.NodeID) bool {
 				return false
 			}
 		default:
+			if covered && !selfLoop {
+				// Already enforced by the candidate intersection.
+				continue
+			}
 			if !m.snap.HasEdgeID(src, e.lid, dst) {
 				return false
 			}

@@ -1,0 +1,327 @@
+package pattern_test
+
+// Differential tests for the worst-case-optimal extension step: the
+// intersection path (multi-way sorted-run intersection with pushed-down
+// literal postings) must enumerate exactly the same match sets as the
+// legacy scan-and-probe path, on both hosts, across generated cyclic
+// workloads — triangles, diamonds, 4-cliques, wildcard edges and
+// self-loops, the shapes where the two extension strategies diverge
+// most. testing/quick drives the seeds; CI runs the package under
+// -race, which also guards the pooled intersection scratch.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gedlib/internal/gen"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+var (
+	wcoLabels = []graph.Label{"a", "b", "c"}
+	wcoAttrs  = []graph.Attr{"p", "q"}
+)
+
+// cyclicPatterns builds the dense shapes from one seed: a triangle, a
+// diamond, a 4-clique, plus variants with wildcard labels and a
+// self-loop, each over labels drawn from the workload vocabulary.
+func cyclicPatterns(seed int64) []*pattern.Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	lbl := func() graph.Label {
+		if rng.Intn(4) == 0 {
+			return graph.Wildcard
+		}
+		return wcoLabels[rng.Intn(len(wcoLabels))]
+	}
+	elbl := func() graph.Label {
+		if rng.Intn(4) == 0 {
+			return graph.Wildcard
+		}
+		return "e"
+	}
+	var ps []*pattern.Pattern
+
+	tri := pattern.New()
+	tri.AddVar("x", lbl()).AddVar("y", lbl()).AddVar("z", lbl())
+	tri.AddEdge("x", elbl(), "y").AddEdge("y", elbl(), "z").AddEdge("x", elbl(), "z")
+	ps = append(ps, tri)
+
+	dia := pattern.New()
+	dia.AddVar("x", lbl()).AddVar("y", lbl()).AddVar("z", lbl()).AddVar("w", lbl())
+	dia.AddEdge("x", elbl(), "y").AddEdge("x", elbl(), "z")
+	dia.AddEdge("y", elbl(), "w").AddEdge("z", elbl(), "w")
+	ps = append(ps, dia)
+
+	clique := pattern.New()
+	vars := []pattern.Var{"x", "y", "z", "w"}
+	for _, v := range vars {
+		clique.AddVar(v, lbl())
+	}
+	for i := range vars {
+		for j := range vars {
+			if i != j && rng.Intn(2) == 0 {
+				clique.AddEdge(vars[i], elbl(), vars[j])
+			}
+		}
+	}
+	clique.AddEdge(vars[0], elbl(), vars[1]) // never edgeless
+	ps = append(ps, clique)
+
+	loop := pattern.New()
+	loop.AddVar("x", lbl()).AddVar("y", lbl())
+	loop.AddEdge("x", elbl(), "x").AddEdge("x", elbl(), "y").AddEdge("y", elbl(), "x")
+	ps = append(ps, loop)
+
+	return ps
+}
+
+// wcoHost builds a host graph dense enough that cyclic patterns close:
+// a seeded random property graph with self-loops and triangles mixed
+// in.
+func wcoHost(seed int64) *graph.Graph {
+	g := gen.RandomPropertyGraph(seed, 40, 3.5, wcoLabels, wcoAttrs, 3)
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	n := g.NumNodes()
+	for i := 0; i < n/2; i++ {
+		a, b, c := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		g.AddEdge(a, "e", b)
+		g.AddEdge(b, "e", c)
+		g.AddEdge(a, "e", c)
+	}
+	g.AddEdge(graph.NodeID(rng.Intn(n)), "e", graph.NodeID(rng.Intn(n)))
+	g.AddEdge(0, "e", 0) // at least one host self-loop
+	return g
+}
+
+// TestIntersectionMatchesProbe: on both hosts, for dense cyclic
+// patterns, the intersection path and the probe path enumerate the
+// same match sets.
+func TestIntersectionMatchesProbe(t *testing.T) {
+	f := func(seed int64) bool {
+		seed %= 1_000_000
+		g := wcoHost(seed)
+		snap := g.Freeze()
+		for _, p := range cyclicPatterns(seed) {
+			for _, host := range []pattern.Host{g, snap} {
+				var probe, isect []pattern.Match
+				pattern.CompileProbe(p, host).ForEachBound(nil, func(m pattern.Match) bool {
+					probe = append(probe, m.Clone())
+					return true
+				})
+				pattern.Compile(p, host).ForEachBound(nil, func(m pattern.Match) bool {
+					isect = append(isect, m.Clone())
+					return true
+				})
+				if !sameCanon(canonMatches(p, probe), canonMatches(p, isect)) {
+					t.Logf("seed %d host %T pattern %s: probe %d matches, intersection %d",
+						seed, host, p, len(probe), len(isect))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFilteredMatchesPostFilter: a plan with pushed-down constant
+// literals enumerates exactly the probe-path matches that survive
+// checking those literals post-match — on both hosts, including
+// filters over absent attributes and values.
+func TestFilteredMatchesPostFilter(t *testing.T) {
+	f := func(seed int64) bool {
+		seed %= 1_000_000
+		g := wcoHost(seed)
+		snap := g.Freeze()
+		rng := rand.New(rand.NewSource(seed + 7))
+		for _, p := range cyclicPatterns(seed) {
+			vars := p.Vars()
+			var filters []pattern.ConstFilter
+			for _, v := range vars {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				a := wcoAttrs[rng.Intn(len(wcoAttrs))]
+				val := graph.Value(graph.Int(rng.Intn(4))) // domain is 3: value 3 is absent
+				if rng.Intn(8) == 0 {
+					a = "ghost" // attribute no node carries
+				}
+				filters = append(filters, pattern.ConstFilter{Var: v, Attr: a, Value: val})
+			}
+			holds := func(h pattern.Host, m pattern.Match) bool {
+				for _, f := range filters {
+					got, ok := h.Attr(m[f.Var], f.Attr)
+					if !ok || !got.Equal(f.Value) {
+						return false
+					}
+				}
+				return true
+			}
+			for _, host := range []pattern.Host{g, snap} {
+				var want, got []pattern.Match
+				pattern.CompileProbe(p, host).ForEachBound(nil, func(m pattern.Match) bool {
+					if holds(host, m) {
+						want = append(want, m.Clone())
+					}
+					return true
+				})
+				pattern.CompileFiltered(p, host, filters).ForEachBound(nil, func(m pattern.Match) bool {
+					got = append(got, m.Clone())
+					return true
+				})
+				if !sameCanon(canonMatches(p, want), canonMatches(p, got)) {
+					t.Logf("seed %d host %T pattern %s filters %v: want %d matches, got %d",
+						seed, host, p, filters, len(want), len(got))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPivotRoutesThroughIntersection is the pivoted re-check
+// regression: ForEachPivot over a filtered plan must enumerate exactly
+// the probe-path pivot matches surviving the literal post-filter, for
+// both sorted candidate blocks (pre-intersected with the pivot's
+// postings) and unsorted ones (per-candidate filtering) — the shapes
+// ValidateTouching and the parallel validator feed it.
+func TestPivotRoutesThroughIntersection(t *testing.T) {
+	f := func(seed int64) bool {
+		seed %= 1_000_000
+		g := wcoHost(seed)
+		snap := g.Freeze()
+		rng := rand.New(rand.NewSource(seed + 13))
+		for _, p := range cyclicPatterns(seed) {
+			vars := p.Vars()
+			pivot := vars[rng.Intn(len(vars))]
+			filters := []pattern.ConstFilter{
+				{Var: pivot, Attr: wcoAttrs[rng.Intn(len(wcoAttrs))], Value: graph.Int(rng.Intn(3))},
+			}
+			// A sorted block (every node, ascending) and an unsorted,
+			// duplicate-carrying block of touched nodes.
+			sorted := append([]graph.NodeID(nil), snap.Nodes()...)
+			unsorted := make([]graph.NodeID, 0, 8)
+			for i := 0; i < 8; i++ {
+				unsorted = append(unsorted, graph.NodeID(rng.Intn(g.NumNodes())))
+			}
+			for _, cands := range [][]graph.NodeID{sorted, unsorted} {
+				var want, got []pattern.Match
+				pattern.CompileProbe(p, snap).ForEachPivot(pivot, cands, func(m pattern.Match) bool {
+					ok := true
+					for _, f := range filters {
+						v, has := snap.Attr(m[f.Var], f.Attr)
+						if !has || !v.Equal(f.Value) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						want = append(want, m.Clone())
+					}
+					return true
+				})
+				pattern.CompileFiltered(p, snap, filters).ForEachPivot(pivot, cands, func(m pattern.Match) bool {
+					got = append(got, m.Clone())
+					return true
+				})
+				if !sameCanon(canonMatches(p, want), canonMatches(p, got)) {
+					t.Logf("seed %d pattern %s pivot %s: want %d matches, got %d",
+						seed, p, pivot, len(want), len(got))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntersectInto exercises the leapfrog intersection directly
+// against a map-based oracle, across list counts and skew.
+func TestIntersectInto(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(5)
+		lists := make([][]graph.NodeID, k)
+		count := make(map[graph.NodeID]int)
+		for i := range lists {
+			n := rng.Intn(40)
+			seen := make(map[graph.NodeID]bool)
+			for j := 0; j < n; j++ {
+				id := graph.NodeID(rng.Intn(60))
+				if !seen[id] {
+					seen[id] = true
+					lists[i] = append(lists[i], id)
+				}
+			}
+			// ascending, duplicate-free
+			ids := lists[i]
+			for a := 1; a < len(ids); a++ {
+				for b := a; b > 0 && ids[b] < ids[b-1]; b-- {
+					ids[b], ids[b-1] = ids[b-1], ids[b]
+				}
+			}
+			for id := range seen {
+				count[id]++
+			}
+		}
+		var want []graph.NodeID
+		for id, c := range count {
+			if c == k {
+				want = append(want, id)
+			}
+		}
+		got := pattern.IntersectSortedForTest(lists)
+		if len(got) != len(want) {
+			t.Logf("seed %d: got %v", seed, got)
+			return false
+		}
+		wantSet := make(map[graph.NodeID]bool, len(want))
+		for _, id := range want {
+			wantSet[id] = true
+		}
+		for i, id := range got {
+			if !wantSet[id] || (i > 0 && got[i-1] >= id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkExtensionStep compares probe vs intersection on a dense
+// triangle workload — the matcher's extension step in isolation.
+func BenchmarkExtensionStep(b *testing.B) {
+	g := gen.RandomPropertyGraph(5, 2000, 16, wcoLabels, wcoAttrs, 4)
+	tri := pattern.New()
+	tri.AddVar("x", "a").AddVar("y", "b").AddVar("z", "c")
+	tri.AddEdge("x", "e", "y").AddEdge("y", "e", "z").AddEdge("x", "e", "z")
+	snap := g.Freeze()
+	b.Run("probe", func(b *testing.B) {
+		pl := pattern.CompileProbe(tri, snap)
+		for i := 0; i < b.N; i++ {
+			n := 0
+			pl.ForEachBound(nil, func(pattern.Match) bool { n++; return true })
+		}
+	})
+	b.Run("intersect", func(b *testing.B) {
+		pl := pattern.Compile(tri, snap)
+		for i := 0; i < b.N; i++ {
+			n := 0
+			pl.ForEachBound(nil, func(pattern.Match) bool { n++; return true })
+		}
+	})
+}

@@ -51,7 +51,7 @@ func ValidateTouchingOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, n
 		return nil, ctx.Err()
 	}
 	return validateTouching(ctx, h, sigma, nodes, limit, func(i int) *pattern.Plan {
-		return pattern.Compile(sigma[i].Pattern, h)
+		return pattern.CompileFiltered(sigma[i].Pattern, h, PushdownFilters(sigma[i]))
 	})
 }
 

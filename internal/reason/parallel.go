@@ -56,7 +56,9 @@ func ValidateParallelOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, l
 		return ValidateOnCtx(ctx, h, sigma, limit)
 	}
 	return validateParallel(ctx, h, sigma, limit, workers,
-		func(i int) *pattern.Plan { return pattern.Compile(sigma[i].Pattern, h) },
+		func(i int) *pattern.Plan {
+			return pattern.CompileFiltered(sigma[i].Pattern, h, PushdownFilters(sigma[i]))
+		},
 		func(i int) (pattern.Var, []graph.NodeID) { return pivotFor(sigma[i], h) })
 }
 

@@ -164,7 +164,12 @@ func ValidateOnCtx(ctx context.Context, h pattern.Host, sigma ged.Set, limit int
 	stop := func() bool { return ctx.Err() != nil }
 	for _, d := range sigma {
 		d := d
-		pattern.ForEachMatchCancel(d.Pattern, h, stop, func(m pattern.Match) bool {
+		// Constant antecedent literals are pushed down into the plan, so
+		// the enumeration below only ever surfaces matches that already
+		// satisfy them; the in-callback X check covers the rest (variable
+		// and id literals).
+		pl := pattern.CompileFiltered(d.Pattern, h, PushdownFilters(d))
+		pl.ForEachBoundCancel(nil, stop, func(m pattern.Match) bool {
 			if ctx.Err() != nil {
 				return false
 			}

@@ -46,7 +46,11 @@ func NewValidator(g *graph.Graph, sigma ged.Set) *Validator {
 }
 
 // NewValidatorOn prepares a validation context over an existing
-// snapshot, sharing it instead of re-freezing.
+// snapshot, sharing it instead of re-freezing. Plans are compiled with
+// every constant literal of the antecedent pushed down (see
+// PushdownFilters): violating-match enumeration skips literal-failing
+// bindings inside the search, and the post-match antecedent check only
+// ever sees matches that already satisfy the pushable literals.
 func NewValidatorOn(snap *graph.Snapshot, sigma ged.Set) *Validator {
 	v := &Validator{
 		snap:  snap,
@@ -54,9 +58,27 @@ func NewValidatorOn(snap *graph.Snapshot, sigma ged.Set) *Validator {
 		plans: make([]*pattern.Plan, len(sigma)),
 	}
 	for i, d := range sigma {
-		v.plans[i] = pattern.Compile(d.Pattern, snap)
+		v.plans[i] = pattern.CompileFiltered(d.Pattern, snap, PushdownFilters(d))
 	}
 	return v
+}
+
+// PushdownFilters extracts the pushable antecedent literals of d: the
+// constant literals x.A = c, which the matcher turns into posting-list
+// intersections on snapshot hosts and bind-time attribute checks on
+// mutable ones. Variable and id literals relate two bindings and stay
+// post-match checks; so does every consequent literal (a violation is
+// a match that *fails* one).
+func PushdownFilters(d *ged.GED) []pattern.ConstFilter {
+	var fs []pattern.ConstFilter
+	for _, l := range d.X {
+		k, ok := l.Kind()
+		if !ok || k != ged.ConstLiteral {
+			continue
+		}
+		fs = append(fs, pattern.ConstFilter{Var: l.Left.Var, Attr: l.Left.Attr, Value: l.Right.Const})
+	}
+	return fs
 }
 
 // Rebase returns a validator over snap, reusing the receiver's compiled
