@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"gedlib"
+	"gedlib/persist"
+	"gedlib/workload"
+)
+
+// DurabilityOptions configures the durability experiment: how much WAL
+// history accumulates, how often recovery is timed along the way, how
+// many records the follower-staleness measurement tails, and the
+// serving load used for the fsync-cost comparison.
+type DurabilityOptions struct {
+	// Scale is the knowledge-base scale of the durable graph.
+	Scale int
+	// TotalOps is how many logical ops are appended to the WAL across
+	// the recovery curve (no checkpoints in between — the curve measures
+	// replay cost as a function of log length).
+	TotalOps int
+	// Milestones is how many points the recovery curve samples.
+	Milestones int
+	// FollowerRecords is how many live WAL records the staleness
+	// measurement tails.
+	FollowerRecords int
+	// Seed makes the op stream deterministic.
+	Seed int64
+	// Serve is the load profile for the durable-vs-in-memory throughput
+	// comparison.
+	Serve ServeOptions
+}
+
+// DefaultDurabilityOptions is the acceptance workload: KB2000, 20k ops
+// of WAL history, the full serving load.
+func DefaultDurabilityOptions() DurabilityOptions {
+	return DurabilityOptions{
+		Scale: 2000, TotalOps: 20000, Milestones: 5,
+		FollowerRecords: 200, Seed: 1, Serve: DefaultServeOptions(),
+	}
+}
+
+// QuickDurabilityOptions is the CI smoke variant.
+func QuickDurabilityOptions() DurabilityOptions {
+	return DurabilityOptions{
+		Scale: 200, TotalOps: 1000, Milestones: 3,
+		FollowerRecords: 40, Seed: 1, Serve: QuickServeOptions(),
+	}
+}
+
+// RecoveryPoint is one timing of Store.Recover at a given log length.
+type RecoveryPoint struct {
+	ReplayedOps int           `json:"replayed_ops"`
+	WALBytes    int64         `json:"wal_bytes"`
+	Recover     time.Duration `json:"recover_ns"`
+}
+
+// DurabilityResult is one run of the durability experiment.
+type DurabilityResult struct {
+	Scale    int `json:"scale"`
+	TotalOps int `json:"total_ops"`
+
+	// Curve: recovery time as the WAL tail grows past a fixed
+	// checkpoint — the cost a crash pays, O(|Δ since checkpoint|).
+	Curve []RecoveryPoint `json:"curve"`
+
+	// FreshCheckpointRecover is recovery immediately after a
+	// checkpoint (map the image, replay nothing); FullLogReplay is the
+	// same final state recovered from an empty-graph checkpoint plus
+	// the entire history as WAL records. Their ratio is what
+	// checkpointing buys.
+	FreshCheckpointRecover time.Duration `json:"fresh_checkpoint_recover_ns"`
+	FullLogReplay          time.Duration `json:"full_log_replay_ns"`
+	ReplaySpeedup          float64       `json:"replay_speedup"`
+
+	// FollowerStaleness digests per-record replica lag (record append
+	// time to follower read) while the leader streams live appends.
+	FollowerStaleness LatencySummary `json:"follower_staleness"`
+
+	// Serving throughput with the WAL on (fsync=batch riding the group
+	// commit) vs the in-memory baseline, same load profile.
+	BaselineThroughput float64 `json:"baseline_throughput_rps"`
+	DurableThroughput  float64 `json:"durable_throughput_rps"`
+	ThroughputRatio    float64 `json:"throughput_ratio"`
+}
+
+// mutateOnce applies one random op to g, mirroring the serving write
+// mix (attribute churn and edge growth over the fixed node set).
+func mutateOnce(rng *rand.Rand, g *gedlib.Graph, n int) {
+	id := gedlib.NodeID(rng.Intn(n))
+	switch rng.Intn(3) {
+	case 0:
+		types := []string{"programmer", "psychologist", "video game"}
+		g.SetAttr(id, "type", gedlib.String(types[rng.Intn(len(types))]))
+	case 1:
+		g.SetAttr(id, "name", gedlib.String(fmt.Sprintf("renamed%d", rng.Int31())))
+	default:
+		g.AddEdge(id, "create", gedlib.NodeID(rng.Intn(n)))
+	}
+}
+
+// Durability runs the experiment. It panics on setup errors (the
+// experiment is a harness, not a server).
+func Durability(opts DurabilityOptions) DurabilityResult {
+	dir, err := os.MkdirTemp("", "gedbench-durability-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// FsyncOff: the experiment measures recovery and replication costs,
+	// not disk sync latency; the serving comparison below measures the
+	// fsync cost separately, end to end.
+	store, err := persist.Open(dir, persist.Options{
+		Fsync: persist.FsyncOff, CheckpointEvery: 1 << 30,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	g, _ := workload.KnowledgeBase(opts.Seed, opts.Scale, 0.1)
+	n := g.NumNodes()
+	gs, err := store.Create("kb", persist.State{Graph: g})
+	if err != nil {
+		panic(err)
+	}
+
+	res := DurabilityResult{Scale: opts.Scale, TotalOps: opts.TotalOps}
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+
+	// Recovery curve: append in bursts (one delta record per burst,
+	// like one coalesced flush), timing Recover at each milestone.
+	timeRecover := func(name string) (time.Duration, *persist.Recovery) {
+		start := time.Now()
+		rec, err := store.Recover(name)
+		if err != nil {
+			panic(err)
+		}
+		return time.Since(start), rec
+	}
+	const burst = 100
+	every := opts.TotalOps / opts.Milestones
+	appended := 0
+	appendBurst := func(ops int) {
+		from := g.Version()
+		for i := 0; i < ops; i++ {
+			mutateOnce(rng, g, n)
+		}
+		d := g.DeltaSince(from)
+		if err := gs.AppendDelta(d, make([]string, len(d.Nodes))); err != nil {
+			panic(err)
+		}
+		appended += d.Size()
+	}
+	d0, _ := timeRecover("kb")
+	res.Curve = append(res.Curve, RecoveryPoint{Recover: d0})
+	for appended < opts.TotalOps {
+		appendBurst(burst)
+		if appended%every < burst {
+			dur, rec := timeRecover("kb")
+			res.Curve = append(res.Curve, RecoveryPoint{
+				ReplayedOps: rec.ReplayedOps,
+				WALBytes:    gs.Stats().WALBytes,
+				Recover:     dur,
+			})
+		}
+	}
+
+	// Full-log replay of the same final state: an empty-graph
+	// checkpoint plus the entire history (construction included) as
+	// one WAL record.
+	full := g.DeltaSince(0)
+	rs, err := store.Create("replay", persist.State{Graph: gedlib.NewGraph()})
+	if err != nil {
+		panic(err)
+	}
+	if err := rs.AppendDelta(full, make([]string, len(full.Nodes))); err != nil {
+		panic(err)
+	}
+	res.FullLogReplay, _ = timeRecover("replay")
+	_ = rs.Close()
+
+	// Fresh checkpoint: recovery right after checkpointing replays
+	// nothing — it maps the newest image and goes.
+	if err := gs.Checkpoint(persist.State{Graph: g}); err != nil {
+		panic(err)
+	}
+	res.FreshCheckpointRecover, _ = timeRecover("kb")
+	if res.FreshCheckpointRecover > 0 {
+		res.ReplaySpeedup = float64(res.FullLogReplay) / float64(res.FreshCheckpointRecover)
+	}
+
+	// Follower staleness: tail the live log while the leader keeps
+	// appending; each record's lag is read time minus append time.
+	_, rec := timeRecover("kb")
+	ctx, cancel := context.WithCancel(context.Background())
+	staleness := make([]time.Duration, 0, opts.FollowerRecords)
+	tailDone := make(chan error, 1)
+	go func() {
+		tailDone <- store.Tail(ctx, "kb", rec, time.Millisecond, func(tr persist.TailRecord) error {
+			staleness = append(staleness, time.Since(tr.AppendedAt))
+			if len(staleness) >= opts.FollowerRecords {
+				cancel()
+			}
+			return nil
+		})
+	}()
+	for i := 0; i < opts.FollowerRecords && ctx.Err() == nil; i++ {
+		appendBurst(5)
+		time.Sleep(time.Millisecond)
+	}
+	<-tailDone
+	cancel()
+	res.FollowerStaleness = summarize(staleness)
+	_ = gs.Close()
+
+	// Serving throughput: identical load, in-memory vs durable with
+	// group-commit fsync.
+	base := ServeLoad(opts.Serve)
+	durOpts := opts.Serve
+	durOpts.DataDir, durOpts.Fsync = dir+"-serve", "batch"
+	defer os.RemoveAll(durOpts.DataDir)
+	durable := ServeLoad(durOpts)
+	res.BaselineThroughput = base.Throughput
+	res.DurableThroughput = durable.Throughput
+	if base.Throughput > 0 {
+		res.ThroughputRatio = durable.Throughput / base.Throughput
+	}
+	return res
+}
+
+// WriteDurability renders the durability result.
+func WriteDurability(w io.Writer, r DurabilityResult) {
+	fmt.Fprintf(w, "graph KB%d, %d ops of WAL history\n\n", r.Scale, r.TotalOps)
+	fmt.Fprintf(w, "%-14s %12s %12s\n", "REPLAYED OPS", "WAL BYTES", "RECOVER")
+	for _, p := range r.Curve {
+		fmt.Fprintf(w, "%-14d %12d %12s\n", p.ReplayedOps, p.WALBytes, p.Recover.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "\nfresh-checkpoint recover %s  vs  full-log replay %s  (%.1fx)\n",
+		r.FreshCheckpointRecover.Round(time.Microsecond),
+		r.FullLogReplay.Round(time.Microsecond), r.ReplaySpeedup)
+	s := r.FollowerStaleness
+	fmt.Fprintf(w, "follower staleness over %d live records: p50 %s  p95 %s  p99 %s\n",
+		s.Count, s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond))
+	fmt.Fprintf(w, "serving throughput: %.0f req/s in-memory, %.0f req/s durable (fsync=batch) — ratio %.2f\n",
+		r.BaselineThroughput, r.DurableThroughput, r.ThroughputRatio)
+}

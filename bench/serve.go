@@ -36,6 +36,12 @@ type ServeOptions struct {
 	Skew float64
 	// Seed makes the request streams deterministic.
 	Seed int64
+
+	// DataDir, when non-empty, runs the server durably (WAL +
+	// checkpoints under it) with the given Fsync policy — the
+	// durability experiment compares this against the in-memory run.
+	DataDir string
+	Fsync   string
 }
 
 // DefaultServeOptions is the acceptance workload: 64 concurrent
@@ -121,9 +127,14 @@ type serveClient struct {
 // server) and counts per-request failures instead of aborting — load
 // shedding is an expected behavior under saturation, not a bug.
 func ServeLoad(opts ServeOptions) ServeResult {
-	srv := serve.NewServer(serve.Config{
+	srv, err := serve.NewServer(serve.Config{
 		MaxInFlight: 2*opts.Clients + 16,
+		DataDir:     opts.DataDir,
+		Fsync:       opts.Fsync,
 	})
+	if err != nil {
+		panic(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

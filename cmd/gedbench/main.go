@@ -8,6 +8,7 @@
 //	gedbench -experiment incremental       # Engine.Apply vs full re-validation
 //	gedbench -experiment chase             # delta-maintained vs refreeze chase
 //	gedbench -experiment serve             # serving-subsystem load (64 clients, 90/10)
+//	gedbench -experiment durability        # WAL recovery scaling, follower staleness, fsync cost
 //	gedbench -experiment all
 //
 // Unknown -experiment values are rejected up front with the list of
@@ -37,7 +38,7 @@ var emitJSON bool
 
 // experiments names every known experiment, in `all` execution order;
 // "all" itself and the usage text derive from it.
-var experiments = []string{"table1", "scaling", "validate", "match", "incremental", "chase", "serve"}
+var experiments = []string{"table1", "scaling", "validate", "match", "incremental", "chase", "serve", "durability"}
 
 func main() {
 	experiment := flag.String("experiment", "table1",
@@ -78,6 +79,8 @@ func main() {
 			chaseExperiment(*quick)
 		case "serve":
 			serveExperiment(*quick)
+		case "durability":
+			durabilityExperiment(*quick)
 		default:
 			// The experiments list and this switch must agree; the
 			// up-front validation already admitted the name.
@@ -190,6 +193,33 @@ func serveExperiment(quick bool) {
 	if !quick && res.AvgBatchOps <= 1 {
 		fmt.Fprintln(os.Stderr, "gedbench: serve: write coalescing not visible (avg batch <= 1 op)")
 		os.Exit(1)
+	}
+}
+
+func durabilityExperiment(quick bool) {
+	fmt.Println("Durability: recovery time vs WAL length (checkpoint + tail replay),")
+	fmt.Println("follower staleness over a live log, and the serving-throughput cost")
+	fmt.Println("of group-commit fsync")
+	fmt.Println()
+	opts := bench.DefaultDurabilityOptions()
+	if quick {
+		opts = bench.QuickDurabilityOptions()
+	}
+	res := bench.Durability(opts)
+	bench.WriteDurability(os.Stdout, res)
+	writeJSON("durability", res)
+	if !quick {
+		// Recovery must scale with |Δ since checkpoint|, not |history|:
+		// a fresh checkpoint has to beat replaying the whole log by a
+		// wide margin, and the WAL must not halve serving throughput.
+		if res.ReplaySpeedup < 2 {
+			fmt.Fprintf(os.Stderr, "gedbench: durability: fresh-checkpoint recovery only %.2fx faster than full-log replay\n", res.ReplaySpeedup)
+			os.Exit(1)
+		}
+		if res.ThroughputRatio < 0.6 {
+			fmt.Fprintf(os.Stderr, "gedbench: durability: durable throughput ratio %.2f below 0.6\n", res.ThroughputRatio)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -5,6 +5,18 @@
 //
 //	gedserve -addr :8080
 //	gedserve -addr :8080 -load kb=testdata/kb.json -rules kb=testdata/rules.ged
+//	gedserve -addr :8080 -data /var/lib/gedserve            # durable leader
+//	gedserve -addr :8081 -follow /var/lib/gedserve          # read replica
+//
+// With -data, every graph is persisted under the directory (per-graph
+// delta WAL + periodic checkpoints); rebooting with the same -data
+// restores the catalog — newest checkpoint plus WAL-tail replay — so a
+// crash loses at most the writes whose mutate requests had not yet
+// returned. -fsync picks the WAL sync policy (always, batch, off);
+// -checkpoint-every the ops between checkpoints. With -follow, the
+// process tails another gedserve's -data directory as a read-only
+// replica: mutations are rejected with 403 and /statsz reports the
+// replication lag.
 //
 // API (all JSON):
 //
@@ -34,6 +46,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -71,11 +84,18 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently admitted requests (0 = default)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request context timeout (0 = default)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling the serving-path matcher in situ)")
+	dataDir := flag.String("data", "", "durable data directory (per-graph WAL + checkpoints); reboot with the same directory to restore")
+	fsync := flag.String("fsync", "batch", "WAL fsync policy: always, batch or off")
+	ckptEvery := flag.Int("checkpoint-every", 0, "ops between checkpoints (0 = default)")
+	follow := flag.String("follow", "", "follow a leader's -data directory as a read-only replica")
 	flag.Var(&loads, "load", "preload a graph: name=graph.json (repeatable)")
 	flag.Var(&rules, "rules", "preregister rules: name=rules.ged (repeatable)")
 	flag.Parse()
 
-	srv := serve.NewServer(serve.Config{
+	if *dataDir != "" && *follow != "" {
+		fatal(fmt.Errorf("-data and -follow are mutually exclusive"))
+	}
+	cfg := serve.Config{
 		Workers:         *workers,
 		GraphCacheBound: *cacheBound,
 		ChaseDepth:      *chaseDepth,
@@ -84,7 +104,31 @@ func main() {
 		MaxQueueOps:     *maxQueue,
 		MaxInFlight:     *maxInFlight,
 		RequestTimeout:  *reqTimeout,
-	})
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		CheckpointEvery: *ckptEvery,
+	}
+	if *follow != "" {
+		cfg.DataDir = *follow
+	}
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *follow != "":
+		if err := srv.Follow(context.Background()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gedserve: following %s (read-only replica)\n", *follow)
+	case *dataDir != "":
+		names, err := srv.Restore(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gedserve: restored %d graph(s) from %s\n", len(names), *dataDir)
+	}
 
 	for _, spec := range loads {
 		name, path, _ := strings.Cut(spec, "=")
@@ -93,6 +137,12 @@ func main() {
 			fatal(err)
 		}
 		ent, err := srv.Catalog().Create(name, data)
+		if errors.Is(err, serve.ErrExists) {
+			// Rebooting with both -data and -load: the durable copy
+			// (which includes every write since the original load) wins.
+			fmt.Printf("gedserve: %s already restored from %s; skipping -load\n", name, *dataDir)
+			continue
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -104,4 +104,14 @@
 // holds snapshots and validators for only the hot ones. SnapshotOf and
 // NewSnapshotValidator are the handoff points a custom serving layer
 // needs to build the same shape.
+//
+// The persist subpackage makes the catalog durable and replicable:
+// each coalesced flush is written ahead as one CRC-framed delta record
+// in a per-graph WAL (one fsync per batch — group commit riding the
+// batcher), periodic checkpoints store the graph's columnar image in an
+// mmap-able file, and recovery maps the newest valid checkpoint and
+// replays only the log tail, truncating torn records. A second gedserve
+// pointed at the same directory tails the log and serves the same
+// graphs as a read-only replica. See ExportImage/ImportImage and
+// Graph.ApplyDelta for the underlying primitives.
 package gedlib

@@ -1,0 +1,306 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"unsafe"
+
+	"gedlib"
+)
+
+// Checkpoint file layout (all integers little endian):
+//
+//	 0  magic "GEDCKPT1" (8 bytes)
+//	 8  u32 format version (1)
+//	12  u32 section count
+//	16  u64 graph version
+//	24  u32 IEEE CRC32 of everything from the first section's offset on
+//	28  u32 payload start offset
+//	32  section table: count × { u32 id, u32 pad, u64 offset, u64 length }
+//	    then 8-aligned sections, each padded to 8 bytes
+//
+// Offsets are absolute file offsets and 8-aligned, so a loader can mmap
+// the file and alias the u32/u64 columns of the GraphImage in place.
+
+const (
+	ckptMagic         = "GEDCKPT1"
+	ckptFormatVersion = 1
+	ckptHeaderBytes   = 32
+	ckptEntryBytes    = 24
+)
+
+// Section ids: the columns of a GraphImage plus the serving metadata.
+const (
+	secNodeLabel uint32 = iota + 1
+	secEdgeSrc
+	secEdgeLabel
+	secEdgeDst
+	secAttrNode
+	secAttrName
+	secAttrKind
+	secAttrVal
+	secLabels    // string table
+	secAttrNames // string table
+	secStrings   // string table
+	secNames     // string table: wire names by NodeID
+	secRules     // raw DSL source bytes
+)
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// u32bytes views a []uint32 as raw little-endian bytes for writing.
+// (The in-memory representation is LE on every supported platform; the
+// explicit encoder below is the portable fallback.)
+func u32bytes(xs []uint32) []byte {
+	out := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[i*4:], x)
+	}
+	return out
+}
+
+func u64bytes(xs []uint64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[i*8:], x)
+	}
+	return out
+}
+
+// u32view aliases 8-aligned mapped bytes as []uint32 without copying;
+// misaligned input (read fallback path) decodes portably instead.
+func u32view(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+func u64view(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// encodeStringTable lays out a string table: u64 count, u64 end-offsets
+// (relative to the data area), then the concatenated bytes.
+func encodeStringTable(ss []string) []byte {
+	total := 0
+	for _, s := range ss {
+		total += len(s)
+	}
+	out := make([]byte, 8*(len(ss)+1)+total)
+	binary.LittleEndian.PutUint64(out, uint64(len(ss)))
+	off := 0
+	data := out[8*(len(ss)+1):]
+	for i, s := range ss {
+		off += copy(data[off:], s)
+		binary.LittleEndian.PutUint64(out[8*(i+1):], uint64(off))
+	}
+	return out
+}
+
+// decodeStringTable parses an encodeStringTable section. The returned
+// strings are copies — safe to keep after the mapping is gone.
+func decodeStringTable(b []byte) ([]string, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("persist: string table too short")
+	}
+	count := binary.LittleEndian.Uint64(b)
+	if count > uint64(len(b)) {
+		return nil, fmt.Errorf("persist: implausible string table count %d", count)
+	}
+	head := 8 * (count + 1)
+	if uint64(len(b)) < head {
+		return nil, fmt.Errorf("persist: string table header truncated")
+	}
+	data := b[head:]
+	out := make([]string, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		end := binary.LittleEndian.Uint64(b[8*(i+1):])
+		if end < prev || end > uint64(len(data)) {
+			return nil, fmt.Errorf("persist: string table offsets out of order")
+		}
+		out[i] = string(data[prev:end])
+		prev = end
+	}
+	return out, nil
+}
+
+// writeCheckpoint writes st as ckpt-<version>.ged in dir via a temp
+// file + rename, returning the version captured. With sync, the file
+// and directory are fsynced before and after the rename, so a crash at
+// any point leaves either the old or the new checkpoint fully intact.
+func writeCheckpoint(dir string, st State, sync bool) (uint64, error) {
+	img := gedlib.ExportImage(st.Graph)
+
+	type section struct {
+		id   uint32
+		data []byte
+	}
+	sections := []section{
+		{secNodeLabel, u32bytes(img.NodeLabel)},
+		{secEdgeSrc, u32bytes(img.EdgeSrc)},
+		{secEdgeLabel, u32bytes(img.EdgeLabel)},
+		{secEdgeDst, u32bytes(img.EdgeDst)},
+		{secAttrNode, u32bytes(img.AttrNode)},
+		{secAttrName, u32bytes(img.AttrName)},
+		{secAttrKind, img.AttrKind},
+		{secAttrVal, u64bytes(img.AttrVal)},
+		{secLabels, encodeStringTable(img.Labels)},
+		{secAttrNames, encodeStringTable(img.AttrNames)},
+		{secStrings, encodeStringTable(img.Strings)},
+		{secNames, encodeStringTable(st.Names)},
+		{secRules, []byte(st.Rules)},
+	}
+
+	payloadStart := align8(ckptHeaderBytes + ckptEntryBytes*len(sections))
+	payloadLen := 0
+	for _, s := range sections {
+		payloadLen += align8(len(s.data))
+	}
+	buf := make([]byte, payloadStart+payloadLen)
+	copy(buf, ckptMagic)
+	binary.LittleEndian.PutUint32(buf[8:], ckptFormatVersion)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(sections)))
+	binary.LittleEndian.PutUint64(buf[16:], img.Version)
+	binary.LittleEndian.PutUint32(buf[28:], uint32(payloadStart))
+	off := payloadStart
+	for i, s := range sections {
+		e := ckptHeaderBytes + ckptEntryBytes*i
+		binary.LittleEndian.PutUint32(buf[e:], s.id)
+		binary.LittleEndian.PutUint64(buf[e+8:], uint64(off))
+		binary.LittleEndian.PutUint64(buf[e+16:], uint64(len(s.data)))
+		copy(buf[off:], s.data)
+		off += align8(len(s.data))
+	}
+	binary.LittleEndian.PutUint32(buf[24:], crc32.ChecksumIEEE(buf[payloadStart:]))
+
+	tmp, err := os.CreateTemp(dir, ".tmp-ckpt-*")
+	if err != nil {
+		return 0, fmt.Errorf("persist: write checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { _ = os.Remove(tmpName) }
+	if _, err := tmp.Write(buf); err != nil {
+		_ = tmp.Close()
+		cleanup()
+		return 0, fmt.Errorf("persist: write checkpoint: %w", err)
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			_ = tmp.Close()
+			cleanup()
+			return 0, fmt.Errorf("persist: sync checkpoint: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("persist: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, ckptName(img.Version))); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("persist: publish checkpoint: %w", err)
+	}
+	if sync {
+		syncDir(dir)
+	}
+	return img.Version, nil
+}
+
+// loadCheckpoint maps (or reads — see mapFile) a checkpoint file and
+// rebuilds its State. Validation is end-to-end: magic, format version,
+// CRC, then every image index bounds-checked by ImportImage.
+func loadCheckpoint(path string) (State, uint64, error) {
+	var zero State
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return zero, 0, err
+	}
+	defer unmap()
+
+	if len(data) < ckptHeaderBytes || string(data[:8]) != ckptMagic {
+		return zero, 0, fmt.Errorf("persist: %s: not a checkpoint file", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != ckptFormatVersion {
+		return zero, 0, fmt.Errorf("persist: %s: unsupported checkpoint format %d", path, v)
+	}
+	nSections := binary.LittleEndian.Uint32(data[12:])
+	version := binary.LittleEndian.Uint64(data[16:])
+	wantCRC := binary.LittleEndian.Uint32(data[24:])
+	payloadStart := binary.LittleEndian.Uint32(data[28:])
+	if uint64(payloadStart) > uint64(len(data)) ||
+		uint64(payloadStart) < uint64(ckptHeaderBytes+ckptEntryBytes*int(nSections)) {
+		return zero, 0, fmt.Errorf("persist: %s: corrupt checkpoint header", path)
+	}
+	if crc32.ChecksumIEEE(data[payloadStart:]) != wantCRC {
+		return zero, 0, fmt.Errorf("persist: %s: checkpoint CRC mismatch", path)
+	}
+	secs := make(map[uint32][]byte, nSections)
+	for i := 0; i < int(nSections); i++ {
+		e := ckptHeaderBytes + ckptEntryBytes*i
+		id := binary.LittleEndian.Uint32(data[e:])
+		off := binary.LittleEndian.Uint64(data[e+8:])
+		n := binary.LittleEndian.Uint64(data[e+16:])
+		if off > uint64(len(data)) || n > uint64(len(data))-off {
+			return zero, 0, fmt.Errorf("persist: %s: section %d out of bounds", path, id)
+		}
+		secs[id] = data[off : off+n]
+	}
+
+	img := &gedlib.GraphImage{
+		Version:   version,
+		NodeLabel: u32view(secs[secNodeLabel]),
+		EdgeSrc:   u32view(secs[secEdgeSrc]),
+		EdgeLabel: u32view(secs[secEdgeLabel]),
+		EdgeDst:   u32view(secs[secEdgeDst]),
+		AttrNode:  u32view(secs[secAttrNode]),
+		AttrName:  u32view(secs[secAttrName]),
+		AttrKind:  secs[secAttrKind],
+		AttrVal:   u64view(secs[secAttrVal]),
+	}
+	for _, tbl := range []struct {
+		id   uint32
+		dst  *[]string
+		name string
+	}{
+		{secLabels, &img.Labels, "labels"},
+		{secAttrNames, &img.AttrNames, "attr names"},
+		{secStrings, &img.Strings, "strings"},
+	} {
+		ss, err := decodeStringTable(secs[tbl.id])
+		if err != nil {
+			return zero, 0, fmt.Errorf("persist: %s: %s: %w", path, tbl.name, err)
+		}
+		*tbl.dst = ss
+	}
+	g, err := gedlib.ImportImage(img)
+	if err != nil {
+		return zero, 0, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	names, err := decodeStringTable(secs[secNames])
+	if err != nil {
+		return zero, 0, fmt.Errorf("persist: %s: names: %w", path, err)
+	}
+	// The graph and the names copy out of the mapping; rules too.
+	return State{Graph: g, Names: names, Rules: string(secs[secRules])}, version, nil
+}

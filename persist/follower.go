@@ -1,0 +1,158 @@
+package persist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// tailStallPolls is how many growth-free polls a corrupt-looking tail
+// frame survives before Tail gives up on it. A torn frame that is
+// merely mid-write grows (or becomes valid) almost immediately; one
+// that never changes is real corruption and the follower must
+// re-recover rather than spin.
+const tailStallPolls = 200
+
+// Tail streams the records of a graph's WAL from rec's recovery point
+// onward, calling fn for each in order. It follows segment rotations
+// and polls for growth every poll interval. Tail returns only on
+// failure: ctx cancellation (ctx.Err()), fn error, ErrLagBehind when
+// the position was compacted away (re-recover and call again with the
+// fresh Recovery), or a corruption diagnosis. rec must come from
+// Recover/OpenGraph of the same graph and must not be reused across
+// Tail calls.
+func (s *Store) Tail(ctx context.Context, name string, rec *Recovery, poll time.Duration, fn func(TailRecord) error) error {
+	dir, err := s.graphDir(name)
+	if err != nil {
+		return err
+	}
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	segPath := rec.tailSeg
+	if segPath == "" {
+		segPath = filepath.Join(dir, segName(rec.CheckpointVersion))
+	}
+	off := rec.tailOff
+	version := rec.State.Graph.Version()
+
+	var f *os.File
+	defer func() {
+		if f != nil {
+			_ = f.Close()
+		}
+	}()
+	stalled := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if f == nil {
+			f, err = os.Open(segPath)
+			if err != nil {
+				if os.IsNotExist(err) {
+					// Our segment is gone: compacted (we lag more than the
+					// retention) or never created yet (leader crashed
+					// between checkpoint and rotation — the next poll or a
+					// re-recover sorts it out).
+					if next := nextSegment(dir, segPath, version); next != "" {
+						segPath, off = next, 0
+						continue
+					}
+					return fmt.Errorf("%w (graph %q, segment %s)", ErrLagBehind, name, filepath.Base(segPath))
+				}
+				return fmt.Errorf("persist: tail open: %w", err)
+			}
+		}
+		st, err := f.Stat()
+		if err != nil {
+			return fmt.Errorf("persist: tail stat: %w", err)
+		}
+		if st.Size() > off {
+			buf := make([]byte, st.Size()-off)
+			if _, err := io.ReadFull(io.NewSectionReader(f, off, int64(len(buf))), buf); err != nil {
+				return fmt.Errorf("persist: tail read: %w", err)
+			}
+			var fnErr error
+			valid, corrupt, err := scanFrames(buf, func(payload []byte) error {
+				tr, derr := decodeRecord(payload)
+				if derr != nil {
+					return derr
+				}
+				if tr.Delta != nil {
+					if tr.Delta.ToVersion <= version {
+						return nil // pre-recovery-point record in a shared segment
+					}
+					if tr.Delta.FromVersion != version {
+						return fmt.Errorf("persist: tail gap: record from version %d at version %d", tr.Delta.FromVersion, version)
+					}
+				}
+				if ferr := fn(tr); ferr != nil {
+					fnErr = ferr
+					return ferr
+				}
+				if tr.Delta != nil {
+					version = tr.Delta.ToVersion
+				}
+				return nil
+			})
+			if fnErr != nil {
+				return fnErr
+			}
+			if err != nil {
+				return err
+			}
+			if valid > 0 {
+				off += int64(valid)
+				stalled = 0
+			}
+			if corrupt {
+				// A torn frame at the live tail is usually a write in
+				// flight; give it time to settle, then diagnose.
+				stalled++
+				if stalled > tailStallPolls {
+					return fmt.Errorf("persist: tail of %s corrupt at offset %d", filepath.Base(segPath), off)
+				}
+			}
+			if valid > 0 && !corrupt {
+				continue // drained cleanly; look again immediately
+			}
+		} else {
+			// No growth: maybe the leader rotated onto a new segment.
+			if next := nextSegment(dir, segPath, version); next != "" {
+				_ = f.Close()
+				f = nil
+				segPath, off, stalled = next, 0, 0
+				continue
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// nextSegment finds the segment after cur that the tail should switch
+// to: the largest segment start ≤ version that is newer than cur's
+// start. (Rotation happens at a checkpoint version the tail has fully
+// consumed, so switching at version is gap-free; records below the
+// recovery point are version-skipped anyway.)
+func nextSegment(dir, cur string, version uint64) string {
+	curStart, _ := parseVersioned(filepath.Base(cur), "wal-", ".log")
+	segs, err := listVersions(dir, "wal-", ".log")
+	if err != nil {
+		return ""
+	}
+	best := ""
+	for _, v := range segs {
+		if v > curStart && v <= version {
+			best = filepath.Join(dir, segName(v))
+		}
+	}
+	return best
+}

@@ -1,0 +1,274 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gedlib"
+)
+
+// GraphStore is the single-writer durability handle for one graph: the
+// serve batcher appends a delta record per coalesced flush, syncs per
+// the fsync mode, and writes a checkpoint (rotating the WAL) when
+// enough ops have accumulated. Methods are safe for concurrent use,
+// but there must be only one GraphStore per graph directory per
+// process fleet — the WAL is an append-only single-writer log.
+type GraphStore struct {
+	store *Store
+	name  string
+	dir   string
+
+	mu       sync.Mutex
+	seg      *os.File // current WAL segment, opened for append
+	segStart uint64   // graph version the segment starts at
+	closed   bool
+
+	version     uint64 // graph version after the last appended record
+	ckptVersion uint64 // version of the newest checkpoint
+	opsSince    int    // logical ops appended since that checkpoint
+	segBytes    int64  // bytes in the current segment
+	records     uint64 // records appended by this handle
+	lastSync    time.Duration
+	pendingSync bool
+}
+
+// GraphStoreStats is a point-in-time snapshot of durability counters.
+type GraphStoreStats struct {
+	Version            uint64
+	CheckpointVersion  uint64
+	OpsSinceCheckpoint int
+	WALBytes           int64 // bytes in the current segment
+	WALRecords         uint64
+	LastSync           time.Duration
+	Fsync              FsyncMode
+}
+
+// Create initializes a graph's directory: an initial checkpoint of st
+// and an empty WAL segment rotated at it. It fails with ErrExists if
+// the directory is already there.
+func (s *Store) Create(name string, st State) (*GraphStore, error) {
+	dir, err := s.graphDir(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		if os.IsExist(err) {
+			return nil, ErrExists
+		}
+		return nil, fmt.Errorf("persist: create graph: %w", err)
+	}
+	gs := &GraphStore{store: s, name: name, dir: dir, version: st.Graph.Version()}
+	if err := gs.Checkpoint(st); err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// Name returns the graph's name.
+func (gs *GraphStore) Name() string { return gs.name }
+
+// AppendDelta appends one delta record; names are the wire names of
+// d.Nodes (parallel, "" for unnamed). In FsyncAlways mode the record
+// is synced before returning; otherwise it is left for the next Sync.
+func (gs *GraphStore) AppendDelta(d *gedlib.Delta, names []string) error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.closed {
+		return ErrClosed
+	}
+	if err := gs.appendLocked(encodeDelta(time.Now().UnixNano(), d, names)); err != nil {
+		return err
+	}
+	gs.version = d.ToVersion
+	gs.opsSince += d.Size()
+	if gs.store.opts.Fsync == FsyncAlways {
+		return gs.syncLocked()
+	}
+	gs.pendingSync = true
+	return nil
+}
+
+// AppendRules appends a rules-registration record (the DSL source, at
+// the given graph version) and syncs it immediately (rules changes are
+// rare and must not be lost to a crash between flushes) unless fsync
+// is off.
+func (gs *GraphStore) AppendRules(version uint64, src string) error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.closed {
+		return ErrClosed
+	}
+	if err := gs.appendLocked(encodeRules(time.Now().UnixNano(), version, src)); err != nil {
+		return err
+	}
+	if gs.store.opts.Fsync == FsyncOff {
+		return nil
+	}
+	return gs.syncLocked()
+}
+
+// Sync is the group-commit point: in FsyncBatch mode it fsyncs the
+// segment once, covering every record appended since the last sync. In
+// FsyncAlways mode records are already down; in FsyncOff it is a no-op.
+func (gs *GraphStore) Sync() error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.closed {
+		return ErrClosed
+	}
+	if gs.store.opts.Fsync != FsyncBatch || !gs.pendingSync {
+		return nil
+	}
+	return gs.syncLocked()
+}
+
+func (gs *GraphStore) syncLocked() error {
+	start := time.Now()
+	if err := gs.seg.Sync(); err != nil {
+		return fmt.Errorf("persist: fsync WAL: %w", err)
+	}
+	gs.lastSync = time.Since(start)
+	gs.pendingSync = false
+	return nil
+}
+
+func (gs *GraphStore) appendLocked(payload []byte) error {
+	b := frame(payload)
+	if _, err := gs.seg.Write(b); err != nil {
+		return fmt.Errorf("persist: append WAL record: %w", err)
+	}
+	gs.segBytes += int64(len(b))
+	gs.records++
+	return nil
+}
+
+// CheckpointDue reports whether enough ops accumulated since the last
+// checkpoint to warrant a new one.
+func (gs *GraphStore) CheckpointDue() bool {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.opsSince >= gs.store.opts.CheckpointEvery
+}
+
+// Checkpoint writes st as a new checkpoint, rotates the WAL onto a
+// fresh segment starting at st's version, and compacts: checkpoints
+// beyond the retention and the segments older than the oldest retained
+// checkpoint are deleted. A checkpoint at the current checkpoint
+// version is a no-op. The caller must pass the same graph whose deltas
+// it has been appending, quiesced (serve calls this under the entry
+// lock).
+func (gs *GraphStore) Checkpoint(st State) error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.closed {
+		return ErrClosed
+	}
+	v := st.Graph.Version()
+	if v == gs.ckptVersion && gs.seg != nil {
+		return nil
+	}
+	// Everything the checkpoint captures must be on disk first: the
+	// checkpoint claims "state as of v", and the rename below deletes
+	// history before it.
+	if gs.seg != nil && gs.store.opts.Fsync != FsyncOff && gs.pendingSync {
+		if err := gs.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := writeCheckpoint(gs.dir, st, gs.store.opts.Fsync != FsyncOff); err != nil {
+		return err
+	}
+	// Rotate: further records land in a fresh segment named after v.
+	if gs.seg != nil {
+		_ = gs.seg.Close()
+	}
+	seg, err := os.OpenFile(filepath.Join(gs.dir, segName(v)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: rotate WAL: %w", err)
+	}
+	gs.seg, gs.segStart, gs.segBytes = seg, v, 0
+	if st, err := seg.Stat(); err == nil {
+		gs.segBytes = st.Size() // crash between rotate and compact can leave a nonempty reopened segment
+	}
+	gs.ckptVersion, gs.opsSince, gs.pendingSync = v, 0, false
+	gs.compactLocked()
+	if gs.store.opts.Fsync != FsyncOff {
+		syncDir(gs.dir)
+	}
+	return nil
+}
+
+// compactLocked deletes checkpoints beyond the retention bound and WAL
+// segments no retained checkpoint needs for replay.
+func (gs *GraphStore) compactLocked() {
+	ckpts, err := listVersions(gs.dir, "ckpt-", ".ged")
+	if err != nil || len(ckpts) == 0 {
+		return
+	}
+	keep := gs.store.opts.RetainCheckpoints
+	if len(ckpts) > keep {
+		for _, v := range ckpts[:len(ckpts)-keep] {
+			_ = os.Remove(filepath.Join(gs.dir, ckptName(v)))
+		}
+		ckpts = ckpts[len(ckpts)-keep:]
+	}
+	oldest := ckpts[0]
+	segs, err := listVersions(gs.dir, "wal-", ".log")
+	if err != nil {
+		return
+	}
+	// A segment is needed if it is the one covering `oldest` (the last
+	// segment starting at or before it) or any later one.
+	covering := uint64(0)
+	for _, v := range segs {
+		if v <= oldest {
+			covering = v
+		}
+	}
+	for _, v := range segs {
+		if v < covering {
+			_ = os.Remove(filepath.Join(gs.dir, segName(v)))
+		}
+	}
+}
+
+// Stats reports the handle's durability counters.
+func (gs *GraphStore) Stats() GraphStoreStats {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return GraphStoreStats{
+		Version:            gs.version,
+		CheckpointVersion:  gs.ckptVersion,
+		OpsSinceCheckpoint: gs.opsSince,
+		WALBytes:           gs.segBytes,
+		WALRecords:         gs.records,
+		LastSync:           gs.lastSync,
+		Fsync:              gs.store.opts.Fsync,
+	}
+}
+
+// Close syncs outstanding records and releases the segment handle.
+func (gs *GraphStore) Close() error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.closed {
+		return nil
+	}
+	gs.closed = true
+	var err error
+	if gs.seg != nil {
+		if gs.store.opts.Fsync != FsyncOff && gs.pendingSync {
+			start := time.Now()
+			err = gs.seg.Sync()
+			gs.lastSync = time.Since(start)
+		}
+		if cerr := gs.seg.Close(); err == nil {
+			err = cerr
+		}
+		gs.seg = nil
+	}
+	return err
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap reads the whole file; the
+// checkpoint loader's typed views fall back to portable decoding when
+// the heap bytes happen to be misaligned.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

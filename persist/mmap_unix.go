@@ -1,0 +1,42 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps a whole file read-only and returns the bytes plus the
+// unmapping closure. Checkpoint sections are 8-aligned in the file and
+// page-aligned mappings preserve that, so the loader's typed views
+// alias the mapping without copying.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("persist: %s: too large to map", path)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems refuse mmap; fall back to a plain read.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return data, func() {}, nil
+	}
+	return b, func() { _ = syscall.Munmap(b) }, nil
+}

@@ -9,7 +9,10 @@ import (
 
 func newTestEntry(t *testing.T, cfg Config) (*Catalog, *GraphEntry) {
 	t.Helper()
-	cat := NewCatalog(cfg)
+	cat, err := NewCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(cat.Close)
 	ent, err := cat.Create("g", []byte(`{
 		"nodes": [
@@ -179,6 +182,59 @@ func TestBatcherCloseDrains(t *testing.T) {
 		{Op: "set_attr", ID: "dev", Attr: "name", Value: "late"},
 	}); err != ErrClosed {
 		t.Fatalf("write after close returned %v, want ErrClosed", err)
+	}
+}
+
+// TestBatcherCloseDrainsToWAL pins the shutdown ordering: close drains
+// the batcher BEFORE closing the entry's per-graph resources, so a
+// write parked in the queue at shutdown still reaches the graph, the
+// WAL, and the final checkpoint — a restore from the same directory
+// must see it. (If close released the GraphStore first, the final
+// flush would fail or be lost.)
+func TestBatcherCloseDrainsToWAL(t *testing.T) {
+	dir := t.TempDir()
+	cat, ent := newTestEntry(t, Config{MaxDelay: time.Hour, FlushOps: 1 << 20, DataDir: dir})
+	// Park the repairing write: the hour-long delay guarantees it is
+	// still queued, unflushed, when Close runs.
+	done := make(chan WriteResult, 1)
+	go func() {
+		res, _ := ent.Mutate(context.Background(), []Op{
+			{Op: "set_attr", ID: "dev", Attr: "type", Value: "programmer"},
+		})
+		done <- res
+	}()
+	for i := 0; i < 1000 && ent.b.queueDepth() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if ent.b.queueDepth() == 0 {
+		t.Fatal("write never queued")
+	}
+	cat.Close()
+	res := <-done
+	if res.Applied != 1 || res.Err != nil {
+		t.Fatalf("parked write not drained at close: %+v", res)
+	}
+
+	// Reboot from the same directory: the drained write must have made
+	// it to disk (it repaired the only planted violation).
+	cat2, err := NewCatalog(Config{MaxDelay: time.Millisecond, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cat2.Close)
+	if _, err := cat2.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ent2, err := cat2.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := ent2.CurrentView()
+	if len(view.Violations) != 0 {
+		t.Fatalf("restored graph still has %d violations: the close-drained write was lost", len(view.Violations))
+	}
+	if v := ent.CurrentView(); view.Version != v.Version {
+		t.Fatalf("restored version %d, pre-close version %d", view.Version, v.Version)
 	}
 }
 

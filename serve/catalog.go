@@ -2,12 +2,15 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gedlib"
+	"gedlib/persist"
 )
 
 // Catalog owns the tenant graphs of a serving process: each entry is a
@@ -18,6 +21,15 @@ type Catalog struct {
 	cfg Config
 	eng *gedlib.Engine
 
+	// store is the durability layer (nil when Config.DataDir is empty).
+	// follower marks a catalog tailing another process's store: entries
+	// are read-only replicas and Create/Delete/writes are rejected.
+	store        *persist.Store
+	follower     bool
+	followCtx    context.Context
+	followCancel context.CancelFunc
+	followWG     sync.WaitGroup
+
 	mu      sync.RWMutex
 	entries map[string]*GraphEntry
 	// creating reserves names while their entry is still being loaded
@@ -26,16 +38,45 @@ type Catalog struct {
 	creating map[string]struct{}
 }
 
-// NewCatalog returns an empty catalog configured by cfg.
-func NewCatalog(cfg Config) *Catalog {
+// NewCatalog returns an empty catalog configured by cfg. With a
+// DataDir it opens (creating if needed) the persist store under it;
+// call Restore to re-adopt the graphs already there, or Follow to tail
+// them read-only.
+func NewCatalog(cfg Config) (*Catalog, error) {
 	cfg = cfg.withDefaults()
-	return &Catalog{
+	c := &Catalog{
 		cfg:      cfg,
 		eng:      cfg.engine(),
 		entries:  make(map[string]*GraphEntry),
 		creating: make(map[string]struct{}),
 	}
+	if cfg.DataDir != "" {
+		mode, err := persist.ParseFsyncMode(cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		c.store, err = persist.Open(cfg.DataDir, persist.Options{
+			Fsync:             mode,
+			CheckpointEvery:   cfg.CheckpointEvery,
+			RetainCheckpoints: cfg.RetainCheckpoints,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
+
+// DataDir reports the catalog's durable directory ("" when in-memory).
+func (c *Catalog) DataDir() string {
+	if c.store == nil {
+		return ""
+	}
+	return c.store.Dir()
+}
+
+// IsFollower reports whether the catalog is a read-only replica.
+func (c *Catalog) IsFollower() bool { return c.follower }
 
 // Engine exposes the catalog's shared engine (chase requests and tests
 // use it directly).
@@ -91,7 +132,24 @@ type GraphEntry struct {
 	retainMu sync.Mutex
 	retained []*View
 
+	// b is the write batcher; nil on follower entries, which reject
+	// writes with ErrReadOnly.
 	b *batcher
+
+	// ps is the entry's durability handle (nil when the catalog is
+	// in-memory or a follower). Set before the entry is published to the
+	// catalog map and never reassigned, so lock-free Stats reads are
+	// safe; its own methods are internally synchronized.
+	ps *persist.GraphStore
+	// rulesSrc is the DSL source sigma was parsed from (checkpoints
+	// persist the source, not the parsed set). Guarded by mu.
+	rulesSrc string
+
+	// follower marks a read-only replica entry; folRecords/folLag are
+	// its replication counters (records applied, staleness of the last).
+	follower   bool
+	folRecords atomic.Uint64
+	folLag     atomic.Int64
 
 	readsServed atomic.Uint64
 }
@@ -101,6 +159,9 @@ type GraphEntry struct {
 // empty graph. The new entry starts with an empty rule set and an
 // already-published first view.
 func (c *Catalog) Create(name string, graphJSON []byte) (*GraphEntry, error) {
+	if c.follower {
+		return nil, ErrReadOnly
+	}
 	if !validName(name) {
 		return nil, fmt.Errorf("serve: invalid graph name %q (want [A-Za-z0-9_.-]{1,128})", name)
 	}
@@ -136,6 +197,20 @@ func (c *Catalog) Create(name string, graphJSON []byte) (*GraphEntry, error) {
 		c.eng.Forget(g) // release whatever the failed seed cached
 		return nil, err
 	}
+	if c.store != nil {
+		gs, err := c.store.Create(name, ent.persistState())
+		if err != nil {
+			c.eng.Forget(g)
+			if errors.Is(err, persist.ErrExists) {
+				// On-disk leftovers under a name the catalog does not
+				// hold (e.g. a crashed boot that skipped Restore) are a
+				// conflict, not something to silently overwrite.
+				return nil, fmt.Errorf("%w (durable state at %s)", ErrExists, name)
+			}
+			return nil, err
+		}
+		ent.ps = gs
+	}
 	ent.b = newBatcher(ent, c.cfg)
 
 	c.mu.Lock()
@@ -169,8 +244,12 @@ func (c *Catalog) Names() []string {
 }
 
 // Delete removes a graph: pending writes are flushed, the batcher
-// stops, and the engine's cached state for the graph is released.
+// stops, the engine's cached state for the graph is released, and its
+// durable directory (if any) is removed.
 func (c *Catalog) Delete(name string) error {
+	if c.follower {
+		return ErrReadOnly
+	}
 	c.mu.Lock()
 	ent := c.entries[name]
 	delete(c.entries, name)
@@ -178,12 +257,21 @@ func (c *Catalog) Delete(name string) error {
 	if ent == nil {
 		return ErrNotFound
 	}
-	ent.close()
+	ent.close(true)
+	if ent.ps != nil {
+		return c.store.Delete(name)
+	}
 	return nil
 }
 
-// Close shuts the whole catalog down, flushing every pending write.
+// Close shuts the whole catalog down: follower tails stop first, then
+// every entry drains its pending writes and (when durable) writes a
+// final checkpoint.
 func (c *Catalog) Close() {
+	if c.followCancel != nil {
+		c.followCancel()
+		c.followWG.Wait()
+	}
 	c.mu.Lock()
 	ents := make([]*GraphEntry, 0, len(c.entries))
 	for _, e := range c.entries {
@@ -192,21 +280,42 @@ func (c *Catalog) Close() {
 	c.entries = make(map[string]*GraphEntry)
 	c.mu.Unlock()
 	for _, e := range ents {
-		e.close()
+		e.close(false)
 	}
 }
 
-func (ent *GraphEntry) close() {
-	// Drain the batcher first (its flusher exits only with an empty
-	// queue), then mark the entry closed and forget the engine state
-	// under the entry lock: an in-flight RegisterRules either finished
-	// before the Forget or will observe closed and leave no trace — it
-	// cannot re-seed a cache entry for a graph the catalog dropped.
-	ent.b.close()
+// close shuts one entry down. Ordering is load-bearing: the batcher is
+// drained FIRST, so every accepted write reaches the graph and the WAL
+// before any per-graph resource goes away — closing the GraphStore (or
+// marking the entry closed) ahead of the drain would fail or drop the
+// final flush. drop skips the parting checkpoint (the caller is about
+// to delete the directory anyway).
+func (ent *GraphEntry) close(drop bool) {
+	if ent.b != nil {
+		ent.b.close()
+	}
+	// Then mark the entry closed and forget the engine state under the
+	// entry lock: an in-flight RegisterRules either finished before the
+	// Forget or will observe closed and leave no trace — it cannot
+	// re-seed a cache entry for a graph the catalog dropped.
 	ent.mu.Lock()
+	if ent.ps != nil {
+		if !drop {
+			// A clean shutdown checkpoints, so the next boot recovers
+			// from the image alone instead of replaying the whole tail.
+			_ = ent.ps.Checkpoint(ent.persistState())
+		}
+		_ = ent.ps.Close()
+	}
 	ent.closed = true
 	ent.cat.eng.Forget(ent.graph)
 	ent.mu.Unlock()
+}
+
+// persistState assembles the durable state of the entry. Callers hold
+// ent.mu (or have sole access during Create).
+func (ent *GraphEntry) persistState() persist.State {
+	return persist.State{Graph: ent.graph, Names: ent.names.dense(), Rules: ent.rulesSrc}
 }
 
 // Name returns the entry's catalog name.
@@ -224,6 +333,9 @@ func (ent *GraphEntry) CurrentView() *View {
 // view carrying the new maintained violation set. It returns the new
 // view.
 func (ent *GraphEntry) RegisterRules(ctx context.Context, src string) (*View, error) {
+	if ent.follower {
+		return nil, ErrReadOnly
+	}
 	sigma, err := gedlib.ParseRules(src)
 	if err != nil {
 		return nil, err
@@ -233,14 +345,22 @@ func (ent *GraphEntry) RegisterRules(ctx context.Context, src string) (*View, er
 	if ent.closed {
 		return nil, ErrClosed
 	}
-	old := ent.sigma
-	ent.sigma = sigma
+	old, oldSrc := ent.sigma, ent.rulesSrc
+	ent.sigma, ent.rulesSrc = sigma, src
 	if err := ent.refreshLocked(ctx); err != nil {
 		// A failed seed (cancellation mid-validation) must not leave the
 		// rejected rules installed: later flushes would maintain a set
 		// the caller was told did not take effect.
-		ent.sigma = old
+		ent.sigma, ent.rulesSrc = old, oldSrc
 		return nil, err
+	}
+	if ent.ps != nil {
+		if err := ent.ps.AppendRules(ent.graph.Version(), src); err != nil {
+			// The rules ARE active in memory; only their durability
+			// failed. Surface it as a flush-class error — the caller can
+			// retry the registration, which is idempotent.
+			return nil, fmt.Errorf("%w: rules active but not durable: %v", ErrFlush, err)
+		}
 	}
 	return ent.view.Load(), nil
 }
@@ -250,6 +370,9 @@ func (ent *GraphEntry) RegisterRules(ctx context.Context, src string) (*View, er
 // version/epoch and any per-op errors. A ctx expiry abandons only the
 // wait: the enqueued ops are still applied by a later flush.
 func (ent *GraphEntry) Mutate(ctx context.Context, ops []Op) (WriteResult, error) {
+	if ent.b == nil {
+		return WriteResult{}, ErrReadOnly
+	}
 	return ent.b.enqueue(ctx, ops)
 }
 
@@ -335,6 +458,7 @@ func validName(name string) bool {
 // view lands, so a returned write is visible to subsequent reads.
 func (ent *GraphEntry) flushBatch(reqs []*writeReq) {
 	ent.mu.Lock()
+	from := ent.graph.Version()
 	nb := &nameBuilder{cur: ent.names}
 	for _, req := range reqs {
 		req.res.Applied = 0
@@ -347,10 +471,18 @@ func (ent *GraphEntry) flushBatch(reqs []*writeReq) {
 		}
 	}
 	ent.names = nb.table()
-	vs, err := ent.cat.eng.Apply(context.Background(), ent.graph, ent.sigma)
+	// Write-ahead: the batch's delta reaches the WAL (and, in batch
+	// mode, one group-commit fsync covering every write it coalesced)
+	// before the view is published and the requests complete — a
+	// returned write is durable, not just visible.
+	err := ent.logBatchLocked(from)
 	if err == nil {
-		snap := ent.cat.eng.SnapshotOf(ent.graph)
-		ent.publishLocked(snap, vs)
+		var vs []gedlib.Violation
+		vs, err = ent.cat.eng.Apply(context.Background(), ent.graph, ent.sigma)
+		if err == nil {
+			snap := ent.cat.eng.SnapshotOf(ent.graph)
+			ent.publishLocked(snap, vs)
+		}
 	}
 	view := ent.view.Load()
 	ent.mu.Unlock()
@@ -366,14 +498,290 @@ func (ent *GraphEntry) flushBatch(reqs []*writeReq) {
 	}
 }
 
+// logBatchLocked persists the ops a flush just applied: one delta
+// record, one group-commit sync, and — when enough ops accumulated — a
+// checkpoint that rotates the WAL. Holding ent.mu keeps the graph
+// quiesced for the checkpoint image. No-op for non-durable entries.
+func (ent *GraphEntry) logBatchLocked(from uint64) error {
+	if ent.ps == nil {
+		return nil
+	}
+	d := ent.graph.DeltaSince(from)
+	switch {
+	case d == nil:
+		// The journal no longer reaches back to `from` (possible only
+		// after an exceptionally large batch trimmed it). A checkpoint
+		// of the current state re-anchors the log losslessly.
+		if err := ent.ps.Checkpoint(ent.persistState()); err != nil {
+			return err
+		}
+		return nil
+	case d.Empty():
+		return nil // every op of the batch was rejected
+	}
+	names := make([]string, len(d.Nodes))
+	for i, n := range d.Nodes {
+		names[i] = ent.names.raw(n.ID)
+	}
+	if err := ent.ps.AppendDelta(d, names); err != nil {
+		return err
+	}
+	if err := ent.ps.Sync(); err != nil {
+		return err
+	}
+	if ent.ps.CheckpointDue() {
+		return ent.ps.Checkpoint(ent.persistState())
+	}
+	return nil
+}
+
+// Restore re-adopts every graph persisted under the catalog's data
+// directory: newest checkpoint + WAL tail replay per graph, rules
+// re-registered from their persisted source, batcher started. It
+// returns the restored names. Call it once, before serving traffic.
+func (c *Catalog) Restore(ctx context.Context) ([]string, error) {
+	if c.store == nil {
+		return nil, errors.New("serve: Restore requires Config.DataDir")
+	}
+	names, err := c.store.Graphs()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		gs, rec, err := c.store.OpenGraph(name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore %q: %w", name, err)
+		}
+		ent, err := c.adoptState(ctx, name, rec.State)
+		if err != nil {
+			_ = gs.Close()
+			return nil, fmt.Errorf("serve: restore %q: %w", name, err)
+		}
+		ent.ps = gs
+		ent.b = newBatcher(ent, c.cfg)
+		c.mu.Lock()
+		c.entries[name] = ent
+		c.mu.Unlock()
+		go ent.b.run()
+	}
+	return names, nil
+}
+
+// Follow turns the catalog into a read-only replica of the store at
+// Config.DataDir (another process's leader directory): every persisted
+// graph is recovered and then kept fresh by tailing its WAL; graphs
+// that appear later are picked up by a periodic rescan. Writes against
+// a follower fail with ErrReadOnly. The tails stop when ctx is
+// canceled or the catalog closes.
+func (c *Catalog) Follow(ctx context.Context) error {
+	if c.store == nil {
+		return errors.New("serve: Follow requires Config.DataDir")
+	}
+	c.follower = true
+	c.followCtx, c.followCancel = context.WithCancel(ctx)
+	names, err := c.store.Graphs()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := c.followGraph(name); err != nil {
+			return fmt.Errorf("serve: follow %q: %w", name, err)
+		}
+	}
+	c.followWG.Add(1)
+	go c.rescanLoop()
+	return nil
+}
+
+// followGraph recovers one graph read-only and starts its tail loop.
+func (c *Catalog) followGraph(name string) error {
+	rec, err := c.store.Recover(name)
+	if err != nil {
+		return err
+	}
+	ent, err := c.adoptState(c.followCtx, name, rec.State)
+	if err != nil {
+		return err
+	}
+	ent.follower = true
+	c.mu.Lock()
+	c.entries[name] = ent
+	c.mu.Unlock()
+	c.followWG.Add(1)
+	go c.followLoop(ent, rec)
+	return nil
+}
+
+// adoptState builds a catalog entry around recovered durable state:
+// rules re-parsed from their source, name table from the dense column,
+// first view published. The entry is not yet in the map and has no
+// batcher or durability handle — the caller attaches those.
+func (c *Catalog) adoptState(ctx context.Context, name string, st persist.State) (*GraphEntry, error) {
+	sigma := gedlib.RuleSet{}
+	if st.Rules != "" {
+		var err error
+		if sigma, err = gedlib.ParseRules(st.Rules); err != nil {
+			return nil, fmt.Errorf("persisted rules: %w", err)
+		}
+	}
+	ent := &GraphEntry{
+		name: name, cat: c,
+		graph: st.Graph, names: nameTableFromDense(st.Names),
+		sigma: sigma, rulesSrc: st.Rules,
+	}
+	if err := ent.refreshLocked(ctx); err != nil {
+		c.eng.Forget(st.Graph)
+		return nil, err
+	}
+	return ent, nil
+}
+
+// followLoop tails one graph's WAL forever, applying each record to the
+// replica entry. A tail failure that is not a cancellation (lag beyond
+// the leader's compaction, a corrupt segment) re-recovers from the
+// newest checkpoint and resumes — the replica jumps forward, it never
+// serves stale state silently.
+func (c *Catalog) followLoop(ent *GraphEntry, rec *persist.Recovery) {
+	defer c.followWG.Done()
+	ctx := c.followCtx
+	for {
+		err := c.store.Tail(ctx, ent.name, rec, c.cfg.FollowPoll, ent.applyTailRecord)
+		if ctx.Err() != nil || errors.Is(err, ErrClosed) {
+			return
+		}
+		for {
+			nrec, rerr := c.store.Recover(ent.name)
+			if rerr == nil {
+				if rerr = ent.resetTo(nrec.State); rerr == nil {
+					rec = nrec
+					break
+				}
+			}
+			if errors.Is(rerr, persist.ErrNotFound) {
+				// The leader deleted the graph; drop the replica.
+				c.mu.Lock()
+				delete(c.entries, ent.name)
+				c.mu.Unlock()
+				ent.close(true)
+				return
+			}
+			select { // transient (mid-compaction races): retry
+			case <-ctx.Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// rescanLoop watches the store for graphs created after Follow started.
+func (c *Catalog) rescanLoop() {
+	defer c.followWG.Done()
+	ctx := c.followCtx
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Second):
+		}
+		names, err := c.store.Graphs()
+		if err != nil {
+			continue
+		}
+		for _, name := range names {
+			c.mu.RLock()
+			_, known := c.entries[name]
+			c.mu.RUnlock()
+			if !known {
+				_ = c.followGraph(name) // a half-created dir retries next scan
+			}
+		}
+	}
+}
+
+// applyTailRecord applies one streamed WAL record to a replica entry
+// and publishes the advanced view.
+func (ent *GraphEntry) applyTailRecord(tr persist.TailRecord) error {
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.closed {
+		return ErrClosed
+	}
+	if tr.Delta != nil {
+		if err := ent.graph.ApplyDelta(tr.Delta); err != nil {
+			return err
+		}
+		nb := &nameBuilder{cur: ent.names}
+		for i, n := range tr.Delta.Nodes {
+			if tr.Names[i] != "" {
+				nb.add(tr.Names[i], n.ID)
+			}
+		}
+		ent.names = nb.table()
+	}
+	if tr.Rules != nil {
+		sigma, err := gedlib.ParseRules(*tr.Rules)
+		if err != nil {
+			return err
+		}
+		ent.sigma, ent.rulesSrc = sigma, *tr.Rules
+	}
+	if err := ent.refreshLocked(context.Background()); err != nil {
+		return err
+	}
+	ent.folRecords.Add(1)
+	ent.folLag.Store(time.Since(tr.AppendedAt).Nanoseconds())
+	return nil
+}
+
+// resetTo swaps a replica entry onto freshly recovered state (used
+// after the tail lost its log position).
+func (ent *GraphEntry) resetTo(st persist.State) error {
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.closed {
+		return ErrClosed
+	}
+	sigma := gedlib.RuleSet{}
+	if st.Rules != "" {
+		var err error
+		if sigma, err = gedlib.ParseRules(st.Rules); err != nil {
+			return err
+		}
+	}
+	old := ent.graph
+	ent.graph, ent.names = st.Graph, nameTableFromDense(st.Names)
+	ent.sigma, ent.rulesSrc = sigma, st.Rules
+	err := ent.refreshLocked(context.Background())
+	ent.cat.eng.Forget(old)
+	return err
+}
+
 // Stats reports the entry's serving statistics.
 func (ent *GraphEntry) Stats() EntryStats {
 	view := ent.view.Load()
 	ent.retainMu.Lock()
 	retained := len(ent.retained)
 	ent.retainMu.Unlock()
-	s := ent.b.stats()
+	var s EntryStats
+	if ent.b != nil {
+		s = ent.b.stats()
+	}
 	s.Name = ent.name
+	if ent.ps != nil {
+		ps := ent.ps.Stats()
+		s.Durable = true
+		s.WALBytes = ps.WALBytes
+		s.WALRecords = ps.WALRecords
+		s.LastFsyncNanos = ps.LastSync.Nanoseconds()
+		s.CheckpointVersion = ps.CheckpointVersion
+		s.CheckpointAgeOps = ps.OpsSinceCheckpoint
+	}
+	if ent.follower {
+		s.Follower = true
+		s.FollowerRecords = ent.folRecords.Load()
+		s.FollowerLagNanos = ent.folLag.Load()
+	}
 	s.ReadsServed = ent.readsServed.Load()
 	s.RetainedViews = retained
 	if view != nil {

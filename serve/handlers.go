@@ -24,9 +24,13 @@ type Server struct {
 }
 
 // NewServer returns a server over a fresh catalog configured by cfg.
-func NewServer(cfg Config) *Server {
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{cat: NewCatalog(cfg), adm: newAdmission(cfg.MaxInFlight)}
+	cat, err := NewCatalog(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cat: cat, adm: newAdmission(cfg.MaxInFlight)}
 
 	api := http.NewServeMux()
 	api.HandleFunc("GET /graphs", s.handleList)
@@ -46,8 +50,16 @@ func NewServer(cfg Config) *Server {
 	root.HandleFunc("GET /statsz", s.handleStatsz)
 	root.Handle("/", s.adm.wrap(withTimeout(cfg.RequestTimeout, api)))
 	s.handler = root
-	return s
+	return s, nil
 }
+
+// Restore re-adopts every graph persisted under the configured data
+// directory; see Catalog.Restore.
+func (s *Server) Restore(ctx context.Context) ([]string, error) { return s.cat.Restore(ctx) }
+
+// Follow turns the server into a read-only replica of the configured
+// data directory; see Catalog.Follow.
+func (s *Server) Follow(ctx context.Context) error { return s.cat.Follow(ctx) }
 
 // Catalog exposes the server's catalog (the daemon preloads through
 // it; tests inspect it).
@@ -89,6 +101,8 @@ func fail(w http.ResponseWriter, err error) {
 		httpError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrTooManyOps):
 		httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+	case errors.Is(err, ErrReadOnly):
+		httpError(w, http.StatusForbidden, err.Error())
 	case errors.Is(err, ErrClosed):
 		httpError(w, http.StatusGone, err.Error())
 	case errors.Is(err, ErrFlush):
@@ -168,6 +182,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		InFlight:           s.adm.inFlight(),
 		Admitted:           s.adm.admitted.Load(),
 		RejectedRequests:   s.adm.rejected.Load(),
+		DataDir:            s.cat.DataDir(),
+		Follower:           s.cat.IsFollower(),
 		Entries:            entries,
 	})
 }

@@ -96,6 +96,34 @@ func (t *nameTable) NameOf(id gedlib.NodeID) string {
 // Len reports how many named nodes the table holds.
 func (t *nameTable) Len() int { return len(t.byName) }
 
+// raw returns the wire id of a node, "" when it has none (the WAL and
+// checkpoints persist the raw column; unnamed nodes stay unnamed).
+func (t *nameTable) raw(id gedlib.NodeID) string {
+	if int(id) < len(t.byID) {
+		return t.byID[id]
+	}
+	return ""
+}
+
+// dense copies out the dense id→name column (what persist.State holds).
+func (t *nameTable) dense() []string {
+	return append([]string(nil), t.byID...)
+}
+
+// nameTableFromDense rebuilds a table from a persisted dense column.
+func nameTableFromDense(names []string) *nameTable {
+	t := &nameTable{
+		byName: make(map[string]gedlib.NodeID, len(names)),
+		byID:   append([]string(nil), names...),
+	}
+	for i, n := range names {
+		if n != "" {
+			t.byName[n] = gedlib.NodeID(i)
+		}
+	}
+	return t
+}
+
 // nameBuilder lazily clones a nameTable on first added node, so
 // attribute-only batches publish the predecessor table unchanged.
 type nameBuilder struct {

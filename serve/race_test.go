@@ -48,7 +48,10 @@ func TestConcurrentReadWriteOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cat := NewCatalog(Config{MaxDelay: time.Millisecond, FlushOps: 16})
+	cat, err := NewCatalog(Config{MaxDelay: time.Millisecond, FlushOps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer cat.Close()
 	ent, err := cat.Create("kb", data)
 	if err != nil {
@@ -184,7 +187,10 @@ func TestConcurrentReadWriteOracle(t *testing.T) {
 // entries sharing one engine (the LRU-bounded cache) stays correct per
 // tenant.
 func TestConcurrentMultiTenant(t *testing.T) {
-	cat := NewCatalog(Config{MaxDelay: time.Millisecond, GraphCacheBound: 2})
+	cat, err := NewCatalog(Config{MaxDelay: time.Millisecond, GraphCacheBound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer cat.Close()
 	sigma := gedlib.RuleSet{workload.PaperPhi1()}
 	src := gedlib.FormatRules(sigma)

@@ -57,6 +57,9 @@ var (
 	// ErrFlush wraps a server-side failure of the flush that carried a
 	// write (HTTP 500 — the fault is the server's, not the request's).
 	ErrFlush = errors.New("serve: flush failed")
+	// ErrReadOnly rejects writes against a follower catalog — a replica
+	// tailing a leader's WAL accepts reads only (HTTP 403).
+	ErrReadOnly = errors.New("serve: graph is read-only (follower)")
 )
 
 // Config tunes a Server. The zero value selects every default.
@@ -89,6 +92,25 @@ type Config struct {
 	// referenced beyond the latest (an observability history; readers
 	// keep their own views alive regardless). Default 4.
 	RetainViews int
+
+	// DataDir, when non-empty, makes the catalog durable: every graph
+	// gets a WAL + checkpoint directory under it (package gedlib/persist).
+	// Empty keeps the catalog purely in-memory.
+	DataDir string
+	// Fsync is the WAL sync policy: "batch" (default — one fsync per
+	// coalesced flush), "always", or "off".
+	Fsync string
+	// CheckpointEvery is how many logical ops accumulate in a graph's
+	// WAL before the next flush writes a checkpoint and rotates the log.
+	// 0 selects the persist default (4096).
+	CheckpointEvery int
+	// RetainCheckpoints is how many checkpoints (and their WAL segments)
+	// survive compaction; more retention gives lagging followers more
+	// slack. 0 selects the persist default (2).
+	RetainCheckpoints int
+	// FollowPoll is a follower catalog's WAL poll interval. 0 selects
+	// the persist default (25ms).
+	FollowPoll time.Duration
 }
 
 // withDefaults fills in the documented defaults.

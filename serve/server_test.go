@@ -15,7 +15,10 @@ import (
 
 func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := NewServer(cfg)
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 	return s, ts

@@ -27,6 +27,22 @@ type EntryStats struct {
 	MaxBatchOps    uint64  `json:"max_batch_ops"`
 	AvgBatchOps    float64 `json:"avg_batch_ops"`
 	AvgBatchReqs   float64 `json:"avg_batch_reqs"`
+
+	// Durability (set when the catalog has a data directory).
+	// CheckpointAgeOps is how many logical ops the WAL tail holds beyond
+	// the newest checkpoint — the replay cost of a crash right now.
+	Durable           bool   `json:"durable,omitempty"`
+	WALBytes          int64  `json:"wal_bytes,omitempty"`
+	WALRecords        uint64 `json:"wal_records,omitempty"`
+	LastFsyncNanos    int64  `json:"last_fsync_ns,omitempty"`
+	CheckpointVersion uint64 `json:"checkpoint_version,omitempty"`
+	CheckpointAgeOps  int    `json:"checkpoint_age_ops,omitempty"`
+
+	// Replication (set on follower entries). FollowerLagNanos is the
+	// staleness of the last applied record: now minus its append time.
+	Follower         bool   `json:"follower,omitempty"`
+	FollowerRecords  uint64 `json:"follower_records,omitempty"`
+	FollowerLagNanos int64  `json:"follower_lag_ns,omitempty"`
 }
 
 // ServerStats is the /statsz payload.
@@ -40,6 +56,11 @@ type ServerStats struct {
 	InFlight         int    `json:"in_flight"`
 	Admitted         uint64 `json:"admitted"`
 	RejectedRequests uint64 `json:"rejected_requests"`
+
+	// Durability: the data directory backing the catalog ("" when
+	// in-memory) and whether this process is a read-only follower of it.
+	DataDir  string `json:"data_dir,omitempty"`
+	Follower bool   `json:"follower,omitempty"`
 
 	Entries []EntryStats `json:"entries"`
 }

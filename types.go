@@ -61,11 +61,27 @@ type NodeAdd = graph.NodeAdd
 // AttrWrite is one attribute write of a Delta.
 type AttrWrite = graph.AttrWrite
 
+// GraphImage is a flat, arena-style export of a Graph: symbol tables
+// plus fixed-width columnar rows for nodes, edges and attributes. It is
+// the payload of a persist checkpoint file — the numeric columns can be
+// aliased directly onto mmap'd bytes and handed to ImportImage.
+type GraphImage = graph.Image
+
 // Wildcard is the special label '_' that matches any label.
 const Wildcard = graph.Wildcard
 
 // NewGraph returns an empty property graph.
 func NewGraph() *Graph { return graph.New() }
+
+// ExportImage flattens g into a GraphImage (deterministic: identical
+// graphs export identical images).
+func ExportImage(g *Graph) *GraphImage { return graph.ImageOf(g) }
+
+// ImportImage rebuilds the exported graph. Every index is bounds
+// checked, so a corrupted image yields an error, never a panic. The
+// rebuilt graph's version counter and journal base are the image's
+// version, so deltas recorded after the export still compose.
+func ImportImage(img *GraphImage) (*Graph, error) { return graph.FromImage(img) }
 
 // String wraps a string attribute value.
 func String(s string) Value { return graph.String(s) }
