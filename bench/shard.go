@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"gedlib"
+	"gedlib/workload"
+)
+
+// ShardOptions configures the sharded-validation scaling experiment.
+type ShardOptions struct {
+	// Communities and CommunitySize shape the PowerLawSocial host graph.
+	Communities, CommunitySize int
+	// Degree is the average (out-)degree; InterFrac the share of edges
+	// that cross communities ("follows").
+	Degree, InterFrac float64
+	// Shards is the P sweep; 1 means the monolithic engine.
+	Shards []int
+	// Iters is how many timed Validate calls feed each median.
+	Iters int
+	// Seed makes the workload deterministic.
+	Seed int64
+}
+
+// DefaultShardOptions is the committed-artifact configuration.
+func DefaultShardOptions() ShardOptions {
+	return ShardOptions{
+		Communities: 8, CommunitySize: 250,
+		Degree: 6, InterFrac: 0.2,
+		Shards: []int{1, 2, 4, 8},
+		Iters:  5, Seed: 17,
+	}
+}
+
+// QuickShardOptions is the CI smoke configuration.
+func QuickShardOptions() ShardOptions {
+	return ShardOptions{
+		Communities: 4, CommunitySize: 50,
+		Degree: 4, InterFrac: 0.2,
+		Shards: []int{1, 2},
+		Iters:  2, Seed: 17,
+	}
+}
+
+// ShardPoint is one measurement of the sharding experiment: one rule
+// set × partitioner × shard count, with its speedup over the P=1
+// monolithic baseline on the same rule set.
+type ShardPoint struct {
+	RuleSet     string        `json:"rule_set"`
+	Partitioner string        `json:"partitioner"`
+	Shards      int           `json:"shards"`
+	CutEdges    int           `json:"cut_edges"`
+	Violations  int           `json:"violations"`
+	Validate    time.Duration `json:"validate_ns"`
+	// Speedup is monolithic time / this point's time; Efficiency is
+	// Speedup / Shards (1.0 = perfect linear scaling).
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// ShardResult is the full sharding experiment: the host graph's shape
+// and the scaling sweep. NumCPU records the measuring machine — scaling
+// past it measures scheduling overhead, not parallelism, so consumers
+// gate efficiency only on points with Shards ≤ NumCPU.
+type ShardResult struct {
+	Nodes        int          `json:"nodes"`
+	KnowsEdges   int          `json:"knows_edges"`
+	FollowsEdges int          `json:"follows_edges"`
+	NumCPU       int          `json:"num_cpu"`
+	Points       []ShardPoint `json:"points"`
+}
+
+// canonSet renders a violation list as an order-insensitive canonical
+// string for the cross-path equality assertion.
+func canonSet(vs []gedlib.Violation) string {
+	keys := make([]string, len(vs))
+	for i, v := range vs {
+		s := v.GED.Name
+		for _, x := range v.GED.Pattern.Vars() {
+			s += fmt.Sprintf(":%s=%d", x, v.Match[x])
+		}
+		keys[i] = s
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// ShardScaling measures sharded Validate against the monolithic engine
+// on the power-law social workload, for the partition-friendly
+// ("knows"-only patterns) and boundary-heavy ("follows"-only patterns)
+// rule sets, across the configured P sweep with both partitioners.
+// Every sharded run's violation set is asserted equal to the
+// monolithic set — the experiment measures a different schedule for
+// the same answer, and panics if that stops being true.
+func ShardScaling(opts ShardOptions) ShardResult {
+	ctx := context.Background()
+	g, stats := workload.PowerLawSocial(opts.Seed,
+		opts.Communities, opts.CommunitySize, opts.Degree, opts.InterFrac)
+	res := ShardResult{
+		Nodes:        stats.Nodes,
+		KnowsEdges:   stats.KnowsEdges,
+		FollowsEdges: stats.FollowsEdges,
+		NumCPU:       runtime.NumCPU(),
+	}
+	ruleSets := []struct {
+		name  string
+		sigma gedlib.RuleSet
+	}{
+		{"partition-friendly", workload.PartitionFriendlyRules()},
+		{"boundary-heavy", workload.BoundaryHeavyRules()},
+	}
+	partitioners := []struct {
+		name string
+		part gedlib.Partitioner
+	}{
+		{"greedy", gedlib.GreedyPartitioner()},
+		{"hash", gedlib.HashPartitioner()},
+	}
+	mono := gedlib.New()
+	for _, rs := range ruleSets {
+		want, err := mono.Validate(ctx, g, rs.sigma)
+		if err != nil {
+			panic(err)
+		}
+		wantCanon := canonSet(want)
+		baseline := time.Duration(0)
+		for _, p := range opts.Shards {
+			for _, pn := range partitioners {
+				if p == 1 && pn.name != "greedy" {
+					continue // P=1 is the monolithic engine; partitioner moot
+				}
+				eng := mono
+				if p > 1 {
+					eng = gedlib.New(gedlib.WithShards(p), gedlib.WithPartitioner(pn.part))
+				}
+				// Warm outside the timed loop: first contact pays the
+				// partition + shard-snapshot build (or, monolithic, the
+				// freeze and plan compilation); steady state is what
+				// scales.
+				if _, err := eng.Validate(ctx, g, rs.sigma); err != nil {
+					panic(err)
+				}
+				times := make([]time.Duration, 0, opts.Iters)
+				var vs []gedlib.Violation
+				for it := 0; it < opts.Iters; it++ {
+					start := time.Now()
+					vs, err = eng.Validate(ctx, g, rs.sigma)
+					times = append(times, time.Since(start))
+					if err != nil {
+						panic(err)
+					}
+				}
+				if got := canonSet(vs); got != wantCanon {
+					panic(fmt.Sprintf("bench: sharded validation (p=%d %s %s) diverged from monolithic",
+						p, pn.name, rs.name))
+				}
+				pt := ShardPoint{
+					RuleSet:     rs.name,
+					Partitioner: pn.name,
+					Shards:      p,
+					Violations:  len(vs),
+					Validate:    median(times),
+				}
+				if p == 1 {
+					pt.Partitioner = "-"
+					baseline = pt.Validate
+				} else if st, ok := eng.ShardStats(g); ok {
+					pt.CutEdges = st.CutEdges
+				}
+				if baseline > 0 && pt.Validate > 0 {
+					pt.Speedup = float64(baseline) / float64(pt.Validate)
+					pt.Efficiency = pt.Speedup / float64(p)
+				}
+				res.Points = append(res.Points, pt)
+			}
+		}
+	}
+	return res
+}
+
+// WriteShard renders the sharding experiment as aligned tables, one
+// per rule set.
+func WriteShard(w io.Writer, res ShardResult) {
+	fmt.Fprintf(w, "host graph: %d nodes, %d knows (intra), %d follows (inter), %d CPUs\n",
+		res.Nodes, res.KnowsEdges, res.FollowsEdges, res.NumCPU)
+	last := ""
+	for _, p := range res.Points {
+		if p.RuleSet != last {
+			fmt.Fprintf(w, "\n%s:\n", p.RuleSet)
+			fmt.Fprintf(w, "%-3s %-8s %8s %6s %12s %8s %6s\n",
+				"P", "PART", "CUT", "VIOL", "VALIDATE", "SPEEDUP", "EFF")
+			last = p.RuleSet
+		}
+		fmt.Fprintf(w, "%-3d %-8s %8d %6d %12s %7.2fx %6.2f\n",
+			p.Shards, p.Partitioner, p.CutEdges, p.Violations,
+			p.Validate.Round(time.Microsecond), p.Speedup, p.Efficiency)
+	}
+}

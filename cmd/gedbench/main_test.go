@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestRegistryNamesUnique: duplicate names would make one experiment
+// shadow another in the -experiment lookup.
+func TestRegistryNamesUnique(t *testing.T) {
+	names := experimentNames()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate experiment name %q", n)
+		}
+		seen[n] = true
+		if n == "all" {
+			t.Fatal("'all' is a reserved selector, not a registry entry")
+		}
+	}
+}
+
+// TestAllListMatchesUsage cross-checks the three places an experiment
+// name must appear: the registry (which drives `all` and the usage
+// line), and the package doc comment's invocation examples. The doc
+// comment is prose, so nothing but this test keeps it in sync.
+func TestAllListMatchesUsage(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(src)
+	for _, n := range experimentNames() {
+		want := fmt.Sprintf("gedbench -experiment %s", n)
+		if !strings.Contains(doc, want) {
+			t.Errorf("experiment %q missing from the package doc comment (%q)", n, want)
+		}
+	}
+	if !strings.Contains(doc, "gedbench -experiment all") {
+		t.Error("doc comment lost the 'all' example")
+	}
+	// The usage string is built from the same list; pin that the
+	// expected members are present so a registry edit can't silently
+	// drop a documented experiment.
+	for _, n := range []string{"table1", "match", "incremental", "serve", "durability", "shard"} {
+		if !slices.Contains(experimentNames(), n) {
+			t.Errorf("experiment %q missing from registry", n)
+		}
+	}
+}

@@ -76,6 +76,8 @@ func main() {
 	var loads, rules assignList
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "validation workers per request (0 = sequential)")
+	shards := flag.Int("shards", 0, "graph shards for partitioned validation (0 or 1 = monolithic)")
+	partitioner := flag.String("partitioner", "", "shard placement strategy: hash or greedy (default hash); needs -shards")
 	cacheBound := flag.Int("cache", 0, "engine graph-cache bound (0 = default)")
 	chaseDepth := flag.Int("chase-depth", 0, "chase round bound (0 = unbounded)")
 	flushOps := flag.Int("flush-ops", 0, "flush a write queue at this many pending ops (0 = default)")
@@ -95,8 +97,13 @@ func main() {
 	if *dataDir != "" && *follow != "" {
 		fatal(fmt.Errorf("-data and -follow are mutually exclusive"))
 	}
+	if *partitioner != "" && *partitioner != "hash" && *partitioner != "greedy" {
+		fatal(fmt.Errorf("-partitioner %q: want hash or greedy", *partitioner))
+	}
 	cfg := serve.Config{
 		Workers:         *workers,
+		Shards:          *shards,
+		Partitioner:     *partitioner,
 		GraphCacheBound: *cacheBound,
 		ChaseDepth:      *chaseDepth,
 		FlushOps:        *flushOps,

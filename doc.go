@@ -89,6 +89,24 @@
 // baseline (gedbench -experiment match) and the differential-test
 // oracle.
 //
+// # Sharding
+//
+// WithShards(P) partitions every graph the engine touches into P
+// shards — WithPartitioner picks the placement: HashPartitioner
+// (stateless) or GreedyPartitioner (streaming edge-cut) — and runs
+// Validate and Apply shard-local in parallel. Each shard owns a
+// snapshot of its nodes' adjacency plus the frontier (non-owned
+// endpoints of cut edges), with its own journal lineage so deltas
+// advance only touched shards. When match enumeration needs to extend
+// across a shard boundary, the partial binding ships to the owning
+// shard's queue and resumes there; complete bindings are re-verified
+// against the global snapshot before a violation is emitted. Per-shard
+// violation stores merge into exactly the canonical order of the
+// monolithic path, which remains the P=1 fallback and the differential
+// oracle. ShardStats exposes the live topology (owned nodes, cut
+// edges, per-shard violation counts); gedbench -experiment shard
+// measures 1→P scaling on a power-law social workload.
+//
 // # Serving
 //
 // The serve subpackage (daemon: cmd/gedserve) turns the library into a

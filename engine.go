@@ -11,6 +11,7 @@ import (
 	"gedlib/internal/optimize"
 	"gedlib/internal/reason"
 	"gedlib/internal/repair"
+	"gedlib/internal/shard"
 )
 
 // ErrChaseDepthExceeded is returned by Engine methods when a chase did
@@ -55,6 +56,8 @@ type Engine struct {
 	violationLimit int
 	chaseDepth     int
 	cacheBound     int
+	shards         int
+	partitioner    Partitioner
 
 	mu    sync.Mutex
 	clock uint64
@@ -85,6 +88,10 @@ type engEntry struct {
 	applyMu    sync.Mutex
 	storeSigma RuleSet
 	store      *reason.ViolationStore
+
+	// shardState is the partitioned topology and per-shard stores when
+	// WithShards is active; single-writer under applyMu like the store.
+	shardState *shard.State
 }
 
 // DefaultGraphCacheBound is how many graphs an Engine retains cached
@@ -280,6 +287,35 @@ func WithChaseDepth(d int) Option {
 	return func(e *Engine) { e.chaseDepth = d }
 }
 
+// WithShards partitions every graph the engine touches into p shards
+// and runs Validate and Apply through the sharded path: a Partitioner
+// (WithPartitioner, hash by default) assigns node ownership, each shard
+// keeps its own snapshot lineage and — under Apply — its own maintained
+// violation store, and validation executes as parallel shard-local
+// extension with partial bindings shipped across shard queues at
+// boundaries. Deltas route to the shards they touch (O(|Δ| per shard))
+// and per-shard violation sets merge into the same canonical order the
+// monolithic path produces — p ≤ 1 (the default) keeps that monolithic
+// path, which remains the differential oracle for the sharded one.
+//
+// In sharded mode Validate serializes with Apply per graph (both
+// advance the single-writer shard state) and returns no partial results
+// on cancellation.
+func WithShards(p int) Option {
+	return func(e *Engine) { e.shards = p }
+}
+
+// WithPartitioner selects the node-placement strategy WithShards uses:
+// HashPartitioner (the O(1) baseline) or GreedyPartitioner (streaming
+// edge-cut minimization). A nil partitioner keeps the current one.
+func WithPartitioner(part Partitioner) Option {
+	return func(e *Engine) {
+		if part != nil {
+			e.partitioner = part
+		}
+	}
+}
+
 // WithGraphCacheBound bounds how many graphs the engine retains cached
 // state for (snapshot, prepared validator, maintained violation store).
 // Past the bound the least-recently-used graph's entry is evicted and
@@ -295,14 +331,68 @@ func WithGraphCacheBound(n int) Option {
 // cached state for up to DefaultGraphCacheBound graphs.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		workers:    1,
-		cacheBound: DefaultGraphCacheBound,
-		cache:      make(map[*Graph]*engEntry),
+		workers:     1,
+		cacheBound:  DefaultGraphCacheBound,
+		partitioner: shard.NewHash(),
+		cache:       make(map[*Graph]*engEntry),
 	}
 	for _, o := range opts {
 		o(e)
 	}
 	return e
+}
+
+// pin returns g's entry held against LRU eviction, with the matching
+// release. Pinning is what keeps "Apply serializes with itself per
+// graph" true while the cache churns: a concurrent call for the same
+// graph finds this same entry and blocks on its applyMu.
+func (e *Engine) pin(g *Graph) (*engEntry, func()) {
+	e.mu.Lock()
+	ent := e.entryLocked(g)
+	ent.pinned++
+	e.mu.Unlock()
+	return ent, func() {
+		e.mu.Lock()
+		ent.pinned--
+		e.evictLocked(nil)
+		e.mu.Unlock()
+	}
+}
+
+// shardStateFor returns g's sharded state caught up to g's current
+// version — advancing it by the graph's journal when the backlog is
+// small, repartitioning from scratch otherwise. The caller must hold
+// ent.applyMu (the state is single-writer) and keep g quiescent, like
+// every graph-bound method.
+func (e *Engine) shardStateFor(ctx context.Context, g *Graph, ent *engEntry) (*shard.State, error) {
+	st := ent.shardState
+	if st != nil && st.P() == e.shards {
+		d := g.DeltaSince(st.Version())
+		switch {
+		case d != nil && d.Size() <= g.Size()/4:
+			if err := st.ApplyDelta(ctx, d); err != nil {
+				ent.shardState = nil
+				return nil, err
+			}
+		case g.Version() != st.Version():
+			// Journal trimmed or backlog rivals the graph: repartition.
+			st = nil
+		}
+	} else {
+		st = nil
+	}
+	if st == nil {
+		st = shard.New(g, e.fresh(g), e.shards, e.partitioner)
+		ent.shardState = st
+	}
+	// Publish the sharded global snapshot into the plain snapshot cache
+	// so the other graph-bound methods reuse it instead of re-advancing.
+	e.mu.Lock()
+	if cur := e.cache[g]; cur != nil {
+		cur.snapVer, cur.snapshot = st.Global().SourceVersion(), st.Global()
+	}
+	e.mu.Unlock()
+	return st, nil
 }
 
 // Validate finds the violations of Σ in g (Section 5.3): matches of a
@@ -314,11 +404,33 @@ func New(opts ...Option) *Engine {
 // On cancellation the violations found so far are returned together
 // with ctx's error.
 func (e *Engine) Validate(ctx context.Context, g *Graph, sigma RuleSet) ([]Violation, error) {
+	if e.shards > 1 {
+		return e.validateSharded(ctx, g, sigma)
+	}
 	val := e.plansFor(g, e.fresh(g), sigma)
 	if e.workers == 1 {
 		return val.RunCtx(ctx, e.violationLimit)
 	}
 	return val.RunParallelCtx(ctx, e.violationLimit, e.workers)
+}
+
+// validateSharded is Validate through the partitioned path: catch the
+// shard topology up to the graph, run the frame-protocol search across
+// all shards, and report the canonical merge.
+func (e *Engine) validateSharded(ctx context.Context, g *Graph, sigma RuleSet) ([]Violation, error) {
+	ent, unpin := e.pin(g)
+	defer unpin()
+	ent.applyMu.Lock()
+	defer ent.applyMu.Unlock()
+	st, err := e.shardStateFor(ctx, g, ent)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := st.Validate(ctx, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return e.limited(vs), nil
 }
 
 // ValidateIncremental finds the violations of Σ whose match involves at
@@ -366,18 +478,23 @@ func (e *Engine) Apply(ctx context.Context, g *Graph, sigma RuleSet) ([]Violatio
 	// Pin the entry so LRU churn cannot evict it mid-call: a concurrent
 	// Apply for the same graph must find this same entry (and block on
 	// its applyMu) rather than seed a duplicate store on a fresh one.
-	e.mu.Lock()
-	ent := e.entryLocked(g)
-	ent.pinned++
-	e.mu.Unlock()
-	defer func() {
-		e.mu.Lock()
-		ent.pinned--
-		e.evictLocked(nil)
-		e.mu.Unlock()
-	}()
+	ent, unpin := e.pin(g)
+	defer unpin()
 	ent.applyMu.Lock()
 	defer ent.applyMu.Unlock()
+	if e.shards > 1 {
+		st, err := e.shardStateFor(ctx, g, ent)
+		if err != nil {
+			return nil, err
+		}
+		if !st.Seeded(sigma) {
+			if err := st.SeedStores(ctx, sigma); err != nil {
+				ent.shardState = nil
+				return nil, err
+			}
+		}
+		return e.limited(st.Violations()), nil
+	}
 	if st := ent.store; st != nil && SameRules(ent.storeSigma, sigma) {
 		d := g.DeltaSince(st.Snapshot().SourceVersion())
 		if d != nil && d.Size() <= g.Size()/4 {
@@ -417,6 +534,61 @@ func (e *Engine) limited(vs []Violation) []Violation {
 	out := make([]Violation, len(vs))
 	copy(out, vs)
 	return out
+}
+
+// ShardStats describes the shard topology the engine maintains for one
+// graph under WithShards.
+type ShardStats struct {
+	// Shards is the shard count P.
+	Shards int
+	// Partitioner names the placement strategy.
+	Partitioner string
+	// CutEdges counts distinct edges whose endpoints live on different
+	// shards — the boundary index's headline number.
+	CutEdges int
+	// OwnedNodes are the per-shard owned-node counts.
+	OwnedNodes []int
+	// ShardViolations are the per-shard maintained violation counts
+	// (violations live with the owner of their first variable binding);
+	// nil until an Apply has seeded the sharded stores.
+	ShardViolations []int
+}
+
+// ShardStats reports g's current shard topology, when WithShards is
+// active and a prior Validate or Apply built the state (it never builds
+// one itself — stats stay O(P)). It serializes with Apply on the same
+// graph, like every sharded-state reader.
+func (e *Engine) ShardStats(g *Graph) (ShardStats, bool) {
+	if e.shards <= 1 {
+		return ShardStats{}, false
+	}
+	e.mu.Lock()
+	ent := e.cache[g]
+	if ent == nil {
+		e.mu.Unlock()
+		return ShardStats{}, false
+	}
+	ent.pinned++
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		ent.pinned--
+		e.evictLocked(nil)
+		e.mu.Unlock()
+	}()
+	ent.applyMu.Lock()
+	defer ent.applyMu.Unlock()
+	st := ent.shardState
+	if st == nil {
+		return ShardStats{}, false
+	}
+	return ShardStats{
+		Shards:          st.P(),
+		Partitioner:     st.PartitionerName(),
+		CutEdges:        st.CutEdges(),
+		OwnedNodes:      st.OwnedNodes(),
+		ShardViolations: st.StoreCounts(),
+	}, true
 }
 
 // Satisfies reports g ⊨ Σ, stopping at the first violation.

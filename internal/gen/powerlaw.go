@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"math/rand"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/pattern"
+)
+
+// PowerLawStats reports what PowerLawSocial generated.
+type PowerLawStats struct {
+	// Communities is the number of contiguous community blocks.
+	Communities int
+	// Nodes is the total node count (Communities × community size).
+	Nodes int
+	// KnowsEdges counts intra-community "knows" edges.
+	KnowsEdges int
+	// FollowsEdges counts inter-community "follows" edges.
+	FollowsEdges int
+}
+
+// PowerLawSocial synthesizes an LDBC-social-style person graph with
+// power-law degree skew and explicit community structure, the host
+// workload of the sharding benchmark:
+//
+//   - nodes are laid out as contiguous community blocks of `size`
+//     persons each, so a streaming greedy partitioner can recover the
+//     communities while a hash partitioner cuts almost every edge;
+//   - "knows" edges stay inside a community, with both endpoints drawn
+//     Zipf-skewed toward the community's low-id hubs (power-law degree
+//     distribution);
+//   - "follows" edges cross communities (interFrac of all edges),
+//     again hub-biased on both sides;
+//   - every person carries country (constant per community), lang and
+//     active attributes drawn from small domains.
+//
+// Rules over "knows" therefore bind almost entirely within one shard
+// under a community-aware partition (PartitionFriendlyRules), while
+// rules over "follows" force cross-shard handoffs no matter how the
+// graph is split (BoundaryHeavyRules). Deterministic in seed.
+func PowerLawSocial(seed int64, communities, size int, degree, interFrac float64) (*graph.Graph, PowerLawStats) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	stats := PowerLawStats{Communities: communities, Nodes: communities * size}
+	for c := 0; c < communities; c++ {
+		for i := 0; i < size; i++ {
+			n := g.AddNode("person")
+			g.SetAttr(n, "country", graph.Int(c%7))
+			g.SetAttr(n, "lang", graph.Int(rng.Intn(3)))
+			g.SetAttr(n, "active", graph.Int(rng.Intn(5)/4)) // ~20% active
+		}
+	}
+	// Zipf over offsets within a community: offset 0 is the hub.
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(size-1))
+	pick := func(c int) graph.NodeID {
+		return graph.NodeID(c*size + int(zipf.Uint64()))
+	}
+	edges := int(degree * float64(communities*size))
+	for i := 0; i < edges; i++ {
+		if rng.Float64() < interFrac && communities > 1 {
+			cs := rng.Intn(communities)
+			cd := rng.Intn(communities - 1)
+			if cd >= cs {
+				cd++
+			}
+			g.AddEdge(pick(cs), "follows", pick(cd))
+			stats.FollowsEdges++
+		} else {
+			c := rng.Intn(communities)
+			g.AddEdge(pick(c), "knows", pick(c))
+			stats.KnowsEdges++
+		}
+	}
+	return g, stats
+}
+
+// socialRule builds the rule Q[x,y] with one edge x -label-> y,
+// antecedent xs and consequent ys.
+func socialRule(name string, label graph.Label, xs func(x, y pattern.Var) []ged.Literal, ys func(x, y pattern.Var) []ged.Literal) *ged.GED {
+	q := pattern.New()
+	q.AddVar("x", "person")
+	q.AddVar("y", "person")
+	q.AddEdge("x", label, "y")
+	return ged.New(name, q, xs("x", "y"), ys("x", "y"))
+}
+
+// PartitionFriendlyRules returns rules whose patterns walk only
+// intra-community "knows" edges of PowerLawSocial: under a
+// community-aware partition nearly every binding completes inside one
+// shard, the best case for sharded validation.
+func PartitionFriendlyRules() ged.Set {
+	active := func(x, y pattern.Var) []ged.Literal {
+		return []ged.Literal{
+			ged.ConstLit(x, "active", graph.Int(1)),
+			ged.ConstLit(y, "active", graph.Int(1)),
+		}
+	}
+	sameLang := func(x, y pattern.Var) []ged.Literal {
+		return []ged.Literal{ged.VarLit(x, "lang", y, "lang")}
+	}
+	// Two-hop rule: active users two "knows" hops apart stay in one
+	// country. Communities share a country, so it mostly holds; the
+	// enumeration work (hub fan-out squared) is the point.
+	q := pattern.New()
+	q.AddVar("x", "person")
+	q.AddVar("y", "person")
+	q.AddVar("z", "person")
+	q.AddEdge("x", "knows", "y")
+	q.AddEdge("y", "knows", "z")
+	twoHop := ged.New("knows2-country", q,
+		[]ged.Literal{ged.ConstLit("x", "active", graph.Int(1))},
+		[]ged.Literal{ged.VarLit("x", "country", "z", "country")})
+	return ged.Set{
+		socialRule("knows-lang", "knows", active, sameLang),
+		twoHop,
+	}
+}
+
+// BoundaryHeavyRules returns rules whose patterns walk only
+// inter-community "follows" edges of PowerLawSocial: every binding
+// crosses a community boundary, so any partition forces cross-shard
+// frontier handoffs — the stress case for sharded validation.
+func BoundaryHeavyRules() ged.Set {
+	active := func(x, y pattern.Var) []ged.Literal {
+		return []ged.Literal{
+			ged.ConstLit(x, "active", graph.Int(1)),
+			ged.ConstLit(y, "active", graph.Int(1)),
+		}
+	}
+	sameLang := func(x, y pattern.Var) []ged.Literal {
+		return []ged.Literal{ged.VarLit(x, "lang", y, "lang")}
+	}
+	q := pattern.New()
+	q.AddVar("x", "person")
+	q.AddVar("y", "person")
+	q.AddVar("z", "person")
+	q.AddEdge("x", "follows", "y")
+	q.AddEdge("y", "follows", "z")
+	twoHop := ged.New("follows2-lang", q,
+		[]ged.Literal{ged.ConstLit("x", "active", graph.Int(1))},
+		[]ged.Literal{ged.VarLit("x", "lang", "z", "lang")})
+	return ged.Set{
+		socialRule("follows-lang", "follows", active, sameLang),
+		twoHop,
+	}
+}

@@ -236,6 +236,20 @@ func compile(p *Pattern, h Host, filters []ConstFilter, probe bool) *Plan {
 // Rebinding onto an unrelated snapshot corrupts label resolution
 // silently; callers are expected to check Lineage, as the Engine's plan
 // cache does.
+// OrderedVars returns the plan's variable binding order — the sequence
+// the worst-case-optimal search extends partial bindings in, chosen
+// from the host's statistics at compile time. Callers that drive their
+// own extension loop (the sharded validator resumes partial bindings
+// across shard queues) reuse it so their enumeration visits variables
+// in the same cost-aware order. The returned slice is fresh.
+func (pl *Plan) OrderedVars() []Var {
+	out := make([]Var, len(pl.order))
+	for i, vi := range pl.order {
+		out[i] = pl.vars[vi]
+	}
+	return out
+}
+
 func (pl *Plan) Rebind(snap *graph.Snapshot) *Plan {
 	if snap == pl.snap {
 		return pl

@@ -218,6 +218,14 @@ func appendViolationKey(buf []byte, v Violation) []byte {
 	return buf
 }
 
+// SortViolations puts violations into the canonical order every
+// validation API reports: by GED index in sigma, then by the match
+// bindings in variable order. Exported for callers that assemble
+// violation lists from several independent searches (the sharded
+// validator merges per-shard result sets with it) and need them in the
+// same order the single-snapshot paths produce.
+func SortViolations(vs []Violation, sigma ged.Set) { sortViolations(vs, sigma) }
+
 // sortViolations puts violations into a canonical order: by GED index,
 // then by the match bindings in variable order. The per-violation keys
 // are computed once up front — not inside the comparator, which would

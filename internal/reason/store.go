@@ -177,6 +177,33 @@ func NewViolationStoreParallelCtx(ctx context.Context, val *Validator, workers i
 	return st, nil
 }
 
+// NewViolationStoreSeeded builds a maintained store over val's snapshot
+// from an externally computed violation set — the complete violations of
+// val's rules against val's snapshot, in any order (the sharded engine
+// seeds per-shard stores this way, from a partitioned parallel search
+// instead of val's own run). The slice is not retained; entries are
+// admitted and put into canonical order.
+func NewViolationStoreSeeded(val *Validator, vs []Violation) *ViolationStore {
+	sigma := val.sigma
+	st := &ViolationStore{
+		val:    val,
+		sigma:  sigma,
+		gedIdx: make(map[*ged.GED]int, len(sigma)),
+		byNode: make(map[graph.NodeID][]*storedViolation),
+	}
+	for i, d := range sigma {
+		st.gedIdx[d] = i
+	}
+	st.vs = make([]*storedViolation, 0, len(vs))
+	for _, v := range vs {
+		if st.seen.add(st.gedIdx[v.GED], v.GED.Pattern.Vars(), v.Match) {
+			st.vs = append(st.vs, st.admit(v))
+		}
+	}
+	sort.Slice(st.vs, func(i, j int) bool { return st.vs[i].less(st.vs[j]) })
+	return st
+}
+
 // Snapshot returns the snapshot the store currently reflects.
 func (st *ViolationStore) Snapshot() *graph.Snapshot { return st.val.Snapshot() }
 
@@ -204,7 +231,30 @@ func (st *ViolationStore) Len() int { return len(st.vs) }
 // store's current snapshot — where touched are the delta's touched
 // nodes (Delta.TouchedNodes). On a non-nil error the store may reflect
 // only part of the delta; callers should discard and re-seed it.
+//
+// Apply is Recheck (drop/refresh the stored entries the delta touches)
+// followed by the validator's own touched-neighborhood search feeding
+// AdmitFresh. Callers that find the fresh violations elsewhere — the
+// sharded engine searches across shard queues — run the two halves
+// directly.
 func (st *ViolationStore) Apply(ctx context.Context, snap *graph.Snapshot, touched []graph.NodeID) error {
+	if err := st.Recheck(ctx, snap, touched); err != nil || len(touched) == 0 {
+		return err
+	}
+	// Find the new violations around the touched nodes; matches already
+	// stored re-surface here and are dropped by the key set. The fresh
+	// list arrives canonically sorted, so it merges rather than
+	// re-sorting the store.
+	fresh, err := st.val.TouchingCtx(ctx, touched, 0)
+	st.AdmitFresh(fresh)
+	return err
+}
+
+// Recheck is the first half of Apply: it rebases the store's validator
+// onto snap and re-checks exactly the stored violations whose match
+// binds a touched node, dropping the ones that no longer violate and
+// refreshing recorded evidence. It does not search for new violations.
+func (st *ViolationStore) Recheck(ctx context.Context, snap *graph.Snapshot, touched []graph.NodeID) error {
 	st.val = st.val.Rebase(snap)
 	if len(touched) == 0 {
 		return ctx.Err()
@@ -254,7 +304,6 @@ func (st *ViolationStore) Apply(ctx context.Context, snap *graph.Snapshot, touch
 			st.byNode[n] = live
 		}
 	}
-	mutated := refreshed || droppedAny
 	if droppedAny {
 		kept := st.vs[:0]
 		for _, e := range st.vs {
@@ -264,27 +313,31 @@ func (st *ViolationStore) Apply(ctx context.Context, snap *graph.Snapshot, touch
 		}
 		st.vs = kept
 	}
-	// Find the new violations around the touched nodes; matches already
-	// stored re-surface here and are dropped by the key set. The fresh
-	// list arrives canonically sorted, so it merges rather than
-	// re-sorting the store.
-	fresh, err := st.val.TouchingCtx(ctx, touched, 0)
+	if refreshed || droppedAny {
+		st.view = nil
+	}
+	if st.dross > 4*len(st.vs)+64 {
+		st.rebuildIndex()
+	}
+	return ctx.Err()
+}
+
+// AdmitFresh is the second half of Apply: it merges externally found
+// fresh violations into the store. The input must be verified against
+// the store's current snapshot and canonically sorted (SortViolations);
+// duplicates — of stored entries or within vs — are dropped by the key
+// set, so re-discovering a maintained violation is harmless.
+func (st *ViolationStore) AdmitFresh(vs []Violation) {
 	var add []*storedViolation
-	for _, v := range fresh {
+	for _, v := range vs {
 		if st.seen.add(st.gedIdx[v.GED], v.GED.Pattern.Vars(), v.Match) {
 			add = append(add, st.admit(v))
 		}
 	}
 	if len(add) > 0 {
 		st.vs = mergeStored(st.vs, add)
-	}
-	if mutated || len(add) > 0 {
 		st.view = nil
 	}
-	if st.dross > 4*len(st.vs)+64 {
-		st.rebuildIndex()
-	}
-	return err
 }
 
 // rebuildIndex re-derives byNode from the live entries, shedding the

@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"fmt"
+
+	"gedlib/internal/graph"
+)
+
+// sharding is the partitioned form of one graph: P shard graphs, each a
+// real *graph.Graph with its own mutation journal and snapshot lineage,
+// plus the ownership table and the boundary index.
+//
+// Every shard graph holds the full node table (dense ids and true
+// labels aligned with the global graph, so shard-local NodeIDs are
+// global NodeIDs), the edges with at least one owned endpoint (cut
+// edges are stored at both owners), and the attributes of the nodes it
+// owns or borders. known[i][n] records that shard i holds n's full
+// attribute state — n is owned by i or a frontier node of i — which is
+// what makes shard-local constant-filter checks definitive.
+type sharding struct {
+	p      int
+	part   Partitioner
+	owner  []int32
+	graphs []*graph.Graph
+	snaps  []*graph.Snapshot
+	known  [][]bool
+	ownedN []int
+	// cutEdges counts distinct edges whose endpoints have different
+	// owners — the boundary index's headline number.
+	cutEdges int
+	// version is the global graph version the shards reflect.
+	version uint64
+}
+
+// newSharding partitions g. The caller must not mutate g concurrently
+// (the Engine's entry lock provides this).
+func newSharding(g *graph.Graph, p int, part Partitioner) *sharding {
+	s := &sharding{
+		p:      p,
+		part:   part,
+		owner:  part.Partition(g, p),
+		graphs: make([]*graph.Graph, p),
+		snaps:  make([]*graph.Snapshot, p),
+		known:  make([][]bool, p),
+		ownedN: make([]int, p),
+	}
+	n := g.NumNodes()
+	for i := 0; i < p; i++ {
+		s.graphs[i] = graph.New()
+		s.known[i] = make([]bool, n)
+	}
+	for id := 0; id < n; id++ {
+		l := g.Label(graph.NodeID(id))
+		for i := 0; i < p; i++ {
+			s.graphs[i].AddNode(l)
+		}
+		oi := s.owner[id]
+		s.known[oi][id] = true
+		s.ownedN[oi]++
+		for a, v := range g.Attrs(graph.NodeID(id)) {
+			s.graphs[oi].SetAttr(graph.NodeID(id), a, v)
+		}
+	}
+	for _, e := range g.Edges() {
+		so, do := s.owner[e.Src], s.owner[e.Dst]
+		s.graphs[so].AddEdge(e.Src, e.Label, e.Dst)
+		if do != so {
+			s.graphs[do].AddEdge(e.Src, e.Label, e.Dst)
+			s.cutEdges++
+			s.adopt(int(do), e.Src)
+			s.adopt(int(so), e.Dst)
+		}
+	}
+	for i := 0; i < p; i++ {
+		s.snaps[i] = s.graphs[i].Freeze()
+	}
+	s.version = g.Version()
+	return s
+}
+
+// adopt marks n as a frontier node of shard i: its attributes become —
+// and, through the known-gated routing of later attribute writes, stay
+// — locally complete. The copy source is the owner's shard graph, which
+// holds n's full attribute state by invariant.
+func (s *sharding) adopt(i int, n graph.NodeID) {
+	if s.known[i][n] {
+		return
+	}
+	s.known[i][n] = true
+	for a, v := range s.graphs[s.owner[n]].Attrs(n) {
+		s.graphs[i].SetAttr(n, a, v)
+	}
+}
+
+// applyDelta routes d — the global journal slice from s.version — into
+// the shard graphs and advances each shard snapshot along its own
+// journal lineage. Work is proportional to the delta per shard it
+// touches: a shard owning none of the delta's nodes sees only the
+// (shared, O(|Δ.Nodes|)) node-table appends.
+func (s *sharding) applyDelta(d *graph.Delta) {
+	if d.FromVersion != s.version {
+		panic(fmt.Sprintf("shard: delta from version %d applied to sharding at %d", d.FromVersion, s.version))
+	}
+	// Nodes join every shard graph so shard-local ids stay aligned with
+	// global ids; ownership comes from the partitioner's streaming
+	// placement (the structure-aware pass already ran).
+	for _, na := range d.Nodes {
+		for i := range s.graphs {
+			s.graphs[i].AddNode(na.Label)
+			s.known[i] = append(s.known[i], false)
+		}
+		oi := s.part.Place(na.ID, na.Label, s.p)
+		s.owner = append(s.owner, oi)
+		s.known[oi][na.ID] = true
+		s.ownedN[oi]++
+	}
+	for _, e := range d.Edges {
+		so, do := s.owner[e.Src], s.owner[e.Dst]
+		if s.graphs[so].HasEdge(e.Src, e.Label, e.Dst) {
+			// AddEdge is idempotent; skipping keeps cutEdges exact
+			// under duplicate inserts.
+			continue
+		}
+		s.graphs[so].AddEdge(e.Src, e.Label, e.Dst)
+		if do != so {
+			s.graphs[do].AddEdge(e.Src, e.Label, e.Dst)
+			s.cutEdges++
+			s.adopt(int(do), e.Src)
+			s.adopt(int(so), e.Dst)
+		}
+	}
+	// Attribute writes land on every shard that tracks the node's
+	// attributes; adoption above ran first, so a node that just became
+	// frontier receives this delta's writes too.
+	for _, aw := range d.Attrs {
+		for i := range s.graphs {
+			if s.known[i][aw.Node] {
+				s.graphs[i].SetAttr(aw.Node, aw.Attr, aw.Value)
+			}
+		}
+	}
+	for i := range s.graphs {
+		sd := s.graphs[i].DeltaSince(s.snaps[i].SourceVersion())
+		switch {
+		case sd == nil:
+			// The shard journal no longer reaches back; refreeze.
+			s.snaps[i] = s.graphs[i].Freeze()
+		case !sd.Empty():
+			s.snaps[i] = s.snaps[i].Apply(sd)
+		}
+	}
+	s.version = d.ToVersion
+}

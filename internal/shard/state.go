@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"context"
+	"sync"
+
+	"gedlib/internal/ged"
+	"gedlib/internal/graph"
+	"gedlib/internal/reason"
+)
+
+// State is one graph's sharded validation state: the partition topology
+// (shard graphs, snapshots, boundary index), the global snapshot the
+// shards reflect, compiled rule orders, and — once an Apply seeds them
+// — the per-shard maintained violation stores.
+//
+// State is single-writer: ApplyDelta, Validate and SeedStores must not
+// run concurrently with each other or with the read accessors. The
+// Engine serializes them under its per-graph apply lock.
+type State struct {
+	sh     *sharding
+	global *graph.Snapshot
+
+	// Compiled rule cache, keyed by rule-set identity.
+	ruleSigma ged.Set
+	rules     []*compiledRule
+
+	// Per-shard maintained stores (nil until SeedStores); stores[i]
+	// owns the violations whose first-variable binding shard i owns.
+	storeSigma ged.Set
+	stores     []*reason.ViolationStore
+	merged     []reason.Violation
+}
+
+// New partitions g into p shards with part and freezes the per-shard
+// snapshots. global must be g's snapshot at its current version (the
+// Engine's cached one); g must be quiescent for the duration.
+func New(g *graph.Graph, global *graph.Snapshot, p int, part Partitioner) *State {
+	return &State{sh: newSharding(g, p, part), global: global}
+}
+
+// Version is the global graph version the sharding reflects.
+func (st *State) Version() uint64 { return st.sh.version }
+
+// Global is the global snapshot the sharding reflects.
+func (st *State) Global() *graph.Snapshot { return st.global }
+
+// P is the shard count.
+func (st *State) P() int { return st.sh.p }
+
+// PartitionerName labels the partitioning strategy.
+func (st *State) PartitionerName() string { return st.sh.part.Name() }
+
+// CutEdges is the boundary index's cut-edge count: distinct edges whose
+// endpoints live on different shards.
+func (st *State) CutEdges() int { return st.sh.cutEdges }
+
+// OwnedNodes returns the per-shard owned-node counts.
+func (st *State) OwnedNodes() []int {
+	out := make([]int, st.sh.p)
+	copy(out, st.sh.ownedN)
+	return out
+}
+
+// StoreCounts returns the per-shard maintained violation counts, or nil
+// when no stores are seeded.
+func (st *State) StoreCounts() []int {
+	if st.stores == nil {
+		return nil
+	}
+	out := make([]int, len(st.stores))
+	for i, s := range st.stores {
+		out[i] = s.Len()
+	}
+	return out
+}
+
+// Seeded reports whether maintained stores exist for exactly sigma.
+func (st *State) Seeded(sigma ged.Set) bool {
+	return st.stores != nil && sameSet(st.storeSigma, sigma)
+}
+
+// ApplyDelta advances everything the state maintains — shard graphs and
+// snapshots, the boundary index, the global snapshot, and the seeded
+// stores — by d, the global journal slice from Version(). Cost is
+// O(|Δ| per touched shard) plus the incremental search around the
+// touched nodes. On error the state is inconsistent and must be
+// discarded (the Engine rebuilds it on the next call).
+func (st *State) ApplyDelta(ctx context.Context, d *graph.Delta) error {
+	if d.Empty() {
+		return ctx.Err()
+	}
+	post := st.global.Apply(d)
+	st.sh.applyDelta(d)
+	st.global = post
+	if st.stores == nil {
+		return ctx.Err()
+	}
+	touched := d.TouchedNodes()
+	if len(touched) == 0 {
+		return ctx.Err()
+	}
+	// Fresh search: pivoted frame enumeration over the updated shard
+	// snapshots, finalized against the new global snapshot.
+	r := newRunner(st.sh, post, st.compiled(st.storeSigma))
+	r.seedTouched(touched)
+	if err := r.run(ctx); err != nil {
+		st.stores = nil
+		return err
+	}
+	// Store maintenance: each shard's store re-checks its touched
+	// entries and merges its fresh bucket. Stores are disjoint and
+	// snapshots immutable, so the per-shard passes run in parallel.
+	errs := make([]error, len(st.stores))
+	var wg sync.WaitGroup
+	for i := range st.stores {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := st.stores[i].Recheck(ctx, post, touched); err != nil {
+				errs[i] = err
+				return
+			}
+			reason.SortViolations(r.buckets[i], st.storeSigma)
+			st.stores[i].AdmitFresh(r.buckets[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			st.stores = nil
+			return err
+		}
+	}
+	st.merged = nil
+	return nil
+}
+
+// Validate runs one full sharded validation of sigma — every rule's
+// base extension order, seeded across all shards — and returns the
+// violations in canonical order. It does not touch the stores.
+func (st *State) Validate(ctx context.Context, sigma ged.Set) ([]reason.Violation, error) {
+	r := newRunner(st.sh, st.global, st.compiled(sigma))
+	r.seedFull()
+	if err := r.run(ctx); err != nil {
+		return nil, err
+	}
+	out := mergeBuckets(r.buckets)
+	reason.SortViolations(out, sigma)
+	return out, nil
+}
+
+// SeedStores (re)builds the per-shard maintained stores for sigma from
+// one full sharded validation.
+func (st *State) SeedStores(ctx context.Context, sigma ged.Set) error {
+	st.stores, st.merged = nil, nil
+	r := newRunner(st.sh, st.global, st.compiled(sigma))
+	r.seedFull()
+	if err := r.run(ctx); err != nil {
+		return err
+	}
+	val := reason.NewValidatorOn(st.global, sigma)
+	stores := make([]*reason.ViolationStore, st.sh.p)
+	for i := range stores {
+		stores[i] = reason.NewViolationStoreSeeded(val, r.buckets[i])
+	}
+	st.storeSigma, st.stores = sigma, stores
+	return nil
+}
+
+// Violations returns the maintained violation set merged across shards
+// in canonical order. The merge is cached until the next ApplyDelta.
+func (st *State) Violations() []reason.Violation {
+	if st.stores == nil {
+		return nil
+	}
+	if st.merged == nil {
+		var out []reason.Violation
+		for _, s := range st.stores {
+			out = append(out, s.Violations()...)
+		}
+		reason.SortViolations(out, st.storeSigma)
+		st.merged = out
+	}
+	return st.merged
+}
+
+func (st *State) compiled(sigma ged.Set) []*compiledRule {
+	if st.rules == nil || !sameSet(st.ruleSigma, sigma) {
+		st.ruleSigma, st.rules = sigma, compileRules(sigma, st.global)
+	}
+	return st.rules
+}
+
+func mergeBuckets(buckets [][]reason.Violation) []reason.Violation {
+	var out []reason.Violation
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// sameSet reports rule-set identity: same rules, same order (the
+// facade's SameRules, restated here for the internal layer).
+func sameSet(a, b ged.Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

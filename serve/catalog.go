@@ -768,6 +768,17 @@ func (ent *GraphEntry) Stats() EntryStats {
 		s = ent.b.stats()
 	}
 	s.Name = ent.name
+	// The graph pointer is read under ent.mu (resetTo can swap it) but
+	// ShardStats is called outside it — it takes the engine's own locks.
+	ent.mu.RLock()
+	g := ent.graph
+	ent.mu.RUnlock()
+	if ss, ok := ent.cat.eng.ShardStats(g); ok {
+		s.Shards = ss.Shards
+		s.Partitioner = ss.Partitioner
+		s.CutEdges = ss.CutEdges
+		s.ShardViolations = ss.ShardViolations
+	}
 	if ent.ps != nil {
 		ps := ent.ps.Stats()
 		s.Durable = true

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestShardStatsJSONShape pins the shard-topology surface of /stats and
+// /statsz (as done for the durability counters): a sharded catalog
+// reports shards, partitioner, cut_edges and per-shard violation
+// counts, and a monolithic catalog omits all four keys.
+func TestShardStatsJSONShape(t *testing.T) {
+	s, ts := startServer(t, Config{
+		MaxDelay:    time.Millisecond,
+		Shards:      2,
+		Partitioner: "greedy",
+	})
+	kb, err := os.ReadFile("../testdata/kb.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := os.ReadFile("../testdata/rules.ged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, "POST", ts.URL+"/graphs?name=kb", kb, http.StatusCreated)
+	res := doJSON(t, "POST", ts.URL+"/graphs/kb/rules", rules, http.StatusOK)
+	total := res["violations"].(float64)
+	if total == 0 {
+		t.Fatal("kb.json plants violations but the seeding validation found none")
+	}
+
+	res = doJSON(t, "GET", ts.URL+"/graphs/kb/stats", nil, http.StatusOK)
+	if res["shards"].(float64) != 2 {
+		t.Fatalf("stats shards = %v, want 2", res["shards"])
+	}
+	if res["partitioner"] != "greedy" {
+		t.Fatalf("stats partitioner = %v, want greedy", res["partitioner"])
+	}
+	sv, ok := res["shard_violations"].([]any)
+	if !ok || len(sv) != 2 {
+		t.Fatalf("stats shard_violations = %v, want 2 per-shard counts", res["shard_violations"])
+	}
+	sum := 0.0
+	for _, n := range sv {
+		sum += n.(float64)
+	}
+	if sum != total {
+		t.Fatalf("per-shard violation counts sum to %v, view reports %v", sum, total)
+	}
+	// cut_edges is omitempty: it must appear exactly when the topology
+	// reports a nonzero cut. Compare against the struct-level stats.
+	ent, err := s.Catalog().Get("kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ent.Stats()
+	if _, present := res["cut_edges"]; present != (st.CutEdges != 0) {
+		t.Fatalf("cut_edges key present=%v but CutEdges=%d", present, st.CutEdges)
+	}
+	if present := res["cut_edges"] != nil; present && res["cut_edges"].(float64) != float64(st.CutEdges) {
+		t.Fatalf("cut_edges = %v, struct reports %d", res["cut_edges"], st.CutEdges)
+	}
+
+	// /statsz carries the same keys per entry.
+	res = doJSON(t, "GET", ts.URL+"/statsz", nil, http.StatusOK)
+	entries := res["entries"].([]any)
+	if len(entries) != 1 {
+		t.Fatalf("statsz entries = %d, want 1", len(entries))
+	}
+	e := entries[0].(map[string]any)
+	if e["shards"].(float64) != 2 || e["partitioner"] != "greedy" {
+		t.Fatalf("statsz entry missing shard topology: %v", e)
+	}
+
+	// A monolithic catalog must omit every shard key (omitempty).
+	_, ts2 := startServer(t, Config{MaxDelay: time.Millisecond})
+	doJSON(t, "POST", ts2.URL+"/graphs?name=kb", kb, http.StatusCreated)
+	doJSON(t, "POST", ts2.URL+"/graphs/kb/rules", rules, http.StatusOK)
+	res = doJSON(t, "GET", ts2.URL+"/graphs/kb/stats", nil, http.StatusOK)
+	for _, key := range []string{"shards", "partitioner", "cut_edges", "shard_violations"} {
+		if _, present := res[key]; present {
+			raw, _ := json.Marshal(res)
+			t.Fatalf("monolithic /stats leaks %q: %s", key, raw)
+		}
+	}
+}
