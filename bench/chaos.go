@@ -1,0 +1,516 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"gedlib"
+	"gedlib/persist"
+	"gedlib/serve"
+	"gedlib/workload"
+)
+
+// ChaosOptions configures the chaos soak: a serving catalog on a
+// fault-injecting filesystem, concurrent writers and readers, and a
+// scheduler that alternates inject/heal windows. The soak asserts the
+// failure-model contract end to end — no panics, every acknowledged
+// write survives a post-soak crash-recovery, the recovered violation
+// set is byte-identical to a fresh engine's, and degraded graphs
+// recover once the disk heals.
+type ChaosOptions struct {
+	// Graphs is how many tenant graphs the catalog hosts.
+	Graphs int
+	// Scale is each tenant's seeded knowledge-base scale.
+	Scale int
+	// Writers and Readers are the concurrent client goroutine counts
+	// (writers round-robin over the graphs).
+	Writers, Readers int
+	// Duration is the soak wall time (inject/heal windows included).
+	Duration time.Duration
+	// QuietWindow/ActiveWindow bound the scheduler's healed and faulted
+	// phases; actual windows are drawn uniformly from [min, max).
+	QuietMin, QuietMax   time.Duration
+	ActiveMin, ActiveMax time.Duration
+	// ProbeInterval is the serving config's auto-probe base delay.
+	ProbeInterval time.Duration
+	// Seed makes the fault schedule and the client streams deterministic.
+	Seed int64
+}
+
+// DefaultChaosOptions is the acceptance soak.
+func DefaultChaosOptions() ChaosOptions {
+	return ChaosOptions{
+		Graphs: 3, Scale: 400, Writers: 8, Readers: 8,
+		Duration: 8 * time.Second,
+		QuietMin: 300 * time.Millisecond, QuietMax: 800 * time.Millisecond,
+		ActiveMin: 150 * time.Millisecond, ActiveMax: 400 * time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond, Seed: 1,
+	}
+}
+
+// QuickChaosOptions is the CI smoke variant (short enough to run under
+// the race detector).
+func QuickChaosOptions() ChaosOptions {
+	return ChaosOptions{
+		Graphs: 2, Scale: 120, Writers: 4, Readers: 4,
+		Duration: 1500 * time.Millisecond,
+		QuietMin: 60 * time.Millisecond, QuietMax: 150 * time.Millisecond,
+		ActiveMin: 40 * time.Millisecond, ActiveMax: 120 * time.Millisecond,
+		ProbeInterval: 10 * time.Millisecond, Seed: 1,
+	}
+}
+
+// ChaosResult is one run of the chaos soak. Failures lists every
+// violated invariant; an empty list is a pass.
+type ChaosResult struct {
+	Graphs   int           `json:"graphs"`
+	Writers  int           `json:"writers"`
+	Readers  int           `json:"readers"`
+	Duration time.Duration `json:"duration_ns"`
+
+	WritesAttempted uint64 `json:"writes_attempted"`
+	WritesAcked     uint64 `json:"writes_acked"`
+	WriteErrors     uint64 `json:"write_errors"`
+	DegradedErrors  uint64 `json:"degraded_errors"`
+	Reads           uint64 `json:"reads"`
+
+	FaultWindows int               `json:"fault_windows"`
+	Injected     map[string]uint64 `json:"injected"`
+
+	// Serving-side degraded-mode counters, summed over graphs.
+	WALRetries uint64 `json:"wal_retries"`
+	Probes     uint64 `json:"probes"`
+	Recoveries uint64 `json:"recoveries"`
+
+	Failures []string `json:"failures"`
+}
+
+// chaosWriter tracks one writer's acknowledged soak chain: unique node
+// per attempt, an edge from the writer's anchor, and a monotone soak
+// attribute on the anchor. Only fully applied, error-free batches are
+// recorded as acked — exactly the writes the crash-recovery check
+// demands back.
+type chaosWriter struct {
+	id     int
+	graph  string
+	anchor string
+	acked  []int
+}
+
+// ChaosSoak runs the soak. It panics on setup errors (the harness
+// asserts behavior under disk faults, not setup races); invariant
+// violations go to ChaosResult.Failures instead so the caller can
+// report all of them.
+func ChaosSoak(opts ChaosOptions) ChaosResult {
+	dir, err := os.MkdirTemp("", "gedbench-chaos-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ffs := NewFaultFS(opts.Seed, nil)
+	cat, err := serve.NewCatalog(serve.Config{
+		DataDir:       dir,
+		FS:            ffs,
+		MaxDelay:      time.Millisecond,
+		ProbeInterval: opts.ProbeInterval,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cat.Close()
+
+	sigma := gedlib.RuleSet{
+		workload.PaperPhi1(), workload.PaperPhi2(),
+		workload.PaperPhi3(), workload.PaperPhi4(),
+	}
+	rulesSrc := gedlib.FormatRules(sigma)
+	ctx := context.Background()
+	names := make([]string, opts.Graphs)
+	nodeCount := make([]int, opts.Graphs)
+	for i := range names {
+		g, _ := workload.KnowledgeBase(opts.Seed+int64(i), opts.Scale, 0.1)
+		data, err := gedlib.MarshalGraph(g)
+		if err != nil {
+			panic(err)
+		}
+		names[i] = fmt.Sprintf("tenant%d", i)
+		ent, err := cat.Create(names[i], data)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := ent.RegisterRules(ctx, rulesSrc); err != nil {
+			panic(err)
+		}
+		nodeCount[i] = g.NumNodes()
+	}
+
+	res := ChaosResult{
+		Graphs: opts.Graphs, Writers: opts.Writers, Readers: opts.Readers,
+		Duration: opts.Duration,
+	}
+	var (
+		attempted, werrs, degraded, reads atomic.Uint64
+		stop                              = make(chan struct{})
+		wg                                sync.WaitGroup
+	)
+
+	// Writers: each drives its round-robin graph with uniquely named
+	// chain batches, recording which attempts were acknowledged.
+	writers := make([]*chaosWriter, opts.Writers)
+	for w := range writers {
+		writers[w] = &chaosWriter{
+			id:     w,
+			graph:  names[w%opts.Graphs],
+			anchor: "", // set once the anchor batch acks
+		}
+	}
+	for _, cw := range writers {
+		wg.Add(1)
+		go func(cw *chaosWriter) {
+			defer wg.Done()
+			ent, err := cat.Get(cw.graph)
+			if err != nil {
+				panic(err)
+			}
+			rng := rand.New(rand.NewSource(opts.Seed + int64(7000+cw.id)))
+			n := nodeCount[cw.id%opts.Graphs]
+			for attempt := 0; ; attempt++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var ops []serve.Op
+				node := fmt.Sprintf("w%d_n%d", cw.id, attempt)
+				if cw.anchor == "" {
+					// Bootstrap: a fresh anchor candidate each attempt (a
+					// failed batch may still have applied in memory, so ids
+					// are never reused).
+					ops = []serve.Op{{Op: "add_node", ID: node, Label: "person"}}
+				} else {
+					ops = []serve.Op{
+						{Op: "add_node", ID: node, Label: "person"},
+						{Op: "add_edge", Src: cw.anchor, Label: "soak", Dst: node},
+						{Op: "set_attr", ID: cw.anchor, Attr: "soak", Value: float64(attempt)},
+						{Op: "set_attr", ID: fmt.Sprintf("n%d", rng.Intn(n)),
+							Attr: "type", Value: "programmer"},
+					}
+				}
+				attempted.Add(1)
+				wres, err := ent.Mutate(ctx, ops)
+				if err != nil || len(wres.OpErrors) > 0 || wres.Applied != len(ops) {
+					werrs.Add(1)
+					if errors.Is(err, serve.ErrDegraded) {
+						degraded.Add(1)
+						time.Sleep(5 * time.Millisecond) // back off, the probe heals
+					}
+					continue
+				}
+				if cw.anchor == "" {
+					cw.anchor = node
+				} else {
+					cw.acked = append(cw.acked, attempt)
+				}
+			}
+		}(cw)
+	}
+
+	// Readers: hammer the lock-free view path; degraded graphs must
+	// keep answering from their last view.
+	for r := 0; r < opts.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ent, err := cat.Get(names[(r+i)%opts.Graphs])
+				if err != nil {
+					panic(err)
+				}
+				view := ent.CurrentView()
+				if view == nil || view.Snap == nil {
+					panic("chaos: nil view served")
+				}
+				_ = len(view.Violations)
+				reads.Add(1)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(r)
+	}
+
+	// Fault scheduler: quiet window, inject one rule from the menu,
+	// active window, heal. Deterministic from the seed.
+	srng := rand.New(rand.NewSource(opts.Seed + 99))
+	window := func(lo, hi time.Duration) time.Duration {
+		return lo + time.Duration(srng.Int63n(int64(hi-lo)))
+	}
+	menu := []func() FaultRule{
+		func() FaultRule {
+			return FaultRule{Kind: "enospc", Op: OpWrite, Path: "wal-",
+				Err: syscall.ENOSPC, AfterBytes: 512 + int64(srng.Intn(8192))}
+		},
+		func() FaultRule {
+			return FaultRule{Kind: "eio", Op: OpSync, Path: "wal-",
+				Err: syscall.EIO, Kth: 1 + srng.Intn(3)}
+		},
+		func() FaultRule {
+			return FaultRule{Kind: "torn", Op: OpWrite, Path: "wal-", Err: syscall.EIO}
+		},
+		func() FaultRule {
+			return FaultRule{Kind: "enospc", Op: OpWrite, Path: ".tmp-ckpt-",
+				Err: syscall.ENOSPC, AfterBytes: 1024}
+		},
+	}
+	deadline := time.Now().Add(opts.Duration)
+	for time.Now().Before(deadline) {
+		time.Sleep(window(opts.QuietMin, opts.QuietMax))
+		ffs.Inject(menu[srng.Intn(len(menu))]())
+		res.FaultWindows++
+		time.Sleep(window(opts.ActiveMin, opts.ActiveMax))
+		ffs.Heal()
+	}
+	ffs.Heal()
+	close(stop)
+	wg.Wait()
+
+	res.WritesAttempted = attempted.Load()
+	res.WriteErrors = werrs.Load()
+	res.DegradedErrors = degraded.Load()
+	res.Reads = reads.Load()
+	res.Injected = ffs.Injected()
+	for _, cw := range writers {
+		res.WritesAcked += uint64(len(cw.acked))
+	}
+
+	// Every graph must recover now that the disk healed: wait for the
+	// auto-probe, then force the operator path once before giving up.
+	leaderVersion := make(map[string]uint64, len(names))
+	for _, name := range names {
+		ent, err := cat.Get(name)
+		if err != nil {
+			panic(err)
+		}
+		healed := false
+		for waited := time.Duration(0); waited < 5*time.Second; waited += 10 * time.Millisecond {
+			if h, _ := ent.Health(); h == "ok" {
+				healed = true
+				break
+			}
+			if waited == 2*time.Second {
+				_ = ent.Probe(ctx) // operator re-enable path
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !healed {
+			_, cause := ent.Health()
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("%s: still degraded after heal: %v", name, cause))
+			continue
+		}
+		st := ent.Stats()
+		res.WALRetries += st.WALRetries
+		res.Probes += st.Probes
+		res.Recoveries += st.Recoveries
+		leaderVersion[name] = ent.CurrentView().Version
+	}
+
+	// Crash copy: the data directory as a byte-for-byte snapshot taken
+	// WITHOUT closing the catalog — no parting checkpoint, no graceful
+	// anything. Recovery from it must hold every acked write.
+	crash, err := os.MkdirTemp("", "gedbench-chaos-crash-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(crash)
+	if err := copyTree(dir, crash); err != nil {
+		panic(err)
+	}
+
+	store, err := persist.Open(crash, persist.Options{})
+	if err != nil {
+		panic(err)
+	}
+	recovered := make(map[string]persist.State, len(names))
+	for _, name := range names {
+		rec, err := store.Recover(name)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: crash recovery: %v", name, err))
+			continue
+		}
+		recovered[name] = rec.State
+		if v, ok := leaderVersion[name]; ok && rec.State.Graph.Version() != v {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: recovered version %d != leader version %d",
+				name, rec.State.Graph.Version(), v))
+		}
+	}
+	for _, cw := range writers {
+		st, ok := recovered[cw.graph]
+		if !ok || cw.anchor == "" {
+			continue
+		}
+		idx := nameIndex(st.Names)
+		anchor, ok := idx[cw.anchor]
+		if !ok {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: writer %d anchor %s lost in recovery", cw.graph, cw.id, cw.anchor))
+			continue
+		}
+		lost := 0
+		for _, a := range cw.acked {
+			node, ok := idx[fmt.Sprintf("w%d_n%d", cw.id, a)]
+			if !ok || !st.Graph.HasEdge(anchor, "soak", node) {
+				lost++
+			}
+		}
+		if lost > 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: writer %d lost %d/%d acked writes in crash recovery",
+				cw.graph, cw.id, lost, len(cw.acked)))
+		}
+		if len(cw.acked) > 0 {
+			last := cw.acked[len(cw.acked)-1]
+			if v, ok := st.Graph.Attr(anchor, "soak"); !ok || int(v.Num()) < last {
+				res.Failures = append(res.Failures, fmt.Sprintf(
+					"%s: writer %d anchor soak attr regressed below acked %d",
+					cw.graph, cw.id, last))
+			}
+		}
+	}
+
+	// Oracle: a catalog restored from the crash copy must serve exactly
+	// the violation set a fresh engine computes on the recovered graph.
+	cat2, err := serve.NewCatalog(serve.Config{DataDir: crash})
+	if err != nil {
+		panic(err)
+	}
+	defer cat2.Close()
+	if _, err := cat2.Restore(ctx); err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("restore crash copy: %v", err))
+		return res
+	}
+	for _, name := range names {
+		st, ok := recovered[name]
+		if !ok {
+			continue
+		}
+		oracleSigma := gedlib.RuleSet{}
+		if st.Rules != "" {
+			if oracleSigma, err = gedlib.ParseRules(st.Rules); err != nil {
+				res.Failures = append(res.Failures, fmt.Sprintf("%s: recovered rules: %v", name, err))
+				continue
+			}
+		}
+		want, err := gedlib.New().Validate(ctx, st.Graph, oracleSigma)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: oracle validate: %v", name, err))
+			continue
+		}
+		ent2, err := cat2.Get(name)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: restored get: %v", name, err))
+			continue
+		}
+		got := ent2.CurrentView().Violations
+		if gr, wr := renderViolationSet(got), renderViolationSet(want); gr != wr {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: restored violation set diverges from fresh-engine oracle (%d vs %d violations)",
+				name, len(got), len(want)))
+		}
+	}
+	return res
+}
+
+// nameIndex inverts a dense wire-name column (index = NodeID).
+func nameIndex(names []string) map[string]gedlib.NodeID {
+	idx := make(map[string]gedlib.NodeID, len(names))
+	for i, n := range names {
+		if n != "" {
+			idx[n] = gedlib.NodeID(i)
+		}
+	}
+	return idx
+}
+
+// renderViolationSet renders violations order-independently: one line
+// per violation (rule, sorted bindings, failing literal), lines sorted.
+func renderViolationSet(vs []gedlib.Violation) string {
+	lines := make([]string, len(vs))
+	for i, v := range vs {
+		xs := make([]string, 0, len(v.Match))
+		for x, id := range v.Match {
+			xs = append(xs, fmt.Sprintf("%s=%d", x, id))
+		}
+		sort.Strings(xs)
+		lines[i] = fmt.Sprintf("%s[%s]%s", v.GED.Name, strings.Join(xs, ";"), v.Literal.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// copyTree copies a directory tree (regular files only — exactly what
+// a persist data dir holds).
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}
+
+// WriteChaos renders the soak result.
+func WriteChaos(w io.Writer, r ChaosResult) {
+	fmt.Fprintf(w, "graphs=%d  writers=%d  readers=%d  soak=%.1fs  fault windows=%d\n",
+		r.Graphs, r.Writers, r.Readers, r.Duration.Seconds(), r.FaultWindows)
+	fmt.Fprintf(w, "writes: %d attempted, %d acked, %d errors (%d degraded-rejected)  reads: %d\n",
+		r.WritesAttempted, r.WritesAcked, r.WriteErrors, r.DegradedErrors, r.Reads)
+	keys := make([]string, 0, len(r.Injected))
+	for k := range r.Injected {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, r.Injected[k])
+	}
+	fmt.Fprintf(w, "injected faults: %s\n", strings.Join(parts, " "))
+	fmt.Fprintf(w, "degraded mode: %d WAL retries, %d probes, %d recoveries\n",
+		r.WALRetries, r.Probes, r.Recoveries)
+	if len(r.Failures) == 0 {
+		fmt.Fprintf(w, "invariants: PASS (acked writes durable, violation oracle identical, all graphs healed)\n")
+		return
+	}
+	fmt.Fprintf(w, "invariants: %d FAILURES\n", len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Fprintf(w, "  FAIL: %s\n", f)
+	}
+}

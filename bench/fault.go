@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"gedlib/internal/fault"
+	"gedlib/persist"
+)
+
+// Fault-injection re-exports. The injector lives in internal/fault (it
+// is test infrastructure, not part of the library surface), but the
+// chaos harness, gedserve -fault, and serve's external tests all need
+// to build one; bench is the sanctioned crossing point of the internal
+// boundary for experiment plumbing.
+
+// FaultFS is a persist.FS that injects deterministic, seedable fault
+// schedules (ENOSPC budgets, Kth-sync EIO, torn writes, latency) into
+// an inner filesystem. See gedlib/internal/fault.
+type FaultFS = fault.FS
+
+// FaultRule is one fault-injection rule of a FaultFS schedule.
+type FaultRule = fault.Rule
+
+// Fault operation selectors, for building FaultRule values directly.
+const (
+	OpWrite  = fault.OpWrite
+	OpSync   = fault.OpSync
+	OpOpen   = fault.OpOpen
+	OpRead   = fault.OpRead
+	OpRename = fault.OpRename
+)
+
+// NewFaultFS returns a fault-injecting FS over base (nil base = the
+// OS). Equal seeds give identical torn-write schedules.
+func NewFaultFS(seed int64, base persist.FS) *FaultFS { return fault.New(seed, base) }
+
+// ParseFaultSpec parses a semicolon-separated fault schedule, e.g.
+// "enospc:path=wal-:after=65536; eio:op=sync:k=2" (the gedserve -fault
+// syntax). See gedlib/internal/fault.Parse.
+func ParseFaultSpec(spec string) ([]FaultRule, error) { return fault.Parse(spec) }

@@ -10,6 +10,7 @@
 //	gedbench -experiment serve             # serving-subsystem load (64 clients, 90/10)
 //	gedbench -experiment durability        # WAL recovery scaling, follower staleness, fsync cost
 //	gedbench -experiment shard             # sharded vs monolithic validation scaling
+//	gedbench -experiment chaos             # fault-injection soak: degraded mode + crash recovery
 //	gedbench -experiment all
 //
 // Unknown -experiment values are rejected up front with the list of
@@ -59,6 +60,7 @@ var registry = []struct {
 	{"serve", func(o runOpts) { serveExperiment(o.quick) }},
 	{"durability", func(o runOpts) { durabilityExperiment(o.quick) }},
 	{"shard", func(o runOpts) { shardExperiment(o.quick) }},
+	{"chaos", func(o runOpts) { chaosExperiment(o.quick) }},
 }
 
 // experimentNames returns the registry's names in `all` order.
@@ -288,6 +290,24 @@ func shardExperiment(quick bool) {
 				os.Exit(1)
 			}
 		}
+	}
+}
+
+func chaosExperiment(quick bool) {
+	fmt.Println("Chaos soak: concurrent serving on a fault-injecting filesystem")
+	fmt.Println("(ENOSPC/EIO/torn-write windows; asserts acked writes survive crash")
+	fmt.Println("recovery, degraded graphs heal, violation set matches a fresh engine)")
+	fmt.Println()
+	opts := bench.DefaultChaosOptions()
+	if quick {
+		opts = bench.QuickChaosOptions()
+	}
+	res := bench.ChaosSoak(opts)
+	bench.WriteChaos(os.Stdout, res)
+	writeJSON("chaos", res)
+	if len(res.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "gedbench: chaos: %d invariant failures\n", len(res.Failures))
+		os.Exit(1)
 	}
 }
 

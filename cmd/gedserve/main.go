@@ -29,8 +29,16 @@
 //	POST   /graphs/{name}/validate {"nodes":["id",...]} — targeted re-validation
 //	POST   /graphs/{name}/chase    run the chase over a point-in-time copy
 //	GET    /graphs/{name}/stats    per-graph serving stats
+//	POST   /graphs/{name}/enable   re-enable a degraded graph (forces a recovery probe)
 //	GET    /statsz                 server-wide stats (bypasses admission)
-//	GET    /healthz                liveness (bypasses admission)
+//	GET    /healthz                per-graph health: ok|degraded|readonly (bypasses admission)
+//
+// When a graph's disk starts failing, the server degrades instead of
+// limping: the last published view keeps serving reads, mutations get
+// 503 + Retry-After, /healthz reports the graph degraded with the
+// causing error, and an auto-probe re-enables the graph once the disk
+// heals (or an operator forces it via /enable). -fault injects a
+// deterministic disk-fault schedule for testing exactly that path.
 //
 // With -pprof, the net/http/pprof debug endpoints are additionally
 // served under /debug/pprof/ (bypassing admission control), so
@@ -57,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"gedlib/bench"
 	"gedlib/serve"
 )
 
@@ -90,6 +99,8 @@ func main() {
 	fsync := flag.String("fsync", "batch", "WAL fsync policy: always, batch or off")
 	ckptEvery := flag.Int("checkpoint-every", 0, "ops between checkpoints (0 = default)")
 	follow := flag.String("follow", "", "follow a leader's -data directory as a read-only replica")
+	faultSpec := flag.String("fault", "", "inject disk faults (testing): e.g. 'enospc:path=wal-:after=65536; eio:op=sync:k=2'")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the -fault schedule's torn-write sizes")
 	flag.Var(&loads, "load", "preload a graph: name=graph.json (repeatable)")
 	flag.Var(&rules, "rules", "preregister rules: name=rules.ged (repeatable)")
 	flag.Parse()
@@ -117,6 +128,21 @@ func main() {
 	}
 	if *follow != "" {
 		cfg.DataDir = *follow
+	}
+	if *faultSpec != "" {
+		if cfg.DataDir == "" {
+			fatal(fmt.Errorf("-fault needs -data (faults act on the persist layer)"))
+		}
+		rules, err := bench.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fatal(fmt.Errorf("-fault: %w", err))
+		}
+		ffs := bench.NewFaultFS(*faultSeed, nil)
+		for _, r := range rules {
+			ffs.Inject(r)
+		}
+		cfg.FS = ffs
+		fmt.Printf("gedserve: fault injection armed: %s\n", *faultSpec)
 	}
 	srv, err := serve.NewServer(cfg)
 	if err != nil {

@@ -132,4 +132,16 @@
 // pointed at the same directory tails the log and serves the same
 // graphs as a read-only replica. See ExportImage/ImportImage and
 // Graph.ApplyDelta for the underlying primitives.
+//
+// Persistence I/O is pluggable (persist.FS), and the serving layer has
+// an explicit failure policy built on it: transient write errors are
+// retried inside the flush, a failed fsync is never retried (the graph
+// degrades immediately — reads keep serving the last published view,
+// writes 503 — until a heal checkpoint re-opens it, via background
+// probe or the operator enable endpoint). The fault-injecting FS in
+// internal/fault plus the chaos soak (gedbench -experiment chaos)
+// rehearse exactly these paths: seeded disk-fault schedules under
+// concurrent load, with acked-write durability and violation-set
+// equivalence checked against a fresh-engine oracle after a simulated
+// crash.
 package gedlib

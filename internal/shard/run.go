@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"gedlib/internal/ged"
@@ -44,6 +45,12 @@ type runner struct {
 	cond    *sync.Cond
 	queues  [][]frame
 	pending int
+	// failed, once set, drains the search: next() stops handing out
+	// frames and run() returns the error. It contains worker panics — a
+	// poisoned rule must fail one validation, not kill the process or
+	// strand the other workers in cond.Wait (their frames would never
+	// retire, so pending could not reach zero).
+	failed error
 
 	outMu   sync.Mutex
 	buckets [][]reason.Violation
@@ -209,14 +216,19 @@ func (r *runner) frameDst(f frame) int {
 }
 
 // run starts P workers and blocks until the frame space drains (or ctx
-// cancels, in which case remaining frames are discarded). Per-worker
-// buckets merge into r.buckets.
+// cancels or a worker fails, in which case remaining frames are
+// discarded). Per-worker buckets merge into r.buckets.
 func (r *runner) run(ctx context.Context) error {
 	var wg sync.WaitGroup
 	for w := 0; w < r.sh.p; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					r.fail(fmt.Errorf("shard: validation worker panic: %v", p))
+				}
+			}()
 			ws := &wstate{
 				r:       r,
 				ctx:     ctx,
@@ -233,7 +245,24 @@ func (r *runner) run(ctx context.Context) error {
 		}(w)
 	}
 	wg.Wait()
+	r.mu.Lock()
+	err := r.failed
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	return ctx.Err()
+}
+
+// fail aborts the search with err (the first one wins) and wakes every
+// worker blocked for work so they observe it and exit.
+func (r *runner) fail(err error) {
+	r.mu.Lock()
+	if r.failed == nil {
+		r.failed = err
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
 }
 
 // wstate is one worker's scratch: outgoing frame buffers (flushed in
@@ -273,7 +302,7 @@ func (r *runner) next(home int) (int, frame, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
-		if r.pending == 0 {
+		if r.pending == 0 || r.failed != nil {
 			r.cond.Broadcast()
 			return 0, frame{}, false
 		}

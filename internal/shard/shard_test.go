@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"gedlib/internal/ged"
 	"gedlib/internal/gen"
@@ -292,5 +293,29 @@ func TestShardBoundaryIndex(t *testing.T) {
 		if v, ok := st.sh.graphs[so].Attr(b, "a"); !ok || !v.Equal(graph.Int(2)) {
 			t.Fatalf("frontier attr write not routed: %v %v", v, ok)
 		}
+	}
+}
+
+// TestWorkerPanicContained: a panic inside a validation worker must
+// surface as an error from run — not kill the process, and not strand
+// the other workers in cond.Wait with undrained frames.
+func TestWorkerPanicContained(t *testing.T) {
+	g := gen.RandomPropertyGraph(42, 200, 2.5, testLabels, testAttrs, 3)
+	sigma := gen.RandomGEDSet(43, 4, 3, testLabels, testAttrs, 3)
+	st := New(g, g.Freeze(), 4, NewHash())
+	r := newRunner(st.sh, st.global, st.compiled(sigma))
+	r.seedFull()
+	// A frame with an out-of-range rule index panics the worker that
+	// pops it, mid-search, while the other workers still hold work.
+	r.seed(0, frame{rule: 9999})
+	done := make(chan error, 1)
+	go func() { done <- r.run(context.Background()) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run returned nil after a worker panic")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run deadlocked after a worker panic")
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"unsafe"
 
@@ -150,7 +149,10 @@ func decodeStringTable(b []byte) ([]string, error) {
 // file + rename, returning the version captured. With sync, the file
 // and directory are fsynced before and after the rename, so a crash at
 // any point leaves either the old or the new checkpoint fully intact.
-func writeCheckpoint(dir string, st State, sync bool) (uint64, error) {
+// A write that fails partway (disk full, I/O error) is cleaned up the
+// same way: the temp file is removed and the previous checkpoint is
+// untouched and loadable.
+func (s *Store) writeCheckpoint(dir string, st State, sync bool) (uint64, error) {
 	img := gedlib.ExportImage(st.Graph)
 
 	type section struct {
@@ -195,12 +197,12 @@ func writeCheckpoint(dir string, st State, sync bool) (uint64, error) {
 	}
 	binary.LittleEndian.PutUint32(buf[24:], crc32.ChecksumIEEE(buf[payloadStart:]))
 
-	tmp, err := os.CreateTemp(dir, ".tmp-ckpt-*")
+	tmp, err := s.fs.CreateTemp(dir, ".tmp-ckpt-*")
 	if err != nil {
 		return 0, fmt.Errorf("persist: write checkpoint: %w", err)
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { _ = os.Remove(tmpName) }
+	cleanup := func() { _ = s.fs.Remove(tmpName) }
 	if _, err := tmp.Write(buf); err != nil {
 		_ = tmp.Close()
 		cleanup()
@@ -217,22 +219,22 @@ func writeCheckpoint(dir string, st State, sync bool) (uint64, error) {
 		cleanup()
 		return 0, fmt.Errorf("persist: close checkpoint: %w", err)
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, ckptName(img.Version))); err != nil {
+	if err := s.fs.Rename(tmpName, filepath.Join(dir, ckptName(img.Version))); err != nil {
 		cleanup()
 		return 0, fmt.Errorf("persist: publish checkpoint: %w", err)
 	}
 	if sync {
-		syncDir(dir)
+		_ = s.fs.SyncDir(dir)
 	}
 	return img.Version, nil
 }
 
-// loadCheckpoint maps (or reads — see mapFile) a checkpoint file and
+// loadCheckpoint maps (or reads — see FS.Map) a checkpoint file and
 // rebuilds its State. Validation is end-to-end: magic, format version,
 // CRC, then every image index bounds-checked by ImportImage.
-func loadCheckpoint(path string) (State, uint64, error) {
+func (s *Store) loadCheckpoint(path string) (State, uint64, error) {
 	var zero State
-	data, unmap, err := mapFile(path)
+	data, unmap, err := s.fs.Map(path)
 	if err != nil {
 		return zero, 0, err
 	}

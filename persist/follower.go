@@ -39,7 +39,7 @@ func (s *Store) Tail(ctx context.Context, name string, rec *Recovery, poll time.
 	off := rec.tailOff
 	version := rec.State.Graph.Version()
 
-	var f *os.File
+	var f File
 	defer func() {
 		if f != nil {
 			_ = f.Close()
@@ -51,14 +51,14 @@ func (s *Store) Tail(ctx context.Context, name string, rec *Recovery, poll time.
 			return err
 		}
 		if f == nil {
-			f, err = os.Open(segPath)
+			f, err = s.fs.OpenFile(segPath, os.O_RDONLY, 0)
 			if err != nil {
 				if os.IsNotExist(err) {
 					// Our segment is gone: compacted (we lag more than the
 					// retention) or never created yet (leader crashed
 					// between checkpoint and rotation — the next poll or a
 					// re-recover sorts it out).
-					if next := nextSegment(dir, segPath, version); next != "" {
+					if next := s.nextSegment(dir, segPath, version); next != "" {
 						segPath, off = next, 0
 						continue
 					}
@@ -122,7 +122,7 @@ func (s *Store) Tail(ctx context.Context, name string, rec *Recovery, poll time.
 			}
 		} else {
 			// No growth: maybe the leader rotated onto a new segment.
-			if next := nextSegment(dir, segPath, version); next != "" {
+			if next := s.nextSegment(dir, segPath, version); next != "" {
 				_ = f.Close()
 				f = nil
 				segPath, off, stalled = next, 0, 0
@@ -142,9 +142,9 @@ func (s *Store) Tail(ctx context.Context, name string, rec *Recovery, poll time.
 // start. (Rotation happens at a checkpoint version the tail has fully
 // consumed, so switching at version is gap-free; records below the
 // recovery point are version-skipped anyway.)
-func nextSegment(dir, cur string, version uint64) string {
+func (s *Store) nextSegment(dir, cur string, version uint64) string {
 	curStart, _ := parseVersioned(filepath.Base(cur), "wal-", ".log")
-	segs, err := listVersions(dir, "wal-", ".log")
+	segs, err := s.listVersions(dir, "wal-", ".log")
 	if err != nil {
 		return ""
 	}

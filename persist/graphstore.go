@@ -22,9 +22,14 @@ type GraphStore struct {
 	dir   string
 
 	mu       sync.Mutex
-	seg      *os.File // current WAL segment, opened for append
-	segStart uint64   // graph version the segment starts at
+	seg      File   // current WAL segment, opened for append
+	segStart uint64 // graph version the segment starts at
 	closed   bool
+	// dirtyTail is set after a failed append: the segment may end in a
+	// torn frame, and the next append must truncate back to segBytes
+	// (the last known-good offset) before writing, or a retried record
+	// would land after garbage and recovery would truncate it away.
+	dirtyTail bool
 
 	version     uint64 // graph version after the last appended record
 	ckptVersion uint64 // version of the newest checkpoint
@@ -54,7 +59,7 @@ func (s *Store) Create(name string, st State) (*GraphStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.Mkdir(dir, 0o755); err != nil {
+	if err := s.fs.Mkdir(dir, 0o755); err != nil {
 		if os.IsExist(err) {
 			return nil, ErrExists
 		}
@@ -136,8 +141,18 @@ func (gs *GraphStore) syncLocked() error {
 }
 
 func (gs *GraphStore) appendLocked(payload []byte) error {
+	if gs.dirtyTail {
+		if err := gs.seg.Truncate(gs.segBytes); err != nil {
+			return fmt.Errorf("persist: repair torn WAL tail: %w", err)
+		}
+		gs.dirtyTail = false
+	}
 	b := frame(payload)
 	if _, err := gs.seg.Write(b); err != nil {
+		// The kernel may have written a prefix of the frame even on
+		// error (a torn write); mark the tail suspect so the next append
+		// repairs it first.
+		gs.dirtyTail = true
 		return fmt.Errorf("persist: append WAL record: %w", err)
 	}
 	gs.segBytes += int64(len(b))
@@ -170,33 +185,34 @@ func (gs *GraphStore) Checkpoint(st State) error {
 	if v == gs.ckptVersion && gs.seg != nil {
 		return nil
 	}
-	// Everything the checkpoint captures must be on disk first: the
-	// checkpoint claims "state as of v", and the rename below deletes
-	// history before it.
+	// Flush pending records first so the rotate boundary is clean. A
+	// failed sync here does NOT abort the checkpoint: the image below
+	// captures every record's effect directly, so a full checkpoint is
+	// exactly the recovery path from an untrustworthy WAL tail (a failed
+	// fsync may have dropped dirty pages — re-syncing proves nothing,
+	// rewriting the state does).
 	if gs.seg != nil && gs.store.opts.Fsync != FsyncOff && gs.pendingSync {
-		if err := gs.syncLocked(); err != nil {
-			return err
-		}
+		_ = gs.syncLocked()
 	}
-	if _, err := writeCheckpoint(gs.dir, st, gs.store.opts.Fsync != FsyncOff); err != nil {
+	if _, err := gs.store.writeCheckpoint(gs.dir, st, gs.store.opts.Fsync != FsyncOff); err != nil {
 		return err
 	}
 	// Rotate: further records land in a fresh segment named after v.
 	if gs.seg != nil {
 		_ = gs.seg.Close()
 	}
-	seg, err := os.OpenFile(filepath.Join(gs.dir, segName(v)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	seg, err := gs.store.fs.OpenFile(filepath.Join(gs.dir, segName(v)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: rotate WAL: %w", err)
 	}
-	gs.seg, gs.segStart, gs.segBytes = seg, v, 0
+	gs.seg, gs.segStart, gs.segBytes, gs.dirtyTail = seg, v, 0, false
 	if st, err := seg.Stat(); err == nil {
 		gs.segBytes = st.Size() // crash between rotate and compact can leave a nonempty reopened segment
 	}
-	gs.ckptVersion, gs.opsSince, gs.pendingSync = v, 0, false
+	gs.version, gs.ckptVersion, gs.opsSince, gs.pendingSync = v, v, 0, false
 	gs.compactLocked()
 	if gs.store.opts.Fsync != FsyncOff {
-		syncDir(gs.dir)
+		_ = gs.store.fs.SyncDir(gs.dir)
 	}
 	return nil
 }
@@ -204,19 +220,19 @@ func (gs *GraphStore) Checkpoint(st State) error {
 // compactLocked deletes checkpoints beyond the retention bound and WAL
 // segments no retained checkpoint needs for replay.
 func (gs *GraphStore) compactLocked() {
-	ckpts, err := listVersions(gs.dir, "ckpt-", ".ged")
+	ckpts, err := gs.store.listVersions(gs.dir, "ckpt-", ".ged")
 	if err != nil || len(ckpts) == 0 {
 		return
 	}
 	keep := gs.store.opts.RetainCheckpoints
 	if len(ckpts) > keep {
 		for _, v := range ckpts[:len(ckpts)-keep] {
-			_ = os.Remove(filepath.Join(gs.dir, ckptName(v)))
+			_ = gs.store.fs.Remove(filepath.Join(gs.dir, ckptName(v)))
 		}
 		ckpts = ckpts[len(ckpts)-keep:]
 	}
 	oldest := ckpts[0]
-	segs, err := listVersions(gs.dir, "wal-", ".log")
+	segs, err := gs.store.listVersions(gs.dir, "wal-", ".log")
 	if err != nil {
 		return
 	}
@@ -230,7 +246,7 @@ func (gs *GraphStore) compactLocked() {
 	}
 	for _, v := range segs {
 		if v < covering {
-			_ = os.Remove(filepath.Join(gs.dir, segName(v)))
+			_ = gs.store.fs.Remove(filepath.Join(gs.dir, segName(v)))
 		}
 	}
 }

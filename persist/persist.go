@@ -118,6 +118,9 @@ type Options struct {
 	// they anchor) survive compaction. More retention gives lagging
 	// followers more slack before ErrLagBehind. Default 2.
 	RetainCheckpoints int
+	// FS overrides the filesystem every store operation goes through —
+	// fault injection and tests. nil selects the OS-backed default.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +129,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetainCheckpoints <= 0 {
 		o.RetainCheckpoints = 2
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
 	}
 	return o
 }
@@ -156,14 +162,16 @@ type State struct {
 type Store struct {
 	dir  string
 	opts Options
+	fs   FS
 }
 
 // Open opens (creating if needed) a store rooted at dir.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: open store: %w", err)
 	}
-	return &Store{dir: dir, opts: opts.withDefaults()}, nil
+	return &Store{dir: dir, opts: opts, fs: opts.FS}, nil
 }
 
 // Dir returns the store's root directory.
@@ -174,7 +182,7 @@ func (s *Store) Options() Options { return s.opts }
 
 // Graphs lists the store's graph names, sorted.
 func (s *Store) Graphs() ([]string, error) {
-	des, err := os.ReadDir(s.dir)
+	des, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("persist: list graphs: %w", err)
 	}
@@ -194,7 +202,7 @@ func (s *Store) Delete(name string) error {
 	if err != nil {
 		return err
 	}
-	return os.RemoveAll(dir)
+	return s.fs.RemoveAll(dir)
 }
 
 // graphDir validates the name (it becomes a path component) and returns
@@ -231,8 +239,8 @@ func parseVersioned(name, prefix, suffix string) (uint64, bool) {
 // listVersions returns the versions of every file matching
 // prefix-<16x>suffix in dir, sorted ascending. A missing dir lists
 // empty.
-func listVersions(dir, prefix, suffix string) ([]uint64, error) {
-	des, err := os.ReadDir(dir)
+func (s *Store) listVersions(dir, prefix, suffix string) ([]uint64, error) {
+	des, err := s.fs.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, ErrNotFound
@@ -247,13 +255,4 @@ func listVersions(dir, prefix, suffix string) ([]uint64, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
-}
-
-// syncDir fsyncs a directory, making renames and removals in it
-// durable. Best effort: some filesystems refuse directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
 }

@@ -179,14 +179,18 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	mutate(g, &names, rand.New(rand.NewSource(5)), 300)
 	st := State{Graph: g, Names: names, Rules: "ged r1 { person(x); } => x.age = 1;"}
 	dir := t.TempDir()
-	v, err := writeCheckpoint(dir, st, true)
+	cs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cs.writeCheckpoint(dir, st, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v != g.Version() {
 		t.Fatalf("checkpoint version %d, want %d", v, g.Version())
 	}
-	got, gotV, err := loadCheckpoint(filepath.Join(dir, ckptName(v)))
+	got, gotV, err := cs.loadCheckpoint(filepath.Join(dir, ckptName(v)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +207,11 @@ func TestCheckpointCorruption(t *testing.T) {
 	var names []string
 	mutate(g, &names, rand.New(rand.NewSource(6)), 100)
 	dir := t.TempDir()
-	v, err := writeCheckpoint(dir, State{Graph: g, Names: names}, false)
+	cs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cs.writeCheckpoint(dir, State{Graph: g, Names: names}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +229,7 @@ func TestCheckpointCorruption(t *testing.T) {
 		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := loadCheckpoint(path); err == nil {
+		if _, _, err := cs.loadCheckpoint(path); err == nil {
 			t.Fatalf("case %d: corrupted checkpoint loaded", i)
 		}
 	}
@@ -295,7 +303,7 @@ func TestStoreRecoverRoundTrip(t *testing.T) {
 
 	// Compaction must be bounded: at most RetainCheckpoints checkpoints.
 	dir, _ := s.graphDir("kb")
-	ckpts, _ := listVersions(dir, "ckpt-", ".ged")
+	ckpts, _ := s.listVersions(dir, "ckpt-", ".ged")
 	if len(ckpts) > s.Options().RetainCheckpoints {
 		t.Fatalf("%d checkpoints retained, want <= %d", len(ckpts), s.Options().RetainCheckpoints)
 	}
@@ -338,7 +346,7 @@ func TestCrashRecoveryOracle(t *testing.T) {
 	// Crash: no Close, and the tail gets a torn half-frame plus a
 	// CRC-corrupted copy of a real record.
 	dir, _ := s.graphDir("kb")
-	segs, _ := listVersions(dir, "wal-", ".log")
+	segs, _ := s.listVersions(dir, "wal-", ".log")
 	segPath := filepath.Join(dir, segName(segs[len(segs)-1]))
 	garbage := frame(encodeRules(time.Now().UnixNano(), g.Version(), "never lands"))
 	garbage[9] ^= 0xff // corrupt the payload under an intact CRC header

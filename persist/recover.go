@@ -54,18 +54,18 @@ func (s *Store) OpenGraph(name string) (*GraphStore, *Recovery, error) {
 	}
 	dir, _ := s.graphDir(name)
 	if fix != nil {
-		if err := os.Truncate(fix.path, fix.valid); err != nil {
+		if err := s.fs.Truncate(fix.path, fix.valid); err != nil {
 			return nil, nil, fmt.Errorf("persist: truncate corrupt WAL tail: %w", err)
 		}
 		// Anything after a corrupt frame is unreachable history; a
 		// later segment here means the corruption predates a rotation,
 		// which only a partial manual copy produces. Drop them: the
 		// replayed prefix is the durable truth.
-		segs, _ := listVersions(dir, "wal-", ".log")
+		segs, _ := s.listVersions(dir, "wal-", ".log")
 		fixStart, _ := parseVersioned(filepath.Base(fix.path), "wal-", ".log")
 		for _, v := range segs {
 			if v > fixStart {
-				_ = os.Remove(filepath.Join(dir, segName(v)))
+				_ = s.fs.Remove(filepath.Join(dir, segName(v)))
 			}
 		}
 	}
@@ -73,7 +73,7 @@ func (s *Store) OpenGraph(name string) (*GraphStore, *Recovery, error) {
 	if segPath == "" {
 		segPath = filepath.Join(dir, segName(rec.State.Graph.Version()))
 	}
-	seg, err := os.OpenFile(segPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	seg, err := s.fs.OpenFile(segPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("persist: reopen WAL: %w", err)
 	}
@@ -99,7 +99,7 @@ func (s *Store) recover(name string) (*Recovery, *tailFix, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	ckpts, err := listVersions(dir, "ckpt-", ".ged")
+	ckpts, err := s.listVersions(dir, "ckpt-", ".ged")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -115,7 +115,7 @@ func (s *Store) recover(name string) (*Recovery, *tailFix, error) {
 	loaded := false
 	var lastErr error
 	for i := len(ckpts) - 1; i >= 0; i-- {
-		st, ckptVer, lastErr = loadCheckpoint(filepath.Join(dir, ckptName(ckpts[i])))
+		st, ckptVer, lastErr = s.loadCheckpoint(filepath.Join(dir, ckptName(ckpts[i])))
 		if lastErr == nil {
 			loaded = true
 			break
@@ -127,7 +127,7 @@ func (s *Store) recover(name string) (*Recovery, *tailFix, error) {
 
 	rec := &Recovery{State: st, CheckpointVersion: ckptVer}
 
-	segs, err := listVersions(dir, "wal-", ".log")
+	segs, err := s.listVersions(dir, "wal-", ".log")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -149,7 +149,7 @@ func (s *Store) recover(name string) (*Recovery, *tailFix, error) {
 	cur := st.Graph.Version()
 	for i := start; i < len(segs); i++ {
 		path := filepath.Join(dir, segName(segs[i]))
-		data, err := os.ReadFile(path)
+		data, err := s.fs.ReadFile(path)
 		if err != nil {
 			return nil, nil, fmt.Errorf("persist: read WAL: %w", err)
 		}

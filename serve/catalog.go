@@ -59,6 +59,7 @@ func NewCatalog(cfg Config) (*Catalog, error) {
 			Fsync:             mode,
 			CheckpointEvery:   cfg.CheckpointEvery,
 			RetainCheckpoints: cfg.RetainCheckpoints,
+			FS:                cfg.FS,
 		})
 		if err != nil {
 			return nil, err
@@ -146,10 +147,31 @@ type GraphEntry struct {
 	rulesSrc string
 
 	// follower marks a read-only replica entry; folRecords/folLag are
-	// its replication counters (records applied, staleness of the last).
-	follower   bool
-	folRecords atomic.Uint64
-	folLag     atomic.Int64
+	// its replication counters (records applied, staleness of the last),
+	// folFailures the consecutive tail/recover failures (reset on
+	// success).
+	follower    bool
+	folRecords  atomic.Uint64
+	folLag      atomic.Int64
+	folFailures atomic.Uint64
+
+	// health is the entry's serving health (healthOK/healthDegraded),
+	// checked lock-free on the write path. The cause and probe state
+	// live behind healthMu, a leaf lock (never held around other locks);
+	// probeStop ends the auto-probe loop when the entry closes.
+	health        atomic.Int32
+	healthMu      sync.Mutex
+	healthErr     error
+	degradedSince time.Time
+	probing       bool
+	probeStop     chan struct{}
+	stopProbe     sync.Once
+
+	// Degraded-mode counters: transient WAL append retries, recovery
+	// probes attempted, and degraded→ok transitions.
+	walRetries atomic.Uint64
+	probes     atomic.Uint64
+	recoveries atomic.Uint64
 
 	readsServed atomic.Uint64
 }
@@ -192,7 +214,8 @@ func (c *Catalog) Create(name string, graphJSON []byte) (*GraphEntry, error) {
 		}
 		names = newNameTable(byName)
 	}
-	ent := &GraphEntry{name: name, cat: c, graph: g, names: names, sigma: gedlib.RuleSet{}}
+	ent := &GraphEntry{name: name, cat: c, graph: g, names: names, sigma: gedlib.RuleSet{},
+		probeStop: make(chan struct{})}
 	if err := ent.refreshLocked(context.Background()); err != nil {
 		c.eng.Forget(g) // release whatever the failed seed cached
 		return nil, err
@@ -294,6 +317,9 @@ func (ent *GraphEntry) close(drop bool) {
 	if ent.b != nil {
 		ent.b.close()
 	}
+	if ent.probeStop != nil {
+		ent.stopProbe.Do(func() { close(ent.probeStop) })
+	}
 	// Then mark the entry closed and forget the engine state under the
 	// entry lock: an in-flight RegisterRules either finished before the
 	// Forget or will observe closed and leave no trace — it cannot
@@ -345,6 +371,9 @@ func (ent *GraphEntry) RegisterRules(ctx context.Context, src string) (*View, er
 	if ent.closed {
 		return nil, ErrClosed
 	}
+	if ent.health.Load() == healthDegraded {
+		return nil, ErrDegraded
+	}
 	old, oldSrc := ent.sigma, ent.rulesSrc
 	ent.sigma, ent.rulesSrc = sigma, src
 	if err := ent.refreshLocked(ctx); err != nil {
@@ -372,6 +401,11 @@ func (ent *GraphEntry) RegisterRules(ctx context.Context, src string) (*View, er
 func (ent *GraphEntry) Mutate(ctx context.Context, ops []Op) (WriteResult, error) {
 	if ent.b == nil {
 		return WriteResult{}, ErrReadOnly
+	}
+	// Fail fast while degraded rather than queueing ops that the flush
+	// would reject anyway (the flush re-checks, so this is advisory).
+	if ent.health.Load() == healthDegraded {
+		return WriteResult{}, ErrDegraded
 	}
 	return ent.b.enqueue(ctx, ops)
 }
@@ -451,13 +485,59 @@ func validName(name string) bool {
 	return true
 }
 
-// flushBatch applies one merged batch: every op of every request is
+// flushTestHook, when non-nil, runs at the top of every applyBatch
+// (tests inject panics and fault windows through it).
+var flushTestHook func(*GraphEntry)
+
+// flushBatch runs one merged batch through applyBatch and completes the
+// requests after the view lands, so a returned write is visible to
+// subsequent reads.
+func (ent *GraphEntry) flushBatch(reqs []*writeReq) {
+	view, err := ent.applyBatch(reqs)
+	for _, req := range reqs {
+		if err != nil {
+			req.res.Err = err
+		}
+		if view != nil {
+			req.res.Version, req.res.Epoch = view.Version, view.Epoch
+		}
+		req.done <- req.res
+	}
+}
+
+// applyBatch applies one merged batch: every op of every request is
 // applied to the mutable graph, then a single Engine.Apply advances the
 // snapshot and the maintained violation set in O(|Δ|), and one view is
-// published covering the whole batch. Requests are completed after the
-// view lands, so a returned write is visible to subsequent reads.
-func (ent *GraphEntry) flushBatch(reqs []*writeReq) {
+// published covering the whole batch. It returns the view the requests
+// complete against (the latest, whether or not this batch advanced it).
+//
+// The batch is panic-contained: a panicking op application or rule plan
+// fails the batch instead of killing the flusher goroutine and hanging
+// every queued writer. The LIFO defers release the entry lock even
+// then. A durable entry additionally degrades on panic — the graph may
+// hold ops the WAL never saw, and only a heal checkpoint re-anchors
+// them.
+func (ent *GraphEntry) applyBatch(reqs []*writeReq) (view *View, err error) {
 	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: panic: %v", ErrFlush, p)
+			if ent.ps != nil {
+				ent.degrade(err)
+			}
+		}
+		view = ent.view.Load()
+	}()
+	if ent.closed {
+		return nil, ErrClosed
+	}
+	if ent.health.Load() == healthDegraded {
+		return nil, ErrDegraded
+	}
+	if hook := flushTestHook; hook != nil {
+		hook(ent)
+	}
 	from := ent.graph.Version()
 	nb := &nameBuilder{cur: ent.names}
 	for _, req := range reqs {
@@ -475,33 +555,38 @@ func (ent *GraphEntry) flushBatch(reqs []*writeReq) {
 	// mode, one group-commit fsync covering every write it coalesced)
 	// before the view is published and the requests complete — a
 	// returned write is durable, not just visible.
-	err := ent.logBatchLocked(from)
-	if err == nil {
-		var vs []gedlib.Violation
-		vs, err = ent.cat.eng.Apply(context.Background(), ent.graph, ent.sigma)
-		if err == nil {
-			snap := ent.cat.eng.SnapshotOf(ent.graph)
-			ent.publishLocked(snap, vs)
-		}
+	if lerr := ent.logBatchLocked(from); lerr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFlush, lerr)
 	}
-	view := ent.view.Load()
-	ent.mu.Unlock()
-
-	for _, req := range reqs {
-		if err != nil {
-			req.res.Err = fmt.Errorf("%w: %v", ErrFlush, err)
-		}
-		if view != nil {
-			req.res.Version, req.res.Epoch = view.Version, view.Epoch
-		}
-		req.done <- req.res
+	vs, aerr := ent.cat.eng.Apply(context.Background(), ent.graph, ent.sigma)
+	if aerr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFlush, aerr)
 	}
+	ent.publishLocked(ent.cat.eng.SnapshotOf(ent.graph), vs)
+	return nil, nil
 }
+
+// Flush-path retry tuning: transient append errors back off 2→4→8ms
+// (capped) between attempts, all while holding the entry lock — short
+// enough that queued writers wait out a blip instead of failing.
+const (
+	flushRetryDelay    = 2 * time.Millisecond
+	flushRetryMaxDelay = 10 * time.Millisecond
+)
 
 // logBatchLocked persists the ops a flush just applied: one delta
 // record, one group-commit sync, and — when enough ops accumulated — a
 // checkpoint that rotates the WAL. Holding ent.mu keeps the graph
 // quiesced for the checkpoint image. No-op for non-durable entries.
+//
+// Error policy: transient append errors (EIO, EINTR, ...) retry in
+// place with capped backoff — the WAL repairs its own torn tail before
+// the retried record lands. Exhausted retries and permanent errors
+// (ENOSPC, EROFS) degrade the graph. A failed group-commit fsync
+// degrades immediately and is never retried: the kernel may already
+// have dropped the dirty pages, so a passing retry would ack a write
+// that is not on disk. Recovery from degraded is always a full
+// checkpoint rewrite (see Probe).
 func (ent *GraphEntry) logBatchLocked(from uint64) error {
 	if ent.ps == nil {
 		return nil
@@ -513,6 +598,7 @@ func (ent *GraphEntry) logBatchLocked(from uint64) error {
 		// after an exceptionally large batch trimmed it). A checkpoint
 		// of the current state re-anchors the log losslessly.
 		if err := ent.ps.Checkpoint(ent.persistState()); err != nil {
+			ent.degrade(err)
 			return err
 		}
 		return nil
@@ -523,14 +609,36 @@ func (ent *GraphEntry) logBatchLocked(from uint64) error {
 	for i, n := range d.Nodes {
 		names[i] = ent.names.raw(n.ID)
 	}
-	if err := ent.ps.AppendDelta(d, names); err != nil {
-		return err
+	delay := flushRetryDelay
+	for attempt := 0; ; attempt++ {
+		err := ent.ps.AppendDelta(d, names)
+		if err == nil {
+			break
+		}
+		if !persist.IsTransient(err) || attempt >= ent.cat.cfg.FlushRetries {
+			ent.degrade(err)
+			return err
+		}
+		ent.walRetries.Add(1)
+		time.Sleep(delay)
+		if delay *= 2; delay > flushRetryMaxDelay {
+			delay = flushRetryMaxDelay
+		}
 	}
 	if err := ent.ps.Sync(); err != nil {
+		ent.degrade(err)
 		return err
 	}
 	if ent.ps.CheckpointDue() {
-		return ent.ps.Checkpoint(ent.persistState())
+		if err := ent.ps.Checkpoint(ent.persistState()); err != nil {
+			// The batch is already durable in the WAL; a failed rotation
+			// only defers compaction. Still degrade on a permanent error
+			// — the disk is refusing writes and the log would otherwise
+			// grow without bound — but ack the batch either way.
+			if !persist.IsTransient(err) {
+				ent.degrade(err)
+			}
+		}
 	}
 	return nil
 }
@@ -628,6 +736,7 @@ func (c *Catalog) adoptState(ctx context.Context, name string, st persist.State)
 		name: name, cat: c,
 		graph: st.Graph, names: nameTableFromDense(st.Names),
 		sigma: sigma, rulesSrc: st.Rules,
+		probeStop: make(chan struct{}),
 	}
 	if err := ent.refreshLocked(ctx); err != nil {
 		c.eng.Forget(st.Graph)
@@ -636,24 +745,52 @@ func (c *Catalog) adoptState(ctx context.Context, name string, st persist.State)
 	return ent, nil
 }
 
+// followerDegradeAfter is how many consecutive tail/recover failures a
+// replica entry tolerates before its health flips to degraded (a single
+// ErrLagBehind with an immediate re-recovery is normal operation, not a
+// fault).
+const followerDegradeAfter = 3
+
+// tailFailed records one follower tail/recover failure; a streak of
+// them degrades the replica's health so /healthz stops vouching for its
+// freshness.
+func (ent *GraphEntry) tailFailed(err error) {
+	if ent.folFailures.Add(1) >= followerDegradeAfter {
+		ent.degrade(err)
+	}
+}
+
+// tailAdvanced records follower progress, clearing any failure streak.
+func (ent *GraphEntry) tailAdvanced() {
+	ent.folFailures.Store(0)
+	if ent.health.Load() == healthDegraded {
+		ent.setHealthy()
+	}
+}
+
 // followLoop tails one graph's WAL forever, applying each record to the
 // replica entry. A tail failure that is not a cancellation (lag beyond
 // the leader's compaction, a corrupt segment) re-recovers from the
 // newest checkpoint and resumes — the replica jumps forward, it never
-// serves stale state silently.
+// serves stale state silently. Repeated failures back off with jitter
+// (reset on success) and, past a streak, degrade the replica's health.
 func (c *Catalog) followLoop(ent *GraphEntry, rec *persist.Recovery) {
 	defer c.followWG.Done()
 	ctx := c.followCtx
+	bo := newBackoff(50*time.Millisecond, 2*time.Second)
 	for {
 		err := c.store.Tail(ctx, ent.name, rec, c.cfg.FollowPoll, ent.applyTailRecord)
 		if ctx.Err() != nil || errors.Is(err, ErrClosed) {
 			return
 		}
+		ent.tailFailed(err)
 		for {
 			nrec, rerr := c.store.Recover(ent.name)
 			if rerr == nil {
 				if rerr = ent.resetTo(nrec.State); rerr == nil {
 					rec = nrec
+					bo.reset()
+					ent.tailAdvanced()
 					break
 				}
 			}
@@ -665,36 +802,51 @@ func (c *Catalog) followLoop(ent *GraphEntry, rec *persist.Recovery) {
 				ent.close(true)
 				return
 			}
-			select { // transient (mid-compaction races): retry
+			ent.tailFailed(rerr)
+			select { // mid-compaction races and real faults both retry
 			case <-ctx.Done():
 				return
-			case <-time.After(100 * time.Millisecond):
+			case <-time.After(bo.next()):
 			}
 		}
 	}
 }
 
 // rescanLoop watches the store for graphs created after Follow started.
+// Scan failures back off exponentially (with jitter) instead of
+// hammering a failing store once a second.
 func (c *Catalog) rescanLoop() {
 	defer c.followWG.Done()
 	ctx := c.followCtx
+	bo := newBackoff(time.Second, 30*time.Second)
+	delay := time.Second
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(time.Second):
+		case <-time.After(delay):
 		}
 		names, err := c.store.Graphs()
 		if err != nil {
+			delay = bo.next()
 			continue
 		}
+		ok := true
 		for _, name := range names {
 			c.mu.RLock()
 			_, known := c.entries[name]
 			c.mu.RUnlock()
 			if !known {
-				_ = c.followGraph(name) // a half-created dir retries next scan
+				if err := c.followGraph(name); err != nil {
+					ok = false // a half-created dir retries next scan
+				}
 			}
+		}
+		if ok {
+			bo.reset()
+			delay = time.Second
+		} else {
+			delay = bo.next()
 		}
 	}
 }
@@ -731,6 +883,7 @@ func (ent *GraphEntry) applyTailRecord(tr persist.TailRecord) error {
 	}
 	ent.folRecords.Add(1)
 	ent.folLag.Store(time.Since(tr.AppendedAt).Nanoseconds())
+	ent.tailAdvanced()
 	return nil
 }
 
@@ -792,7 +945,22 @@ func (ent *GraphEntry) Stats() EntryStats {
 		s.Follower = true
 		s.FollowerRecords = ent.folRecords.Load()
 		s.FollowerLagNanos = ent.folLag.Load()
+		s.FollowerFailures = ent.folFailures.Load()
 	}
+	h, herr := ent.Health()
+	s.Health = h
+	if herr != nil {
+		s.HealthError = herr.Error()
+	}
+	ent.healthMu.Lock()
+	since := ent.degradedSince
+	ent.healthMu.Unlock()
+	if !since.IsZero() {
+		s.DegradedForNanos = time.Since(since).Nanoseconds()
+	}
+	s.WALRetries = ent.walRetries.Load()
+	s.Probes = ent.probes.Load()
+	s.Recoveries = ent.recoveries.Load()
 	s.ReadsServed = ent.readsServed.Load()
 	s.RetainedViews = retained
 	if view != nil {

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlushPanicContained: a panic inside a flush (a poisoned rule
+// plan, a bad op application) must fail that batch with ErrFlush and
+// leave the batcher alive for the next write — not kill the flusher
+// goroutine and hang every queued writer.
+func TestFlushPanicContained(t *testing.T) {
+	c, err := NewCatalog(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ent, err := c.Create("g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := true
+	flushTestHook = func(e *GraphEntry) {
+		if poisoned {
+			poisoned = false
+			panic("poisoned rule plan")
+		}
+	}
+	defer func() { flushTestHook = nil }()
+
+	_, err = ent.Mutate(context.Background(), []Op{{Op: "add_node", ID: "a", Label: "person"}})
+	if !errors.Is(err, ErrFlush) || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("poisoned flush: err=%v, want ErrFlush wrapping the panic", err)
+	}
+	// In-memory entries do not degrade on panic (there is no WAL to
+	// diverge from); the next flush must just work.
+	if h, _ := ent.Health(); h != "ok" {
+		t.Fatalf("in-memory entry health %q after panic, want ok", h)
+	}
+	res, err := ent.Mutate(context.Background(), []Op{{Op: "add_node", ID: "b", Label: "person"}})
+	if err != nil {
+		t.Fatalf("mutate after contained panic: %v", err)
+	}
+	if res.Applied != 1 {
+		t.Fatalf("applied %d, want 1", res.Applied)
+	}
+}
+
+// TestFlushPanicDegradesDurable: on a durable entry the panic may have
+// left ops in the graph that never reached the WAL, so the entry must
+// degrade — and a Probe (the operator enable path) must heal it via a
+// full checkpoint rewrite.
+func TestFlushPanicDegradesDurable(t *testing.T) {
+	c, err := NewCatalog(Config{DataDir: t.TempDir(), ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ent, err := c.Create("g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := true
+	flushTestHook = func(e *GraphEntry) {
+		if poisoned {
+			poisoned = false
+			panic("poisoned rule plan")
+		}
+	}
+	defer func() { flushTestHook = nil }()
+
+	if _, err = ent.Mutate(context.Background(), []Op{{Op: "add_node", ID: "a", Label: "person"}}); !errors.Is(err, ErrFlush) {
+		t.Fatalf("poisoned flush: err=%v, want ErrFlush", err)
+	}
+	if h, _ := ent.Health(); h != "degraded" {
+		t.Fatalf("durable entry health %q after panic, want degraded", h)
+	}
+	if _, err := ent.Mutate(context.Background(), []Op{{Op: "add_node", ID: "b", Label: "person"}}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("mutate while degraded: err=%v, want ErrDegraded", err)
+	}
+	// Reads keep serving the last published view while degraded.
+	if view := ent.CurrentView(); view == nil {
+		t.Fatal("no view while degraded")
+	}
+	if err := ent.Probe(context.Background()); err != nil {
+		t.Fatalf("probe on a healthy disk: %v", err)
+	}
+	if h, _ := ent.Health(); h != "ok" {
+		t.Fatalf("health %q after probe, want ok", h)
+	}
+	if _, err := ent.Mutate(context.Background(), []Op{{Op: "add_node", ID: "c", Label: "person"}}); err != nil {
+		t.Fatalf("mutate after heal: %v", err)
+	}
+	if got := ent.Stats(); got.Recoveries != 1 || got.Probes != 1 {
+		t.Fatalf("stats recoveries=%d probes=%d, want 1/1", got.Recoveries, got.Probes)
+	}
+}

@@ -42,6 +42,7 @@ func NewServer(cfg Config) (*Server, error) {
 	api.HandleFunc("POST /graphs/{name}/validate", s.handleValidate)
 	api.HandleFunc("POST /graphs/{name}/chase", s.handleChase)
 	api.HandleFunc("GET /graphs/{name}/stats", s.handleEntryStats)
+	api.HandleFunc("POST /graphs/{name}/enable", s.handleEnable)
 
 	// Health and stats bypass admission control: they must answer even
 	// (especially) when the server is shedding load.
@@ -103,6 +104,11 @@ func fail(w http.ResponseWriter, err error) {
 		httpError(w, http.StatusRequestEntityTooLarge, err.Error())
 	case errors.Is(err, ErrReadOnly):
 		httpError(w, http.StatusForbidden, err.Error())
+	case errors.Is(err, ErrDegraded):
+		// Degraded is retryable from the client's side: the disk may
+		// heal and the auto-probe re-enables the graph.
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrClosed):
 		httpError(w, http.StatusGone, err.Error())
 	case errors.Is(err, ErrFlush):
@@ -170,8 +176,46 @@ func renderViolations(view *View, vs []gedlib.Violation) []violationJSON {
 
 // ---- handlers ----
 
+// handleHealthz reports per-graph serving health. The overall status is
+// "ok" unless any graph is degraded; the response stays 200 either way
+// (the process is up and serving reads — load balancers that should
+// drain on degradation match on the body's status field).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	status := "ok"
+	graphs := map[string]any{}
+	for _, name := range s.cat.Names() {
+		ent, err := s.cat.Get(name)
+		if err != nil {
+			continue
+		}
+		h, cause := ent.Health()
+		g := map[string]string{"health": h}
+		if cause != nil {
+			g["error"] = cause.Error()
+		}
+		graphs[name] = g
+		if h == "degraded" {
+			status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "graphs": graphs})
+}
+
+// handleEnable is the operator re-enable path for a degraded graph: it
+// probes recovery immediately (heal checkpoint + republish) instead of
+// waiting out the auto-probe backoff. Succeeds trivially on a healthy
+// graph.
+func (s *Server) handleEnable(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	if err := ent.Probe(r.Context()); err != nil {
+		fail(w, err)
+		return
+	}
+	h, _ := ent.Health()
+	writeJSON(w, http.StatusOK, map[string]string{"name": ent.Name(), "health": h})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

@@ -32,8 +32,22 @@
 // they are never dirty (a view is only published after Engine.Apply
 // committed the whole batch) and never torn (views are immutable).
 //
+// Failure model: when a graph's persistence starts failing, the graph
+// degrades rather than taking the process down or silently dropping
+// durability. Transient WAL-append errors are retried inside the flush
+// with capped backoff; a failed fsync, exhausted retries, or a
+// permanent error (ENOSPC, EROFS) flips the graph to degraded —
+// reads keep serving the last published view, writes fail fast with
+// ErrDegraded (HTTP 503 + Retry-After), and health surfaces the cause
+// in /healthz and per-graph stats. Recovery is a heal checkpoint (a
+// full rewrite, which also rolls forward applied-but-unlogged ops)
+// attempted by a backed-off background probe or forced via
+// POST /graphs/{name}/enable. See the README's "Failure model &
+// degraded modes" section.
+//
 // Command gedserve is a thin daemon over this package; `gedbench
-// -experiment serve` drives it with a Zipfian multi-tenant load.
+// -experiment serve` drives it with a Zipfian multi-tenant load and
+// `gedbench -experiment chaos` soaks it under injected disk faults.
 package serve
 
 import (
@@ -41,6 +55,7 @@ import (
 	"time"
 
 	"gedlib"
+	"gedlib/persist"
 )
 
 // Errors surfaced by the catalog and batcher; the HTTP layer maps them
@@ -60,6 +75,11 @@ var (
 	// ErrReadOnly rejects writes against a follower catalog — a replica
 	// tailing a leader's WAL accepts reads only (HTTP 403).
 	ErrReadOnly = errors.New("serve: graph is read-only (follower)")
+	// ErrDegraded rejects writes against a graph whose persist layer is
+	// permanently failing: the last published view keeps serving reads,
+	// writes get 503 + Retry-After until the disk heals (auto-probe) or
+	// an operator re-enables the graph (POST /graphs/{name}/enable).
+	ErrDegraded = errors.New("serve: graph degraded (persist failure); serving reads only")
 )
 
 // Config tunes a Server. The zero value selects every default.
@@ -120,6 +140,19 @@ type Config struct {
 	// FollowPoll is a follower catalog's WAL poll interval. 0 selects
 	// the persist default (25ms).
 	FollowPoll time.Duration
+
+	// FlushRetries is how many times a flush retries a transient WAL
+	// append error (capped exponential backoff, in place) before the
+	// graph degrades. Default 3.
+	FlushRetries int
+	// ProbeInterval is the base delay of a degraded graph's auto-probe
+	// recovery loop; probes back off exponentially (jittered, capped at
+	// 16x) while the disk stays broken. Default 250ms.
+	ProbeInterval time.Duration
+	// FS overrides the filesystem the persist layer goes through —
+	// fault injection (bench.ChaosSoak, gedserve -fault) and tests.
+	// nil selects the OS.
+	FS persist.FS
 }
 
 // withDefaults fills in the documented defaults.
@@ -141,6 +174,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainViews <= 0 {
 		c.RetainViews = 4
+	}
+	if c.FlushRetries <= 0 {
+		c.FlushRetries = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
 	}
 	return c
 }

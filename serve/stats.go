@@ -48,10 +48,27 @@ type EntryStats struct {
 	CheckpointAgeOps  int    `json:"checkpoint_age_ops,omitempty"`
 
 	// Replication (set on follower entries). FollowerLagNanos is the
-	// staleness of the last applied record: now minus its append time.
+	// staleness of the last applied record: now minus its append time;
+	// FollowerFailures is the current consecutive tail-failure streak
+	// (reset to 0 on every applied record).
 	Follower         bool   `json:"follower,omitempty"`
 	FollowerRecords  uint64 `json:"follower_records,omitempty"`
 	FollowerLagNanos int64  `json:"follower_lag_ns,omitempty"`
+	FollowerFailures uint64 `json:"follower_failures,omitempty"`
+
+	// Health & degraded mode (see the README's "Failure model" section).
+	// Health is "ok", "degraded" (persist failure — reads keep serving
+	// from the last view, writes get 503) or "readonly" (healthy
+	// follower); HealthError is the causing error while degraded.
+	// WALRetries counts transient WAL appends retried inside flushes,
+	// Probes the recovery attempts while degraded, Recoveries the
+	// degraded→ok transitions.
+	Health           string `json:"health"`
+	HealthError      string `json:"health_error,omitempty"`
+	DegradedForNanos int64  `json:"degraded_for_ns,omitempty"`
+	WALRetries       uint64 `json:"wal_retries,omitempty"`
+	Probes           uint64 `json:"probes,omitempty"`
+	Recoveries       uint64 `json:"recoveries,omitempty"`
 }
 
 // ServerStats is the /statsz payload.
