@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ObsOptions configures the observability-overhead experiment: the
+// ServeLoad workload run in two arms per round — observer disabled
+// (baseline) and enabled (observed) — back to back, so machine drift
+// lands on both arms roughly equally.
+type ObsOptions struct {
+	// Load is the per-arm serving workload.
+	Load ServeOptions
+	// Rounds is how many baseline/observed pairs to run; each arm keeps
+	// its best round, which filters scheduler noise out of the ratio.
+	Rounds int
+}
+
+// DefaultObsOptions runs the acceptance serving load three times per arm.
+func DefaultObsOptions() ObsOptions {
+	return ObsOptions{Load: DefaultServeOptions(), Rounds: 3}
+}
+
+// QuickObsOptions is the CI smoke variant: one round of the quick load.
+func QuickObsOptions() ObsOptions {
+	return ObsOptions{Load: QuickServeOptions(), Rounds: 1}
+}
+
+// ObsResult is one run of the observability-overhead experiment.
+type ObsResult struct {
+	Rounds int `json:"rounds"`
+
+	// Best-of-rounds served throughput per arm.
+	BaselineThroughput float64 `json:"baseline_rps"`
+	ObservedThroughput float64 `json:"observed_rps"`
+	// Overhead is the fractional throughput cost of the instrumentation
+	// (positive = observer slower). The non-quick gate requires <= 0.05.
+	Overhead float64 `json:"overhead_frac"`
+
+	// Write-path tail latency of each arm's best round — the flush
+	// pipeline is where every added histogram observation sits.
+	BaselineWriteP95 time.Duration `json:"baseline_write_p95_ns"`
+	ObservedWriteP95 time.Duration `json:"observed_write_p95_ns"`
+}
+
+// ObsOverhead measures what the pipeline observer costs under serving
+// load: identical catalogs and request streams, with the only delta
+// being serve.Config.DisableObserver. The /statsz counters stay on in
+// both arms (they predate the observer), so the ratio isolates exactly
+// the added instrumentation — stage histograms, engine/persist/matcher
+// metrics, and the span ring.
+func ObsOverhead(opts ObsOptions) ObsResult {
+	res := ObsResult{Rounds: opts.Rounds}
+	for r := 0; r < opts.Rounds; r++ {
+		base := opts.Load
+		base.DisableObserver = true
+		b := ServeLoad(base)
+		obs := opts.Load
+		obs.DisableObserver = false
+		o := ServeLoad(obs)
+		if b.Throughput > res.BaselineThroughput {
+			res.BaselineThroughput = b.Throughput
+			res.BaselineWriteP95 = b.Write.P95
+		}
+		if o.Throughput > res.ObservedThroughput {
+			res.ObservedThroughput = o.Throughput
+			res.ObservedWriteP95 = o.Write.P95
+		}
+	}
+	if res.BaselineThroughput > 0 {
+		res.Overhead = 1 - res.ObservedThroughput/res.BaselineThroughput
+	}
+	return res
+}
+
+// WriteObs renders the observability-overhead result.
+func WriteObs(w io.Writer, r ObsResult) {
+	fmt.Fprintf(w, "rounds=%d (best-of per arm)\n", r.Rounds)
+	fmt.Fprintf(w, "%-10s %12s %14s\n", "ARM", "RPS", "WRITE P95")
+	fmt.Fprintf(w, "%-10s %12.0f %14s\n", "baseline", r.BaselineThroughput,
+		r.BaselineWriteP95.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-10s %12.0f %14s\n", "observed", r.ObservedThroughput,
+		r.ObservedWriteP95.Round(time.Microsecond))
+	fmt.Fprintf(w, "observer overhead %.2f%% of baseline throughput\n", 100*r.Overhead)
+}

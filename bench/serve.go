@@ -42,6 +42,10 @@ type ServeOptions struct {
 	// durability experiment compares this against the in-memory run.
 	DataDir string
 	Fsync   string
+
+	// DisableObserver runs the server without the added pipeline
+	// instrumentation — the baseline arm of the obs overhead experiment.
+	DisableObserver bool
 }
 
 // DefaultServeOptions is the acceptance workload: 64 concurrent
@@ -128,9 +132,10 @@ type serveClient struct {
 // shedding is an expected behavior under saturation, not a bug.
 func ServeLoad(opts ServeOptions) ServeResult {
 	srv, err := serve.NewServer(serve.Config{
-		MaxInFlight: 2*opts.Clients + 16,
-		DataDir:     opts.DataDir,
-		Fsync:       opts.Fsync,
+		MaxInFlight:     2*opts.Clients + 16,
+		DataDir:         opts.DataDir,
+		Fsync:           opts.Fsync,
+		DisableObserver: opts.DisableObserver,
 	})
 	if err != nil {
 		panic(err)

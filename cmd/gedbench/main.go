@@ -11,6 +11,7 @@
 //	gedbench -experiment durability        # WAL recovery scaling, follower staleness, fsync cost
 //	gedbench -experiment shard             # sharded vs monolithic validation scaling
 //	gedbench -experiment chaos             # fault-injection soak: degraded mode + crash recovery
+//	gedbench -experiment obs               # observer on-vs-off serving overhead (<= 5% gate)
 //	gedbench -experiment all
 //
 // Unknown -experiment values are rejected up front with the list of
@@ -61,6 +62,7 @@ var registry = []struct {
 	{"durability", func(o runOpts) { durabilityExperiment(o.quick) }},
 	{"shard", func(o runOpts) { shardExperiment(o.quick) }},
 	{"chaos", func(o runOpts) { chaosExperiment(o.quick) }},
+	{"obs", func(o runOpts) { obsExperiment(o.quick) }},
 }
 
 // experimentNames returns the registry's names in `all` order.
@@ -307,6 +309,24 @@ func chaosExperiment(quick bool) {
 	writeJSON("chaos", res)
 	if len(res.Failures) > 0 {
 		fmt.Fprintf(os.Stderr, "gedbench: chaos: %d invariant failures\n", len(res.Failures))
+		os.Exit(1)
+	}
+}
+
+func obsExperiment(quick bool) {
+	fmt.Println("Observability overhead: the serving load with the pipeline observer")
+	fmt.Println("on vs off (same catalog, same request streams; the delta is exactly")
+	fmt.Println("the added stage histograms, engine/persist metrics and span ring)")
+	fmt.Println()
+	opts := bench.DefaultObsOptions()
+	if quick {
+		opts = bench.QuickObsOptions()
+	}
+	res := bench.ObsOverhead(opts)
+	bench.WriteObs(os.Stdout, res)
+	writeJSON("obs", res)
+	if !quick && res.Overhead > 0.05 {
+		fmt.Fprintf(os.Stderr, "gedbench: obs: observer overhead %.1f%% above the 5%% budget\n", 100*res.Overhead)
 		os.Exit(1)
 	}
 }

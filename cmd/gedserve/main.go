@@ -32,6 +32,15 @@
 //	POST   /graphs/{name}/enable   re-enable a degraded graph (forces a recovery probe)
 //	GET    /statsz                 server-wide stats (bypasses admission)
 //	GET    /healthz                per-graph health: ok|degraded|readonly (bypasses admission)
+//	GET    /metricsz               Prometheus text metrics (bypasses admission)
+//	GET    /tracez                 recent traced operations, ?graph=&op=&min=&limit= (bypasses admission)
+//	GET    /versionz               build identity from embedded build info (bypasses admission)
+//
+// The observability endpoints bypass admission control for the same
+// reason /healthz does: the monitoring that explains an overload must
+// not be shed by it. -slow-op D logs every traced operation (flushes,
+// with per-stage timings) that takes at least D; -version prints the
+// build identity and exits.
 //
 // When a graph's disk starts failing, the server degrades instead of
 // limping: the last published view keeps serving reads, mutations get
@@ -101,10 +110,22 @@ func main() {
 	follow := flag.String("follow", "", "follow a leader's -data directory as a read-only replica")
 	faultSpec := flag.String("fault", "", "inject disk faults (testing): e.g. 'enospc:path=wal-:after=65536; eio:op=sync:k=2'")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -fault schedule's torn-write sizes")
+	slowOp := flag.Duration("slow-op", 0, "log traced operations at least this slow, with per-stage timings (0 = off)")
+	noObs := flag.Bool("no-obs", false, "disable pipeline instrumentation (engine/persist metrics, traces); /statsz counters stay on")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Var(&loads, "load", "preload a graph: name=graph.json (repeatable)")
 	flag.Var(&rules, "rules", "preregister rules: name=rules.ged (repeatable)")
 	flag.Parse()
 
+	if *version {
+		v := serve.VersionInfo()
+		fmt.Printf("gedserve %s %s %s", v.Module, v.Version, v.Go)
+		if v.Revision != "" {
+			fmt.Printf(" (%s%s)", v.Revision, map[bool]string{true: "-dirty"}[v.Dirty])
+		}
+		fmt.Println()
+		return
+	}
 	if *dataDir != "" && *follow != "" {
 		fatal(fmt.Errorf("-data and -follow are mutually exclusive"))
 	}
@@ -125,6 +146,14 @@ func main() {
 		DataDir:         *dataDir,
 		Fsync:           *fsync,
 		CheckpointEvery: *ckptEvery,
+		SlowOp:          *slowOp,
+		DisableObserver: *noObs,
+	}
+	if *slowOp > 0 {
+		cfg.OnSlowOp = func(sd *serve.SpanData) {
+			fmt.Fprintf(os.Stderr, "gedserve: slow op: graph=%s op=%s dur=%s stages=%v err=%q\n",
+				sd.Graph, sd.Op, sd.Dur, sd.Stages, sd.Err)
+		}
 	}
 	if *follow != "" {
 		cfg.DataDir = *follow

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"gedlib/internal/axiom"
 	"gedlib/internal/chase"
 	"gedlib/internal/discover"
+	"gedlib/internal/obs"
 	"gedlib/internal/optimize"
 	"gedlib/internal/reason"
 	"gedlib/internal/repair"
@@ -58,6 +60,11 @@ type Engine struct {
 	cacheBound     int
 	shards         int
 	partitioner    Partitioner
+
+	// obs is the injected observer (WithObserver), nil by default; em
+	// caches its metric handles so hot paths skip the registry lookup.
+	obs *Observer
+	em  *engineMetrics
 
 	mu    sync.Mutex
 	clock uint64
@@ -167,6 +174,7 @@ func (e *Engine) fresh(g *Graph) *Snapshot {
 	base, baseVer := ent.snapshot, ent.snapVer
 	e.mu.Unlock()
 	if base != nil && baseVer == v {
+		e.em.snapHit.Inc()
 		return base
 	}
 	var s *Snapshot
@@ -176,10 +184,12 @@ func (e *Engine) fresh(g *Graph) *Snapshot {
 		// a nil delta means the journal no longer reaches back this far.
 		if d := g.DeltaSince(baseVer); d != nil && d.Size() <= g.Size()/4 {
 			s = base.Apply(d)
+			e.em.snapAdvance.Inc()
 		}
 	}
 	if s == nil {
 		s = g.Freeze()
+		e.em.snapFreeze.Inc()
 	}
 	e.mu.Lock()
 	// Write back lookup-only: re-creating the entry here would
@@ -242,6 +252,7 @@ func (e *Engine) plansFor(g *Graph, snap *Snapshot, sigma RuleSet) *reason.Valid
 		}
 	}
 	val = reason.NewValidatorOn(snap, sigma)
+	val.Observe(e.obs.Registry())
 	e.storePlans(g, snap, sigma, val)
 	return val
 }
@@ -339,6 +350,7 @@ func New(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	e.em = newEngineMetrics(e.obs.Registry())
 	return e
 }
 
@@ -383,6 +395,7 @@ func (e *Engine) shardStateFor(ctx context.Context, g *Graph, ent *engEntry) (*s
 	}
 	if st == nil {
 		st = shard.New(g, e.fresh(g), e.shards, e.partitioner)
+		st.Observe(e.obs.Registry())
 		ent.shardState = st
 	}
 	// Publish the sharded global snapshot into the plain snapshot cache
@@ -404,6 +417,7 @@ func (e *Engine) shardStateFor(ctx context.Context, g *Graph, ent *engEntry) (*s
 // On cancellation the violations found so far are returned together
 // with ctx's error.
 func (e *Engine) Validate(ctx context.Context, g *Graph, sigma RuleSet) ([]Violation, error) {
+	defer e.em.observe(e.em.validate, time.Now())
 	if e.shards > 1 {
 		return e.validateSharded(ctx, g, sigma)
 	}
@@ -448,6 +462,7 @@ func (e *Engine) validateSharded(ctx context.Context, g *Graph, sigma RuleSet) (
 // resumes. For a maintained answer to "what are all current
 // violations", use Apply instead.
 func (e *Engine) ValidateIncremental(ctx context.Context, g *Graph, sigma RuleSet, touched []NodeID) ([]Violation, error) {
+	defer e.em.observe(e.em.validateInc, time.Now())
 	val := e.plansFor(g, e.fresh(g), sigma)
 	return val.TouchingCtx(ctx, touched, e.violationLimit)
 }
@@ -475,6 +490,7 @@ func (e *Engine) ValidateIncremental(ctx context.Context, g *Graph, sigma RuleSe
 // On error (cancellation mid-seed or mid-update) the store is
 // discarded and the next Apply re-seeds; no partial state is returned.
 func (e *Engine) Apply(ctx context.Context, g *Graph, sigma RuleSet) ([]Violation, error) {
+	defer e.em.observe(e.em.apply, time.Now())
 	// Pin the entry so LRU churn cannot evict it mid-call: a concurrent
 	// Apply for the same graph must find this same entry (and block on
 	// its applyMu) rather than seed a duplicate store on a fresh one.
@@ -520,6 +536,7 @@ func (e *Engine) Apply(ctx context.Context, g *Graph, sigma RuleSet) ([]Violatio
 		ent.store = nil
 		return nil, err
 	}
+	st.Observe(e.em.storeRecheck, e.em.storeDrop, e.em.storeFresh)
 	ent.store, ent.storeSigma = st, sigma
 	return e.limited(st.Violations()), nil
 }
@@ -606,7 +623,8 @@ func (e *Engine) Satisfies(ctx context.Context, g *Graph, sigma RuleSet) (bool, 
 // graph, and Consistent reports whether enforcement succeeded (an
 // inconsistent chase is the paper's ⊥).
 func (e *Engine) Chase(ctx context.Context, g *Graph, sigma RuleSet) (*ChaseResult, error) {
-	return chase.RunCtx(ctx, g, sigma, nil, e.chaseDepth)
+	defer e.em.observe(e.em.chase, time.Now())
+	return chase.RunCtx(obs.ContextWithObserver(ctx, e.obs), g, sigma, nil, e.chaseDepth)
 }
 
 // Repair cleans g under Σ: the chase read as an edit script. Attribute

@@ -7,6 +7,7 @@ import (
 
 	"gedlib/internal/ged"
 	"gedlib/internal/graph"
+	"gedlib/internal/obs"
 	"gedlib/internal/pattern"
 )
 
@@ -168,6 +169,9 @@ func RunCtxOpts(ctx context.Context, g *graph.Graph, sigma ged.Set, seeds []Seed
 	eq := NewEq(g)
 	res := &Result{Eq: eq, Sigma: sigma}
 	c := &chaser{ctx: ctx, eq: eq, res: res, sigma: sigma, maxRounds: maxRounds}
+	if o := obs.FromContext(ctx); o != nil {
+		c.roundCtr = o.Registry().Counter("ged_chase_rounds_total", "chase fixpoint rounds executed")
+	}
 	c.vars = make([][]pattern.Var, len(sigma))
 	c.clits = make([]clitSet, len(sigma))
 	for gi, d := range sigma {
@@ -197,6 +201,7 @@ type chaser struct {
 	baseBuf   []graph.NodeID  // reused base-node translation scratch
 	maxRounds int
 	rounds    int
+	roundCtr  *obs.Counter // ctx-injected observer's round tally, often nil
 	// per-round accumulators
 	changed bool
 	// merges collects the node identifications of the current round, to
@@ -287,6 +292,7 @@ func (c *chaser) checkRound() (*Result, error, bool) {
 		return r, e, true
 	}
 	c.rounds++
+	c.roundCtr.Inc()
 	return nil, nil, false
 }
 

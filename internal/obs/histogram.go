@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is log-scale over nanoseconds with two sub-buckets per
+// octave: bucket boundaries sit at 2^k and 1.5*2^k, so any recorded
+// value lands in a bucket whose upper/lower ratio is at most 1.5 —
+// quantiles read back from bucket edges are within a factor of 1.5 of
+// the true sample quantile (see TestHistogramQuantileOracle). The
+// resolved range is [256ns, ~275s); smaller values collapse into an
+// underflow bucket, larger ones into an overflow bucket whose quantile
+// estimate saturates at the range ceiling.
+const (
+	histMinShift = 8  // 2^8 ns = 256ns: finest resolved magnitude
+	histMaxShift = 38 // 2^38 ns ≈ 275s: coarsest resolved magnitude
+
+	// underflow + two half-octave buckets per octave + overflow.
+	numHistBuckets = 2 + 2*(histMaxShift-histMinShift)
+)
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < 1<<histMinShift {
+		return 0
+	}
+	if ns >= 1<<histMaxShift {
+		return numHistBuckets - 1
+	}
+	l := bits.Len64(uint64(ns)) - 1 // histMinShift..histMaxShift-1
+	half := int(ns>>(l-1)) & 1      // second-highest bit: which half-octave
+	return 1 + 2*(l-histMinShift) + half
+}
+
+// bucketUpper is the exclusive upper bound, in nanoseconds, of bucket i
+// (MaxInt64 for the overflow bucket).
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 1 << histMinShift
+	}
+	if i >= numHistBuckets-1 {
+		return math.MaxInt64
+	}
+	i--
+	l := i/2 + histMinShift
+	half := int64(i % 2)
+	// The bucket covers [2^l*(2+half)/2, 2^l*(3+half)/2).
+	return (3 + half) << (l - 1)
+}
+
+// Histogram is a fixed-bucket log-scale latency histogram. Record is
+// lock-free (one index computation and three atomic adds) and safe for
+// any number of concurrent writers and snapshotting readers. A nil
+// *Histogram is a no-op sink.
+type Histogram struct {
+	buckets [numHistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds one observation of ns nanoseconds.
+func (h *Histogram) Record(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) { h.Record(int64(d)) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// The copy is not a single atomic cut across buckets — concurrent
+// records may straddle it — but every individual value is a consistent
+// atomic load, and a quiescent histogram snapshots exactly.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     int64 // nanoseconds
+	Buckets [numHistBuckets]uint64
+}
+
+// Snapshot copies the histogram's current state; zero value on nil.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) as the upper edge of the
+// bucket holding the rank-⌈q·count⌉ observation — an estimate within a
+// factor of 1.5 above the true sample quantile for in-range values.
+// Returns 0 on an empty snapshot; saturates at the range ceiling for
+// observations in the overflow bucket.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	// Sum the buckets rather than trusting Count: a snapshot taken under
+	// concurrent writers may have the two out of step, and the walk must
+	// terminate inside the table.
+	var total uint64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			if i == numHistBuckets-1 {
+				return time.Duration(int64(1) << histMaxShift)
+			}
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return time.Duration(int64(1) << histMaxShift)
+}
+
+// Mean returns the average recorded duration; 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / int64(s.Count))
+}

@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketEdges pins the bucket geometry: indexes are monotone, every
+// in-range value lands in a bucket whose bounds contain it, and the
+// upper/lower ratio never exceeds 1.5.
+func TestBucketEdges(t *testing.T) {
+	if got := bucketIndex(0); got != 0 {
+		t.Fatalf("bucketIndex(0) = %d, want 0", got)
+	}
+	if got := bucketIndex(255); got != 0 {
+		t.Fatalf("bucketIndex(255) = %d, want 0", got)
+	}
+	if got := bucketIndex(1 << histMaxShift); got != numHistBuckets-1 {
+		t.Fatalf("overflow bucket: got %d, want %d", got, numHistBuckets-1)
+	}
+	prev := 0
+	for ns := int64(256); ns < 1<<histMaxShift; ns += ns / 3 {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", ns, i, prev)
+		}
+		prev = i
+		up := bucketUpper(i)
+		var lo int64 = 0
+		if i > 0 {
+			lo = bucketUpper(i - 1)
+		}
+		if ns < lo || ns >= up {
+			t.Fatalf("ns=%d in bucket %d with bounds [%d, %d)", ns, i, lo, up)
+		}
+		if i > 0 && i < numHistBuckets-1 && float64(up)/float64(lo) > 1.5+1e-9 {
+			t.Fatalf("bucket %d ratio %g > 1.5", i, float64(up)/float64(lo))
+		}
+	}
+}
+
+// TestHistogramQuantileOracle is the accuracy property test: against a
+// sorted-sample oracle, every quantile estimate must bracket the true
+// value from above within the documented factor of 1.5.
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		h := NewHistogram()
+		n := 100 + rng.Intn(5000)
+		samples := make([]int64, n)
+		for i := range samples {
+			// Log-uniform over the resolved range [256ns, ~275s).
+			e := float64(histMinShift) + rng.Float64()*float64(histMaxShift-histMinShift-1)
+			samples[i] = int64(math.Pow(2, e))
+			h.Record(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+			rank := int(math.Ceil(q * float64(n)))
+			truth := samples[rank-1]
+			est := int64(snap.Quantile(q))
+			if est < truth {
+				t.Fatalf("trial %d q=%g: estimate %d below true %d", trial, q, est, truth)
+			}
+			if float64(est) > float64(truth)*1.5 {
+				t.Fatalf("trial %d q=%g: estimate %d > 1.5x true %d", trial, q, est, truth)
+			}
+		}
+	}
+}
+
+// TestHistogramHammer runs concurrent Record against concurrent
+// Snapshot/Quantile readers (race-detector food), then checks the
+// final state adds up exactly.
+func TestHistogramHammer(t *testing.T) {
+	h := NewHistogram()
+	const writers = 8
+	const perWriter = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				_ = s.Quantile(0.99)
+				_ = s.Mean()
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		ww.Add(1)
+		go func(seed int64) {
+			defer ww.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Record(int64(rng.Intn(1 << 30)))
+			}
+		}(int64(wr))
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count %d, want %d", s.Count, writers*perWriter)
+	}
+	var cum uint64
+	for _, c := range s.Buckets {
+		cum += c
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", cum, s.Count)
+	}
+}
+
+// TestTracerRingRotation hammers span completion from many goroutines
+// while readers drain Recent, then checks the ring retains exactly the
+// newest spans.
+func TestTracerRingRotation(t *testing.T) {
+	tr := NewTracer(32, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, sd := range tr.Recent(32, nil) {
+					if sd.Op == "" {
+						t.Error("ring served a zero span")
+						return
+					}
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < 5000; i++ {
+				sp := tr.Start("g", fmt.Sprintf("op%d", w))
+				sp.Stage("work")
+				sp.End()
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	got := tr.Recent(64, nil)
+	if len(got) != 32 {
+		t.Fatalf("ring retained %d spans, want 32", len(got))
+	}
+	filtered := tr.Recent(32, func(sd *SpanData) bool { return sd.Op == "op3" })
+	for _, sd := range filtered {
+		if sd.Op != "op3" {
+			t.Fatalf("filter leaked op %q", sd.Op)
+		}
+	}
+}
+
+// TestSlowOpHook: only spans at or above the threshold fire the hook.
+func TestSlowOpHook(t *testing.T) {
+	var fired []*SpanData
+	tr := NewTracer(8, func(sd *SpanData) { fired = append(fired, sd) })
+	tr.SetSlowOp(10 * time.Millisecond)
+
+	fast := tr.Start("g", "fast")
+	fast.End()
+	slow := tr.Start("g", "slow")
+	slow.d.Start = slow.d.Start.Add(-20 * time.Millisecond) // backdate: deterministic slowness
+	slow.End()
+
+	if len(fired) != 1 || fired[0].Op != "slow" {
+		t.Fatalf("slow-op hook fired for %v, want exactly [slow]", fired)
+	}
+}
+
+// TestNilSafety: every handle method must be callable through nil.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Record(100)
+	h.Observe(time.Second)
+	if h.Snapshot().Count != 0 || h.Count() != 0 {
+		t.Fatal("nil histogram count")
+	}
+	var tr *Tracer
+	tr.SetSlowOp(time.Second)
+	sp := tr.Start("g", "op")
+	sp.Stage("s")
+	sp.StageDur("s", time.Second)
+	sp.Fail(fmt.Errorf("x"))
+	sp.End()
+	if tr.Recent(10, nil) != nil {
+		t.Fatal("nil tracer recent")
+	}
+	var o *Observer
+	o.SetSlowOp(time.Second)
+	if o.Registry() != nil || o.Tracer() != nil {
+		t.Fatal("nil observer handles")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "") != nil {
+		t.Fatal("nil registry handles")
+	}
+	r.GaugeFunc("x", "", func() float64 { return 0 })
+	r.RemoveLabeled("k", "v")
+	r.WritePrometheus(&strings.Builder{})
+}
+
+// TestRegistryExposition pins the Prometheus text rendering and the
+// get-or-create + RemoveLabeled contract.
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ged_test_total", "a counter", "graph", "kb")
+	c.Add(41)
+	if c2 := r.Counter("ged_test_total", "a counter", "graph", "kb"); c2 != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	c.Inc()
+	r.Gauge("ged_test_gauge", "a gauge", "graph", "kb").Set(-7)
+	r.GaugeFunc("ged_test_fn", "a sampled gauge", func() float64 { return 2.5 })
+	h := r.Histogram("ged_test_seconds", "a histogram", "graph", "kb")
+	h.Observe(time.Millisecond)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ged_test_total counter",
+		`ged_test_total{graph="kb"} 42`,
+		`ged_test_gauge{graph="kb"} -7`,
+		"ged_test_fn 2.5",
+		"# TYPE ged_test_seconds histogram",
+		`ged_test_seconds_count{graph="kb"} 1`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	r.RemoveLabeled("graph", "kb")
+	b.Reset()
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), `graph="kb"`) {
+		t.Fatalf("RemoveLabeled left kb series:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "ged_test_fn 2.5") {
+		t.Fatal("RemoveLabeled dropped an unlabeled series")
+	}
+}
+
+// TestRegistryConcurrent hammers get-or-create and exposition together.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Counter("ged_conc_total", "", "w", fmt.Sprint(w%4)).Inc()
+				r.Histogram("ged_conc_seconds", "", "w", fmt.Sprint(w%4)).Record(int64(i))
+				if i%100 == 0 {
+					r.WritePrometheus(&strings.Builder{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for w := 0; w < 4; w++ {
+		total += r.Counter("ged_conc_total", "", "w", fmt.Sprint(w)).Value()
+	}
+	if total != 8*2000 {
+		t.Fatalf("counter total %d, want %d", total, 8*2000)
+	}
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; a nil *Counter is a no-op sink.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 on a nil counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready
+// to use; a nil *Gauge is a no-op sink.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value; 0 on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// metric type discriminators, also the Prometheus TYPE strings.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labeled instance of a metric family. Exactly one of
+// the value fields is set, matching the family's type.
+type series struct {
+	labels []string // alternating key, value
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// family is one named metric with its labeled series.
+type family struct {
+	name, help, typ string
+	series          map[string]*series
+}
+
+// Registry is a set of named metric families. Handles are get-or-create:
+// asking for the same (name, labels) twice returns the same Counter,
+// Gauge or Histogram, so instrumented code can re-derive its handles
+// idempotently. All methods are safe for concurrent use, and every
+// method on a nil *Registry returns a nil (no-op) handle.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// seriesKey folds a label list into a map key. Label lists come from
+// instrumentation call sites, which pass keys in a fixed order, so no
+// canonicalization is needed.
+func seriesKey(labels []string) string {
+	return strings.Join(labels, "\xff")
+}
+
+// lookup returns the series for (name, labels), creating family and
+// series as needed. It panics on a type mismatch or an odd label list —
+// both are programming errors at an instrumentation site, not runtime
+// conditions.
+func (r *Registry) lookup(name, help, typ string, labels []string) *series {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s: odd label list %v", name, labels))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	key := seriesKey(labels)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: append([]string(nil), labels...)}
+		switch typ {
+		case typeCounter:
+			s.c = &Counter{}
+		case typeGauge:
+			s.g = &Gauge{}
+		case typeHistogram:
+			s.h = NewHistogram()
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter (name, labels), creating it on first use.
+// labels alternate key, value.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, typeCounter, labels).c
+}
+
+// Gauge returns the gauge (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, typeGauge, labels).g
+}
+
+// GaugeFunc registers fn as the value of the gauge (name, labels),
+// sampled at exposition time. Re-registering the same series replaces
+// the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	s := r.lookup(name, help, typeGauge, labels)
+	r.mu.Lock()
+	s.gf = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the latency histogram (name, labels), creating it
+// on first use. Histograms record nanoseconds and expose seconds.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, typeHistogram, labels).h
+}
+
+// RemoveLabeled drops every series (of every family) carrying the label
+// pair key=value — the cleanup hook for a per-graph label when the
+// graph is deleted, so gauges and functions stop pinning its state.
+func (r *Registry) RemoveLabeled(key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		for sk, s := range f.series {
+			for i := 0; i+1 < len(s.labels); i += 2 {
+				if s.labels[i] == key && s.labels[i+1] == value {
+					delete(f.series, sk)
+					break
+				}
+			}
+		}
+	}
+}
+
+// RemoveFamilyLabeled drops the series of one family carrying the label
+// pair key=value, leaving every other family alone — how an info-style
+// gauge (ged_match_plan_info) sheds its stale series on recompile
+// without discarding the rule's accumulated counters.
+func (r *Registry) RemoveFamilyLabeled(name, key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return
+	}
+	for sk, s := range f.series {
+		for i := 0; i+1 < len(s.labels); i += 2 {
+			if s.labels[i] == key && s.labels[i+1] == value {
+				delete(f.series, sk)
+				break
+			}
+		}
+	}
+}
+
+// labelString renders {k="v",...}; empty for an unlabeled series.
+func labelString(labels []string, extra ...string) string {
+	all := append(append([]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", all[i], all[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), families and series in sorted
+// order so the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type row struct {
+		fam *family
+		ser []*series
+	}
+	rows := make([]row, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ss := make([]*series, len(keys))
+		for i, k := range keys {
+			ss[i] = f.series[k]
+		}
+		rows = append(rows, row{f, ss})
+	}
+	r.mu.Unlock()
+
+	for _, rw := range rows {
+		f := rw.fam
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range rw.ser {
+			switch {
+			case s.c != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels), s.c.Value())
+			case s.gf != nil:
+				fmt.Fprintf(w, "%s%s %g\n", f.name, labelString(s.labels), s.gf())
+			case s.g != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels), s.g.Value())
+			case s.h != nil:
+				writeHistogram(w, f.name, s.labels, s.h.Snapshot())
+			}
+		}
+	}
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket rows
+// with le bounds in seconds, then _sum (seconds) and _count.
+func writeHistogram(w io.Writer, name string, labels []string, s HistogramSnapshot) {
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Buckets)-1 {
+			le = fmt.Sprintf("%g", float64(bucketUpper(i))/1e9)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, "le", le), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labelString(labels), float64(s.Sum)/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labels), s.Count)
+}

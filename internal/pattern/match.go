@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"gedlib/internal/graph"
+	"gedlib/internal/obs"
 )
 
 // Match is a homomorphism h from a pattern to a graph, i.e. the vector
@@ -71,6 +72,13 @@ type matcher struct {
 	stop     func() bool               // polled inside the search; true aborts
 	tick     uint32                    // amortizes stop polling
 	done     bool
+
+	// Per-enumeration profiler tallies, plain ints on the hot path;
+	// flushed into Plan.prof (when attached) by putMatcher.
+	nCand  uint64 // candidates examined by search
+	nIsect uint64 // sorted runs walked by leapfrog intersections
+	nProbe uint64 // per-candidate consistency probes
+	nBind  uint64 // complete bindings materialized
 }
 
 // stopEvery is how many search steps pass between stop polls: frequent
@@ -133,6 +141,11 @@ type Plan struct {
 	// rebinds), and sharing keeps the pool warm on the per-delta path
 	// where validators rebase for every update.
 	pool *sync.Pool
+
+	// prof, when attached via SetProfile, receives every enumeration's
+	// tallies; carried across Rebind so per-rule statistics accumulate
+	// over a validator's whole snapshot lineage.
+	prof *obs.MatchStats
 }
 
 // Compile prepares a matching plan for p over h — a mutable graph or a
@@ -268,6 +281,7 @@ func (pl *Plan) Rebind(snap *graph.Snapshot) *Plan {
 		varFilt: pl.varFilt,
 		probe:   pl.probe,
 		pool:    pl.pool, // same pattern, same scratch shape: stay warm
+		prof:    pl.prof, // profile accumulates across the lineage
 	}
 	// Pushed-down postings are per-snapshot: attr symbols carry over
 	// (append-only within a lineage, re-resolved if they appeared since
@@ -382,6 +396,7 @@ func (pl *Plan) newMatcher(stop func() bool, yield func(Match) bool) *matcher {
 // otherwise pin a superseded snapshot's COW pages across rebinds — so
 // the pool never pins them. newMatcher re-points them on every Get.
 func (pl *Plan) putMatcher(m *matcher) {
+	pl.flushProfile(m)
 	m.yield = nil
 	m.dense = nil
 	m.filter = nil
@@ -541,6 +556,7 @@ func (pl *Plan) ForEachPivotCancel(pivot Var, cands []graph.NodeID, stop func() 
 	}
 	m.orderBuf = order
 	m.order = order
+	m.nCand += uint64(len(cands))
 	for _, c := range cands {
 		if !m.consistent(pi, c) {
 			continue
@@ -580,6 +596,7 @@ func (m *matcher) pivotCands(pi int, cands []graph.NodeID) []graph.NodeID {
 	for fi := range m.pl.varFilt[pi] {
 		runs = append(runs, m.pl.varFilt[pi][fi].post)
 	}
+	m.nIsect += uint64(len(runs))
 	out := intersectInto(m.isectBuf(pi), runs)
 	m.isect[pi] = out
 	m.runs[pi] = runs
@@ -780,7 +797,9 @@ func (m *matcher) search(i int) {
 		return
 	}
 	x := m.order[i]
-	for _, v := range m.candidates(x) {
+	cands := m.candidates(x)
+	m.nCand += uint64(len(cands))
+	for _, v := range cands {
 		if !m.consistent(x, v) {
 			continue
 		}
@@ -801,6 +820,7 @@ func (m *matcher) search(i int) {
 // string-keyed map writes are skipped. At a leaf every variable is
 // bound, so the map never carries stale entries.
 func (m *matcher) emit() {
+	m.nBind++
 	if m.dense != nil {
 		if !m.dense(m.bind) {
 			m.done = true
@@ -1015,6 +1035,7 @@ func (m *matcher) candidatesSnap(x int) []graph.NodeID {
 	if runs == nil {
 		return run0
 	}
+	m.nIsect += uint64(len(runs))
 	out := intersectInto(m.isectBuf(x), runs)
 	m.isect[x] = out
 	m.runs[x] = runs
@@ -1069,6 +1090,7 @@ func (m *matcher) candidatesSnapProbe(x int) []graph.NodeID {
 // constant literals, and every pattern edge between x and already-bound
 // variables (including self-loops).
 func (m *matcher) consistent(x int, v graph.NodeID) bool {
+	m.nProbe++
 	if m.filter != nil && !m.filter(v) {
 		return false
 	}

@@ -1,0 +1,60 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"gedlib/internal/obs"
+)
+
+// SetProfile attaches a profiler sink to the plan: every enumeration
+// flushes its tallies — candidates examined, intersection vs probe
+// steps, bindings materialized — into ms when the matcher returns to
+// the pool (one batch of atomic adds per enumeration, so the per-step
+// accounting stays plain integer arithmetic). The sink is carried
+// across Rebind, so a validator that rebases per delta keeps one
+// accumulating profile per rule. nil detaches.
+func (pl *Plan) SetProfile(ms *obs.MatchStats) { pl.prof = ms }
+
+// Profile returns the plan's attached profiler sink, or nil.
+func (pl *Plan) Profile() *obs.MatchStats { return pl.prof }
+
+// Fingerprint renders the compiled plan's identity compactly: the
+// variable binding order, the extension strategy, and how many
+// constant literals were pushed down — enough to tell from metrics
+// alone which plan shape a rule is running, and to notice when a
+// recompile changed it.
+func (pl *Plan) Fingerprint() string {
+	var b strings.Builder
+	for i, vi := range pl.order {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(pl.vars[vi]))
+	}
+	if pl.probe {
+		b.WriteString(";probe")
+	} else {
+		b.WriteString(";isect")
+	}
+	nf := 0
+	for _, fs := range pl.varFilt {
+		nf += len(fs)
+	}
+	if nf > 0 {
+		fmt.Fprintf(&b, ";push=%d", nf)
+	}
+	return b.String()
+}
+
+// flushProfile adds one enumeration's tallies to the plan's sink and
+// zeroes them for the matcher's next pooled use.
+func (pl *Plan) flushProfile(m *matcher) {
+	if ms := pl.prof; ms != nil {
+		ms.Candidates.Add(m.nCand)
+		ms.IntersectSteps.Add(m.nIsect)
+		ms.ProbeSteps.Add(m.nProbe)
+		ms.Bindings.Add(m.nBind)
+	}
+	m.nCand, m.nIsect, m.nProbe, m.nBind = 0, 0, 0, 0
+}

@@ -6,6 +6,7 @@ import (
 
 	"gedlib/internal/ged"
 	"gedlib/internal/graph"
+	"gedlib/internal/obs"
 	"gedlib/internal/pattern"
 )
 
@@ -63,6 +64,8 @@ type ViolationStore struct {
 	// slice back instead of rebuilding O(|V|) state per call. The
 	// backing array is never written after materialization.
 	view []Violation
+	// maintenance counters (Observe); nil-safe no-op sinks by default.
+	ctrRecheck, ctrDrop, ctrFresh *obs.Counter
 }
 
 // storedViolation is one maintained violation with its admission-time
@@ -281,9 +284,11 @@ func (st *ViolationStore) Recheck(ctx context.Context, snap *graph.Snapshot, tou
 				continue
 			}
 			e.stamp = st.stamp
+			st.ctrRecheck.Inc()
 			l, still := FailingLiteral(snap, e.v)
 			switch {
 			case !still:
+				st.ctrDrop.Inc()
 				st.seen.remove(e.gi, e.v.GED.Pattern.Vars(), e.v.Match)
 				e.dropped = true
 				// The entry appears in one index list per distinct
@@ -335,6 +340,7 @@ func (st *ViolationStore) AdmitFresh(vs []Violation) {
 		}
 	}
 	if len(add) > 0 {
+		st.ctrFresh.Add(uint64(len(add)))
 		st.vs = mergeStored(st.vs, add)
 		st.view = nil
 	}

@@ -3,10 +3,12 @@ package shard
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"gedlib/internal/ged"
 	"gedlib/internal/graph"
+	"gedlib/internal/obs"
 	"gedlib/internal/pattern"
 	"gedlib/internal/reason"
 )
@@ -54,6 +56,10 @@ type runner struct {
 
 	outMu   sync.Mutex
 	buckets [][]reason.Violation
+
+	// reg, when non-nil, receives the search's frame-traffic matrix and
+	// finalization-reject count; workers tally locally and merge once.
+	reg *obs.Registry
 }
 
 // rlit is a clit with its attribute symbols resolved against one global
@@ -236,12 +242,16 @@ func (r *runner) run(ctx context.Context) error {
 				out:     make([][]frame, r.sh.p),
 				buckets: make([][]reason.Violation, r.sh.p),
 			}
+			if r.reg != nil {
+				ws.nFrames = make([]uint64, r.sh.p*r.sh.p)
+			}
 			ws.loop()
 			r.outMu.Lock()
 			for q, b := range ws.buckets {
 				r.buckets[q] = append(r.buckets[q], b...)
 			}
 			r.outMu.Unlock()
+			ws.flushMetrics()
 		}(w)
 	}
 	wg.Wait()
@@ -276,6 +286,33 @@ type wstate struct {
 	outN    int
 	buckets [][]reason.Violation
 	ticks   int
+	// metric tallies, merged once per worker (nFrames nil when the
+	// runner is unobserved): frames shipped indexed src*p+dst, and
+	// complete bindings rejected at finalization.
+	nFrames  []uint64
+	nRejects uint64
+}
+
+// flushMetrics merges this worker's tallies into the runner's registry;
+// one get-or-create per touched series per worker per search.
+func (ws *wstate) flushMetrics() {
+	reg := ws.r.reg
+	if reg == nil {
+		return
+	}
+	p := ws.r.sh.p
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			if n := ws.nFrames[src*p+dst]; n > 0 {
+				reg.Counter("ged_shard_frames_total", "partial-binding frames shipped between shards",
+					"src", strconv.Itoa(src), "dst", strconv.Itoa(dst)).Add(n)
+			}
+		}
+	}
+	if ws.nRejects > 0 {
+		reg.Counter("ged_shard_finalize_rejects_total",
+			"complete bindings rejected at global finalization").Add(ws.nRejects)
+	}
 }
 
 func (ws *wstate) loop() {
@@ -349,13 +386,17 @@ func (ws *wstate) flush() {
 }
 
 // emit buffers a frame for dst (or broadcast when dst < 0), copying the
-// binding vector — the caller keeps mutating its own.
-func (ws *wstate) emit(dst int, ri, oi, si int, bind []graph.NodeID) {
+// binding vector — the caller keeps mutating its own. src is the shard
+// whose snapshot produced the frame, for the traffic matrix.
+func (ws *wstate) emit(src, dst int, ri, oi, si int, bind []graph.NodeID) {
 	f := frame{rule: int32(ri), oi: int32(oi), si: int32(si),
 		bind: append([]graph.NodeID(nil), bind...)}
 	if dst >= 0 {
 		ws.out[dst] = append(ws.out[dst], f)
 		ws.outN++
+		if ws.nFrames != nil {
+			ws.nFrames[src*ws.r.sh.p+dst]++
+		}
 	} else {
 		for q := 0; q < ws.r.sh.p; q++ {
 			g := f
@@ -364,6 +405,9 @@ func (ws *wstate) emit(dst int, ri, oi, si int, bind []graph.NodeID) {
 			}
 			ws.out[q] = append(ws.out[q], g)
 			ws.outN++
+			if ws.nFrames != nil {
+				ws.nFrames[src*ws.r.sh.p+q]++
+			}
 		}
 	}
 	if ws.outN >= 128 {
@@ -458,11 +502,11 @@ func (ws *wstate) tryCandidate(sh int, cr *compiledRule, oi, si int, st *step, b
 	} else {
 		nst := &cr.steps[oi][si+1]
 		if len(nst.anchors) == 0 {
-			ws.emit(-1, cr.idx, oi, si+1, bind)
+			ws.emit(sh, -1, cr.idx, oi, si+1, bind)
 		} else if dst := int(owner[bind[nst.anchors[0].other]]); dst == sh {
 			ws.extend(sh, cr, oi, si+1, bind)
 		} else {
-			ws.emit(dst, cr.idx, oi, si+1, bind)
+			ws.emit(sh, dst, cr.idx, oi, si+1, bind)
 		}
 	}
 	bind[st.v] = unbound
@@ -482,11 +526,13 @@ func (ws *wstate) finalize(cr *compiledRule, bind []graph.NodeID) {
 	g := ws.r.global
 	for _, e := range cr.pedges {
 		if !edgeHas(g, bind[e.src], e.label, bind[e.dst]) {
+			ws.nRejects++
 			return
 		}
 	}
 	for _, l := range ws.r.ante[cr.idx] {
 		if !holds(g, l, bind) {
+			ws.nRejects++
 			return
 		}
 	}
@@ -499,6 +545,7 @@ func (ws *wstate) finalize(cr *compiledRule, bind []graph.NodeID) {
 		}
 	}
 	if !found {
+		ws.nRejects++
 		return
 	}
 	m := make(pattern.Match, len(cr.vars))

@@ -6,6 +6,7 @@ import (
 
 	"gedlib/internal/ged"
 	"gedlib/internal/graph"
+	"gedlib/internal/obs"
 	"gedlib/internal/reason"
 )
 
@@ -30,6 +31,11 @@ type State struct {
 	storeSigma ged.Set
 	stores     []*reason.ViolationStore
 	merged     []reason.Violation
+
+	// reg, when set via Observe, receives frame-traffic and
+	// finalization-reject counters from every search this state runs,
+	// and store-maintenance counters from its seeded stores.
+	reg *obs.Registry
 }
 
 // New partitions g into p shards with part and freezes the per-shard
@@ -38,6 +44,12 @@ type State struct {
 func New(g *graph.Graph, global *graph.Snapshot, p int, part Partitioner) *State {
 	return &State{sh: newSharding(g, p, part), global: global}
 }
+
+// Observe routes the state's shard-protocol metrics — partial-binding
+// frames shipped per (src, dst) shard pair, bindings rejected at global
+// finalization, store maintenance — into reg. A nil registry leaves the
+// state unobserved.
+func (st *State) Observe(reg *obs.Registry) { st.reg = reg }
 
 // Version is the global graph version the sharding reflects.
 func (st *State) Version() uint64 { return st.sh.version }
@@ -103,6 +115,7 @@ func (st *State) ApplyDelta(ctx context.Context, d *graph.Delta) error {
 	// Fresh search: pivoted frame enumeration over the updated shard
 	// snapshots, finalized against the new global snapshot.
 	r := newRunner(st.sh, post, st.compiled(st.storeSigma))
+	r.reg = st.reg
 	r.seedTouched(touched)
 	if err := r.run(ctx); err != nil {
 		st.stores = nil
@@ -141,6 +154,7 @@ func (st *State) ApplyDelta(ctx context.Context, d *graph.Delta) error {
 // violations in canonical order. It does not touch the stores.
 func (st *State) Validate(ctx context.Context, sigma ged.Set) ([]reason.Violation, error) {
 	r := newRunner(st.sh, st.global, st.compiled(sigma))
+	r.reg = st.reg
 	r.seedFull()
 	if err := r.run(ctx); err != nil {
 		return nil, err
@@ -155,14 +169,20 @@ func (st *State) Validate(ctx context.Context, sigma ged.Set) ([]reason.Violatio
 func (st *State) SeedStores(ctx context.Context, sigma ged.Set) error {
 	st.stores, st.merged = nil, nil
 	r := newRunner(st.sh, st.global, st.compiled(sigma))
+	r.reg = st.reg
 	r.seedFull()
 	if err := r.run(ctx); err != nil {
 		return err
 	}
 	val := reason.NewValidatorOn(st.global, sigma)
+	val.Observe(st.reg)
 	stores := make([]*reason.ViolationStore, st.sh.p)
 	for i := range stores {
 		stores[i] = reason.NewViolationStoreSeeded(val, r.buckets[i])
+		stores[i].Observe(
+			st.reg.Counter("ged_engine_store_rechecks_total", "maintained violations re-checked after a delta"),
+			st.reg.Counter("ged_engine_store_drops_total", "maintained violations dropped as repaired"),
+			st.reg.Counter("ged_engine_store_fresh_total", "fresh violations admitted into maintained stores"))
 	}
 	st.storeSigma, st.stores = sigma, stores
 	return nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gedlib"
+	"gedlib/internal/obs"
 )
 
 // GraphStore is the single-writer durability handle for one graph: the
@@ -38,6 +39,25 @@ type GraphStore struct {
 	records     uint64 // records appended by this handle
 	lastSync    time.Duration
 	pendingSync bool
+
+	// metric handles from the store's observer registry; all nil (no-op)
+	// when the store is unobserved.
+	mBytes   *obs.Counter
+	mRecords *obs.Counter
+	mFsync   *obs.Histogram
+	mCkpt    *obs.Histogram
+	mCkptN   *obs.Counter
+}
+
+// initMetrics resolves the handle's per-graph metric handles; a nil
+// registry yields nil no-op handles.
+func (gs *GraphStore) initMetrics() {
+	reg := gs.store.reg
+	gs.mBytes = reg.Counter("ged_wal_bytes_total", "bytes appended to the WAL", "graph", gs.name)
+	gs.mRecords = reg.Counter("ged_wal_records_total", "records appended to the WAL", "graph", gs.name)
+	gs.mFsync = reg.Histogram("ged_wal_fsync_seconds", "WAL fsync duration", "graph", gs.name)
+	gs.mCkpt = reg.Histogram("ged_checkpoint_seconds", "checkpoint write + rotate + compact duration", "graph", gs.name)
+	gs.mCkptN = reg.Counter("ged_checkpoints_total", "checkpoints written", "graph", gs.name)
 }
 
 // GraphStoreStats is a point-in-time snapshot of durability counters.
@@ -66,6 +86,7 @@ func (s *Store) Create(name string, st State) (*GraphStore, error) {
 		return nil, fmt.Errorf("persist: create graph: %w", err)
 	}
 	gs := &GraphStore{store: s, name: name, dir: dir, version: st.Graph.Version()}
+	gs.initMetrics()
 	if err := gs.Checkpoint(st); err != nil {
 		return nil, err
 	}
@@ -136,6 +157,7 @@ func (gs *GraphStore) syncLocked() error {
 		return fmt.Errorf("persist: fsync WAL: %w", err)
 	}
 	gs.lastSync = time.Since(start)
+	gs.mFsync.Observe(gs.lastSync)
 	gs.pendingSync = false
 	return nil
 }
@@ -157,6 +179,8 @@ func (gs *GraphStore) appendLocked(payload []byte) error {
 	}
 	gs.segBytes += int64(len(b))
 	gs.records++
+	gs.mBytes.Add(uint64(len(b)))
+	gs.mRecords.Inc()
 	return nil
 }
 
@@ -185,6 +209,7 @@ func (gs *GraphStore) Checkpoint(st State) error {
 	if v == gs.ckptVersion && gs.seg != nil {
 		return nil
 	}
+	ckptStart := time.Now()
 	// Flush pending records first so the rotate boundary is clean. A
 	// failed sync here does NOT abort the checkpoint: the image below
 	// captures every record's effect directly, so a full checkpoint is
@@ -214,6 +239,8 @@ func (gs *GraphStore) Checkpoint(st State) error {
 	if gs.store.opts.Fsync != FsyncOff {
 		_ = gs.store.fs.SyncDir(gs.dir)
 	}
+	gs.mCkpt.Observe(time.Since(ckptStart))
+	gs.mCkptN.Inc()
 	return nil
 }
 

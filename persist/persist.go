@@ -64,6 +64,7 @@ import (
 	"strings"
 
 	"gedlib"
+	"gedlib/internal/obs"
 )
 
 // FsyncMode selects when appended WAL records are fsynced.
@@ -121,6 +122,11 @@ type Options struct {
 	// FS overrides the filesystem every store operation goes through —
 	// fault injection and tests. nil selects the OS-backed default.
 	FS FS
+	// Observer, when non-nil, receives the store's durability metrics:
+	// per-graph WAL bytes/records, fsync and checkpoint durations, and
+	// recovery replay time. serve passes its own observer here so the
+	// whole pipeline lands in one registry.
+	Observer *gedlib.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +169,7 @@ type Store struct {
 	dir  string
 	opts Options
 	fs   FS
+	reg  *obs.Registry // from Options.Observer; nil disables metrics
 }
 
 // Open opens (creating if needed) a store rooted at dir.
@@ -171,7 +178,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: open store: %w", err)
 	}
-	return &Store{dir: dir, opts: opts, fs: opts.FS}, nil
+	return &Store{dir: dir, opts: opts, fs: opts.FS, reg: opts.Observer.Registry()}, nil
 }
 
 // Dir returns the store's root directory.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // Recovery is the result of replaying a graph's durable state: the
@@ -89,12 +90,18 @@ func (s *Store) OpenGraph(name string) (*GraphStore, *Recovery, error) {
 		opsSince:    rec.ReplayedOps,
 		segBytes:    rec.tailOff,
 	}
+	gs.initMetrics()
 	return gs, rec, nil
 }
 
 // recover is the shared replay. It returns the recovery plus, when the
 // tail was corrupt, where a writer must truncate.
 func (s *Store) recover(name string) (*Recovery, *tailFix, error) {
+	replayStart := time.Now()
+	defer func() {
+		s.reg.Histogram("ged_recovery_replay_seconds",
+			"checkpoint load + WAL tail replay duration", "graph", name).Observe(time.Since(replayStart))
+	}()
 	dir, err := s.graphDir(name)
 	if err != nil {
 		return nil, nil, err

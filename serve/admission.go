@@ -2,7 +2,8 @@ package serve
 
 import (
 	"net/http"
-	"sync/atomic"
+
+	"gedlib/internal/obs"
 )
 
 // admission is the server's load shedder: a semaphore of concurrently
@@ -13,12 +14,22 @@ import (
 // batcher's bounded queue).
 type admission struct {
 	sem      chan struct{}
-	admitted atomic.Uint64
-	rejected atomic.Uint64
+	admitted *obs.Counter
+	rejected *obs.Counter
 }
 
-func newAdmission(maxInFlight int) *admission {
-	return &admission{sem: make(chan struct{}, maxInFlight)}
+func newAdmission(maxInFlight int, reg *obs.Registry) *admission {
+	a := &admission{
+		sem: make(chan struct{}, maxInFlight),
+		admitted: reg.Counter("ged_serve_requests_admitted_total",
+			"HTTP requests admitted past the load shedder"),
+		rejected: reg.Counter("ged_serve_requests_rejected_total",
+			"HTTP requests rejected by the load shedder (503)"),
+	}
+	reg.GaugeFunc("ged_serve_inflight_requests",
+		"currently admitted HTTP requests",
+		func() float64 { return float64(len(a.sem)) })
+	return a
 }
 
 // inFlight reports the currently admitted request count.
@@ -30,10 +41,10 @@ func (a *admission) wrap(h http.Handler) http.Handler {
 		select {
 		case a.sem <- struct{}{}:
 			defer func() { <-a.sem }()
-			a.admitted.Add(1)
+			a.admitted.Inc()
 			h.ServeHTTP(w, r)
 		default:
-			a.rejected.Add(1)
+			a.rejected.Inc()
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, "server saturated: max in-flight requests reached")
 		}

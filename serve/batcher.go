@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gedlib/internal/obs"
 )
 
 // batcher is the per-graph write coalescer: mutation requests enqueue
@@ -34,21 +36,28 @@ type batcher struct {
 	wake chan struct{}
 	done chan struct{}
 
-	flushes     atomic.Uint64
-	flushedOps  atomic.Uint64
-	flushedReqs atomic.Uint64
-	rejected    atomic.Uint64
+	// Flush counters live in the catalog's metrics registry, per-graph
+	// labeled — one source of truth for both /statsz and /metricsz.
+	// maxBatchOps is a running maximum, which no counter models.
+	flushes     *obs.Counter
+	flushedOps  *obs.Counter
+	flushedReqs *obs.Counter
+	rejected    *obs.Counter
 	maxBatchOps atomic.Uint64
 }
 
 // writeReq is one enqueued mutation request and its completion slot.
+// at is its enqueue time — the flush that carries it reports the
+// oldest request's wait as the queue_wait pipeline stage.
 type writeReq struct {
 	ops  []Op
+	at   time.Time
 	res  WriteResult
 	done chan WriteResult // buffered(1); the flusher completes it
 }
 
 func newBatcher(ent *GraphEntry, cfg Config) *batcher {
+	reg := ent.cat.reg
 	return &batcher{
 		ent:      ent,
 		flushOps: cfg.FlushOps,
@@ -56,6 +65,14 @@ func newBatcher(ent *GraphEntry, cfg Config) *batcher {
 		maxQueue: cfg.MaxQueueOps,
 		wake:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
+		flushes: reg.Counter("ged_serve_flushes_total",
+			"write batches flushed", "graph", ent.name),
+		flushedOps: reg.Counter("ged_serve_flushed_ops_total",
+			"operations carried by flushed batches", "graph", ent.name),
+		flushedReqs: reg.Counter("ged_serve_flushed_reqs_total",
+			"requests coalesced into flushed batches", "graph", ent.name),
+		rejected: reg.Counter("ged_serve_rejected_writes_total",
+			"writes rejected by queue backpressure", "graph", ent.name),
 	}
 }
 
@@ -74,7 +91,7 @@ func (b *batcher) enqueue(ctx context.Context, ops []Op) (WriteResult, error) {
 		// Larger than the queue itself: permanent, not backpressure.
 		return WriteResult{}, ErrTooManyOps
 	}
-	req := &writeReq{ops: ops, done: make(chan WriteResult, 1)}
+	req := &writeReq{ops: ops, at: time.Now(), done: make(chan WriteResult, 1)}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -82,7 +99,7 @@ func (b *batcher) enqueue(ctx context.Context, ops []Op) (WriteResult, error) {
 	}
 	if b.queuedOps+len(ops) > b.maxQueue {
 		b.mu.Unlock()
-		b.rejected.Add(1)
+		b.rejected.Inc()
 		return WriteResult{}, ErrQueueFull
 	}
 	b.queue = append(b.queue, req)
@@ -183,7 +200,7 @@ func (b *batcher) run() {
 			ops += len(r.ops)
 		}
 		b.ent.flushBatch(reqs)
-		b.flushes.Add(1)
+		b.flushes.Inc()
 		b.flushedReqs.Add(uint64(len(reqs)))
 		b.flushedOps.Add(uint64(ops))
 		for {
@@ -199,10 +216,10 @@ func (b *batcher) run() {
 func (b *batcher) stats() EntryStats {
 	s := EntryStats{
 		QueueOps:       b.queueDepth(),
-		Flushes:        b.flushes.Load(),
-		FlushedOps:     b.flushedOps.Load(),
-		FlushedReqs:    b.flushedReqs.Load(),
-		RejectedWrites: b.rejected.Load(),
+		Flushes:        b.flushes.Value(),
+		FlushedOps:     b.flushedOps.Value(),
+		FlushedReqs:    b.flushedReqs.Value(),
+		RejectedWrites: b.rejected.Value(),
 		MaxBatchOps:    b.maxBatchOps.Load(),
 	}
 	if s.Flushes > 0 {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gedlib"
+	"gedlib/internal/obs"
 	"gedlib/persist"
 )
 
@@ -20,6 +21,12 @@ import (
 type Catalog struct {
 	cfg Config
 	eng *gedlib.Engine
+
+	// reg is the catalog-lifetime metrics registry (always non-nil);
+	// obs is the pipeline observer sharing it, nil when
+	// Config.DisableObserver was set. See obs.go.
+	reg *obs.Registry
+	obs *gedlib.Observer
 
 	// store is the durability layer (nil when Config.DataDir is empty).
 	// follower marks a catalog tailing another process's store: entries
@@ -44,9 +51,17 @@ type Catalog struct {
 // them read-only.
 func NewCatalog(cfg Config) (*Catalog, error) {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
+	var observer *gedlib.Observer
+	if !cfg.DisableObserver {
+		observer = obs.NewWithRegistry(reg, cfg.OnSlowOp)
+		observer.SetSlowOp(cfg.SlowOp)
+	}
 	c := &Catalog{
 		cfg:      cfg,
-		eng:      cfg.engine(),
+		eng:      cfg.engine(observer),
+		reg:      reg,
+		obs:      observer,
 		entries:  make(map[string]*GraphEntry),
 		creating: make(map[string]struct{}),
 	}
@@ -60,6 +75,7 @@ func NewCatalog(cfg Config) (*Catalog, error) {
 			CheckpointEvery:   cfg.CheckpointEvery,
 			RetainCheckpoints: cfg.RetainCheckpoints,
 			FS:                cfg.FS,
+			Observer:          observer,
 		})
 		if err != nil {
 			return nil, err
@@ -146,12 +162,12 @@ type GraphEntry struct {
 	// persist the source, not the parsed set). Guarded by mu.
 	rulesSrc string
 
-	// follower marks a read-only replica entry; folRecords/folLag are
+	// follower marks a read-only replica entry; mFolRecords/folLag are
 	// its replication counters (records applied, staleness of the last),
 	// folFailures the consecutive tail/recover failures (reset on
 	// success).
 	follower    bool
-	folRecords  atomic.Uint64
+	mFolRecords *obs.Counter
 	folLag      atomic.Int64
 	folFailures atomic.Uint64
 
@@ -167,13 +183,19 @@ type GraphEntry struct {
 	probeStop     chan struct{}
 	stopProbe     sync.Once
 
-	// Degraded-mode counters: transient WAL append retries, recovery
-	// probes attempted, and degraded→ok transitions.
-	walRetries atomic.Uint64
-	probes     atomic.Uint64
-	recoveries atomic.Uint64
+	// Serving counters, resolved from the catalog registry by
+	// initMetrics (see obs.go): degraded-mode transitions, transient WAL
+	// append retries, recovery probes, and reads served. The registry is
+	// catalog-lifetime, so the handles are never nil on a live entry.
+	mWALRetries *obs.Counter
+	mProbes     *obs.Counter
+	mRecoveries *obs.Counter
+	mDegraded   *obs.Counter
+	mReads      *obs.Counter
 
-	readsServed atomic.Uint64
+	// Per-stage flush pipeline histograms (pipeline instrumentation:
+	// nil no-ops when the observer is disabled).
+	stQueue, stWAL, stFsync, stApply, stPublish *obs.Histogram
 }
 
 // Create adds a named graph to the catalog. graphJSON, when non-nil, is
@@ -216,6 +238,7 @@ func (c *Catalog) Create(name string, graphJSON []byte) (*GraphEntry, error) {
 	}
 	ent := &GraphEntry{name: name, cat: c, graph: g, names: names, sigma: gedlib.RuleSet{},
 		probeStop: make(chan struct{})}
+	ent.initMetrics()
 	if err := ent.refreshLocked(context.Background()); err != nil {
 		c.eng.Forget(g) // release whatever the failed seed cached
 		return nil, err
@@ -281,6 +304,10 @@ func (c *Catalog) Delete(name string) error {
 		return ErrNotFound
 	}
 	ent.close(true)
+	// Drop every metric series labeled with the graph — gauges registered
+	// through GaugeFunc close over the entry, so removal is also what
+	// stops the registry from pinning its state.
+	c.reg.RemoveLabeled("graph", name)
 	if ent.ps != nil {
 		return c.store.Delete(name)
 	}
@@ -350,7 +377,7 @@ func (ent *GraphEntry) Name() string { return ent.name }
 // CurrentView returns the latest published view. It never blocks and
 // never observes a partially applied batch.
 func (ent *GraphEntry) CurrentView() *View {
-	ent.readsServed.Add(1)
+	ent.mReads.Inc()
 	return ent.view.Load()
 }
 
@@ -446,6 +473,10 @@ func (ent *GraphEntry) publishLocked(snap *gedlib.Snapshot, vs []gedlib.Violatio
 		val = prev.Val.Rebase(snap)
 	} else {
 		val = gedlib.NewSnapshotValidator(snap, ent.sigma)
+		// A recompile gets fresh match plans; route their per-rule
+		// profiling (read-path re-validation work) into the shared
+		// registry. Rebased validators inherit their plans' sinks.
+		val.Observe(ent.cat.pipelineReg())
 	}
 	v := &View{
 		Epoch:      ent.epoch.Add(1),
@@ -518,6 +549,7 @@ func (ent *GraphEntry) flushBatch(reqs []*writeReq) {
 // hold ops the WAL never saw, and only a heal checkpoint re-anchors
 // them.
 func (ent *GraphEntry) applyBatch(reqs []*writeReq) (view *View, err error) {
+	sp := ent.cat.tracer().Start(ent.name, "flush")
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
 	defer func() {
@@ -528,7 +560,23 @@ func (ent *GraphEntry) applyBatch(reqs []*writeReq) (view *View, err error) {
 			}
 		}
 		view = ent.view.Load()
+		sp.Fail(err)
+		sp.End()
 	}()
+	// queue_wait is the oldest request's time-in-queue, measured up to
+	// the moment the flush holds the entry lock — what a writer at the
+	// head of the batch actually waited before its ops started applying.
+	var oldest time.Time
+	for _, req := range reqs {
+		if oldest.IsZero() || req.at.Before(oldest) {
+			oldest = req.at
+		}
+	}
+	if !oldest.IsZero() {
+		wait := time.Since(oldest)
+		ent.stQueue.Observe(wait)
+		sp.StageDur(stageQueueWait, wait)
+	}
 	if ent.closed {
 		return nil, ErrClosed
 	}
@@ -551,18 +599,27 @@ func (ent *GraphEntry) applyBatch(reqs []*writeReq) (view *View, err error) {
 		}
 	}
 	ent.names = nb.table()
+	sp.Stage("mutate")
 	// Write-ahead: the batch's delta reaches the WAL (and, in batch
 	// mode, one group-commit fsync covering every write it coalesced)
 	// before the view is published and the requests complete — a
 	// returned write is durable, not just visible.
-	if lerr := ent.logBatchLocked(from); lerr != nil {
+	if lerr := ent.logBatchLocked(from, sp); lerr != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFlush, lerr)
 	}
+	applyStart := time.Now()
 	vs, aerr := ent.cat.eng.Apply(context.Background(), ent.graph, ent.sigma)
 	if aerr != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFlush, aerr)
 	}
+	applyDur := time.Since(applyStart)
+	ent.stApply.Observe(applyDur)
+	sp.StageDur(stageApply, applyDur)
+	pubStart := time.Now()
 	ent.publishLocked(ent.cat.eng.SnapshotOf(ent.graph), vs)
+	pubDur := time.Since(pubStart)
+	ent.stPublish.Observe(pubDur)
+	sp.StageDur(stagePublish, pubDur)
 	return nil, nil
 }
 
@@ -587,7 +644,7 @@ const (
 // have dropped the dirty pages, so a passing retry would ack a write
 // that is not on disk. Recovery from degraded is always a full
 // checkpoint rewrite (see Probe).
-func (ent *GraphEntry) logBatchLocked(from uint64) error {
+func (ent *GraphEntry) logBatchLocked(from uint64, sp *obs.Span) error {
 	if ent.ps == nil {
 		return nil
 	}
@@ -609,6 +666,7 @@ func (ent *GraphEntry) logBatchLocked(from uint64) error {
 	for i, n := range d.Nodes {
 		names[i] = ent.names.raw(n.ID)
 	}
+	appendStart := time.Now()
 	delay := flushRetryDelay
 	for attempt := 0; ; attempt++ {
 		err := ent.ps.AppendDelta(d, names)
@@ -619,17 +677,25 @@ func (ent *GraphEntry) logBatchLocked(from uint64) error {
 			ent.degrade(err)
 			return err
 		}
-		ent.walRetries.Add(1)
+		ent.mWALRetries.Inc()
 		time.Sleep(delay)
 		if delay *= 2; delay > flushRetryMaxDelay {
 			delay = flushRetryMaxDelay
 		}
 	}
+	appendDur := time.Since(appendStart)
+	ent.stWAL.Observe(appendDur)
+	sp.StageDur(stageWALAppend, appendDur)
+	syncStart := time.Now()
 	if err := ent.ps.Sync(); err != nil {
 		ent.degrade(err)
 		return err
 	}
+	syncDur := time.Since(syncStart)
+	ent.stFsync.Observe(syncDur)
+	sp.StageDur(stageFsync, syncDur)
 	if ent.ps.CheckpointDue() {
+		ckptStart := time.Now()
 		if err := ent.ps.Checkpoint(ent.persistState()); err != nil {
 			// The batch is already durable in the WAL; a failed rotation
 			// only defers compaction. Still degrade on a permanent error
@@ -639,6 +705,7 @@ func (ent *GraphEntry) logBatchLocked(from uint64) error {
 				ent.degrade(err)
 			}
 		}
+		sp.StageDur("checkpoint", time.Since(ckptStart))
 	}
 	return nil
 }
@@ -712,6 +779,7 @@ func (c *Catalog) followGraph(name string) error {
 		return err
 	}
 	ent.follower = true
+	ent.initFollowerMetrics()
 	c.mu.Lock()
 	c.entries[name] = ent
 	c.mu.Unlock()
@@ -738,6 +806,7 @@ func (c *Catalog) adoptState(ctx context.Context, name string, st persist.State)
 		sigma: sigma, rulesSrc: st.Rules,
 		probeStop: make(chan struct{}),
 	}
+	ent.initMetrics()
 	if err := ent.refreshLocked(ctx); err != nil {
 		c.eng.Forget(st.Graph)
 		return nil, err
@@ -881,7 +950,7 @@ func (ent *GraphEntry) applyTailRecord(tr persist.TailRecord) error {
 	if err := ent.refreshLocked(context.Background()); err != nil {
 		return err
 	}
-	ent.folRecords.Add(1)
+	ent.mFolRecords.Inc()
 	ent.folLag.Store(time.Since(tr.AppendedAt).Nanoseconds())
 	ent.tailAdvanced()
 	return nil
@@ -943,7 +1012,7 @@ func (ent *GraphEntry) Stats() EntryStats {
 	}
 	if ent.follower {
 		s.Follower = true
-		s.FollowerRecords = ent.folRecords.Load()
+		s.FollowerRecords = ent.mFolRecords.Value()
 		s.FollowerLagNanos = ent.folLag.Load()
 		s.FollowerFailures = ent.folFailures.Load()
 	}
@@ -958,10 +1027,10 @@ func (ent *GraphEntry) Stats() EntryStats {
 	if !since.IsZero() {
 		s.DegradedForNanos = time.Since(since).Nanoseconds()
 	}
-	s.WALRetries = ent.walRetries.Load()
-	s.Probes = ent.probes.Load()
-	s.Recoveries = ent.recoveries.Load()
-	s.ReadsServed = ent.readsServed.Load()
+	s.WALRetries = ent.mWALRetries.Value()
+	s.Probes = ent.mProbes.Value()
+	s.Recoveries = ent.mRecoveries.Value()
+	s.ReadsServed = ent.mReads.Value()
 	s.RetainedViews = retained
 	if view != nil {
 		s.Epoch = view.Epoch

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -321,5 +323,18 @@ func TestStatszDurabilityShape(t *testing.T) {
 	var walRecords uint64
 	if err := json.Unmarshal(e["wal_records"], &walRecords); err != nil || walRecords == 0 {
 		t.Fatalf("wal_records = %s, want > 0", e["wal_records"])
+	}
+
+	// /metricsz is fed by the same persist handles; its WAL record
+	// counter must agree with the /statsz JSON number.
+	mresp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	want := fmt.Sprintf("ged_wal_records_total{graph=%q} %d", "g", walRecords)
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("/metricsz missing %q;\n%s", want, body)
 	}
 }

@@ -30,7 +30,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cat: cat, adm: newAdmission(cfg.MaxInFlight)}
+	s := &Server{cat: cat, adm: newAdmission(cfg.MaxInFlight, cat.reg)}
 
 	api := http.NewServeMux()
 	api.HandleFunc("GET /graphs", s.handleList)
@@ -44,11 +44,16 @@ func NewServer(cfg Config) (*Server, error) {
 	api.HandleFunc("GET /graphs/{name}/stats", s.handleEntryStats)
 	api.HandleFunc("POST /graphs/{name}/enable", s.handleEnable)
 
-	// Health and stats bypass admission control: they must answer even
-	// (especially) when the server is shedding load.
+	// The observability endpoints — /healthz, /statsz, /metricsz,
+	// /tracez, /versionz — bypass admission control: they must answer
+	// even (especially) when the server is shedding load, or the
+	// monitoring that explains an overload would be its first victim.
 	root := http.NewServeMux()
 	root.HandleFunc("GET /healthz", s.handleHealthz)
 	root.HandleFunc("GET /statsz", s.handleStatsz)
+	root.HandleFunc("GET /metricsz", s.handleMetricsz)
+	root.HandleFunc("GET /tracez", s.handleTracez)
+	root.HandleFunc("GET /versionz", s.handleVersionz)
 	root.Handle("/", s.adm.wrap(withTimeout(cfg.RequestTimeout, api)))
 	s.handler = root
 	return s, nil
@@ -224,8 +229,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Graphs:             len(entries),
 		EngineCachedGraphs: s.cat.Engine().CachedGraphs(),
 		InFlight:           s.adm.inFlight(),
-		Admitted:           s.adm.admitted.Load(),
-		RejectedRequests:   s.adm.rejected.Load(),
+		Admitted:           s.adm.admitted.Value(),
+		RejectedRequests:   s.adm.rejected.Value(),
 		DataDir:            s.cat.DataDir(),
 		Follower:           s.cat.IsFollower(),
 		Entries:            entries,
@@ -422,4 +427,52 @@ func (s *Server) handleEntryStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ent.Stats())
+}
+
+// handleMetricsz renders the catalog registry in the Prometheus text
+// exposition format: flush pipeline stage histograms, WAL/checkpoint
+// counters, engine and matcher profiles, shard frame traffic, per-graph
+// health — everything the process observed, one scrape.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cat.reg.WritePrometheus(w)
+}
+
+// handleTracez serves the observer's recent-span ring as JSON, newest
+// first. Query parameters filter: ?graph= and ?op= match exactly,
+// ?min= (a Go duration, e.g. 5ms) keeps only spans at least that slow,
+// ?limit= bounds the count (default 64). With the observer disabled it
+// serves an empty list.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	graph, op := q.Get("graph"), q.Get("op")
+	var min time.Duration
+	if ms := q.Get("min"); ms != "" {
+		d, err := time.ParseDuration(ms)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad min duration: "+err.Error())
+			return
+		}
+		min = d
+	}
+	limit := queryInt(r, "limit", 64)
+	spans := s.cat.tracer().Recent(limit, func(sd *gedlib.SpanData) bool {
+		if graph != "" && sd.Graph != graph {
+			return false
+		}
+		if op != "" && sd.Op != op {
+			return false
+		}
+		return sd.Dur >= min
+	})
+	if spans == nil {
+		spans = []*gedlib.SpanData{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(spans), "spans": spans})
+}
+
+// handleVersionz reports the build's identity (module version, VCS
+// revision, Go toolchain) from the binary's embedded build info.
+func (s *Server) handleVersionz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionInfo())
 }

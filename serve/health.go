@@ -43,6 +43,7 @@ func (ent *GraphEntry) degrade(cause error) {
 	ent.healthErr = cause
 	if ent.health.Swap(healthDegraded) == healthOK {
 		ent.degradedSince = time.Now()
+		ent.mDegraded.Inc()
 	}
 	start := ent.ps != nil && !ent.probing
 	if start {
@@ -59,7 +60,7 @@ func (ent *GraphEntry) degrade(cause error) {
 func (ent *GraphEntry) setHealthy() {
 	ent.healthMu.Lock()
 	if ent.health.Swap(healthOK) == healthDegraded {
-		ent.recoveries.Add(1)
+		ent.mRecoveries.Inc()
 	}
 	ent.healthErr = nil
 	ent.degradedSince = time.Time{}
@@ -108,7 +109,7 @@ func (ent *GraphEntry) Probe(ctx context.Context) error {
 	if ent.health.Load() != healthDegraded {
 		return nil
 	}
-	ent.probes.Add(1)
+	ent.mProbes.Inc()
 	if ent.ps != nil {
 		if err := ent.ps.Checkpoint(ent.persistState()); err != nil {
 			ent.healthMu.Lock()

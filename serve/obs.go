@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"gedlib"
+	"gedlib/internal/obs"
+)
+
+// Observability wiring. The catalog owns one metrics registry for its
+// whole lifetime; the serving layer's own counters (the numbers behind
+// /statsz: flushes, reads, admission, health) always live there. The
+// *added* pipeline instrumentation — engine/persist/matcher metrics,
+// trace spans, per-stage flush histograms — reports through an
+// Observer sharing that registry, and Config.DisableObserver removes
+// exactly that layer: the observer (and its registry view) goes nil,
+// every added handle becomes a no-op, and the baseline counters keep
+// working. /metricsz renders the registry; /tracez serves the
+// observer's recent-span ring.
+
+// Observer exposes the catalog's observer; nil when
+// Config.DisableObserver was set.
+func (c *Catalog) Observer() *gedlib.Observer { return c.obs }
+
+// pipelineReg is the registry the added instrumentation reports into:
+// the shared registry normally, nil (no-op handles) when the observer
+// is disabled.
+func (c *Catalog) pipelineReg() *obs.Registry { return c.obs.Registry() }
+
+// tracer is the span sink; nil (no-op spans) when the observer is
+// disabled.
+func (c *Catalog) tracer() *obs.Tracer { return c.obs.Tracer() }
+
+// Flush pipeline stage names, in execution order. Each flush records
+// one observation per stage into ged_serve_flush_stage_seconds and the
+// same timings onto its trace span.
+const (
+	stageQueueWait = "queue_wait"
+	stageWALAppend = "wal_append"
+	stageFsync     = "fsync"
+	stageApply     = "apply"
+	stagePublish   = "publish"
+)
+
+// initMetrics resolves the entry's always-on serving counters from the
+// catalog registry and its per-stage flush histograms from the
+// pipeline registry (no-ops when the observer is disabled). Called
+// once, before the entry is published to the catalog map.
+func (ent *GraphEntry) initMetrics() {
+	reg := ent.cat.reg
+	n := ent.name
+	ent.mReads = reg.Counter("ged_serve_reads_total",
+		"published views loaded by the read path", "graph", n)
+	ent.mWALRetries = reg.Counter("ged_wal_retries_total",
+		"transient WAL appends retried inside flushes", "graph", n)
+	ent.mProbes = reg.Counter("ged_serve_probes_total",
+		"recovery probes attempted on a degraded graph", "graph", n)
+	ent.mRecoveries = reg.Counter("ged_serve_recovered_total",
+		"degraded-to-ok health transitions", "graph", n)
+	ent.mDegraded = reg.Counter("ged_serve_degraded_total",
+		"ok-to-degraded health transitions", "graph", n)
+	reg.GaugeFunc("ged_serve_graph_health",
+		"per-graph serving health: 0 ok, 1 degraded, 2 readonly",
+		func() float64 {
+			switch {
+			case ent.health.Load() == healthDegraded:
+				return 1
+			case ent.follower:
+				return 2
+			}
+			return 0
+		}, "graph", n)
+
+	preg := ent.cat.pipelineReg()
+	const name, help = "ged_serve_flush_stage_seconds", "per-stage duration of the write flush pipeline"
+	ent.stQueue = preg.Histogram(name, help, "graph", n, "stage", stageQueueWait)
+	ent.stWAL = preg.Histogram(name, help, "graph", n, "stage", stageWALAppend)
+	ent.stFsync = preg.Histogram(name, help, "graph", n, "stage", stageFsync)
+	ent.stApply = preg.Histogram(name, help, "graph", n, "stage", stageApply)
+	ent.stPublish = preg.Histogram(name, help, "graph", n, "stage", stagePublish)
+}
+
+// initFollowerMetrics adds the replication series a follower entry
+// maintains; leaders never expose them. Called after ent.follower is
+// set, before the tail loop starts.
+func (ent *GraphEntry) initFollowerMetrics() {
+	reg := ent.cat.reg
+	ent.mFolRecords = reg.Counter("ged_follower_records_total",
+		"WAL records applied by this replica", "graph", ent.name)
+	reg.GaugeFunc("ged_follower_lag_seconds",
+		"staleness of the last applied record (now minus its append time)",
+		func() float64 { return float64(ent.folLag.Load()) / 1e9 },
+		"graph", ent.name)
+}

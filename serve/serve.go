@@ -82,6 +82,10 @@ var (
 	ErrDegraded = errors.New("serve: graph degraded (persist failure); serving reads only")
 )
 
+// SpanData is one completed traced operation, as delivered to
+// Config.OnSlowOp and served by /tracez.
+type SpanData = gedlib.SpanData
+
 // Config tunes a Server. The zero value selects every default.
 type Config struct {
 	// Workers is the engine's validation parallelism (WithWorkers).
@@ -153,6 +157,21 @@ type Config struct {
 	// fault injection (bench.ChaosSoak, gedserve -fault) and tests.
 	// nil selects the OS.
 	FS persist.FS
+
+	// SlowOp, when > 0, is the slow-operation threshold: every traced
+	// operation (flushes, and anything else the observer spans) at least
+	// this slow is handed to OnSlowOp synchronously. 0 disables the
+	// slow-op log.
+	SlowOp time.Duration
+	// OnSlowOp receives the spans meeting SlowOp (gedserve logs them).
+	// Ignored when SlowOp is 0 or the observer is disabled.
+	OnSlowOp func(*gedlib.SpanData)
+	// DisableObserver turns off the added pipeline instrumentation: no
+	// engine/persist/matcher metrics, no trace spans, no per-stage flush
+	// histograms. The serving counters behind /statsz (flushes, reads,
+	// health, admission) are unconditional and stay on — gedbench's obs
+	// experiment uses this switch to measure exactly the added cost.
+	DisableObserver bool
 }
 
 // withDefaults fills in the documented defaults.
@@ -184,9 +203,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// engine builds the configured engine.
-func (c Config) engine() *gedlib.Engine {
+// engine builds the configured engine, reporting into o (nil leaves
+// the engine unobserved).
+func (c Config) engine(o *gedlib.Observer) *gedlib.Engine {
 	opts := []gedlib.Option{}
+	if o != nil {
+		opts = append(opts, gedlib.WithObserver(o))
+	}
 	if c.Workers != 0 {
 		opts = append(opts, gedlib.WithWorkers(c.Workers))
 	}

@@ -1,0 +1,43 @@
+package serve
+
+import "runtime/debug"
+
+// BuildVersion is the build's identity as reported by GET /versionz and
+// gedserve -version, read from the build info the Go linker embeds.
+type BuildVersion struct {
+	// Module is the main module path, Version its version ("(devel)" on
+	// a non-tagged build).
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+	// Revision/RevisionTime/Dirty describe the VCS state, when the build
+	// ran inside a checkout.
+	Revision     string `json:"revision,omitempty"`
+	RevisionTime string `json:"revision_time,omitempty"`
+	Dirty        bool   `json:"dirty,omitempty"`
+}
+
+// VersionInfo reads the binary's embedded build info. Binaries built
+// without module support report only the zero identity.
+func VersionInfo() BuildVersion {
+	var v BuildVersion
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.Module = bi.Main.Path
+	v.Version = bi.Main.Version
+	v.Go = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.time":
+			v.RevisionTime = s.Value
+		case "vcs.modified":
+			v.Dirty = s.Value == "true"
+		}
+	}
+	return v
+}
