@@ -1,0 +1,533 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gedlib"
+	"gedlib/persist"
+	"gedlib/serve"
+	"gedlib/workload"
+)
+
+// FailoverOptions configures the failover soak: a leader catalog and a
+// warm follower share one data directory; concurrent writers hammer the
+// leader while rounds alternately kill it (total storage partition —
+// the in-process equivalent of kill -9) or depose it in place (the
+// leader stays up with healthy disks while the follower is promoted out
+// from under it). Each round promotes the follower, measures RTO, and
+// boots the next warm follower. The soak asserts the failover contract
+// end to end: zero acked-write loss across every promotion, deposed
+// leaders fenced by the epoch bound (no split-brain ack, no stale bytes
+// in the final state), a crash-copy recovery whose violation set is
+// byte-identical to a fresh engine's, and a stale-epoch reboot that
+// comes up fenced read-only.
+type FailoverOptions struct {
+	// Graphs is how many tenant graphs are promoted each round.
+	Graphs int
+	// Scale is each tenant's seeded knowledge-base scale.
+	Scale int
+	// Writers is the concurrent client goroutine count (writers are
+	// pinned round-robin to graphs and follow the leader across rounds).
+	Writers int
+	// Rounds is how many leader successions the soak performs. Even
+	// rounds kill the leader; odd rounds depose it live.
+	Rounds int
+	// WriteWindow is how long writers run against each leader before
+	// the round's crash/promotion.
+	WriteWindow time.Duration
+	// FollowPoll is each follower's WAL poll interval.
+	FollowPoll time.Duration
+	// Seed makes the workload and fault schedules deterministic.
+	Seed int64
+}
+
+// DefaultFailoverOptions is the acceptance soak.
+func DefaultFailoverOptions() FailoverOptions {
+	return FailoverOptions{
+		Graphs: 2, Scale: 300, Writers: 6, Rounds: 6,
+		WriteWindow: 350 * time.Millisecond,
+		FollowPoll:  5 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// QuickFailoverOptions is the CI smoke variant (short enough to run
+// under the race detector).
+func QuickFailoverOptions() FailoverOptions {
+	return FailoverOptions{
+		Graphs: 2, Scale: 100, Writers: 3, Rounds: 2,
+		WriteWindow: 80 * time.Millisecond,
+		FollowPoll:  2 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// FailoverResult is one run of the failover soak. Failures lists every
+// violated invariant; an empty list is a pass.
+type FailoverResult struct {
+	Graphs  int `json:"graphs"`
+	Writers int `json:"writers"`
+	Rounds  int `json:"rounds"`
+	Kill9   int `json:"kill9_rounds"`
+	Deposed int `json:"deposed_rounds"`
+
+	WritesAttempted uint64 `json:"writes_attempted"`
+	WritesAcked     uint64 `json:"writes_acked"`
+	WriteErrors     uint64 `json:"write_errors"`
+
+	// StaleAttempts are deliberate post-promotion writes fired at live
+	// deposed leaders; FencedRejections counts how many the epoch fence
+	// refused. A passing run has the two equal and zero stale acks.
+	StaleAttempts    int `json:"stale_attempts"`
+	FencedRejections int `json:"fenced_rejections"`
+
+	// RTO distribution over rounds: wall time from the promotion call
+	// to every graph serving writes at the new epoch.
+	RTONanos  []int64 `json:"rto_ns"`
+	RTOP50    int64   `json:"rto_p50_ns"`
+	RTOP95    int64   `json:"rto_p95_ns"`
+	RTOMax    int64   `json:"rto_max_ns"`
+	LastEpoch uint64  `json:"last_epoch"`
+
+	Failures []string `json:"failures"`
+}
+
+// failoverWriter tracks one writer's acknowledged chain, exactly like
+// the chaos soak's: unique node per acked attempt, an edge from the
+// writer's anchor, and a monotone attempt attribute on the anchor.
+type failoverWriter struct {
+	id     int
+	graph  string
+	anchor string
+	acked  []int
+}
+
+// leaderRef is the writers' view of "who is the leader right now"; the
+// controller swaps it at each promotion.
+type leaderRef struct {
+	mu  sync.RWMutex
+	cat *serve.Catalog
+}
+
+func (l *leaderRef) get() *serve.Catalog {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.cat
+}
+
+func (l *leaderRef) set(c *serve.Catalog) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cat = c
+}
+
+// FailoverSoak runs the soak. Setup errors panic; invariant violations
+// go to FailoverResult.Failures so the caller can report all of them.
+func FailoverSoak(opts FailoverOptions) FailoverResult {
+	dir, err := os.MkdirTemp("", "gedbench-failover-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+
+	// Every catalog gets its own fault FS so ANY incumbent can be
+	// killed later, not just the first.
+	mkCatalog := func(seed int64) (*serve.Catalog, *FaultFS) {
+		ffs := NewFaultFS(seed, nil)
+		cat, err := serve.NewCatalog(serve.Config{
+			DataDir:        dir,
+			FS:             ffs,
+			MaxDelay:       time.Millisecond,
+			FollowPoll:     opts.FollowPoll,
+			RescanInterval: 50 * time.Millisecond,
+			ProbeInterval:  20 * time.Millisecond,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return cat, ffs
+	}
+
+	leader, leaderFFS := mkCatalog(opts.Seed)
+	sigma := gedlib.RuleSet{
+		workload.PaperPhi1(), workload.PaperPhi2(),
+		workload.PaperPhi3(), workload.PaperPhi4(),
+	}
+	rulesSrc := gedlib.FormatRules(sigma)
+	names := make([]string, opts.Graphs)
+	for i := range names {
+		g, _ := workload.KnowledgeBase(opts.Seed+int64(i), opts.Scale, 0.1)
+		data, err := gedlib.MarshalGraph(g)
+		if err != nil {
+			panic(err)
+		}
+		names[i] = fmt.Sprintf("tenant%d", i)
+		ent, err := leader.Create(names[i], data)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := ent.RegisterRules(ctx, rulesSrc); err != nil {
+			panic(err)
+		}
+	}
+
+	follower, followerFFS := mkCatalog(opts.Seed + 1)
+	if err := follower.Follow(ctx); err != nil {
+		panic(err)
+	}
+
+	res := FailoverResult{Graphs: opts.Graphs, Writers: opts.Writers, Rounds: opts.Rounds}
+	cur := &leaderRef{cat: leader}
+	var (
+		attempted, werrs atomic.Uint64
+		stop             = make(chan struct{})
+		wg               sync.WaitGroup
+	)
+
+	// Writers run across every succession: an attempt that races a
+	// crash or a fence is simply unacked and retried against whichever
+	// catalog leads next. Attempt numbers are monotone per writer, so
+	// node names never collide across rounds.
+	writers := make([]*failoverWriter, opts.Writers)
+	for w := range writers {
+		writers[w] = &failoverWriter{id: w, graph: names[w%opts.Graphs]}
+	}
+	for _, fw := range writers {
+		wg.Add(1)
+		go func(fw *failoverWriter) {
+			defer wg.Done()
+			for attempt := 0; ; attempt++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ent, err := cur.get().Get(fw.graph)
+				if err != nil {
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				node := fmt.Sprintf("w%dn%d", fw.id, attempt)
+				var ops []serve.Op
+				if fw.anchor == "" {
+					ops = []serve.Op{{Op: "add_node", ID: node, Label: "person"}}
+				} else {
+					ops = []serve.Op{
+						{Op: "add_node", ID: node, Label: "person"},
+						{Op: "add_edge", Src: fw.anchor, Label: "soak", Dst: node},
+						{Op: "set_attr", ID: fw.anchor, Attr: "soak", Value: float64(attempt)},
+					}
+				}
+				attempted.Add(1)
+				wres, err := ent.Mutate(ctx, ops)
+				if err != nil || len(wres.OpErrors) > 0 || wres.Applied != len(ops) {
+					werrs.Add(1)
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				if fw.anchor == "" {
+					fw.anchor = node
+				} else {
+					fw.acked = append(fw.acked, attempt)
+				}
+			}
+		}(fw)
+	}
+
+	// Succession rounds. staleNodes are the deliberate post-promotion
+	// writes at deposed leaders — they must be refused now and absent
+	// from the recovered state later.
+	var staleNodes []string
+	for round := 0; round < opts.Rounds; round++ {
+		time.Sleep(opts.WriteWindow)
+		kill9 := round%2 == 0
+		if kill9 {
+			res.Kill9++
+			// The incumbent's storage vanishes in every direction,
+			// mid-flush included: the closest an in-process harness gets
+			// to kill -9. The partition never heals for this catalog.
+			rules, err := ParseFaultSpec("partition")
+			if err != nil {
+				panic(err)
+			}
+			leaderFFS.Inject(rules...)
+		} else {
+			res.Deposed++
+		}
+
+		pres, perr := follower.Promote(ctx)
+		if perr != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("round %d: promote: %v", round, perr))
+			break
+		}
+		if len(pres.Promoted) != opts.Graphs {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"round %d: promoted %d graphs, want %d", round, len(pres.Promoted), opts.Graphs))
+		}
+		res.RTONanos = append(res.RTONanos, pres.RTONanos)
+		res.LastEpoch = pres.Epoch
+
+		deposed := cur.get()
+		cur.set(follower)
+
+		if !kill9 {
+			// Split-brain probe: the deposed leader is alive with healthy
+			// disks and does not know it lost. Its appends must die on the
+			// epoch fence — not be acked, not reach the log. (The node id
+			// is fresh so the op survives in-memory application and the
+			// flush actually consults the fence.)
+			for g, name := range names {
+				node := fmt.Sprintf("stale_r%dg%d", round, g)
+				ent, err := deposed.Get(name)
+				if err != nil {
+					res.Failures = append(res.Failures, fmt.Sprintf(
+						"round %d: deposed get %s: %v", round, name, err))
+					continue
+				}
+				res.StaleAttempts++
+				staleNodes = append(staleNodes, node)
+				_, merr := ent.Mutate(ctx, []serve.Op{{Op: "add_node", ID: node, Label: "person"}})
+				switch {
+				case merr == nil:
+					res.Failures = append(res.Failures, fmt.Sprintf(
+						"round %d: SPLIT BRAIN: deposed leader acked %s on %s", round, node, name))
+				case errors.Is(merr, serve.ErrFenced):
+					res.FencedRejections++
+				default:
+					res.Failures = append(res.Failures, fmt.Sprintf(
+						"round %d: deposed write on %s refused as %v, want ErrFenced", round, name, merr))
+				}
+			}
+		}
+
+		// The promoted catalog is the incumbent now; warm the next
+		// follower. Dead and deposed catalogs are abandoned un-Closed,
+		// like the processes they stand in for.
+		leaderFFS = followerFFS
+		follower, followerFFS = mkCatalog(opts.Seed + int64(2+round))
+		if err := follower.Follow(ctx); err != nil {
+			panic(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	res.WritesAttempted = attempted.Load()
+	res.WriteErrors = werrs.Load()
+	for _, fw := range writers {
+		res.WritesAcked += uint64(len(fw.acked))
+	}
+	sort.Slice(res.RTONanos, func(i, j int) bool { return res.RTONanos[i] < res.RTONanos[j] })
+	if n := len(res.RTONanos); n > 0 {
+		res.RTOP50 = res.RTONanos[n/2]
+		res.RTOP95 = res.RTONanos[(n*95+99)/100-1]
+		res.RTOMax = res.RTONanos[n-1]
+	}
+
+	// The final incumbent must be healthy at the final epoch.
+	final := cur.get()
+	leaderVersion := make(map[string]uint64, len(names))
+	for _, name := range names {
+		ent, err := final.Get(name)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: final get: %v", name, err))
+			continue
+		}
+		if h, cause := ent.Health(); h != "ok" {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: final leader %s: %v", name, h, cause))
+		}
+		if st := ent.Stats(); st.LeaderEpoch != uint64(len(res.RTONanos)) {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: final epoch %d, want %d (one bump per promotion)", name, st.LeaderEpoch, len(res.RTONanos)))
+		}
+		leaderVersion[name] = ent.CurrentView().Version
+	}
+
+	// Crash copy of the data directory — no Close, no parting anything.
+	// Recovery from it must hold every acked write, none of the fenced
+	// stale writes, and the fresh-engine violation oracle.
+	crash, err := os.MkdirTemp("", "gedbench-failover-crash-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(crash)
+	if err := copyTree(dir, crash); err != nil {
+		panic(err)
+	}
+
+	store, err := persist.Open(crash, persist.Options{})
+	if err != nil {
+		panic(err)
+	}
+	recovered := make(map[string]persist.State, len(names))
+	for _, name := range names {
+		rec, err := store.Recover(name)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: crash recovery: %v", name, err))
+			continue
+		}
+		recovered[name] = rec.State
+		if v, ok := leaderVersion[name]; ok && rec.State.Graph.Version() != v {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: recovered version %d != final leader version %d",
+				name, rec.State.Graph.Version(), v))
+		}
+	}
+	for _, fw := range writers {
+		st, ok := recovered[fw.graph]
+		if !ok || fw.anchor == "" {
+			continue
+		}
+		idx := nameIndex(st.Names)
+		anchor, ok := idx[fw.anchor]
+		if !ok {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: writer %d anchor %s lost across failovers", fw.graph, fw.id, fw.anchor))
+			continue
+		}
+		lost := 0
+		for _, a := range fw.acked {
+			node, ok := idx[fmt.Sprintf("w%dn%d", fw.id, a)]
+			if !ok || !st.Graph.HasEdge(anchor, "soak", node) {
+				lost++
+			}
+		}
+		if lost > 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: writer %d lost %d/%d acked writes across failovers",
+				fw.graph, fw.id, lost, len(fw.acked)))
+		}
+	}
+	for _, name := range names {
+		st, ok := recovered[name]
+		if !ok {
+			continue
+		}
+		idx := nameIndex(st.Names)
+		for _, node := range staleNodes {
+			if _, ok := idx[node]; ok {
+				res.Failures = append(res.Failures, fmt.Sprintf(
+					"%s: fenced stale write %s leaked into the recovered state", name, node))
+			}
+		}
+	}
+
+	// Oracle: a catalog restored from the crash copy serves exactly the
+	// violation set a fresh engine computes on the recovered graph.
+	cat2, err := serve.NewCatalog(serve.Config{DataDir: crash})
+	if err != nil {
+		panic(err)
+	}
+	defer cat2.Close()
+	if _, err := cat2.Restore(ctx); err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("restore crash copy: %v", err))
+		return res
+	}
+	for _, name := range names {
+		st, ok := recovered[name]
+		if !ok {
+			continue
+		}
+		oracleSigma := gedlib.RuleSet{}
+		if st.Rules != "" {
+			if oracleSigma, err = gedlib.ParseRules(st.Rules); err != nil {
+				res.Failures = append(res.Failures, fmt.Sprintf("%s: recovered rules: %v", name, err))
+				continue
+			}
+		}
+		want, err := gedlib.New().Validate(ctx, st.Graph, oracleSigma)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: oracle validate: %v", name, err))
+			continue
+		}
+		ent2, err := cat2.Get(name)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: restored get: %v", name, err))
+			continue
+		}
+		got := ent2.CurrentView().Violations
+		if gr, wr := renderViolationSet(got), renderViolationSet(want); gr != wr {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: restored violation set diverges from fresh-engine oracle (%d vs %d violations)",
+				name, len(got), len(want)))
+		}
+	}
+
+	// Stale reboot: the original leader's binary comes back from the
+	// dead believing epoch 0. On a second crash copy (the fenced boot
+	// must not dirty the oracle's), it must come up fenced read-only:
+	// reads serve, writes die on the fence.
+	stale, err := os.MkdirTemp("", "gedbench-failover-stale-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(stale)
+	if err := copyTree(dir, stale); err != nil {
+		panic(err)
+	}
+	zero := uint64(0)
+	cat3, err := serve.NewCatalog(serve.Config{
+		DataDir: stale, AssumeEpoch: &zero, ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cat3.Close()
+	if _, err := cat3.Restore(ctx); err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("stale reboot restore: %v", err))
+		return res
+	}
+	for _, name := range names {
+		ent3, err := cat3.Get(name)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: stale reboot get: %v", name, err))
+			continue
+		}
+		if h, _ := ent3.Health(); h != "fenced" {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: stale-epoch reboot came up %q, want fenced", name, h))
+		}
+		if view := ent3.CurrentView(); view == nil || view.Snap == nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: stale reboot serves no view", name))
+		}
+		if _, merr := ent3.Mutate(ctx, []serve.Op{
+			{Op: "add_node", ID: "zombie", Label: "person"},
+		}); !errors.Is(merr, serve.ErrFenced) {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: stale reboot write returned %v, want ErrFenced", name, merr))
+		}
+	}
+	return res
+}
+
+// WriteFailover renders the soak result.
+func WriteFailover(w io.Writer, r FailoverResult) {
+	fmt.Fprintf(w, "graphs=%d  writers=%d  rounds=%d (%d kill-9, %d deposed-live)\n",
+		r.Graphs, r.Writers, r.Rounds, r.Kill9, r.Deposed)
+	fmt.Fprintf(w, "writes: %d attempted, %d acked, %d errors (failover windows included)\n",
+		r.WritesAttempted, r.WritesAcked, r.WriteErrors)
+	fmt.Fprintf(w, "split-brain probes: %d stale-leader writes, %d fenced\n",
+		r.StaleAttempts, r.FencedRejections)
+	if len(r.RTONanos) > 0 {
+		fmt.Fprintf(w, "promotion RTO: p50=%s  p95=%s  max=%s  (over %d promotions, final epoch %d)\n",
+			time.Duration(r.RTOP50), time.Duration(r.RTOP95), time.Duration(r.RTOMax),
+			len(r.RTONanos), r.LastEpoch)
+	}
+	if len(r.Failures) == 0 {
+		fmt.Fprintf(w, "invariants: PASS (zero acked-write loss, no split-brain, oracle identical, stale reboot fenced)\n")
+		return
+	}
+	fmt.Fprintf(w, "invariants: %d FAILURES\n", len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Fprintf(w, "  FAIL: %s\n", f)
+	}
+}

@@ -11,6 +11,7 @@
 //	gedbench -experiment durability        # WAL recovery scaling, follower staleness, fsync cost
 //	gedbench -experiment shard             # sharded vs monolithic validation scaling
 //	gedbench -experiment chaos             # fault-injection soak: degraded mode + crash recovery
+//	gedbench -experiment failover          # leader kill-9 / live-depose soak: promotion RTO, epoch fencing
 //	gedbench -experiment obs               # observer on-vs-off serving overhead (<= 5% gate)
 //	gedbench -experiment all
 //
@@ -62,6 +63,7 @@ var registry = []struct {
 	{"durability", func(o runOpts) { durabilityExperiment(o.quick) }},
 	{"shard", func(o runOpts) { shardExperiment(o.quick) }},
 	{"chaos", func(o runOpts) { chaosExperiment(o.quick) }},
+	{"failover", func(o runOpts) { failoverExperiment(o.quick) }},
 	{"obs", func(o runOpts) { obsExperiment(o.quick) }},
 }
 
@@ -309,6 +311,30 @@ func chaosExperiment(quick bool) {
 	writeJSON("chaos", res)
 	if len(res.Failures) > 0 {
 		fmt.Fprintf(os.Stderr, "gedbench: chaos: %d invariant failures\n", len(res.Failures))
+		os.Exit(1)
+	}
+}
+
+func failoverExperiment(quick bool) {
+	fmt.Println("Failover soak: kill -9 and live-depose leader successions under")
+	fmt.Println("concurrent writers (asserts zero acked-write loss across promotions,")
+	fmt.Println("epoch-fenced deposed leaders — no split-brain — oracle-identical")
+	fmt.Println("recovery, and fenced stale-epoch reboots; reports the RTO distribution)")
+	fmt.Println()
+	opts := bench.DefaultFailoverOptions()
+	if quick {
+		opts = bench.QuickFailoverOptions()
+	}
+	res := bench.FailoverSoak(opts)
+	bench.WriteFailover(os.Stdout, res)
+	writeJSON("failover", res)
+	if len(res.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "gedbench: failover: %d invariant failures\n", len(res.Failures))
+		os.Exit(1)
+	}
+	if !quick && res.StaleAttempts > 0 && res.FencedRejections != res.StaleAttempts {
+		fmt.Fprintf(os.Stderr, "gedbench: failover: only %d/%d stale-leader writes fenced\n",
+			res.FencedRejections, res.StaleAttempts)
 		os.Exit(1)
 	}
 }

@@ -16,7 +16,20 @@
 // -checkpoint-every the ops between checkpoints. With -follow, the
 // process tails another gedserve's -data directory as a read-only
 // replica: mutations are rejected with 403 and /statsz reports the
-// replication lag.
+// replication lag. -rescan sets how often a follower rescans the
+// directory for graphs created after it started.
+//
+// Failover: when the leader dies, POST /promote on a follower turns it
+// into the leader in place — the promotion drains the WAL to its true
+// durable end, bumps each graph's leadership epoch, and fences the old
+// epoch, so a deposed or rebooted stale leader can never acknowledge
+// another write (its appends fail, the graph turns read-only "fenced",
+// and /healthz says so). POST /demote sends a leader back to tailing
+// the directory as a follower. -epoch pins the epoch a rebooting
+// process assumes it owns (operator forensics: rebooting an old leader
+// binary with its pre-failover epoch comes up fenced instead of
+// split-brained); normal reboots omit it and adopt the newest epoch on
+// disk. See the README's "Failover & roles" section for the runbook.
 //
 // API (all JSON):
 //
@@ -30,8 +43,10 @@
 //	POST   /graphs/{name}/chase    run the chase over a point-in-time copy
 //	GET    /graphs/{name}/stats    per-graph serving stats
 //	POST   /graphs/{name}/enable   re-enable a degraded graph (forces a recovery probe)
+//	POST   /promote                promote this follower to leader (bypasses admission)
+//	POST   /demote                 demote this leader back to follower (bypasses admission)
 //	GET    /statsz                 server-wide stats (bypasses admission)
-//	GET    /healthz                per-graph health: ok|degraded|readonly (bypasses admission)
+//	GET    /healthz                per-graph health+role: ok|degraded|fenced|readonly (bypasses admission)
 //	GET    /metricsz               Prometheus text metrics (bypasses admission)
 //	GET    /tracez                 recent traced operations, ?graph=&op=&min=&limit= (bypasses admission)
 //	GET    /versionz               build identity from embedded build info (bypasses admission)
@@ -107,7 +122,9 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (per-graph WAL + checkpoints); reboot with the same directory to restore")
 	fsync := flag.String("fsync", "batch", "WAL fsync policy: always, batch or off")
 	ckptEvery := flag.Int("checkpoint-every", 0, "ops between checkpoints (0 = default)")
-	follow := flag.String("follow", "", "follow a leader's -data directory as a read-only replica")
+	follow := flag.String("follow", "", "follow a leader's -data directory as a read-only replica (POST /promote to take over)")
+	rescan := flag.Duration("rescan", 0, "follower rescan interval for graphs created after startup (0 = default 1s)")
+	epoch := flag.Int64("epoch", -1, "leadership epoch to assume on restore (testing/forensics; -1 = adopt the newest epoch on disk)")
 	faultSpec := flag.String("fault", "", "inject disk faults (testing): e.g. 'enospc:path=wal-:after=65536; eio:op=sync:k=2'")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -fault schedule's torn-write sizes")
 	slowOp := flag.Duration("slow-op", 0, "log traced operations at least this slow, with per-stage timings (0 = off)")
@@ -146,8 +163,16 @@ func main() {
 		DataDir:         *dataDir,
 		Fsync:           *fsync,
 		CheckpointEvery: *ckptEvery,
+		RescanInterval:  *rescan,
 		SlowOp:          *slowOp,
 		DisableObserver: *noObs,
+	}
+	if *epoch >= 0 {
+		if *dataDir == "" {
+			fatal(fmt.Errorf("-epoch needs -data (epochs fence the persist layer)"))
+		}
+		e := uint64(*epoch)
+		cfg.AssumeEpoch = &e
 	}
 	if *slowOp > 0 {
 		cfg.OnSlowOp = func(sd *serve.SpanData) {
@@ -183,7 +208,7 @@ func main() {
 		if err := srv.Follow(context.Background()); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("gedserve: following %s (read-only replica)\n", *follow)
+		fmt.Printf("gedserve: following %s (read-only replica; POST /promote to take over)\n", *follow)
 	case *dataDir != "":
 		names, err := srv.Restore(context.Background())
 		if err != nil {

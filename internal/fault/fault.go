@@ -144,11 +144,13 @@ func New(seed int64, base persist.FS) *FS {
 	return &FS{base: base, rng: rand.New(rand.NewSource(seed)), injected: map[string]uint64{}}
 }
 
-// Inject adds a rule to the schedule.
-func (f *FS) Inject(r Rule) {
+// Inject adds rules to the schedule.
+func (f *FS) Inject(rs ...Rule) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.rules = append(f.rules, &rule{Rule: r})
+	for _, r := range rs {
+		f.rules = append(f.rules, &rule{Rule: r})
+	}
 }
 
 // Heal drops every rule: the disk works again.
@@ -336,10 +338,17 @@ func (w *file) Truncate(size int64) error  { return w.inner.Truncate(size) }
 // Parse builds rules from a compact spec: semicolon-separated
 // directives, each "kind[:key=value]...". Kinds and their defaults:
 //
-//	enospc   ENOSPC on writes; usually with after=<bytes>
-//	eio      EIO; default op=sync
-//	torn     torn write: a random (or torn=<n>-byte) prefix lands, then EIO
-//	slow     latency only; needs d=<duration>
+//	enospc     ENOSPC on writes; usually with after=<bytes>
+//	eio        EIO; default op=sync
+//	torn       torn write: a random (or torn=<n>-byte) prefix lands, then EIO
+//	slow       latency only; needs d=<duration>
+//	partition  EIO on EVERY operation class (write, sync, open, read,
+//	           rename) — the store is unreachable, as a network
+//	           partition or a dead disk controller leaves it. One
+//	           directive expands to one rule per class; count= bounds
+//	           each class separately. A follower tailing through a
+//	           partitioned FS sees its reads fail (and degrades past its
+//	           failure streak); a leader sees appends fail. Heal ends it.
 //
 // Keys: op=<write|sync|open|read|rename>, path=<substring>,
 // after=<bytes>, k=<n>, count=<n>, torn=<bytes>, d=<duration>.
@@ -347,6 +356,7 @@ func (w *file) Truncate(size int64) error  { return w.inner.Truncate(size) }
 //	enospc:path=wal-:after=65536
 //	eio:op=sync:path=wal-:k=2
 //	torn:path=wal-:k=3;slow:d=2ms
+//	partition:path=g1
 func Parse(spec string) ([]Rule, error) {
 	var out []Rule
 	for _, dir := range strings.Split(spec, ";") {
@@ -365,8 +375,10 @@ func Parse(spec string) ([]Rule, error) {
 			r.Op, r.Err = OpWrite, syscall.EIO
 		case "slow":
 			r.Op = OpWrite
+		case "partition":
+			r.Op, r.Err = OpWrite, syscall.EIO
 		default:
-			return nil, fmt.Errorf("fault: unknown fault kind %q (want enospc, eio, torn or slow)", parts[0])
+			return nil, fmt.Errorf("fault: unknown fault kind %q (want enospc, eio, torn, slow or partition)", parts[0])
 		}
 		for _, kv := range parts[1:] {
 			k, v, ok := strings.Cut(kv, "=")
@@ -398,6 +410,16 @@ func Parse(spec string) ([]Rule, error) {
 		}
 		if r.Kind == "slow" && r.Delay <= 0 {
 			return nil, fmt.Errorf("fault: %q: slow needs d=<duration>", dir)
+		}
+		if r.Kind == "partition" {
+			// The store is gone in every direction: one rule per
+			// operation class, sharing the directive's filters.
+			for _, op := range []Op{OpWrite, OpSync, OpOpen, OpRead, OpRename} {
+				pr := r
+				pr.Op = op
+				out = append(out, pr)
+			}
+			continue
 		}
 		out = append(out, r)
 	}

@@ -147,6 +147,71 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestPartition: one partition directive severs the store in every
+// direction — opens, reads, writes, syncs and renames all fail with EIO
+// for matching paths — and Heal restores full service.
+func TestPartition(t *testing.T) {
+	rules, err := Parse("partition:path=g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("partition expanded to %d rules, want 5 (one per op class)", len(rules))
+	}
+	ops := map[Op]bool{}
+	for _, r := range rules {
+		ops[r.Op] = true
+		if r.Path != "g1" || !errors.Is(r.Err, syscall.EIO) {
+			t.Fatalf("partition rule %+v", r)
+		}
+	}
+	for _, op := range []Op{OpWrite, OpSync, OpOpen, OpRead, OpRename} {
+		if !ops[op] {
+			t.Fatalf("partition missing op class %v", op)
+		}
+	}
+
+	dir := t.TempDir()
+	fs := New(1, nil)
+	path := filepath.Join(dir, "g1-wal.log")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Inject(rules...)
+
+	if _, err := fs.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("open across partition: %v, want EIO", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write across partition: %v, want EIO", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync across partition: %v, want EIO", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 3), 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("read across partition: %v, want EIO", err)
+	}
+	if err := fs.Rename(path, path+".moved"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename across partition: %v, want EIO", err)
+	}
+	// Unmatched paths stay reachable: the partition is scoped, not global.
+	if _, err := fs.OpenFile(filepath.Join(dir, "other"), os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		t.Fatalf("unmatched path must not be partitioned: %v", err)
+	}
+
+	fs.Heal()
+	if _, err := f.ReadAt(make([]byte, 3), 0); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if got := fs.Injected()["partition"]; got < 5 {
+		t.Fatalf("injected count %d, want >= 5", got)
+	}
+}
+
 // TestEnospcMidCheckpoint pins the checkpoint crash contract under
 // injected disk-full: a checkpoint write that fails partway (temp file
 // hits ENOSPC before the rename) must leave the previous checkpoint

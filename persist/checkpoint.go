@@ -13,21 +13,26 @@ import (
 // Checkpoint file layout (all integers little endian):
 //
 //	 0  magic "GEDCKPT1" (8 bytes)
-//	 8  u32 format version (1)
+//	 8  u32 format version (2)
 //	12  u32 section count
 //	16  u64 graph version
 //	24  u32 IEEE CRC32 of everything from the first section's offset on
 //	28  u32 payload start offset
-//	32  section table: count × { u32 id, u32 pad, u64 offset, u64 length }
+//	32  u64 leadership epoch (format ≥ 2)
+//	40  section table: count × { u32 id, u32 pad, u64 offset, u64 length }
 //	    then 8-aligned sections, each padded to 8 bytes
 //
 // Offsets are absolute file offsets and 8-aligned, so a loader can mmap
 // the file and alias the u32/u64 columns of the GraphImage in place.
+//
+// Format 1 files (no epoch field, 32-byte header) are still loadable
+// and read back as epoch 0.
 
 const (
 	ckptMagic         = "GEDCKPT1"
-	ckptFormatVersion = 1
-	ckptHeaderBytes   = 32
+	ckptFormatVersion = 2
+	ckptHeaderBytes   = 40
+	ckptHeaderBytesV1 = 32
 	ckptEntryBytes    = 24
 )
 
@@ -151,8 +156,10 @@ func decodeStringTable(b []byte) ([]string, error) {
 // any point leaves either the old or the new checkpoint fully intact.
 // A write that fails partway (disk full, I/O error) is cleaned up the
 // same way: the temp file is removed and the previous checkpoint is
-// untouched and loadable.
-func (s *Store) writeCheckpoint(dir string, st State, sync bool) (uint64, error) {
+// untouched and loadable. epoch is the leadership epoch of the writer;
+// recovery uses it to disqualify a checkpoint a deposed leader managed
+// to publish past its fence bound.
+func (s *Store) writeCheckpoint(dir string, st State, epoch uint64, sync bool) (uint64, error) {
 	img := gedlib.ExportImage(st.Graph)
 
 	type section struct {
@@ -186,6 +193,7 @@ func (s *Store) writeCheckpoint(dir string, st State, sync bool) (uint64, error)
 	binary.LittleEndian.PutUint32(buf[12:], uint32(len(sections)))
 	binary.LittleEndian.PutUint64(buf[16:], img.Version)
 	binary.LittleEndian.PutUint32(buf[28:], uint32(payloadStart))
+	binary.LittleEndian.PutUint64(buf[32:], epoch)
 	off := payloadStart
 	for i, s := range sections {
 		e := ckptHeaderBytes + ckptEntryBytes*i
@@ -230,41 +238,55 @@ func (s *Store) writeCheckpoint(dir string, st State, sync bool) (uint64, error)
 }
 
 // loadCheckpoint maps (or reads — see FS.Map) a checkpoint file and
-// rebuilds its State. Validation is end-to-end: magic, format version,
-// CRC, then every image index bounds-checked by ImportImage.
-func (s *Store) loadCheckpoint(path string) (State, uint64, error) {
+// rebuilds its State, returning the captured graph version and the
+// leadership epoch of the writer (0 for format-1 files). Validation is
+// end-to-end: magic, format version, CRC, then every image index
+// bounds-checked by ImportImage.
+func (s *Store) loadCheckpoint(path string) (State, uint64, uint64, error) {
 	var zero State
 	data, unmap, err := s.fs.Map(path)
 	if err != nil {
-		return zero, 0, err
+		return zero, 0, 0, err
 	}
 	defer unmap()
 
-	if len(data) < ckptHeaderBytes || string(data[:8]) != ckptMagic {
-		return zero, 0, fmt.Errorf("persist: %s: not a checkpoint file", path)
+	if len(data) < ckptHeaderBytesV1 || string(data[:8]) != ckptMagic {
+		return zero, 0, 0, fmt.Errorf("persist: %s: not a checkpoint file", path)
 	}
-	if v := binary.LittleEndian.Uint32(data[8:]); v != ckptFormatVersion {
-		return zero, 0, fmt.Errorf("persist: %s: unsupported checkpoint format %d", path, v)
+	headerBytes := ckptHeaderBytes
+	switch v := binary.LittleEndian.Uint32(data[8:]); v {
+	case 1:
+		headerBytes = ckptHeaderBytesV1
+	case ckptFormatVersion:
+	default:
+		return zero, 0, 0, fmt.Errorf("persist: %s: unsupported checkpoint format %d", path, v)
+	}
+	if len(data) < headerBytes {
+		return zero, 0, 0, fmt.Errorf("persist: %s: corrupt checkpoint header", path)
 	}
 	nSections := binary.LittleEndian.Uint32(data[12:])
 	version := binary.LittleEndian.Uint64(data[16:])
 	wantCRC := binary.LittleEndian.Uint32(data[24:])
 	payloadStart := binary.LittleEndian.Uint32(data[28:])
+	epoch := uint64(0)
+	if headerBytes >= ckptHeaderBytes {
+		epoch = binary.LittleEndian.Uint64(data[32:])
+	}
 	if uint64(payloadStart) > uint64(len(data)) ||
-		uint64(payloadStart) < uint64(ckptHeaderBytes+ckptEntryBytes*int(nSections)) {
-		return zero, 0, fmt.Errorf("persist: %s: corrupt checkpoint header", path)
+		uint64(payloadStart) < uint64(headerBytes+ckptEntryBytes*int(nSections)) {
+		return zero, 0, 0, fmt.Errorf("persist: %s: corrupt checkpoint header", path)
 	}
 	if crc32.ChecksumIEEE(data[payloadStart:]) != wantCRC {
-		return zero, 0, fmt.Errorf("persist: %s: checkpoint CRC mismatch", path)
+		return zero, 0, 0, fmt.Errorf("persist: %s: checkpoint CRC mismatch", path)
 	}
 	secs := make(map[uint32][]byte, nSections)
 	for i := 0; i < int(nSections); i++ {
-		e := ckptHeaderBytes + ckptEntryBytes*i
+		e := headerBytes + ckptEntryBytes*i
 		id := binary.LittleEndian.Uint32(data[e:])
 		off := binary.LittleEndian.Uint64(data[e+8:])
 		n := binary.LittleEndian.Uint64(data[e+16:])
 		if off > uint64(len(data)) || n > uint64(len(data))-off {
-			return zero, 0, fmt.Errorf("persist: %s: section %d out of bounds", path, id)
+			return zero, 0, 0, fmt.Errorf("persist: %s: section %d out of bounds", path, id)
 		}
 		secs[id] = data[off : off+n]
 	}
@@ -291,18 +313,18 @@ func (s *Store) loadCheckpoint(path string) (State, uint64, error) {
 	} {
 		ss, err := decodeStringTable(secs[tbl.id])
 		if err != nil {
-			return zero, 0, fmt.Errorf("persist: %s: %s: %w", path, tbl.name, err)
+			return zero, 0, 0, fmt.Errorf("persist: %s: %s: %w", path, tbl.name, err)
 		}
 		*tbl.dst = ss
 	}
 	g, err := gedlib.ImportImage(img)
 	if err != nil {
-		return zero, 0, fmt.Errorf("persist: %s: %w", path, err)
+		return zero, 0, 0, fmt.Errorf("persist: %s: %w", path, err)
 	}
 	names, err := decodeStringTable(secs[secNames])
 	if err != nil {
-		return zero, 0, fmt.Errorf("persist: %s: names: %w", path, err)
+		return zero, 0, 0, fmt.Errorf("persist: %s: names: %w", path, err)
 	}
 	// The graph and the names copy out of the mapping; rules too.
-	return State{Graph: g, Names: names, Rules: string(secs[secRules])}, version, nil
+	return State{Graph: g, Names: names, Rules: string(secs[secRules])}, version, epoch, nil
 }

@@ -18,12 +18,15 @@ const tailStallPolls = 200
 
 // Tail streams the records of a graph's WAL from rec's recovery point
 // onward, calling fn for each in order. It follows segment rotations
-// and polls for growth every poll interval. Tail returns only on
-// failure: ctx cancellation (ctx.Err()), fn error, ErrLagBehind when
-// the position was compacted away (re-recover and call again with the
-// fresh Recovery), or a corruption diagnosis. rec must come from
-// Recover/OpenGraph of the same graph and must not be reused across
-// Tail calls.
+// and polls for growth every poll interval. Leadership transitions are
+// surfaced: an epoch-bump record is delivered to fn (EpochBump set)
+// and from then on records of deposed epochs beyond the new fence
+// bound are silently skipped, exactly as recovery skips them. Tail
+// returns only on failure: ctx cancellation (ctx.Err()), fn error,
+// ErrLagBehind when the position was compacted away (re-recover and
+// call again with the fresh Recovery), or a corruption diagnosis. rec
+// must come from Recover/OpenGraph of the same graph and must not be
+// reused across Tail calls.
 func (s *Store) Tail(ctx context.Context, name string, rec *Recovery, poll time.Duration, fn func(TailRecord) error) error {
 	dir, err := s.graphDir(name)
 	if err != nil {
@@ -38,6 +41,7 @@ func (s *Store) Tail(ctx context.Context, name string, rec *Recovery, poll time.
 	}
 	off := rec.tailOff
 	version := rec.State.Graph.Version()
+	bounds, _ := s.readEpochs(dir)
 
 	var f File
 	defer func() {
@@ -76,11 +80,22 @@ func (s *Store) Tail(ctx context.Context, name string, rec *Recovery, poll time.
 			if _, err := io.ReadFull(io.NewSectionReader(f, off, int64(len(buf))), buf); err != nil {
 				return fmt.Errorf("persist: tail read: %w", err)
 			}
+			// New data may include a promotion's aftermath: refresh the
+			// fence table so a deposed leader's post-fence records are
+			// skipped even before their epoch-bump record streams by.
+			if nb, berr := s.readEpochs(dir); berr == nil {
+				bounds = nb
+			}
 			var fnErr error
 			valid, corrupt, err := scanFrames(buf, func(payload []byte) error {
 				tr, derr := decodeRecord(payload)
 				if derr != nil {
 					return derr
+				}
+				if tr.EpochBump {
+					bounds = setBound(bounds, EpochBound{Epoch: tr.Epoch, Version: tr.Version})
+				} else if staleBeyond(bounds, tr.Epoch, tr.Version) {
+					return nil // fenced-off record from a deposed leader; never acked
 				}
 				if tr.Delta != nil {
 					if tr.Delta.ToVersion <= version {

@@ -40,6 +40,14 @@ type GraphStore struct {
 	lastSync    time.Duration
 	pendingSync bool
 
+	// epoch is the leadership epoch stamped onto every record this
+	// handle appends. fenced latches once a later epoch's bound is
+	// observed in the EPOCHS file: from then on every append and sync
+	// fails with ErrFenced (fencedBy says who won). See epoch.go.
+	epoch    uint64
+	fenced   bool
+	fencedBy EpochBound
+
 	// metric handles from the store's observer registry; all nil (no-op)
 	// when the store is unobserved.
 	mBytes   *obs.Counter
@@ -69,6 +77,8 @@ type GraphStoreStats struct {
 	WALRecords         uint64
 	LastSync           time.Duration
 	Fsync              FsyncMode
+	Epoch              uint64 // leadership epoch this handle writes under
+	Fenced             bool   // a later epoch took over; appends fail with ErrFenced
 }
 
 // Create initializes a graph's directory: an initial checkpoint of st
@@ -105,7 +115,10 @@ func (gs *GraphStore) AppendDelta(d *gedlib.Delta, names []string) error {
 	if gs.closed {
 		return ErrClosed
 	}
-	if err := gs.appendLocked(encodeDelta(time.Now().UnixNano(), d, names)); err != nil {
+	if err := gs.checkFenceLocked(false); err != nil {
+		return err
+	}
+	if err := gs.appendLocked(encodeDelta(time.Now().UnixNano(), gs.epoch, d, names)); err != nil {
 		return err
 	}
 	gs.version = d.ToVersion
@@ -127,7 +140,10 @@ func (gs *GraphStore) AppendRules(version uint64, src string) error {
 	if gs.closed {
 		return ErrClosed
 	}
-	if err := gs.appendLocked(encodeRules(time.Now().UnixNano(), version, src)); err != nil {
+	if err := gs.checkFenceLocked(false); err != nil {
+		return err
+	}
+	if err := gs.appendLocked(encodeRules(time.Now().UnixNano(), gs.epoch, version, src)); err != nil {
 		return err
 	}
 	if gs.store.opts.Fsync == FsyncOff {
@@ -159,7 +175,89 @@ func (gs *GraphStore) syncLocked() error {
 	gs.lastSync = time.Since(start)
 	gs.mFsync.Observe(gs.lastSync)
 	gs.pendingSync = false
-	return nil
+	// Durable-but-maybe-deposed: before this sync is acknowledged to a
+	// client, confirm no later epoch fenced us off. Records synced at or
+	// below a successor's bound were adopted by it (the caller may still
+	// ack them); anything later is gone from the adopted lineage and
+	// must fail. This check ordering — write, sync, then read the fence
+	// file — against Promote's bump-then-drain is what makes "acked ⇒
+	// adopted" a total-order argument rather than a race.
+	return gs.checkFenceLocked(true)
+}
+
+// checkFenceLocked consults the graph's EPOCHS file for a bound
+// published by a later epoch. atAck selects the acknowledgement-time
+// rule: records already durable at or below the successor's fence
+// bound were adopted by it, so the sync that covered them may still be
+// acknowledged — but the handle latches fenced either way and refuses
+// everything after. Failing to read the fence file is an I/O fault,
+// not a fencing verdict: the operation fails without latching, so a
+// leader that cannot confirm its own leadership never acks.
+func (gs *GraphStore) checkFenceLocked(atAck bool) error {
+	if gs.fenced {
+		return gs.fenceErrLocked()
+	}
+	bounds, err := gs.store.readEpochs(gs.dir)
+	if err != nil {
+		return fmt.Errorf("persist: fence check: %w", err)
+	}
+	b := boundAfter(bounds, gs.epoch)
+	if b == nil {
+		return nil
+	}
+	gs.fenced, gs.fencedBy = true, *b
+	if atAck && gs.version <= b.Version {
+		return nil
+	}
+	return gs.fenceErrLocked()
+}
+
+func (gs *GraphStore) fenceErrLocked() error {
+	return fmt.Errorf("%w: graph %q epoch %d deposed by epoch %d (fence bound at version %d)",
+		ErrFenced, gs.name, gs.epoch, gs.fencedBy.Epoch, gs.fencedBy.Version)
+}
+
+// Epoch returns the leadership epoch this handle stamps onto appended
+// records.
+func (gs *GraphStore) Epoch() uint64 {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.epoch
+}
+
+// AssumeEpoch overrides the epoch this handle writes under and runs an
+// eager fence check. A rebooting leader that may have been deposed
+// while down passes the epoch it last held: if a successor has taken
+// over since, the check returns ErrFenced immediately and the caller
+// demotes to read-only instead of writing into a log it no longer
+// owns. The handle stays usable for reads and stats either way.
+func (gs *GraphStore) AssumeEpoch(epoch uint64) error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.closed {
+		return ErrClosed
+	}
+	gs.epoch = epoch
+	gs.fenced = false
+	return gs.checkFenceLocked(false)
+}
+
+// appendEpochBump logs the handle's epoch and its fence bound — called
+// once by Promote so tailing followers learn the transition in stream
+// order.
+func (gs *GraphStore) appendEpochBump() error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.closed {
+		return ErrClosed
+	}
+	if err := gs.appendLocked(encodeEpochBump(time.Now().UnixNano(), gs.epoch, gs.version)); err != nil {
+		return err
+	}
+	if gs.store.opts.Fsync == FsyncOff {
+		return nil
+	}
+	return gs.syncLocked()
 }
 
 func (gs *GraphStore) appendLocked(payload []byte) error {
@@ -209,6 +307,13 @@ func (gs *GraphStore) Checkpoint(st State) error {
 	if v == gs.ckptVersion && gs.seg != nil {
 		return nil
 	}
+	// A deposed leader must not publish a checkpoint: it would become
+	// the newest (and preferred) recovery root while containing fenced
+	// state. Recovery also disqualifies stale checkpoints by the epoch
+	// in their header, but refusing here keeps the directory clean.
+	if err := gs.checkFenceLocked(false); err != nil {
+		return err
+	}
 	ckptStart := time.Now()
 	// Flush pending records first so the rotate boundary is clean. A
 	// failed sync here does NOT abort the checkpoint: the image below
@@ -218,8 +323,11 @@ func (gs *GraphStore) Checkpoint(st State) error {
 	// rewriting the state does).
 	if gs.seg != nil && gs.store.opts.Fsync != FsyncOff && gs.pendingSync {
 		_ = gs.syncLocked()
+		if gs.fenced { // the sync's own fence check may have latched
+			return gs.fenceErrLocked()
+		}
 	}
-	if _, err := gs.store.writeCheckpoint(gs.dir, st, gs.store.opts.Fsync != FsyncOff); err != nil {
+	if _, err := gs.store.writeCheckpoint(gs.dir, st, gs.epoch, gs.store.opts.Fsync != FsyncOff); err != nil {
 		return err
 	}
 	// Rotate: further records land in a fresh segment named after v.
@@ -290,6 +398,8 @@ func (gs *GraphStore) Stats() GraphStoreStats {
 		WALRecords:         gs.records,
 		LastSync:           gs.lastSync,
 		Fsync:              gs.store.opts.Fsync,
+		Epoch:              gs.epoch,
+		Fenced:             gs.fenced,
 	}
 }
 

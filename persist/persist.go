@@ -52,6 +52,23 @@
 // its own graph. ErrLagBehind reports a tail position whose segment was
 // compacted away (the follower fell more than the checkpoint retention
 // behind); the caller re-recovers and resumes.
+//
+// # Leadership epochs and fencing
+//
+// The WAL is single-writer, and failover must keep it that way even
+// when a deposed leader does not know it was deposed. Every record and
+// checkpoint header is stamped with a leadership epoch; the per-graph
+// EPOCHS file (see epoch.go) records each transition's fence bound —
+// the version the new epoch drained the log to before taking over.
+// Store.Promote publishes the next epoch's bound crash-atomically
+// (temp+fsync+rename) and re-drains until the WAL end is stable; a
+// writing handle re-checks the fence before every append and after
+// every fsync, so a deposed leader's first post-fence operation fails
+// with ErrFenced before it is acknowledged. Records a deposed leader
+// raced in beyond the fence bound are skipped by recovery and Tail —
+// they were never acked, so skipping them loses nothing and prevents
+// split-brain lineages. Tail delivers epoch-bump records (EpochBump)
+// so followers learn transitions in stream order.
 package persist
 
 import (
@@ -151,6 +168,11 @@ var (
 	// compacted away; the tailer must re-recover and resume from the
 	// fresh recovery point.
 	ErrLagBehind = errors.New("persist: tail position compacted away; re-recover")
+	// ErrFenced reports that a later leadership epoch has taken over the
+	// graph's log: this handle's appends are refused (and must not be
+	// acknowledged). The deposed caller serves reads from its last state
+	// and reboots as a follower of the new epoch.
+	ErrFenced = errors.New("persist: fenced by a newer leadership epoch")
 )
 
 // State is the durable state of one graph: the graph itself, the wire

@@ -92,7 +92,7 @@ func TestWALRecordRoundTrip(t *testing.T) {
 		}
 	}
 	ts := time.Now().UnixNano()
-	tr, err := decodeRecord(encodeDelta(ts, d, dn))
+	tr, err := decodeRecord(encodeDelta(ts, 0, d, dn))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestWALRecordRoundTrip(t *testing.T) {
 	}
 
 	src := "key company(x) => x.name = x.name;"
-	tr, err = decodeRecord(encodeRules(ts, 42, src))
+	tr, err = decodeRecord(encodeRules(ts, 0, 42, src))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,19 +183,22 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := cs.writeCheckpoint(dir, st, true)
+	v, err := cs.writeCheckpoint(dir, st, 7, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v != g.Version() {
 		t.Fatalf("checkpoint version %d, want %d", v, g.Version())
 	}
-	got, gotV, err := cs.loadCheckpoint(filepath.Join(dir, ckptName(v)))
+	got, gotV, gotE, err := cs.loadCheckpoint(filepath.Join(dir, ckptName(v)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if gotV != v {
 		t.Fatalf("loaded version %d, want %d", gotV, v)
+	}
+	if gotE != 7 {
+		t.Fatalf("loaded epoch %d, want 7", gotE)
 	}
 	assertStateEqual(t, st, got)
 }
@@ -211,7 +214,7 @@ func TestCheckpointCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := cs.writeCheckpoint(dir, State{Graph: g, Names: names}, false)
+	v, err := cs.writeCheckpoint(dir, State{Graph: g, Names: names}, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +232,7 @@ func TestCheckpointCorruption(t *testing.T) {
 		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := cs.loadCheckpoint(path); err == nil {
+		if _, _, _, err := cs.loadCheckpoint(path); err == nil {
 			t.Fatalf("case %d: corrupted checkpoint loaded", i)
 		}
 	}
@@ -348,7 +351,7 @@ func TestCrashRecoveryOracle(t *testing.T) {
 	dir, _ := s.graphDir("kb")
 	segs, _ := s.listVersions(dir, "wal-", ".log")
 	segPath := filepath.Join(dir, segName(segs[len(segs)-1]))
-	garbage := frame(encodeRules(time.Now().UnixNano(), g.Version(), "never lands"))
+	garbage := frame(encodeRules(time.Now().UnixNano(), 0, g.Version(), "never lands"))
 	garbage[9] ^= 0xff // corrupt the payload under an intact CRC header
 	garbage = append(garbage, frame([]byte("torn"))[:5]...)
 	seg, err := os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0o644)

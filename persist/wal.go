@@ -14,6 +14,7 @@ import (
 const (
 	recDelta byte = 1 // one coalesced batch's Delta + wire names of added nodes
 	recRules byte = 2 // a rules registration: the DSL source
+	recEpoch byte = 3 // a leadership transition: the promoting epoch + its fence bound
 )
 
 // maxRecordBytes bounds a single record, protecting the reader from a
@@ -21,10 +22,18 @@ const (
 const maxRecordBytes = 1 << 30
 
 // TailRecord is one decoded WAL record, as delivered by Store.Tail and
-// consumed by recovery. Exactly one of Delta and Rules is set.
+// consumed by recovery. Exactly one of Delta, Rules and EpochBump is
+// set.
 type TailRecord struct {
-	// Version is the graph version after the record applies.
+	// Version is the graph version after the record applies (for an
+	// epoch bump: the fence bound — the version the new leader drained
+	// the log to).
 	Version uint64
+	// Epoch is the leadership epoch of the leader that appended the
+	// record (see epoch.go). Records of a deposed epoch with versions
+	// beyond a later epoch's fence bound were never acknowledged and
+	// are skipped by recovery and tailing.
+	Epoch uint64
 	// AppendedAt is the leader's wall clock when the record was
 	// appended; follower staleness is time.Since of it.
 	AppendedAt time.Time
@@ -34,6 +43,9 @@ type TailRecord struct {
 	Names []string
 	// Rules carries a rules registration's DSL source.
 	Rules *string
+	// EpochBump marks a leadership transition: Epoch took over with its
+	// fence bound at Version.
+	EpochBump bool
 }
 
 // frame wraps a payload in the on-disk framing: u32 length, u32 IEEE
@@ -96,12 +108,14 @@ func appendValue(b []byte, v gedlib.Value) []byte {
 	return appendString(b, v.Str())
 }
 
-// encodeDelta serializes a delta record: kind, append time, version
-// range, then the node/edge/attr rows. names is parallel to d.Nodes.
-func encodeDelta(ts int64, d *gedlib.Delta, names []string) []byte {
+// encodeDelta serializes a delta record: kind, append time, leadership
+// epoch, version range, then the node/edge/attr rows. names is
+// parallel to d.Nodes.
+func encodeDelta(ts int64, epoch uint64, d *gedlib.Delta, names []string) []byte {
 	b := make([]byte, 0, 64+16*d.Size())
 	b = append(b, recDelta)
 	b = appendVarint(b, ts)
+	b = appendUvarint(b, epoch)
 	b = appendUvarint(b, d.FromVersion)
 	b = appendUvarint(b, d.ToVersion)
 	b = appendUvarint(b, uint64(len(d.Nodes)))
@@ -131,14 +145,28 @@ func encodeDelta(ts int64, d *gedlib.Delta, names []string) []byte {
 	return b
 }
 
-// encodeRules serializes a rules record: kind, append time, the graph
-// version the rules were registered at, the DSL source.
-func encodeRules(ts int64, version uint64, src string) []byte {
-	b := make([]byte, 0, 16+len(src))
+// encodeRules serializes a rules record: kind, append time, leadership
+// epoch, the graph version the rules were registered at, the DSL
+// source.
+func encodeRules(ts int64, epoch uint64, version uint64, src string) []byte {
+	b := make([]byte, 0, 24+len(src))
 	b = append(b, recRules)
 	b = appendVarint(b, ts)
+	b = appendUvarint(b, epoch)
 	b = appendUvarint(b, version)
 	b = appendString(b, src)
+	return b
+}
+
+// encodeEpochBump serializes a leadership-transition record: kind,
+// append time, the new epoch, and its fence bound (the version the new
+// leader drained the log to before taking over).
+func encodeEpochBump(ts int64, epoch uint64, version uint64) []byte {
+	b := make([]byte, 0, 24)
+	b = append(b, recEpoch)
+	b = appendVarint(b, ts)
+	b = appendUvarint(b, epoch)
+	b = appendUvarint(b, version)
 	return b
 }
 
@@ -232,8 +260,10 @@ func decodeRecord(payload []byte) (TailRecord, error) {
 	r := &walReader{b: payload}
 	kind := r.byte()
 	ts := r.varint()
+	epoch := r.uvarint()
 	var tr TailRecord
 	tr.AppendedAt = time.Unix(0, ts)
+	tr.Epoch = epoch
 	switch kind {
 	case recDelta:
 		d := &gedlib.Delta{}
@@ -286,6 +316,13 @@ func decodeRecord(payload []byte) (TailRecord, error) {
 			return tr, r.err
 		}
 		tr.Rules, tr.Version = &src, version
+		return tr, nil
+	case recEpoch:
+		version := r.uvarint()
+		if r.err != nil {
+			return tr, r.err
+		}
+		tr.EpochBump, tr.Version = true, version
 		return tr, nil
 	default:
 		return tr, fmt.Errorf("persist: unknown WAL record kind %d", kind)

@@ -122,11 +122,11 @@ func TestBatcherBackpressure(t *testing.T) {
 		done <- err
 	}()
 	// Wait until they are queued.
-	for i := 0; i < 1000 && ent.b.queueDepth() < 2; i++ {
+	for i := 0; i < 1000 && ent.b.Load().queueDepth() < 2; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	if ent.b.queueDepth() != 2 {
-		t.Fatalf("queue depth %d, want 2", ent.b.queueDepth())
+	if ent.b.Load().queueDepth() != 2 {
+		t.Fatalf("queue depth %d, want 2", ent.b.Load().queueDepth())
 	}
 	if _, err := ent.Mutate(context.Background(), []Op{
 		{Op: "set_attr", ID: "dev", Attr: "name", Value: "c"},
@@ -168,7 +168,7 @@ func TestBatcherCloseDrains(t *testing.T) {
 		})
 		done <- res
 	}()
-	for i := 0; i < 1000 && ent.b.queueDepth() == 0; i++ {
+	for i := 0; i < 1000 && ent.b.Load().queueDepth() == 0; i++ {
 		time.Sleep(time.Millisecond)
 	}
 	if err := cat.Delete("g"); err != nil {
@@ -203,10 +203,10 @@ func TestBatcherCloseDrainsToWAL(t *testing.T) {
 		})
 		done <- res
 	}()
-	for i := 0; i < 1000 && ent.b.queueDepth() == 0; i++ {
+	for i := 0; i < 1000 && ent.b.Load().queueDepth() == 0; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	if ent.b.queueDepth() == 0 {
+	if ent.b.Load().queueDepth() == 0 {
 		t.Fatal("write never queued")
 	}
 	cat.Close()

@@ -31,11 +31,19 @@ type Catalog struct {
 	// store is the durability layer (nil when Config.DataDir is empty).
 	// follower marks a catalog tailing another process's store: entries
 	// are read-only replicas and Create/Delete/writes are rejected.
+	// roleMu serializes the role transitions (Promote, Demote, Close)
+	// against each other; steady-state paths read the atomics lock-free.
 	store        *persist.Store
-	follower     bool
+	follower     atomic.Bool
+	roleMu       sync.Mutex
 	followCtx    context.Context
 	followCancel context.CancelFunc
 	followWG     sync.WaitGroup
+
+	// Promotion metrics: count and wall-time (the measured RTO) of
+	// follower-to-leader transitions.
+	mPromotions *obs.Counter
+	hPromotion  *obs.Histogram
 
 	mu      sync.RWMutex
 	entries map[string]*GraphEntry
@@ -65,6 +73,10 @@ func NewCatalog(cfg Config) (*Catalog, error) {
 		entries:  make(map[string]*GraphEntry),
 		creating: make(map[string]struct{}),
 	}
+	c.mPromotions = reg.Counter("ged_promotions_total",
+		"follower-to-leader promotions completed")
+	c.hPromotion = reg.Histogram("ged_promotion_seconds",
+		"wall time of follower-to-leader promotions (the RTO paid)")
 	if cfg.DataDir != "" {
 		mode, err := persist.ParseFsyncMode(cfg.Fsync)
 		if err != nil {
@@ -93,7 +105,16 @@ func (c *Catalog) DataDir() string {
 }
 
 // IsFollower reports whether the catalog is a read-only replica.
-func (c *Catalog) IsFollower() bool { return c.follower }
+func (c *Catalog) IsFollower() bool { return c.follower.Load() }
+
+// Role reports the catalog's current role: "follower" while tailing
+// another process's store, "leader" otherwise.
+func (c *Catalog) Role() string {
+	if c.follower.Load() {
+		return "follower"
+	}
+	return "leader"
+}
 
 // Engine exposes the catalog's shared engine (chase requests and tests
 // use it directly).
@@ -150,14 +171,16 @@ type GraphEntry struct {
 	retained []*View
 
 	// b is the write batcher; nil on follower entries, which reject
-	// writes with ErrReadOnly.
-	b *batcher
+	// writes with ErrReadOnly. An atomic pointer because promotion
+	// attaches a batcher to a live entry that lock-free paths (Mutate,
+	// Stats) are reading concurrently.
+	b atomic.Pointer[batcher]
 
 	// ps is the entry's durability handle (nil when the catalog is
-	// in-memory or a follower). Set before the entry is published to the
-	// catalog map and never reassigned, so lock-free Stats reads are
-	// safe; its own methods are internally synchronized.
-	ps *persist.GraphStore
+	// in-memory or a follower). An atomic pointer for the same reason as
+	// b: promotion swaps a writable handle onto a live replica entry.
+	// The GraphStore's own methods are internally synchronized.
+	ps atomic.Pointer[persist.GraphStore]
 	// rulesSrc is the DSL source sigma was parsed from (checkpoints
 	// persist the source, not the parsed set). Guarded by mu.
 	rulesSrc string
@@ -166,10 +189,16 @@ type GraphEntry struct {
 	// its replication counters (records applied, staleness of the last),
 	// folFailures the consecutive tail/recover failures (reset on
 	// success).
-	follower    bool
+	follower    atomic.Bool
 	mFolRecords *obs.Counter
 	folLag      atomic.Int64
 	folFailures atomic.Uint64
+
+	// leaderEpoch is the leadership epoch this entry's WAL handle writes
+	// under (0 until restored/promoted); promotionNanos is the wall time
+	// of the last promotion that created this leader (its RTO share).
+	leaderEpoch    atomic.Uint64
+	promotionNanos atomic.Int64
 
 	// health is the entry's serving health (healthOK/healthDegraded),
 	// checked lock-free on the write path. The cause and probe state
@@ -192,6 +221,10 @@ type GraphEntry struct {
 	mRecoveries *obs.Counter
 	mDegraded   *obs.Counter
 	mReads      *obs.Counter
+	// mFenced counts fenced transitions; mFencedAppends the WAL
+	// appends/syncs the epoch fence actually refused.
+	mFenced        *obs.Counter
+	mFencedAppends *obs.Counter
 
 	// Per-stage flush pipeline histograms (pipeline instrumentation:
 	// nil no-ops when the observer is disabled).
@@ -203,7 +236,7 @@ type GraphEntry struct {
 // empty graph. The new entry starts with an empty rule set and an
 // already-published first view.
 func (c *Catalog) Create(name string, graphJSON []byte) (*GraphEntry, error) {
-	if c.follower {
+	if c.follower.Load() {
 		return nil, ErrReadOnly
 	}
 	if !validName(name) {
@@ -255,14 +288,16 @@ func (c *Catalog) Create(name string, graphJSON []byte) (*GraphEntry, error) {
 			}
 			return nil, err
 		}
-		ent.ps = gs
+		ent.ps.Store(gs)
+		ent.leaderEpoch.Store(gs.Epoch())
 	}
-	ent.b = newBatcher(ent, c.cfg)
+	nb := newBatcher(ent, c.cfg)
+	ent.b.Store(nb)
 
 	c.mu.Lock()
 	c.entries[name] = ent // the reservation guarantees the slot is free
 	c.mu.Unlock()
-	go ent.b.run()
+	go nb.run()
 	return ent, nil
 }
 
@@ -293,7 +328,7 @@ func (c *Catalog) Names() []string {
 // stops, the engine's cached state for the graph is released, and its
 // durable directory (if any) is removed.
 func (c *Catalog) Delete(name string) error {
-	if c.follower {
+	if c.follower.Load() {
 		return ErrReadOnly
 	}
 	c.mu.Lock()
@@ -308,7 +343,7 @@ func (c *Catalog) Delete(name string) error {
 	// through GaugeFunc close over the entry, so removal is also what
 	// stops the registry from pinning its state.
 	c.reg.RemoveLabeled("graph", name)
-	if ent.ps != nil {
+	if ent.ps.Load() != nil {
 		return c.store.Delete(name)
 	}
 	return nil
@@ -318,9 +353,12 @@ func (c *Catalog) Delete(name string) error {
 // every entry drains its pending writes and (when durable) writes a
 // final checkpoint.
 func (c *Catalog) Close() {
+	c.roleMu.Lock()
+	defer c.roleMu.Unlock()
 	if c.followCancel != nil {
 		c.followCancel()
 		c.followWG.Wait()
+		c.followCancel = nil
 	}
 	c.mu.Lock()
 	ents := make([]*GraphEntry, 0, len(c.entries))
@@ -341,8 +379,8 @@ func (c *Catalog) Close() {
 // final flush. drop skips the parting checkpoint (the caller is about
 // to delete the directory anyway).
 func (ent *GraphEntry) close(drop bool) {
-	if ent.b != nil {
-		ent.b.close()
+	if b := ent.b.Load(); b != nil {
+		b.close()
 	}
 	if ent.probeStop != nil {
 		ent.stopProbe.Do(func() { close(ent.probeStop) })
@@ -352,13 +390,15 @@ func (ent *GraphEntry) close(drop bool) {
 	// Forget or will observe closed and leave no trace — it cannot
 	// re-seed a cache entry for a graph the catalog dropped.
 	ent.mu.Lock()
-	if ent.ps != nil {
+	if ps := ent.ps.Load(); ps != nil {
 		if !drop {
 			// A clean shutdown checkpoints, so the next boot recovers
 			// from the image alone instead of replaying the whole tail.
-			_ = ent.ps.Checkpoint(ent.persistState())
+			// (A fenced handle refuses this inside persist — harmless;
+			// the new leader owns the log now.)
+			_ = ps.Checkpoint(ent.persistState())
 		}
-		_ = ent.ps.Close()
+		_ = ps.Close()
 	}
 	ent.closed = true
 	ent.cat.eng.Forget(ent.graph)
@@ -386,7 +426,7 @@ func (ent *GraphEntry) CurrentView() *View {
 // view carrying the new maintained violation set. It returns the new
 // view.
 func (ent *GraphEntry) RegisterRules(ctx context.Context, src string) (*View, error) {
-	if ent.follower {
+	if ent.follower.Load() {
 		return nil, ErrReadOnly
 	}
 	sigma, err := gedlib.ParseRules(src)
@@ -398,7 +438,10 @@ func (ent *GraphEntry) RegisterRules(ctx context.Context, src string) (*View, er
 	if ent.closed {
 		return nil, ErrClosed
 	}
-	if ent.health.Load() == healthDegraded {
+	switch ent.health.Load() {
+	case healthFenced:
+		return nil, ErrFenced
+	case healthDegraded:
 		return nil, ErrDegraded
 	}
 	old, oldSrc := ent.sigma, ent.rulesSrc
@@ -410,8 +453,18 @@ func (ent *GraphEntry) RegisterRules(ctx context.Context, src string) (*View, er
 		ent.sigma, ent.rulesSrc = old, oldSrc
 		return nil, err
 	}
-	if ent.ps != nil {
-		if err := ent.ps.AppendRules(ent.graph.Version(), src); err != nil {
+	if ps := ent.ps.Load(); ps != nil {
+		if err := ps.AppendRules(ent.graph.Version(), src); err != nil {
+			if errors.Is(err, persist.ErrFenced) {
+				// A newer epoch owns the log: the registration was never
+				// durable and must not be vouched for. Fence the entry
+				// and roll the in-memory rules back.
+				ent.mFencedAppends.Inc()
+				ent.fence(err)
+				ent.sigma, ent.rulesSrc = old, oldSrc
+				_ = ent.refreshLocked(ctx)
+				return nil, fmt.Errorf("%w: %v", ErrFenced, err)
+			}
 			// The rules ARE active in memory; only their durability
 			// failed. Surface it as a flush-class error — the caller can
 			// retry the registration, which is idempotent.
@@ -426,15 +479,20 @@ func (ent *GraphEntry) RegisterRules(ctx context.Context, src string) (*View, er
 // version/epoch and any per-op errors. A ctx expiry abandons only the
 // wait: the enqueued ops are still applied by a later flush.
 func (ent *GraphEntry) Mutate(ctx context.Context, ops []Op) (WriteResult, error) {
-	if ent.b == nil {
+	b := ent.b.Load()
+	if b == nil {
 		return WriteResult{}, ErrReadOnly
 	}
-	// Fail fast while degraded rather than queueing ops that the flush
-	// would reject anyway (the flush re-checks, so this is advisory).
-	if ent.health.Load() == healthDegraded {
+	// Fail fast while degraded or fenced rather than queueing ops that
+	// the flush would reject anyway (the flush re-checks, so this is
+	// advisory).
+	switch ent.health.Load() {
+	case healthFenced:
+		return WriteResult{}, ErrFenced
+	case healthDegraded:
 		return WriteResult{}, ErrDegraded
 	}
-	return ent.b.enqueue(ctx, ops)
+	return b.enqueue(ctx, ops)
 }
 
 // Chase runs the engine's chase over a point-in-time copy of the graph
@@ -555,7 +613,7 @@ func (ent *GraphEntry) applyBatch(reqs []*writeReq) (view *View, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%w: panic: %v", ErrFlush, p)
-			if ent.ps != nil {
+			if ent.ps.Load() != nil {
 				ent.degrade(err)
 			}
 		}
@@ -580,7 +638,10 @@ func (ent *GraphEntry) applyBatch(reqs []*writeReq) (view *View, err error) {
 	if ent.closed {
 		return nil, ErrClosed
 	}
-	if ent.health.Load() == healthDegraded {
+	switch ent.health.Load() {
+	case healthFenced:
+		return nil, ErrFenced
+	case healthDegraded:
 		return nil, ErrDegraded
 	}
 	if hook := flushTestHook; hook != nil {
@@ -605,6 +666,12 @@ func (ent *GraphEntry) applyBatch(reqs []*writeReq) (view *View, err error) {
 	// before the view is published and the requests complete — a
 	// returned write is durable, not just visible.
 	if lerr := ent.logBatchLocked(from, sp); lerr != nil {
+		if errors.Is(lerr, persist.ErrFenced) {
+			// Not a server fault: a newer epoch owns the log. The batch
+			// was applied in memory but never acked durable; the fenced
+			// entry serves its pre-batch view read-only.
+			return nil, fmt.Errorf("%w: %v", ErrFenced, lerr)
+		}
 		return nil, fmt.Errorf("%w: %v", ErrFlush, lerr)
 	}
 	applyStart := time.Now()
@@ -621,6 +688,19 @@ func (ent *GraphEntry) applyBatch(reqs []*writeReq) (view *View, err error) {
 	ent.stPublish.Observe(pubDur)
 	sp.StageDur(stagePublish, pubDur)
 	return nil, nil
+}
+
+// faultLocked routes a persist-layer failure to the matching health
+// transition: an epoch fence (persist.ErrFenced — a promoted follower
+// owns the log now) fences the entry, sticky and unprobed; anything
+// else degrades it and starts the probe loop.
+func (ent *GraphEntry) faultLocked(err error) {
+	if errors.Is(err, persist.ErrFenced) {
+		ent.mFencedAppends.Inc()
+		ent.fence(err)
+		return
+	}
+	ent.degrade(err)
 }
 
 // Flush-path retry tuning: transient append errors back off 2→4→8ms
@@ -645,7 +725,8 @@ const (
 // that is not on disk. Recovery from degraded is always a full
 // checkpoint rewrite (see Probe).
 func (ent *GraphEntry) logBatchLocked(from uint64, sp *obs.Span) error {
-	if ent.ps == nil {
+	ps := ent.ps.Load()
+	if ps == nil {
 		return nil
 	}
 	d := ent.graph.DeltaSince(from)
@@ -654,8 +735,8 @@ func (ent *GraphEntry) logBatchLocked(from uint64, sp *obs.Span) error {
 		// The journal no longer reaches back to `from` (possible only
 		// after an exceptionally large batch trimmed it). A checkpoint
 		// of the current state re-anchors the log losslessly.
-		if err := ent.ps.Checkpoint(ent.persistState()); err != nil {
-			ent.degrade(err)
+		if err := ps.Checkpoint(ent.persistState()); err != nil {
+			ent.faultLocked(err)
 			return err
 		}
 		return nil
@@ -669,12 +750,12 @@ func (ent *GraphEntry) logBatchLocked(from uint64, sp *obs.Span) error {
 	appendStart := time.Now()
 	delay := flushRetryDelay
 	for attempt := 0; ; attempt++ {
-		err := ent.ps.AppendDelta(d, names)
+		err := ps.AppendDelta(d, names)
 		if err == nil {
 			break
 		}
-		if !persist.IsTransient(err) || attempt >= ent.cat.cfg.FlushRetries {
-			ent.degrade(err)
+		if errors.Is(err, persist.ErrFenced) || !persist.IsTransient(err) || attempt >= ent.cat.cfg.FlushRetries {
+			ent.faultLocked(err)
 			return err
 		}
 		ent.mWALRetries.Inc()
@@ -687,22 +768,28 @@ func (ent *GraphEntry) logBatchLocked(from uint64, sp *obs.Span) error {
 	ent.stWAL.Observe(appendDur)
 	sp.StageDur(stageWALAppend, appendDur)
 	syncStart := time.Now()
-	if err := ent.ps.Sync(); err != nil {
-		ent.degrade(err)
+	// The post-sync fence check is the ack gate: a deposed leader's
+	// group commit fails here (persist re-reads the fence table after
+	// the fsync), so the batch is never reported durable.
+	if err := ps.Sync(); err != nil {
+		ent.faultLocked(err)
 		return err
 	}
 	syncDur := time.Since(syncStart)
 	ent.stFsync.Observe(syncDur)
 	sp.StageDur(stageFsync, syncDur)
-	if ent.ps.CheckpointDue() {
+	if ps.CheckpointDue() {
 		ckptStart := time.Now()
-		if err := ent.ps.Checkpoint(ent.persistState()); err != nil {
+		if err := ps.Checkpoint(ent.persistState()); err != nil {
 			// The batch is already durable in the WAL; a failed rotation
 			// only defers compaction. Still degrade on a permanent error
 			// — the disk is refusing writes and the log would otherwise
-			// grow without bound — but ack the batch either way.
+			// grow without bound — but ack the batch either way. (A
+			// fence here cannot un-ack the batch: the sync above passed
+			// its fence check, so the batch predates the takeover bound
+			// and the new leader adopted it.)
 			if !persist.IsTransient(err) {
-				ent.degrade(err)
+				ent.faultLocked(err)
 			}
 		}
 		sp.StageDur("checkpoint", time.Since(ckptStart))
@@ -727,17 +814,37 @@ func (c *Catalog) Restore(ctx context.Context) ([]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: restore %q: %w", name, err)
 		}
+		// A rebooting leader that may have been deposed while down
+		// asserts the epoch it last held; if a successor took over, the
+		// graph comes up fenced (read-only) instead of discovering it on
+		// the first write.
+		var fenceErr error
+		if c.cfg.AssumeEpoch != nil {
+			if aerr := gs.AssumeEpoch(*c.cfg.AssumeEpoch); aerr != nil {
+				if !errors.Is(aerr, persist.ErrFenced) {
+					_ = gs.Close()
+					return nil, fmt.Errorf("serve: restore %q: %w", name, aerr)
+				}
+				fenceErr = aerr
+			}
+		}
 		ent, err := c.adoptState(ctx, name, rec.State)
 		if err != nil {
 			_ = gs.Close()
 			return nil, fmt.Errorf("serve: restore %q: %w", name, err)
 		}
-		ent.ps = gs
-		ent.b = newBatcher(ent, c.cfg)
+		ent.ps.Store(gs)
+		ent.leaderEpoch.Store(gs.Epoch())
+		if fenceErr != nil {
+			ent.mFencedAppends.Inc()
+			ent.fence(fenceErr)
+		}
+		nb := newBatcher(ent, c.cfg)
+		ent.b.Store(nb)
 		c.mu.Lock()
 		c.entries[name] = ent
 		c.mu.Unlock()
-		go ent.b.run()
+		go nb.run()
 	}
 	return names, nil
 }
@@ -752,7 +859,7 @@ func (c *Catalog) Follow(ctx context.Context) error {
 	if c.store == nil {
 		return errors.New("serve: Follow requires Config.DataDir")
 	}
-	c.follower = true
+	c.follower.Store(true)
 	c.followCtx, c.followCancel = context.WithCancel(ctx)
 	names, err := c.store.Graphs()
 	if err != nil {
@@ -778,7 +885,7 @@ func (c *Catalog) followGraph(name string) error {
 	if err != nil {
 		return err
 	}
-	ent.follower = true
+	ent.follower.Store(true)
 	ent.initFollowerMetrics()
 	c.mu.Lock()
 	c.entries[name] = ent
@@ -881,14 +988,20 @@ func (c *Catalog) followLoop(ent *GraphEntry, rec *persist.Recovery) {
 	}
 }
 
-// rescanLoop watches the store for graphs created after Follow started.
-// Scan failures back off exponentially (with jitter) instead of
-// hammering a failing store once a second.
+// rescanLoop watches the store for graphs created after Follow started,
+// every Config.RescanInterval (jittered ±25% so a fleet of followers
+// spreads its scans). Scan failures back off exponentially (with
+// jitter) instead of hammering a failing store every interval.
 func (c *Catalog) rescanLoop() {
 	defer c.followWG.Done()
 	ctx := c.followCtx
-	bo := newBackoff(time.Second, 30*time.Second)
-	delay := time.Second
+	base := c.cfg.RescanInterval
+	maxDelay := 30 * time.Second
+	if base > maxDelay {
+		maxDelay = base
+	}
+	bo := newBackoff(base, maxDelay)
+	delay := jitter(base)
 	for {
 		select {
 		case <-ctx.Done():
@@ -913,7 +1026,7 @@ func (c *Catalog) rescanLoop() {
 		}
 		if ok {
 			bo.reset()
-			delay = time.Second
+			delay = jitter(base)
 		} else {
 			delay = bo.next()
 		}
@@ -986,8 +1099,8 @@ func (ent *GraphEntry) Stats() EntryStats {
 	retained := len(ent.retained)
 	ent.retainMu.Unlock()
 	var s EntryStats
-	if ent.b != nil {
-		s = ent.b.stats()
+	if b := ent.b.Load(); b != nil {
+		s = b.stats()
 	}
 	s.Name = ent.name
 	// The graph pointer is read under ent.mu (resetTo can swap it) but
@@ -1001,16 +1114,17 @@ func (ent *GraphEntry) Stats() EntryStats {
 		s.CutEdges = ss.CutEdges
 		s.ShardViolations = ss.ShardViolations
 	}
-	if ent.ps != nil {
-		ps := ent.ps.Stats()
+	if psh := ent.ps.Load(); psh != nil {
+		ps := psh.Stats()
 		s.Durable = true
 		s.WALBytes = ps.WALBytes
 		s.WALRecords = ps.WALRecords
 		s.LastFsyncNanos = ps.LastSync.Nanoseconds()
 		s.CheckpointVersion = ps.CheckpointVersion
 		s.CheckpointAgeOps = ps.OpsSinceCheckpoint
+		s.LeaderEpoch = ps.Epoch
 	}
-	if ent.follower {
+	if ent.follower.Load() {
 		s.Follower = true
 		s.FollowerRecords = ent.mFolRecords.Value()
 		s.FollowerLagNanos = ent.folLag.Load()
@@ -1021,6 +1135,18 @@ func (ent *GraphEntry) Stats() EntryStats {
 	if herr != nil {
 		s.HealthError = herr.Error()
 	}
+	switch {
+	case h == "fenced":
+		s.Role = "fenced"
+	case s.Follower:
+		s.Role = "follower"
+	default:
+		s.Role = "leader"
+	}
+	if pn := ent.promotionNanos.Load(); pn != 0 {
+		s.PromotionNanos = pn
+	}
+	s.FencedAppends = ent.mFencedAppends.Value()
 	ent.healthMu.Lock()
 	since := ent.degradedSince
 	ent.healthMu.Unlock()

@@ -54,6 +54,11 @@ func NewServer(cfg Config) (*Server, error) {
 	root.HandleFunc("GET /metricsz", s.handleMetricsz)
 	root.HandleFunc("GET /tracez", s.handleTracez)
 	root.HandleFunc("GET /versionz", s.handleVersionz)
+	// The role transitions also bypass admission: a failover is exactly
+	// when the server may be drowning in rejected writes, and the
+	// operator's /promote must not queue behind them.
+	root.HandleFunc("POST /promote", s.handlePromote)
+	root.HandleFunc("POST /demote", s.handleDemote)
 	root.Handle("/", s.adm.wrap(withTimeout(cfg.RequestTimeout, api)))
 	s.handler = root
 	return s, nil
@@ -96,11 +101,27 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 }
 
 // fail maps catalog/batcher errors onto status codes.
+//
+// Write rejections draw a deliberate distinction:
+//
+//   - ErrReadOnly → 403 + Retry-After 30. The graph is a follower
+//     replica: the request is well-formed but aimed at the wrong role,
+//     and retrying HERE only helps once this process is promoted —
+//     clients should redirect to the leader, which is alive and
+//     accepting (that is why a follower exists). The long Retry-After
+//     says "wrong door", not "come right back".
+//   - ErrDegraded → 503 + Retry-After 5. The graph is the right door
+//     but its disk is failing; the auto-probe may heal it any moment,
+//     so a short retry against the same endpoint is sensible.
+//   - ErrFenced → 503 + Retry-After 5. A deposed leader: a promoted
+//     follower owns the log now. Retrying reaches the new leader as
+//     soon as the client's routing catches up (or this process demotes
+//     and 403s like any follower).
 func fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		httpError(w, http.StatusNotFound, err.Error())
-	case errors.Is(err, ErrExists):
+	case errors.Is(err, ErrExists), errors.Is(err, ErrNotFollower):
 		httpError(w, http.StatusConflict, err.Error())
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -108,10 +129,9 @@ func fail(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrTooManyOps):
 		httpError(w, http.StatusRequestEntityTooLarge, err.Error())
 	case errors.Is(err, ErrReadOnly):
+		w.Header().Set("Retry-After", "30")
 		httpError(w, http.StatusForbidden, err.Error())
-	case errors.Is(err, ErrDegraded):
-		// Degraded is retryable from the client's side: the disk may
-		// heal and the auto-probe re-enables the graph.
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrFenced):
 		w.Header().Set("Retry-After", "5")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrClosed):
@@ -194,16 +214,53 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		h, cause := ent.Health()
-		g := map[string]string{"health": h}
+		g := map[string]any{"health": h}
 		if cause != nil {
 			g["error"] = cause.Error()
 		}
+		if st := ent.Stats(); st.Role != "" {
+			g["role"] = st.Role
+			if st.LeaderEpoch != 0 {
+				g["leader_epoch"] = st.LeaderEpoch
+			}
+		}
 		graphs[name] = g
-		if h == "degraded" {
+		// Fenced outranks degraded in the rollup: it never self-heals,
+		// so it is the state an operator must act on first.
+		if h == "degraded" && status == "ok" {
 			status = "degraded"
 		}
+		if h == "fenced" {
+			status = "fenced"
+		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": status, "graphs": graphs})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status, "role": s.cat.Role(), "graphs": graphs,
+	})
+}
+
+// handlePromote turns a follower into the leader: tails stop, every
+// graph's WAL is drained to its end behind a freshly fenced epoch, and
+// write batchers start. The response carries the graphs promoted, the
+// epoch now held, and the measured promotion wall time (the RTO).
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	res, err := s.cat.Promote(r.Context())
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleDemote reboots the catalog as a follower of whatever epoch now
+// owns the data directory — the recovery path for a fenced (deposed)
+// leader. The new tails outlive the request (context.Background()).
+func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	if err := s.cat.Demote(context.Background()); err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"role": s.cat.Role()})
 }
 
 // handleEnable is the operator re-enable path for a degraded graph: it
@@ -233,6 +290,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		RejectedRequests:   s.adm.rejected.Value(),
 		DataDir:            s.cat.DataDir(),
 		Follower:           s.cat.IsFollower(),
+		Role:               s.cat.Role(),
 		Entries:            entries,
 	})
 }

@@ -11,23 +11,34 @@ import (
 // Per-graph serving health. A degraded entry keeps serving reads from
 // its last published view but rejects writes with ErrDegraded until the
 // persist layer heals — either the auto-probe loop succeeds or an
-// operator forces a probe via POST /graphs/{name}/enable.
+// operator forces a probe via POST /graphs/{name}/enable. A fenced
+// entry is a deposed leader: same read-only posture, but sticky — no
+// probe can heal it, because the WAL now belongs to a newer leadership
+// epoch; only rebooting as a follower (POST /demote) clears it.
 const (
 	healthOK int32 = iota
 	healthDegraded
+	healthFenced
 )
 
 // Health reports the entry's serving health: "ok", "degraded" (the
-// persist layer is failing; reads only, with the causing error), or
+// persist layer is failing; reads only, with the causing error),
+// "fenced" (a deposed leader; reads only, with the fencing error), or
 // "readonly" (a healthy follower replica).
 func (ent *GraphEntry) Health() (state string, cause error) {
-	if ent.health.Load() == healthDegraded {
+	switch ent.health.Load() {
+	case healthFenced:
+		ent.healthMu.Lock()
+		cause = ent.healthErr
+		ent.healthMu.Unlock()
+		return "fenced", cause
+	case healthDegraded:
 		ent.healthMu.Lock()
 		cause = ent.healthErr
 		ent.healthMu.Unlock()
 		return "degraded", cause
 	}
-	if ent.follower {
+	if ent.follower.Load() {
 		return "readonly", nil
 	}
 	return "ok", nil
@@ -40,12 +51,18 @@ func (ent *GraphEntry) Health() (state string, cause error) {
 // never contend on the entry lock for it.
 func (ent *GraphEntry) degrade(cause error) {
 	ent.healthMu.Lock()
+	if ent.health.Load() == healthFenced {
+		// Fenced outranks degraded: a deposed leader stays fenced no
+		// matter what else its persist layer reports.
+		ent.healthMu.Unlock()
+		return
+	}
 	ent.healthErr = cause
 	if ent.health.Swap(healthDegraded) == healthOK {
 		ent.degradedSince = time.Now()
 		ent.mDegraded.Inc()
 	}
-	start := ent.ps != nil && !ent.probing
+	start := ent.ps.Load() != nil && !ent.probing
 	if start {
 		ent.probing = true
 	}
@@ -55,10 +72,29 @@ func (ent *GraphEntry) degrade(cause error) {
 	}
 }
 
+// fence marks the entry a deposed leader: read-only because a newer
+// leadership epoch owns its WAL. Unlike degrade it starts no probe loop
+// — fencing is not a fault that heals; the only way out is rebooting
+// the entry as a follower of the new epoch (Catalog.Demote).
+func (ent *GraphEntry) fence(cause error) {
+	ent.healthMu.Lock()
+	ent.healthErr = cause
+	if ent.health.Swap(healthFenced) != healthFenced {
+		ent.mFenced.Inc()
+	}
+	ent.degradedSince = time.Time{}
+	ent.healthMu.Unlock()
+}
+
 // setHealthy clears degraded state (counting the recovery if there was
-// one to recover from).
+// one to recover from). Fenced state is sticky: it never clears here —
+// a probe or follower catch-up must not resurrect a deposed leader.
 func (ent *GraphEntry) setHealthy() {
 	ent.healthMu.Lock()
+	if ent.health.Load() == healthFenced {
+		ent.healthMu.Unlock()
+		return
+	}
 	if ent.health.Swap(healthOK) == healthDegraded {
 		ent.mRecoveries.Inc()
 	}
@@ -96,9 +132,10 @@ func (ent *GraphEntry) probeLoop() {
 // pages, so a passing retry proves nothing), and any ops a failed flush
 // applied in memory but never logged are rolled forward into the image.
 // On success the entry publishes its current state and accepts writes
-// again. A probe of a healthy entry is a no-op.
+// again. A probe of a healthy entry — or of a fenced one, which no
+// probe may resurrect — is a no-op.
 func (ent *GraphEntry) Probe(ctx context.Context) error {
-	if ent.b == nil {
+	if ent.b.Load() == nil {
 		return ErrReadOnly // followers heal through their tail loop
 	}
 	ent.mu.Lock()
@@ -110,8 +147,8 @@ func (ent *GraphEntry) Probe(ctx context.Context) error {
 		return nil
 	}
 	ent.mProbes.Inc()
-	if ent.ps != nil {
-		if err := ent.ps.Checkpoint(ent.persistState()); err != nil {
+	if ps := ent.ps.Load(); ps != nil {
+		if err := ps.Checkpoint(ent.persistState()); err != nil {
 			ent.healthMu.Lock()
 			ent.healthErr = err
 			ent.healthMu.Unlock()
@@ -149,3 +186,9 @@ func (b *backoff) next() time.Duration {
 }
 
 func (b *backoff) reset() { b.cur = 0 }
+
+// jitter smears a fixed interval ±25%, for periodic loops (the follower
+// rescan) that would otherwise tick in fleet-wide lockstep.
+func jitter(d time.Duration) time.Duration {
+	return d + time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+}

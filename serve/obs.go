@@ -57,17 +57,37 @@ func (ent *GraphEntry) initMetrics() {
 		"degraded-to-ok health transitions", "graph", n)
 	ent.mDegraded = reg.Counter("ged_serve_degraded_total",
 		"ok-to-degraded health transitions", "graph", n)
+	ent.mFenced = reg.Counter("ged_serve_fenced_total",
+		"transitions into fenced (deposed-leader) state", "graph", n)
+	ent.mFencedAppends = reg.Counter("ged_fenced_appends_total",
+		"WAL appends and syncs refused by the leadership-epoch fence", "graph", n)
 	reg.GaugeFunc("ged_serve_graph_health",
-		"per-graph serving health: 0 ok, 1 degraded, 2 readonly",
+		"per-graph serving health: 0 ok, 1 degraded, 2 readonly, 3 fenced",
 		func() float64 {
 			switch {
+			case ent.health.Load() == healthFenced:
+				return 3
 			case ent.health.Load() == healthDegraded:
 				return 1
-			case ent.follower:
+			case ent.follower.Load():
 				return 2
 			}
 			return 0
 		}, "graph", n)
+	reg.GaugeFunc("ged_serve_role",
+		"per-graph role: 0 leader, 1 follower, 2 fenced",
+		func() float64 {
+			switch {
+			case ent.health.Load() == healthFenced:
+				return 2
+			case ent.follower.Load():
+				return 1
+			}
+			return 0
+		}, "graph", n)
+	reg.GaugeFunc("ged_leader_epoch",
+		"leadership epoch the graph's WAL handle writes under",
+		func() float64 { return float64(ent.leaderEpoch.Load()) }, "graph", n)
 
 	preg := ent.cat.pipelineReg()
 	const name, help = "ged_serve_flush_stage_seconds", "per-stage duration of the write flush pipeline"

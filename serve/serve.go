@@ -45,6 +45,23 @@
 // POST /graphs/{name}/enable. See the README's "Failure model &
 // degraded modes" section.
 //
+// Failover model: a durable catalog is a leader (Restore — owns the
+// WALs, accepts writes), a follower (Follow — tails the leader's WALs,
+// serves reads), or per-graph fenced (a deposed leader). POST /promote
+// turns a follower into the leader: tail loops stop, each graph's WAL
+// is drained to its end, the leadership epoch is bumped behind a
+// crash-atomic fence bound (persist.Store.Promote), and batchers start
+// accepting writes — the measured promotion time is the recovery-time
+// objective (RTO). The deposed leader's next append or fsync fails the
+// epoch fence check (persist.ErrFenced) before being acknowledged: its
+// graphs turn fenced — reads keep serving the last view, writes get
+// 503 + Retry-After like the degraded path, but fencing is sticky (no
+// probe can heal it; the log belongs to a newer epoch). It reboots as
+// a follower of the new epoch via POST /demote, or with its old epoch
+// asserted explicitly (Config.AssumeEpoch, gedserve -epoch) so the
+// fence is applied at startup instead of first write. See the README's
+// "Failover & roles" section.
+//
 // Command gedserve is a thin daemon over this package; `gedbench
 // -experiment serve` drives it with a Zipfian multi-tenant load and
 // `gedbench -experiment chaos` soaks it under injected disk faults.
@@ -80,6 +97,15 @@ var (
 	// writes get 503 + Retry-After until the disk heals (auto-probe) or
 	// an operator re-enables the graph (POST /graphs/{name}/enable).
 	ErrDegraded = errors.New("serve: graph degraded (persist failure); serving reads only")
+	// ErrFenced rejects writes against a deposed leader's graph: a newer
+	// leadership epoch owns the WAL (a follower was promoted). Reads
+	// keep serving the last view; writes get 503 + Retry-After. Unlike
+	// ErrDegraded this is sticky — no probe can heal it; the process
+	// must reboot as a follower of the new epoch (POST /demote).
+	ErrFenced = errors.New("serve: graph fenced (a newer leadership epoch owns the log); serving reads only")
+	// ErrNotFollower rejects a promotion of a catalog that has no
+	// follower graphs to promote (HTTP 409).
+	ErrNotFollower = errors.New("serve: catalog has no follower graphs to promote")
 )
 
 // SpanData is one completed traced operation, as delivered to
@@ -144,6 +170,17 @@ type Config struct {
 	// FollowPoll is a follower catalog's WAL poll interval. 0 selects
 	// the persist default (25ms).
 	FollowPoll time.Duration
+	// RescanInterval is how often a follower catalog rescans the store
+	// for graphs created after it started following. Each sleep is
+	// jittered ±25% so a fleet of followers doesn't rescan in lockstep.
+	// Default 1s.
+	RescanInterval time.Duration
+	// AssumeEpoch, when non-nil, asserts the leadership epoch a
+	// restoring leader believes it owns. If the on-disk epoch has moved
+	// past it (a follower was promoted while this leader was down), the
+	// affected graphs come up fenced — read-only — instead of failing
+	// on their first write. nil trusts the recovered on-disk epoch.
+	AssumeEpoch *uint64
 
 	// FlushRetries is how many times a flush retries a transient WAL
 	// append error (capped exponential backoff, in place) before the
@@ -199,6 +236,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.RescanInterval <= 0 {
+		c.RescanInterval = time.Second
 	}
 	return c
 }

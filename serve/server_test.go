@@ -198,11 +198,11 @@ func TestHTTPQueueFullBackpressure(t *testing.T) {
 	parked, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go ent.Mutate(parked, []Op{{Op: "add_node", ID: "a", Label: "thing"}})
-	for i := 0; i < 1000 && ent.b.queueDepth() == 0; i++ {
+	for i := 0; i < 1000 && ent.b.Load().queueDepth() == 0; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	if ent.b.queueDepth() != 1 {
-		t.Fatalf("queue depth %d, want 1", ent.b.queueDepth())
+	if ent.b.Load().queueDepth() != 1 {
+		t.Fatalf("queue depth %d, want 1", ent.b.Load().queueDepth())
 	}
 	add, _ := json.Marshal(map[string]any{"ops": []Op{
 		{Op: "add_node", ID: "b", Label: "thing"},

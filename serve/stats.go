@@ -69,6 +69,17 @@ type EntryStats struct {
 	WALRetries       uint64 `json:"wal_retries,omitempty"`
 	Probes           uint64 `json:"probes,omitempty"`
 	Recoveries       uint64 `json:"recoveries,omitempty"`
+
+	// Failover & roles (see the README's "Failover & roles" section).
+	// Role is "leader", "follower", or "fenced" (a deposed leader whose
+	// WAL a newer epoch owns). LeaderEpoch is the leadership epoch the
+	// graph's WAL handle writes under; PromotionNanos the wall time of
+	// the promotion that made this entry a leader (0 if it never was
+	// promoted); FencedAppends the appends/syncs the epoch fence refused.
+	Role           string `json:"role,omitempty"`
+	LeaderEpoch    uint64 `json:"leader_epoch,omitempty"`
+	PromotionNanos int64  `json:"promotion_ns,omitempty"`
+	FencedAppends  uint64 `json:"fenced_appends,omitempty"`
 }
 
 // ServerStats is the /statsz payload.
@@ -85,8 +96,11 @@ type ServerStats struct {
 
 	// Durability: the data directory backing the catalog ("" when
 	// in-memory) and whether this process is a read-only follower of it.
+	// Role is the catalog-level role ("leader" or "follower"; per-graph
+	// fenced state is in the entries).
 	DataDir  string `json:"data_dir,omitempty"`
 	Follower bool   `json:"follower,omitempty"`
+	Role     string `json:"role,omitempty"`
 
 	Entries []EntryStats `json:"entries"`
 }
